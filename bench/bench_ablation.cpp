@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Ablation study over the design choices DESIGN.md calls out:
+ *  - full JSONSki (all fast-forward groups, SIMD classifier, batching)
+ *  - no G1 type filter (attributes/elements examined name-by-name)
+ *  - no batched primitive skipping (one comma interval per primitive)
+ *  - scalar classifier (same architecture, char-level classification)
+ * plus the JPStream baseline as the "no bit-parallel fast-forward at
+ * all" endpoint.
+ */
+#include <cstdio>
+#include <vector>
+
+#include "baseline/jpstream/engine.h"
+#include "bench_common.h"
+#include "gen/datasets.h"
+#include "harness/engines.h"
+#include "harness/runner.h"
+#include "path/parser.h"
+#include "ski/streamer.h"
+
+using namespace jsonski;
+using namespace jsonski::harness;
+
+namespace {
+
+struct Variant
+{
+    const char* name;
+    ski::StreamerOptions options;
+};
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    size_t bytes = benchBytes(argc, argv, 32);
+    bench::banner("Ablation", "contribution of each design choice",
+                  bytes);
+
+    const Variant variants[] = {
+        {"full", {}},
+        {"no-G1-filter", {.type_filter = false}},
+        {"no-batching", {.batch_primitives = false}},
+        {"scalar-classify", {.scalar_classifier = true}},
+    };
+
+    std::vector<std::string> header = {"Query"};
+    std::vector<int> widths = {6};
+    for (const Variant& v : variants) {
+        header.push_back(v.name);
+        widths.push_back(16);
+    }
+    header.push_back("jpstream");
+    widths.push_back(16);
+    printTableHeader(header, widths);
+
+    for (const QuerySpec& spec : paperQueries()) {
+        std::string json = gen::generateLarge(spec.dataset, bytes);
+        auto q = path::parse(spec.large_query);
+        std::vector<std::string> row = {std::string(spec.id)};
+        size_t reference = 0;
+        for (const Variant& v : variants) {
+            ski::Streamer streamer(q, v.options);
+            Timing t = timeBest(
+                [&] { return streamer.run(json).matches; }, 2);
+            if (reference == 0)
+                reference = t.matches;
+            else if (t.matches != reference)
+                std::printf("!! %s: variant %s disagrees\n",
+                            std::string(spec.id).c_str(), v.name);
+            row.push_back(fmtSeconds(t.seconds));
+        }
+        jpstream::Engine jp(q);
+        Timing t = timeBest([&] { return jp.run(json); }, 2);
+        row.push_back(fmtSeconds(t.seconds));
+        printTableRow(row, widths);
+    }
+    std::printf("\nreading guide: the scalar-classify gap is the SIMD "
+                "contribution (largest, uniform).  no-G1-filter and "
+                "no-batching matter exactly on the queries whose Table 6 "
+                "profile is G1-heavy (BB2, NSPL2, WM1); on queries that "
+                "never use the knob the columns differ only by noise.\n");
+    return 0;
+}

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Shared preamble for the table/figure bench binaries: prints the
+ * experiment banner and environment facts that matter when comparing
+ * against the paper's numbers.
+ */
+#ifndef JSONSKI_BENCH_BENCH_COMMON_H
+#define JSONSKI_BENCH_BENCH_COMMON_H
+
+#include <cstdio>
+#include <thread>
+
+#include "intervals/classifier.h"
+
+namespace jsonski::bench {
+
+/** Print the standard banner: what is reproduced and at what scale. */
+inline void
+banner(const char* artifact, const char* description, size_t bytes)
+{
+    std::printf("== %s: %s ==\n", artifact, description);
+    std::printf("input scale: %.1f MB per dataset "
+                "(paper: 1 GB; pass MB as argv[1] or JSONSKI_BENCH_MB)\n",
+                static_cast<double>(bytes) / (1024.0 * 1024.0));
+    std::printf("hardware threads: %u; SIMD classifier: %s\n\n",
+                std::thread::hardware_concurrency(),
+                intervals::classifierUsesSimd() ? "AVX2" : "scalar");
+}
+
+} // namespace jsonski::bench
+
+#endif // JSONSKI_BENCH_BENCH_COMMON_H

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Extension experiment: the descendant operator (`$..name`) — the
+ * paper's stated future work.  `..` disables type-directed skipping
+ * (every container must be entered), so the gap over the
+ * preprocessing engines narrows compared to typed paths; primitive
+ * runs are still fast-forwarded.  The Pison-class engine cannot
+ * express any-depth steps at all.
+ */
+#include <cstdio>
+#include <vector>
+
+#include "baseline/dom/query.h"
+#include "baseline/jpstream/engine.h"
+#include "baseline/tape/query.h"
+#include "bench_common.h"
+#include "gen/datasets.h"
+#include "harness/runner.h"
+#include "path/parser.h"
+#include "ski/streamer.h"
+
+using namespace jsonski;
+using namespace jsonski::harness;
+
+int
+main(int argc, char** argv)
+{
+    size_t bytes = benchBytes(argc, argv, 32);
+    bench::banner("Extension: descendant operator",
+                  "terminal '..' queries, total time (s)", bytes);
+
+    struct Case
+    {
+        const char* id;
+        gen::DatasetId dataset;
+        const char* query;
+    };
+    const Case cases[] = {
+        {"TTd", gen::DatasetId::TT, "$..url"},
+        {"BBd", gen::DatasetId::BB, "$..cha"},
+        {"WMd", gen::DatasetId::WM, "$..pr"},
+        {"WPd", gen::DatasetId::WP, "$..pty"},
+        {"GMDd", gen::DatasetId::GMD, "$[*].rt[*]..tx"},
+    };
+
+    printTableHeader({"Query", "JPStream", "RapidJSON-like",
+                      "simdjson-like", "JSONSki", "matches", "ff-ratio"},
+                     {6, 12, 14, 14, 12, 9, 9});
+    for (const Case& c : cases) {
+        std::string json = gen::generateLarge(c.dataset, bytes);
+        auto q = path::parse(c.query);
+
+        jpstream::Engine jp(q);
+        Timing tj = timeBest([&] { return jp.run(json); }, 2);
+        Timing td = timeBest([&] { return dom::parseAndQuery(json, q); },
+                             2);
+        Timing tt = timeBest(
+            [&] { return tape::parseAndQuery(json, q); }, 2);
+        ski::Streamer streamer(q);
+        ski::FastForwardStats stats;
+        Timing ts = timeBest(
+            [&] {
+                auto r = streamer.run(json);
+                stats = r.stats;
+                return r.matches;
+            },
+            2);
+        if (tj.matches != ts.matches || td.matches != ts.matches ||
+            tt.matches != ts.matches)
+            std::printf("!! engines disagree on %s\n", c.id);
+        printTableRow({c.id, fmtSeconds(tj.seconds),
+                       fmtSeconds(td.seconds), fmtSeconds(tt.seconds),
+                       fmtSeconds(ts.seconds),
+                       std::to_string(ts.matches),
+                       fmtPercent(stats.overallRatio(json.size()))},
+                      {6, 12, 14, 14, 12, 9, 9});
+    }
+    std::printf("\n(Pison-class omitted: leveled bitmaps cannot express "
+                "any-depth steps.)\n");
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Extension experiment (the paper's future work): parallel JSONSki on
+ * a single large record.  A serial bit-parallel split pass enumerates
+ * the top-level array elements; the query tail then runs per element
+ * across a thread pool.
+ *
+ * On a multicore host the parallel column should close the gap the
+ * paper reports against Pison(16); on one core it shows the split
+ * pass's overhead only.
+ */
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "gen/datasets.h"
+#include "harness/engines.h"
+#include "harness/runner.h"
+#include "path/parser.h"
+#include "ski/parallel.h"
+#include "ski/streamer.h"
+
+using namespace jsonski;
+using namespace jsonski::harness;
+
+int
+main(int argc, char** argv)
+{
+    size_t bytes = benchBytes(argc, argv, 32);
+    size_t threads = benchThreads();
+    bench::banner("Extension: parallel JSONSki",
+                  "single large record, serial vs element-parallel",
+                  bytes);
+
+    ThreadPool pool(threads);
+    printTableHeader({"Query", "serial (s)",
+                      "parallel(" + std::to_string(threads) + ") (s)",
+                      "speedup", "matches"},
+                     {6, 12, 16, 8, 10});
+    for (const QuerySpec& spec : paperQueries()) {
+        std::string json = gen::generateLarge(spec.dataset, bytes);
+        auto q = path::parse(spec.large_query);
+        ski::Streamer serial(q);
+        ski::ParallelStreamer parallel(q);
+
+        Timing ts = timeBest([&] { return serial.run(json).matches; }, 2);
+        Timing tp =
+            timeBest([&] { return parallel.run(json, pool); }, 2);
+        if (ts.matches != tp.matches)
+            std::printf("!! %s: parallel disagrees (%zu vs %zu)\n",
+                        std::string(spec.id).c_str(), tp.matches,
+                        ts.matches);
+        char speedup[16];
+        std::snprintf(speedup, sizeof(speedup), "%.2fx",
+                      ts.seconds / tp.seconds);
+        printTableRow({std::string(spec.id), fmtSeconds(ts.seconds),
+                       fmtSeconds(tp.seconds), speedup,
+                       std::to_string(ts.matches)},
+                      {6, 12, 16, 8, 10});
+    }
+    std::printf("\nnote: needs a multicore host for real speedups; "
+                "counts are verified against the serial engine either "
+                "way.\n");
+    return 0;
+}

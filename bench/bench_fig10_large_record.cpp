@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Reproduces Figure 10 (performance on a single large record): total
+ * execution time of the five methods per query, plus the parallel
+ * JPStream(T)/Pison(T) single-record modes.
+ *
+ * Expected shape (paper): JPStream and RapidJSON far slower than the
+ * bit-parallel methods; JSONSki fastest serial (≈12× over JPStream,
+ * ≈4.8× over simdjson-class, ≈3.1× over Pison-class on average);
+ * NSPL1 and WP2 nearly free for JSONSki (early-match fast-forward).
+ */
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "gen/datasets.h"
+#include "harness/engines.h"
+#include "harness/runner.h"
+#include "path/parser.h"
+#include "util/thread_pool.h"
+
+using namespace jsonski;
+using namespace jsonski::harness;
+
+int
+main(int argc, char** argv)
+{
+    size_t bytes = benchBytes(argc, argv, 32);
+    size_t threads = benchThreads();
+    bench::banner("Figure 10", "single large record, total time (s)",
+                  bytes);
+
+    auto engines = makeAllEngines();
+    ThreadPool pool(threads);
+
+    std::vector<std::string> header = {"Query"};
+    std::vector<int> widths = {6};
+    for (const auto& e : engines) {
+        header.push_back(std::string(e->name()));
+        widths.push_back(14);
+    }
+    header.push_back("JPStream(" + std::to_string(threads) + ")");
+    widths.push_back(14);
+    header.push_back("Pison(" + std::to_string(threads) + ")");
+    widths.push_back(14);
+    header.push_back("speedup*");
+    widths.push_back(9);
+    printTableHeader(header, widths);
+
+    double geo_sum = 0;
+    int geo_n = 0;
+    for (const QuerySpec& spec : paperQueries()) {
+        std::string json = gen::generateLarge(spec.dataset, bytes);
+        auto q = path::parse(spec.large_query);
+
+        std::vector<std::string> row = {std::string(spec.id)};
+        double jpstream_s = 0, jsonski_s = 0;
+        for (const auto& e : engines) {
+            Timing t = timeBest([&] { return e->run(json, q); }, 2);
+            row.push_back(fmtSeconds(t.seconds));
+            if (e->name() == "JPStream")
+                jpstream_s = t.seconds;
+            if (e->name() == "JSONSki")
+                jsonski_s = t.seconds;
+        }
+        for (const auto& e : engines) {
+            if (!e->supportsParallelLarge())
+                continue;
+            Timing t = timeBest(
+                [&] { return e->runParallelLarge(json, q, pool); }, 2);
+            row.push_back(fmtSeconds(t.seconds));
+        }
+        double speedup = jpstream_s / jsonski_s;
+        char buf[16];
+        std::snprintf(buf, sizeof(buf), "%.1fx", speedup);
+        row.push_back(buf);
+        printTableRow(row, widths);
+        geo_sum += std::log(speedup);
+        ++geo_n;
+    }
+    std::printf("\n*speedup = JPStream / JSONSki (serial). geomean: "
+                "%.1fx (paper: 12.3x)\n",
+                std::exp(geo_sum / geo_n));
+    std::printf("note: parallel columns are shape-only on few-core "
+                "hosts; the paper used 16 cores.\n");
+    return 0;
+}

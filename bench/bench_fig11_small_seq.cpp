@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Reproduces Figure 11 (sequential performance on a series of small
+ * records): one thread, per-record query evaluation.  NSPL1 and WP2
+ * are excluded, as in the paper (they have no per-record form).
+ *
+ * Expected shape: similar ranking to Figure 10, most methods slightly
+ * faster thanks to cache-resident records.
+ */
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "gen/datasets.h"
+#include "harness/engines.h"
+#include "harness/runner.h"
+#include "path/parser.h"
+
+using namespace jsonski;
+using namespace jsonski::harness;
+
+int
+main(int argc, char** argv)
+{
+    size_t bytes = benchBytes(argc, argv, 32);
+    bench::banner("Figure 11",
+                  "sequence of small records, 1 thread, time (s)", bytes);
+
+    auto engines = makeAllEngines();
+    std::vector<std::string> header = {"Query"};
+    std::vector<int> widths = {6};
+    for (const auto& e : engines) {
+        header.push_back(std::string(e->name()));
+        widths.push_back(14);
+    }
+    header.push_back("speedup*");
+    widths.push_back(9);
+    printTableHeader(header, widths);
+
+    double geo_sum = 0;
+    int geo_n = 0;
+    for (const QuerySpec& spec : paperQueries()) {
+        if (spec.small_query.empty())
+            continue; // NSPL1 / WP2: not applicable to small records
+        gen::SmallRecords data = gen::generateSmall(spec.dataset, bytes);
+        auto q = path::parse(spec.small_query);
+
+        std::vector<std::string> row = {std::string(spec.id)};
+        double jpstream_s = 0, jsonski_s = 0;
+        size_t reference = runSmallSerial(*engines.back(), data, q);
+        for (const auto& e : engines) {
+            Timing t = timeBest(
+                [&] { return runSmallSerial(*e, data, q); }, 2);
+            row.push_back(fmtSeconds(t.seconds));
+            if (t.matches != reference)
+                std::printf("!! %s disagrees on %s\n",
+                            std::string(e->name()).c_str(),
+                            std::string(spec.id).c_str());
+            if (e->name() == "JPStream")
+                jpstream_s = t.seconds;
+            if (e->name() == "JSONSki")
+                jsonski_s = t.seconds;
+        }
+        double speedup = jpstream_s / jsonski_s;
+        char buf[16];
+        std::snprintf(buf, sizeof(buf), "%.1fx", speedup);
+        row.push_back(buf);
+        printTableRow(row, widths);
+        geo_sum += std::log(speedup);
+        ++geo_n;
+    }
+    std::printf("\n*speedup = JPStream / JSONSki. geomean: %.1fx\n",
+                std::exp(geo_sum / geo_n));
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Reproduces Figure 12 (parallel performance on a series of small
+ * records): each worker evaluates whole records (record-level
+ * parallelism).  Prints a thread sweep so the scaling curve is visible
+ * even though absolute speedups depend on the host's core count
+ * (paper: 16 cores, ~10-12x for the scalable methods).
+ */
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "gen/datasets.h"
+#include "harness/engines.h"
+#include "harness/runner.h"
+#include "path/parser.h"
+#include "util/thread_pool.h"
+
+using namespace jsonski;
+using namespace jsonski::harness;
+
+int
+main(int argc, char** argv)
+{
+    size_t bytes = benchBytes(argc, argv, 32);
+    size_t max_threads = benchThreads();
+    bench::banner("Figure 12",
+                  "sequence of small records, parallel, time (s)", bytes);
+
+    auto engines = makeAllEngines();
+    std::vector<size_t> sweep;
+    for (size_t t = 1; t <= max_threads; t *= 2)
+        sweep.push_back(t);
+    if (sweep.back() != max_threads)
+        sweep.push_back(max_threads);
+
+    for (const QuerySpec& spec : paperQueries()) {
+        if (spec.small_query.empty())
+            continue;
+        gen::SmallRecords data = gen::generateSmall(spec.dataset, bytes);
+        auto q = path::parse(spec.small_query);
+
+        std::printf("%s (%zu records)\n", std::string(spec.id).c_str(),
+                    data.count());
+        std::vector<std::string> header = {"Method"};
+        std::vector<int> widths = {16};
+        for (size_t t : sweep) {
+            header.push_back("T=" + std::to_string(t));
+            widths.push_back(10);
+        }
+        printTableHeader(header, widths);
+        for (const auto& e : engines) {
+            std::vector<std::string> row = {std::string(e->name())};
+            for (size_t t : sweep) {
+                ThreadPool pool(t);
+                Timing timing = timeBest(
+                    [&] { return runSmallParallel(*e, data, q, pool); },
+                    2);
+                row.push_back(fmtSeconds(timing.seconds));
+            }
+            printTableRow(row, widths);
+        }
+        std::printf("\n");
+    }
+    std::printf("paper @16 cores: JPStream 11.9x, Pison 11.8x, JSONSki "
+                "10.3x self-scaling; JSONSki 9.5x over JPStream(16).\n");
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Reproduces Figure 13 (memory footprint on a single large record).
+ * This binary links the global allocation hooks; for each method we
+ * reset the peak tracker after the input is resident and report the
+ * extra heap the evaluation itself needed.
+ *
+ * Expected shape: the streaming methods (JPStream, JSONSki) take
+ * near-zero extra memory beyond the input buffer, while DOM-, tape-,
+ * and Pison-class methods allocate a 1-3x multiple of the input for
+ * their parse tree / tape / leveled bitmaps.
+ */
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "gen/datasets.h"
+#include "harness/engines.h"
+#include "harness/runner.h"
+#include "path/parser.h"
+#include "util/mem_stats.h"
+
+using namespace jsonski;
+using namespace jsonski::harness;
+
+int
+main(int argc, char** argv)
+{
+    size_t bytes = benchBytes(argc, argv, 32);
+    bench::banner("Figure 13",
+                  "peak extra heap while querying one large record",
+                  bytes);
+
+    auto engines = makeAllEngines();
+    std::vector<std::string> header = {"Query", "input"};
+    std::vector<int> widths = {6, 10};
+    for (const auto& e : engines) {
+        header.push_back(std::string(e->name()));
+        widths.push_back(14);
+    }
+    printTableHeader(header, widths);
+
+    for (const QuerySpec& spec : paperQueries()) {
+        std::string json = gen::generateLarge(spec.dataset, bytes);
+        auto q = path::parse(spec.large_query);
+        std::vector<std::string> row = {std::string(spec.id),
+                                        fmtMb(json.size())};
+        for (const auto& e : engines) {
+            mem::resetPeak();
+            size_t before = mem::current();
+            (void)e->run(json, q);
+            size_t extra = mem::peak() - before;
+            row.push_back(fmtMb(extra));
+        }
+        printTableRow(row, widths);
+    }
+    std::printf("\npaper @1GB: JPStream/JSONSki ~1 GB total (the input "
+                "buffer); simdjson/RapidJSON/Pison 2-3 GB.  Here the "
+                "input column is the buffer; method columns show heap "
+                "beyond it.\n");
+    return 0;
+}

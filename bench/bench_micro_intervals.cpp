@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Micro-benchmarks (google-benchmark) for the bit-parallel substrate:
+ * block classification throughput (SIMD vs scalar reference), prefix
+ * XOR, bit selection, and structural-interval construction.
+ */
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "gen/datasets.h"
+#include "intervals/classifier.h"
+#include "intervals/interval.h"
+#include "util/bits.h"
+#include "util/rng.h"
+
+using namespace jsonski;
+using namespace jsonski::intervals;
+
+namespace {
+
+std::string
+sampleJson(size_t bytes)
+{
+    return gen::generateLarge(gen::DatasetId::TT, bytes);
+}
+
+void
+BM_ClassifySimd(benchmark::State& state)
+{
+    std::string json = sampleJson(1 << 20);
+    for (auto _ : state) {
+        ClassifierCarry carry;
+        uint64_t acc = 0;
+        for (size_t base = 0; base + kBlockSize <= json.size();
+             base += kBlockSize) {
+            BlockBits b = classifyBlock(json.data() + base, carry);
+            acc ^= b.structural();
+        }
+        benchmark::DoNotOptimize(acc);
+    }
+    state.SetBytesProcessed(
+        static_cast<int64_t>(state.iterations() * json.size()));
+}
+BENCHMARK(BM_ClassifySimd);
+
+void
+BM_ClassifyScalarReference(benchmark::State& state)
+{
+    std::string json = sampleJson(1 << 20);
+    for (auto _ : state) {
+        ClassifierCarry carry;
+        uint64_t acc = 0;
+        for (size_t base = 0; base + kBlockSize <= json.size();
+             base += kBlockSize) {
+            BlockBits b = classifyBlockReference(json.data() + base,
+                                                 kBlockSize, carry);
+            acc ^= b.structural();
+        }
+        benchmark::DoNotOptimize(acc);
+    }
+    state.SetBytesProcessed(
+        static_cast<int64_t>(state.iterations() * json.size()));
+}
+BENCHMARK(BM_ClassifyScalarReference);
+
+void
+BM_PrefixXor(benchmark::State& state)
+{
+    Rng rng(1);
+    uint64_t x = rng.next();
+    for (auto _ : state) {
+        x = bits::prefixXor(x) + 1;
+        benchmark::DoNotOptimize(x);
+    }
+}
+BENCHMARK(BM_PrefixXor);
+
+void
+BM_SelectBit(benchmark::State& state)
+{
+    Rng rng(2);
+    uint64_t x = rng.next() | 1;
+    int k = 1;
+    for (auto _ : state) {
+        int pos = bits::selectBit(x, k);
+        benchmark::DoNotOptimize(pos);
+        k = (k % bits::popcount(x)) + 1;
+    }
+}
+BENCHMARK(BM_SelectBit);
+
+void
+BM_BuildInterval(benchmark::State& state)
+{
+    Rng rng(3);
+    uint64_t bm = rng.next();
+    int start = 0;
+    for (auto _ : state) {
+        uint64_t iv = buildInterval(bm, start);
+        benchmark::DoNotOptimize(iv);
+        start = (start + 7) & 63;
+        bm = (bm >> 1) | (bm << 63);
+    }
+}
+BENCHMARK(BM_BuildInterval);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,274 @@
+/**
+ * @file
+ * jsq — a command-line JSONPath extractor built on the streaming API.
+ *
+ * Usage:
+ *   jsq <query> [file]         print every match, one per line
+ *   jsq -c <query> [file]      print only the match count
+ *   jsq -n K <query> [file]    stop after K matches (early termination)
+ *   jsq -r <query> [file]      treat input as a stream of records
+ *   jsq -s <query> [file]      print the fast-forward statistics
+ *   jsq -e <query>             print the evaluation plan and exit
+ *
+ * Reads from stdin when no file is given.  Multiple queries may be
+ * passed separated by commas; they are evaluated in ONE pass with the
+ * multi-query streamer.
+ */
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "path/parser.h"
+#include "ski/explain.h"
+#include "ski/record_reader.h"
+#include "ski/multi.h"
+#include "ski/record_scanner.h"
+#include "ski/sinks.h"
+#include "ski/streamer.h"
+
+using namespace jsonski;
+
+namespace {
+
+struct Options
+{
+    bool count_only = false;
+    bool records = false;
+    bool stats = false;
+    bool explain_only = false;
+    size_t limit = 0; // 0 = unlimited
+    std::vector<std::string> queries;
+    std::string file;
+};
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: jsq [-c] [-r] [-s] [-n K] <query>[,<query>...] "
+                 "[file]\n");
+    std::exit(2);
+}
+
+Options
+parseArgs(int argc, char** argv)
+{
+    Options opt;
+    int i = 1;
+    for (; i < argc && argv[i][0] == '-'; ++i) {
+        if (std::strcmp(argv[i], "-c") == 0) {
+            opt.count_only = true;
+        } else if (std::strcmp(argv[i], "-r") == 0) {
+            opt.records = true;
+        } else if (std::strcmp(argv[i], "-s") == 0) {
+            opt.stats = true;
+        } else if (std::strcmp(argv[i], "-e") == 0) {
+            opt.explain_only = true;
+        } else if (std::strcmp(argv[i], "-n") == 0 && i + 1 < argc) {
+            opt.limit = std::strtoul(argv[++i], nullptr, 10);
+        } else {
+            usage();
+        }
+    }
+    if (i >= argc)
+        usage();
+    // Split the query list on commas outside brackets.
+    std::string all = argv[i++];
+    std::string cur;
+    int bracket = 0;
+    for (char c : all) {
+        if (c == '[')
+            ++bracket;
+        if (c == ']')
+            --bracket;
+        if (c == ',' && bracket == 0) {
+            opt.queries.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    opt.queries.push_back(cur);
+    if (i < argc)
+        opt.file = argv[i++];
+    if (i != argc)
+        usage();
+    return opt;
+}
+
+std::string
+readInput(const Options& opt)
+{
+    if (opt.file.empty()) {
+        std::ostringstream ss;
+        ss << std::cin.rdbuf();
+        return ss.str();
+    }
+    std::ifstream in(opt.file, std::ios::binary);
+    if (!in) {
+        std::fprintf(stderr, "jsq: cannot open %s\n", opt.file.c_str());
+        std::exit(1);
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+/** Print-and-maybe-stop sink used for the single-query path. */
+class PrintSink : public path::MatchSink
+{
+  public:
+    PrintSink(bool quiet, size_t limit) : quiet_(quiet), limit_(limit) {}
+
+    void
+    onMatch(std::string_view value) override
+    {
+        ++count;
+        if (!quiet_)
+            std::fwrite(value.data(), 1, value.size(), stdout),
+                std::fputc('\n', stdout);
+        if (limit_ != 0 && count >= limit_)
+            throw ski::StopStreaming{};
+    }
+
+    size_t count = 0;
+
+  private:
+    bool quiet_;
+    size_t limit_;
+};
+
+class PrintMultiSink : public ski::MultiSink
+{
+  public:
+    explicit PrintMultiSink(bool quiet) : quiet_(quiet) {}
+
+    void
+    onMatch(size_t qi, std::string_view value) override
+    {
+        if (!quiet_) {
+            std::printf("[q%zu] ", qi);
+            std::fwrite(value.data(), 1, value.size(), stdout);
+            std::fputc('\n', stdout);
+        }
+    }
+
+  private:
+    bool quiet_;
+};
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    Options opt = parseArgs(argc, argv);
+    if (opt.explain_only) {
+        try {
+            for (const std::string& q : opt.queries)
+                std::printf("%s", ski::explain(path::parse(q)).c_str());
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "jsq: %s\n", e.what());
+            return 1;
+        }
+        return 0;
+    }
+    try {
+        if (opt.records && opt.queries.size() == 1) {
+            // True streaming: a fixed window over the record stream.
+            std::ifstream file;
+            std::istream* in = &std::cin;
+            if (!opt.file.empty()) {
+                file.open(opt.file, std::ios::binary);
+                if (!file) {
+                    std::fprintf(stderr, "jsq: cannot open %s\n",
+                                 opt.file.c_str());
+                    return 1;
+                }
+                in = &file;
+            }
+            ski::RecordReader reader(*in, 1 << 20);
+            ski::Streamer streamer(path::parse(opt.queries[0]));
+            PrintSink sink(opt.count_only, opt.limit);
+            ski::FastForwardStats stats;
+            std::string_view record;
+            while (reader.next(record)) {
+                stats.merge(streamer.run(record, &sink).stats);
+                if (opt.limit != 0 && sink.count >= opt.limit)
+                    break;
+            }
+            if (opt.count_only)
+                std::printf("%zu\n", sink.count);
+            if (opt.stats) {
+                std::fprintf(stderr,
+                             "fast-forwarded %.2f%% of %zu record "
+                             "bytes across %zu records\n",
+                             stats.overallRatio(reader.bytesRead()) *
+                                 100,
+                             reader.bytesRead(), reader.recordsRead());
+            }
+            return 0;
+        }
+
+        std::string input = readInput(opt);
+        std::vector<std::pair<size_t, size_t>> spans;
+        if (opt.records)
+            spans = ski::scanRecords(input);
+        else
+            spans.emplace_back(0, input.size());
+
+        if (opt.queries.size() == 1) {
+            ski::Streamer streamer(path::parse(opt.queries[0]));
+            PrintSink sink(opt.count_only, opt.limit);
+            ski::FastForwardStats stats;
+            for (auto [off, len] : spans) {
+                ski::StreamResult r = streamer.run(
+                    std::string_view(input).substr(off, len), &sink);
+                stats.merge(r.stats);
+                if (opt.limit != 0 && sink.count >= opt.limit)
+                    break;
+            }
+            if (opt.count_only)
+                std::printf("%zu\n", sink.count);
+            if (opt.stats) {
+                std::fprintf(stderr,
+                             "fast-forwarded %.2f%% of %zu bytes "
+                             "(G1..G5: %.1f%% %.1f%% %.1f%% %.1f%% "
+                             "%.1f%%)\n",
+                             stats.overallRatio(input.size()) * 100,
+                             input.size(),
+                             stats.ratio(ski::Group::G1, input.size()) * 100,
+                             stats.ratio(ski::Group::G2, input.size()) * 100,
+                             stats.ratio(ski::Group::G3, input.size()) * 100,
+                             stats.ratio(ski::Group::G4, input.size()) * 100,
+                             stats.ratio(ski::Group::G5, input.size()) * 100);
+            }
+        } else {
+            std::vector<path::PathQuery> queries;
+            for (const std::string& q : opt.queries)
+                queries.push_back(path::parse(q));
+            ski::MultiStreamer streamer(std::move(queries));
+            PrintMultiSink sink(opt.count_only);
+            std::vector<size_t> totals(opt.queries.size(), 0);
+            for (auto [off, len] : spans) {
+                auto r = streamer.run(
+                    std::string_view(input).substr(off, len), &sink);
+                for (size_t qi = 0; qi < totals.size(); ++qi)
+                    totals[qi] += r.matches[qi];
+            }
+            if (opt.count_only) {
+                for (size_t qi = 0; qi < totals.size(); ++qi)
+                    std::printf("q%zu %s: %zu\n", qi,
+                                opt.queries[qi].c_str(), totals[qi]);
+            }
+        }
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "jsq: %s\n", e.what());
+        return 1;
+    }
+    return 0;
+}

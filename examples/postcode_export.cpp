@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Column export from an open-data dump (NSPL-style): the root object
+ * carries a small metadata header and a huge data array; the range
+ * query `[2:4]` pulls two columns out of every row's nested geo array
+ * while G5 fast-forwards everything out of range.  Demonstrates the
+ * early-match effect the paper highlights for NSPL1: the metadata
+ * query finishes after touching a fraction of the stream.
+ *
+ * Build & run:  ./examples/postcode_export [MB]
+ */
+#include <cstdio>
+#include <cstdlib>
+
+#include "gen/datasets.h"
+#include "path/parser.h"
+#include "ski/streamer.h"
+#include "util/stopwatch.h"
+
+using namespace jsonski;
+
+namespace {
+
+/** Sink that sums exported numeric cells instead of storing them. */
+class SumSink : public ski::MatchSink
+{
+  public:
+    void
+    onMatch(std::string_view value) override
+    {
+        sum_ += std::strtod(std::string(value).c_str(), nullptr);
+        ++cells_;
+    }
+
+    double sum() const { return sum_; }
+    size_t cells() const { return cells_; }
+
+  private:
+    double sum_ = 0;
+    size_t cells_ = 0;
+};
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    size_t mb = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 16;
+    std::printf("generating a %zu MB postcode-lookup dump...\n\n", mb);
+    std::string dump =
+        gen::generateLarge(gen::DatasetId::NSPL, mb * 1024 * 1024);
+
+    // 1. Schema discovery: column names live in the metadata header at
+    //    the very beginning of the stream.  After the last column name
+    //    matches, G4 fast-forwards the entire data section.
+    {
+        ski::Streamer columns(path::parse("$.mt.vw.co[*].nm"));
+        ski::CollectSink names;
+        Stopwatch sw;
+        ski::StreamResult r = columns.run(dump, &names);
+        std::printf("schema: %zu columns in %.2f ms "
+                    "(%.2f%% of the stream fast-forwarded)\n",
+                    r.matches, sw.milliseconds(),
+                    r.stats.overallRatio(dump.size()) * 100.0);
+        std::printf("  first columns: %s, %s, %s...\n",
+                    names.values[0].c_str(), names.values[1].c_str(),
+                    names.values[2].c_str());
+    }
+
+    // 2. Column export: grid references are cells [2:4] of each row's
+    //    nested geo array.
+    {
+        ski::Streamer cells(path::parse("$.dt[*][*][2:4]"));
+        SumSink sums;
+        Stopwatch sw;
+        ski::StreamResult r = cells.run(dump, &sums);
+        double s = sw.seconds();
+        std::printf("\nexport: %zu cells in %.3f s (%.2f GB/s)\n",
+                    sums.cells(), s, dump.size() / s / 1e9);
+        std::printf("  mean grid value: %.1f\n",
+                    sums.sum() / static_cast<double>(sums.cells()));
+        std::printf("  G1 (type-matched skips): %.2f%%   "
+                    "G5 (range skips): %.2f%%\n",
+                    r.stats.ratio(ski::Group::G1, dump.size()) * 100.0,
+                    r.stats.ratio(ski::Group::G5, dump.size()) * 100.0);
+    }
+    return 0;
+}

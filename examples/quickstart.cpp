@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Quickstart: evaluate a JSONPath query over one record with the
+ * streaming API — the paper's running example (Figure 1).
+ *
+ * Build & run:  ./examples/quickstart
+ */
+#include <cstdio>
+
+#include "path/parser.h"
+#include "ski/streamer.h"
+
+int
+main()
+{
+    // The geo-referenced tweet of the paper's Figure 1.
+    const char* tweet = R"({
+      "coordinates": [40.74118764, -73.9998279],
+      "user": {"id": 6253282},
+      "place": {
+        "name": "Manhattan",
+        "bounding_box": {
+          "type": "Polygon",
+          "pos": [[-74.026675, 40.683935], [-74.026675, 40.877483],
+                  [-73.910408, 40.877483], [-73.910408, 40.683935]]
+        }
+      }
+    })";
+
+    // One call: parse the path, stream the record, collect matches.
+    jsonski::ski::QueryResult result =
+        jsonski::ski::query(tweet, "$.place.name", /*collect=*/true);
+
+    std::printf("query   : $.place.name\n");
+    std::printf("matches : %zu\n", result.count);
+    for (const std::string& v : result.values)
+        std::printf("value   : %s\n", v.c_str());
+
+    // The fast-forward statistics show how little of the record the
+    // streamer actually examined.
+    double ratio =
+        result.stats.overallRatio(std::string_view(tweet).size());
+    std::printf("fast-forwarded: %.1f%% of the input\n", ratio * 100.0);
+
+    // Reusable form: compile the query once, run on many records.
+    jsonski::ski::Streamer streamer(jsonski::path::parse("$.user.id"));
+    jsonski::ski::CollectSink sink;
+    streamer.run(tweet, &sink);
+    std::printf("user id : %s\n", sink.values.at(0).c_str());
+    return 0;
+}

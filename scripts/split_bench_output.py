@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Split a concatenated `for b in build/bench/*` sweep transcript into
+per-artifact files under results/, named the way check_shapes.py and
+reproduce.sh expect."""
+
+import re
+import sys
+from pathlib import Path
+
+BANNER_TO_FILE = {
+    "Table 4": "table4_datasets.txt",
+    "Table 5": "table5_queries.txt",
+    "Table 2": "table23_methods.txt",
+    "Table 6": "table6_ff_ratio.txt",
+    "Figure 10": "fig10_large_record.txt",
+    "Figure 11": "fig11_small_seq.txt",
+    "Figure 12": "fig12_small_par.txt",
+    "Figure 13": "fig13_memory.txt",
+    "Figure 14": "fig14_scalability.txt",
+    "Ablation": "ablation.txt",
+    "Extension: multi-query": "ext_multiquery.txt",
+    "Extension: parallel JSONSki": "ext_parallel.txt",
+    "Extension: descendant operator": "ext_descendant.txt",
+}
+
+
+def main():
+    src = Path(sys.argv[1] if len(sys.argv) > 1 else "bench_output.txt")
+    out_dir = Path(sys.argv[2] if len(sys.argv) > 2 else "results")
+    out_dir.mkdir(exist_ok=True)
+
+    current = None
+    chunks = {}
+    for line in src.read_text().splitlines(keepends=True):
+        m = re.match(r"^== (.+) ==$", line.rstrip())
+        if m:
+            label = m.group(1).strip()
+            current = None
+            for prefix, fname in BANNER_TO_FILE.items():
+                if label.startswith(prefix):
+                    current = fname
+                    break
+        if current:
+            chunks.setdefault(current, []).append(line)
+    for fname, lines in chunks.items():
+        (out_dir / fname).write_text("".join(lines))
+        print(f"wrote {out_dir / fname} ({len(lines)} lines)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Parse-tree representation for the conventional DOM baseline
+ * (RapidJSON-class "preprocessing scheme", paper §2).
+ *
+ * Nodes reference the input text with string_views, so the input
+ * buffer must outlive the Document.  Nodes live in a deque arena for
+ * stable pointers and cheap bulk destruction.
+ */
+#ifndef JSONSKI_BASELINE_DOM_NODE_H
+#define JSONSKI_BASELINE_DOM_NODE_H
+
+#include <cstdint>
+#include <deque>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace jsonski::dom {
+
+/** One parse-tree node. */
+struct Node
+{
+    enum class Type : uint8_t { Object, Array, String, Number, Bool, Null };
+
+    Type type = Type::Null;
+
+    /** Raw text of the value (primitives; strings include quotes). */
+    std::string_view text;
+
+    /** Attribute name -> child (objects; names exclude quotes). */
+    std::vector<std::pair<std::string_view, Node*>> members;
+
+    /** Children in order (arrays). */
+    std::vector<Node*> elements;
+
+    bool isObject() const { return type == Type::Object; }
+    bool isArray() const { return type == Type::Array; }
+
+    /** Linear member lookup (objects), nullptr when absent. */
+    const Node*
+    find(std::string_view key) const
+    {
+        for (const auto& [name, child] : members) {
+            if (name == key)
+                return child;
+        }
+        return nullptr;
+    }
+};
+
+/** A parsed record: node arena plus its root. */
+class Document
+{
+  public:
+    Node*
+    newNode(Node::Type type)
+    {
+        Node& n = arena_.emplace_back();
+        n.type = type;
+        return &n;
+    }
+
+    void setRoot(Node* root) { root_ = root; }
+    const Node* root() const { return root_; }
+
+    /** Number of nodes in the tree (for memory diagnostics). */
+    size_t nodeCount() const { return arena_.size(); }
+
+  private:
+    std::deque<Node> arena_;
+    Node* root_ = nullptr;
+};
+
+} // namespace jsonski::dom
+
+#endif // JSONSKI_BASELINE_DOM_NODE_H

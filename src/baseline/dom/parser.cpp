@@ -1,0 +1,186 @@
+#include "baseline/dom/parser.h"
+
+#include "json/text.h"
+#include "util/error.h"
+
+namespace jsonski::dom {
+namespace {
+
+class Parser
+{
+  public:
+    Parser(std::string_view s, Document& doc) : s_(s), doc_(doc) {}
+
+    void
+    run()
+    {
+        pos_ = json::skipWhitespace(s_, 0);
+        if (pos_ >= s_.size())
+            throw ParseError("empty input", 0);
+        Node* root = value();
+        pos_ = json::skipWhitespace(s_, pos_);
+        if (pos_ != s_.size())
+            throw ParseError("trailing characters", pos_);
+        doc_.setRoot(root);
+    }
+
+  private:
+    static constexpr int kMaxDepth = 4096;
+
+    Node*
+    value()
+    {
+        if (++depth_ > kMaxDepth)
+            throw ParseError("nesting too deep", pos_);
+        pos_ = json::skipWhitespace(s_, pos_);
+        if (pos_ >= s_.size())
+            throw ParseError("unexpected end of input", pos_);
+        Node* n = nullptr;
+        switch (s_[pos_]) {
+          case '{':
+            n = object();
+            break;
+          case '[':
+            n = array();
+            break;
+          case '"':
+            n = stringNode();
+            break;
+          case 't':
+          case 'f':
+            n = literal(Node::Type::Bool);
+            break;
+          case 'n':
+            n = literal(Node::Type::Null);
+            break;
+          default:
+            n = number();
+            break;
+        }
+        --depth_;
+        return n;
+    }
+
+    Node*
+    object()
+    {
+        Node* n = doc_.newNode(Node::Type::Object);
+        size_t start = pos_;
+        ++pos_; // '{'
+        pos_ = json::skipWhitespace(s_, pos_);
+        if (pos_ < s_.size() && s_[pos_] == '}') {
+            ++pos_;
+            n->text = s_.substr(start, pos_ - start);
+            return n;
+        }
+        for (;;) {
+            pos_ = json::skipWhitespace(s_, pos_);
+            if (pos_ >= s_.size() || s_[pos_] != '"')
+                throw ParseError("expected attribute name", pos_);
+            size_t end = json::scanString(s_, pos_);
+            if (end == std::string_view::npos)
+                throw ParseError("unterminated attribute name", pos_);
+            std::string_view name = s_.substr(pos_ + 1, end - pos_ - 2);
+            pos_ = json::skipWhitespace(s_, end);
+            if (pos_ >= s_.size() || s_[pos_] != ':')
+                throw ParseError("expected ':'", pos_);
+            ++pos_;
+            n->members.emplace_back(name, value());
+            pos_ = json::skipWhitespace(s_, pos_);
+            if (pos_ >= s_.size())
+                throw ParseError("unterminated object", pos_);
+            if (s_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (s_[pos_] == '}') {
+                ++pos_;
+                n->text = s_.substr(start, pos_ - start);
+                return n;
+            }
+            throw ParseError("expected ',' or '}'", pos_);
+        }
+    }
+
+    Node*
+    array()
+    {
+        Node* n = doc_.newNode(Node::Type::Array);
+        size_t start = pos_;
+        ++pos_; // '['
+        pos_ = json::skipWhitespace(s_, pos_);
+        if (pos_ < s_.size() && s_[pos_] == ']') {
+            ++pos_;
+            n->text = s_.substr(start, pos_ - start);
+            return n;
+        }
+        for (;;) {
+            n->elements.push_back(value());
+            pos_ = json::skipWhitespace(s_, pos_);
+            if (pos_ >= s_.size())
+                throw ParseError("unterminated array", pos_);
+            if (s_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (s_[pos_] == ']') {
+                ++pos_;
+                n->text = s_.substr(start, pos_ - start);
+                return n;
+            }
+            throw ParseError("expected ',' or ']'", pos_);
+        }
+    }
+
+    Node*
+    stringNode()
+    {
+        size_t end = json::scanString(s_, pos_);
+        if (end == std::string_view::npos)
+            throw ParseError("unterminated string", pos_);
+        Node* n = doc_.newNode(Node::Type::String);
+        n->text = s_.substr(pos_, end - pos_);
+        pos_ = end;
+        return n;
+    }
+
+    Node*
+    literal(Node::Type type)
+    {
+        std::string_view word =
+            s_[pos_] == 't' ? "true" : s_[pos_] == 'f' ? "false" : "null";
+        if (s_.substr(pos_, word.size()) != word)
+            throw ParseError("bad literal", pos_);
+        Node* n = doc_.newNode(type);
+        n->text = s_.substr(pos_, word.size());
+        pos_ += word.size();
+        return n;
+    }
+
+    Node*
+    number()
+    {
+        size_t end = json::scanPrimitive(s_, pos_);
+        if (end == pos_)
+            throw ParseError("expected a value", pos_);
+        Node* n = doc_.newNode(Node::Type::Number);
+        n->text = s_.substr(pos_, end - pos_);
+        pos_ = end;
+        return n;
+    }
+
+    std::string_view s_;
+    Document& doc_;
+    size_t pos_ = 0;
+    int depth_ = 0;
+};
+
+} // namespace
+
+void
+parse(std::string_view json, Document& doc)
+{
+    Parser(json, doc).run();
+}
+
+} // namespace jsonski::dom

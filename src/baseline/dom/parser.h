@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Recursive-descent parser building the DOM of node.h — the upfront
+ * full-parse whose cost the preprocessing scheme always pays.
+ */
+#ifndef JSONSKI_BASELINE_DOM_PARSER_H
+#define JSONSKI_BASELINE_DOM_PARSER_H
+
+#include <string_view>
+
+#include "baseline/dom/node.h"
+
+namespace jsonski::dom {
+
+/**
+ * Parse @p json into @p doc (the document's previous contents are the
+ * caller's responsibility — pass a fresh Document).
+ *
+ * @throws jsonski::ParseError on malformed input.
+ */
+void parse(std::string_view json, Document& doc);
+
+} // namespace jsonski::dom
+
+#endif // JSONSKI_BASELINE_DOM_PARSER_H

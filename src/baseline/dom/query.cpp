@@ -1,0 +1,83 @@
+#include "baseline/dom/query.h"
+
+#include "baseline/dom/parser.h"
+
+namespace jsonski::dom {
+namespace {
+
+size_t walk(const Node* node, const path::PathQuery& q, size_t step,
+            path::MatchSink* sink);
+
+/**
+ * Descendant search: every attribute named @p key at any depth, in
+ * document pre-order (a matching attribute is reported before matches
+ * nested inside its value).
+ */
+size_t
+walkDescendant(const Node* node, const path::PathQuery& q, size_t step,
+               path::MatchSink* sink)
+{
+    size_t matches = 0;
+    const std::string& key = q[step].key;
+    if (node->isObject()) {
+        for (const auto& [name, child] : node->members) {
+            if (name == key)
+                matches += walk(child, q, step + 1, sink);
+            matches += walkDescendant(child, q, step, sink);
+        }
+    } else if (node->isArray()) {
+        for (const Node* child : node->elements)
+            matches += walkDescendant(child, q, step, sink);
+    }
+    return matches;
+}
+
+size_t
+walk(const Node* node, const path::PathQuery& q, size_t step,
+     path::MatchSink* sink)
+{
+    if (step == q.size()) {
+        if (sink)
+            sink->onMatch(node->text);
+        return 1;
+    }
+    const path::PathStep& s = q[step];
+    if (s.kind == path::PathStep::Kind::Descendant)
+        return walkDescendant(node, q, step, sink);
+    size_t matches = 0;
+    if (s.kind == path::PathStep::Kind::Key) {
+        if (!node->isObject())
+            return 0;
+        if (const Node* child = node->find(s.key))
+            matches += walk(child, q, step + 1, sink);
+    } else {
+        if (!node->isArray())
+            return 0;
+        size_t hi = std::min(s.hi, node->elements.size());
+        for (size_t i = s.lo; i < hi; ++i)
+            matches += walk(node->elements[i], q, step + 1, sink);
+    }
+    return matches;
+}
+
+} // namespace
+
+size_t
+evaluate(const Node* root, const path::PathQuery& query,
+         path::MatchSink* sink)
+{
+    if (!root)
+        return 0;
+    return walk(root, query, 0, sink);
+}
+
+size_t
+parseAndQuery(std::string_view json, const path::PathQuery& query,
+              path::MatchSink* sink)
+{
+    Document doc;
+    parse(json, doc);
+    return evaluate(doc.root(), query, sink);
+}
+
+} // namespace jsonski::dom

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Path-query evaluation over the DOM tree (preprocessing scheme,
+ * paper Figure 3-(a)): parse first, then traverse top-down.
+ */
+#ifndef JSONSKI_BASELINE_DOM_QUERY_H
+#define JSONSKI_BASELINE_DOM_QUERY_H
+
+#include <string_view>
+
+#include "baseline/dom/node.h"
+#include "path/ast.h"
+#include "path/matches.h"
+
+namespace jsonski::dom {
+
+/**
+ * Evaluate @p query over a parsed tree rooted at @p root.
+ * @return number of matches (also delivered to @p sink if non-null).
+ */
+size_t evaluate(const Node* root, const path::PathQuery& query,
+                path::MatchSink* sink = nullptr);
+
+/** Parse-then-query convenience covering the whole baseline pipeline. */
+size_t parseAndQuery(std::string_view json, const path::PathQuery& query,
+                     path::MatchSink* sink = nullptr);
+
+} // namespace jsonski::dom
+
+#endif // JSONSKI_BASELINE_DOM_QUERY_H

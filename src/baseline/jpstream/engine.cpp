@@ -1,0 +1,201 @@
+#include "baseline/jpstream/engine.h"
+
+#include <algorithm>
+
+#include "baseline/jpstream/pda.h"
+#include "baseline/jpstream/tokenizer.h"
+#include "intervals/classifier.h"
+#include "util/bits.h"
+#include "util/error.h"
+
+namespace jsonski::jpstream {
+
+size_t
+Engine::run(std::string_view json, path::MatchSink* sink) const
+{
+    PdaEvaluator eval(qa_, json, sink);
+    saxParse(json, eval);
+    return eval.matches();
+}
+
+std::vector<size_t>
+tokenSplits(std::string_view json, size_t chunks)
+{
+    using namespace jsonski::intervals;
+    std::vector<size_t> splits;
+    splits.push_back(0);
+    if (chunks <= 1 || json.size() < chunks * 2 * kBlockSize) {
+        splits.push_back(json.size());
+        return splits;
+    }
+    size_t nominal = json.size() / chunks;
+    ClassifierCarry carry;
+    for (size_t base = 0; base < json.size() && splits.size() < chunks;
+         base += kBlockSize) {
+        size_t len = std::min(kBlockSize, json.size() - base);
+        BlockBits b = len == kBlockSize
+                          ? classifyBlock(json.data() + base, carry)
+                          : classifyPartialBlock(json.data() + base, len,
+                                                 carry);
+        uint64_t structural = b.structural();
+        while (splits.size() < chunks) {
+            // Target position for the next split; never at or before the
+            // previous one.
+            size_t boundary =
+                std::max(splits.size() * nominal, splits.back() + 1);
+            if (boundary >= base + len)
+                break; // the boundary lies in a later block
+            uint64_t cand = structural;
+            if (boundary > base)
+                cand &= ~bits::maskBelow(static_cast<int>(boundary - base));
+            if (cand == 0)
+                break; // no structural char here; continue in next block
+            splits.push_back(base +
+                             static_cast<size_t>(bits::trailingZeros(cand)));
+        }
+    }
+    splits.push_back(json.size());
+    return splits;
+}
+
+void
+tokenizeChunk(std::string_view json, size_t begin, size_t end,
+              std::vector<Token>& out)
+{
+    size_t pos = begin;
+    for (;;) {
+        pos = json::skipWhitespace(json, pos);
+        if (pos >= end)
+            return;
+        char c = json[pos];
+        switch (c) {
+          case '{':
+            out.push_back({Token::Type::ObjStart, pos, pos + 1});
+            ++pos;
+            break;
+          case '}':
+            out.push_back({Token::Type::ObjEnd, pos, pos + 1});
+            ++pos;
+            break;
+          case '[':
+            out.push_back({Token::Type::AryStart, pos, pos + 1});
+            ++pos;
+            break;
+          case ']':
+            out.push_back({Token::Type::AryEnd, pos, pos + 1});
+            ++pos;
+            break;
+          case ':':
+            out.push_back({Token::Type::Colon, pos, pos + 1});
+            ++pos;
+            break;
+          case ',':
+            out.push_back({Token::Type::Comma, pos, pos + 1});
+            ++pos;
+            break;
+          case '"': {
+            size_t send = json::scanString(json, pos);
+            if (send == std::string_view::npos)
+                throw ParseError("unterminated string", pos);
+            out.push_back({Token::Type::String, pos, send});
+            pos = send;
+            break;
+          }
+          default: {
+            size_t pend = json::scanPrimitive(json, pos);
+            if (pend == pos)
+                throw ParseError("unexpected character", pos);
+            out.push_back({Token::Type::Primitive, pos, pend});
+            pos = pend;
+            break;
+          }
+        }
+    }
+}
+
+namespace {
+
+/**
+ * Sequential token-level grammar pass: reconstructs key/value context
+ * from the token stream and replays it into the dual-stack PDA.  The
+ * JSON grammar guarantees that inside an object, a string following
+ * '{' or ',' is an attribute name.
+ */
+size_t
+evaluateTokens(std::string_view json,
+               const std::vector<std::vector<Token>>& streams,
+               const path::QueryAutomaton& qa, path::MatchSink* sink)
+{
+    PdaEvaluator eval(qa, json, sink);
+    std::vector<char> stack;
+    bool expect_key = false;
+
+    for (const auto& stream : streams) {
+        for (const Token& t : stream) {
+            switch (t.type) {
+              case Token::Type::String:
+                if (expect_key) {
+                    eval.onKey(
+                        json.substr(t.begin + 1, t.end - t.begin - 2));
+                    expect_key = false;
+                } else {
+                    eval.onPrimitive(t.begin, t.end);
+                }
+                break;
+              case Token::Type::Colon:
+                break; // the key was already delivered
+              case Token::Type::Primitive:
+                eval.onPrimitive(t.begin, t.end);
+                break;
+              case Token::Type::ObjStart:
+                eval.onObjectStart(t.begin);
+                stack.push_back('{');
+                expect_key = true;
+                break;
+              case Token::Type::ObjEnd:
+                if (stack.empty())
+                    throw ParseError("unbalanced '}'", t.begin);
+                eval.onObjectEnd(t.end);
+                stack.pop_back();
+                expect_key = false;
+                break;
+              case Token::Type::AryStart:
+                eval.onArrayStart(t.begin);
+                stack.push_back('[');
+                expect_key = false;
+                break;
+              case Token::Type::AryEnd:
+                if (stack.empty())
+                    throw ParseError("unbalanced ']'", t.begin);
+                eval.onArrayEnd(t.end);
+                stack.pop_back();
+                expect_key = false;
+                break;
+              case Token::Type::Comma:
+                expect_key = !stack.empty() && stack.back() == '{';
+                break;
+            }
+        }
+    }
+    if (!stack.empty())
+        throw ParseError("unterminated container", json.size());
+    return eval.matches();
+}
+
+} // namespace
+
+size_t
+Engine::runParallel(std::string_view json, ThreadPool& pool,
+                    path::MatchSink* sink) const
+{
+    std::vector<size_t> splits = tokenSplits(json, pool.size());
+    size_t chunks = splits.size() - 1;
+    std::vector<std::vector<Token>> streams(chunks);
+    pool.parallelFor(chunks, [&](size_t i) {
+        streams[i].reserve((splits[i + 1] - splits[i]) / 8 + 8);
+        tokenizeChunk(json, splits[i], splits[i + 1], streams[i]);
+    });
+    return evaluateTokens(json, streams, qa_, sink);
+}
+
+} // namespace jsonski::jpstream

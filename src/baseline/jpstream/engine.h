@@ -1,0 +1,87 @@
+/**
+ * @file
+ * JPStream-baseline engine: character-by-character streaming query
+ * evaluation (serial), plus the parallel single-large-record mode used
+ * by Figure 10's JPStream(16) bars.
+ *
+ * The paper's JPStream parallelizes one record with *speculative*
+ * execution.  Our reproduction substitutes an equivalent-shape
+ * two-phase scheme (documented in DESIGN.md): a cheap bit-parallel
+ * pre-scan finds token-aligned chunk boundaries (positions of
+ * structural metacharacters outside strings), the expensive
+ * character-level tokenization then runs per chunk in parallel, and a
+ * token-level pass drives the dual-stack PDA sequentially.
+ */
+#ifndef JSONSKI_BASELINE_JPSTREAM_ENGINE_H
+#define JSONSKI_BASELINE_JPSTREAM_ENGINE_H
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "path/ast.h"
+#include "path/automaton.h"
+#include "path/matches.h"
+#include "util/thread_pool.h"
+
+namespace jsonski::jpstream {
+
+/** Raw lexical token produced by the parallel tokenizer. */
+struct Token
+{
+    enum class Type : uint8_t {
+        ObjStart,
+        ObjEnd,
+        AryStart,
+        AryEnd,
+        Colon,
+        Comma,
+        String,
+        Primitive,
+    };
+
+    Type type;
+    uint64_t begin; ///< byte offset of the token's first character
+    uint64_t end;   ///< one past the last character
+};
+
+/** See file comment. */
+class Engine
+{
+  public:
+    explicit Engine(path::PathQuery query) : qa_(std::move(query)) {}
+
+    /** Evaluate over one record, character by character. */
+    size_t run(std::string_view json, path::MatchSink* sink = nullptr) const;
+
+    /**
+     * Parallel single-record evaluation: parallel tokenization over
+     * @p pool, then a sequential token-level PDA pass.
+     */
+    size_t runParallel(std::string_view json, ThreadPool& pool,
+                       path::MatchSink* sink = nullptr) const;
+
+    const path::QueryAutomaton& automaton() const { return qa_; }
+
+  private:
+    path::QueryAutomaton qa_;
+};
+
+/**
+ * Find token-aligned chunk split positions: for each nominal boundary,
+ * the next structural metacharacter outside any string.  Exposed for
+ * testing.  Returns n+1 positions (first = 0, last = json size).
+ */
+std::vector<size_t> tokenSplits(std::string_view json, size_t chunks);
+
+/**
+ * Tokenize bytes of @p json so that every token starting in
+ * [begin, end) is appended to @p out.  @p begin must be token-aligned.
+ * Exposed for testing.
+ */
+void tokenizeChunk(std::string_view json, size_t begin, size_t end,
+                   std::vector<Token>& out);
+
+} // namespace jsonski::jpstream
+
+#endif // JSONSKI_BASELINE_JPSTREAM_ENGINE_H

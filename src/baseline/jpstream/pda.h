@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Dual-stack pushdown evaluator — the query side of the JPStream
+ * baseline (paper Figures 4/5).
+ *
+ * The SAX parser (tokenizer.h) owns the *syntax* stack; this handler
+ * owns the *query* stack: one frame per container level holding the
+ * automaton state that was current when the container was entered,
+ * plus the element counter for arrays ([Ary-S]/[Ary-E]/[Com] rules).
+ * Every token makes a transition — nothing is skipped, which is
+ * exactly the cost profile the paper contrasts fast-forwarding against.
+ */
+#ifndef JSONSKI_BASELINE_JPSTREAM_PDA_H
+#define JSONSKI_BASELINE_JPSTREAM_PDA_H
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "path/automaton.h"
+#include "path/matches.h"
+
+namespace jsonski::jpstream {
+
+/** SAX handler evaluating one query; see file comment. */
+class PdaEvaluator
+{
+  public:
+    PdaEvaluator(const path::QueryAutomaton& qa, std::string_view input,
+                 path::MatchSink* sink)
+        : qa_(qa), input_(input), sink_(sink), value_state_(qa.start())
+    {
+        stack_.reserve(64);
+    }
+
+    size_t matches() const { return matches_; }
+
+    // --- SAX events --------------------------------------------------
+
+    void
+    onObjectStart(size_t pos)
+    {
+        maybeBeginEmit(pos);
+        stack_.push_back(Frame{value_state_, 0, false});
+        value_state_ = path::QueryAutomaton::kUnmatched; // until onKey
+    }
+
+    void
+    onObjectEnd(size_t end_pos)
+    {
+        stack_.pop_back();
+        maybeFinishEmit(end_pos);
+        valueDone();
+    }
+
+    void
+    onArrayStart(size_t pos)
+    {
+        maybeBeginEmit(pos);
+        int array_state = value_state_;
+        stack_.push_back(Frame{array_state, 0, true});
+        value_state_ = qa_.onElement(array_state, 0);
+    }
+
+    void
+    onArrayEnd(size_t end_pos)
+    {
+        stack_.pop_back();
+        maybeFinishEmit(end_pos);
+        valueDone();
+    }
+
+    void
+    onKey(std::string_view name)
+    {
+        value_state_ = qa_.onKey(stack_.back().state, name);
+    }
+
+    void
+    onPrimitive(size_t begin, size_t end)
+    {
+        if (qa_.isAccept(value_state_))
+            emit(begin, end);
+        valueDone();
+    }
+
+  private:
+    struct Frame
+    {
+        int state;    ///< automaton state the container was entered with
+        size_t idx;   ///< element counter (arrays)
+        bool is_array;
+    };
+
+    /** An accepted container whose span is pending its close. */
+    struct EmitFrame
+    {
+        size_t depth; ///< stack_ size at the container's start
+        size_t start; ///< input offset of its opener
+    };
+
+    void
+    valueDone()
+    {
+        if (stack_.empty())
+            return;
+        Frame& top = stack_.back();
+        if (top.is_array) {
+            ++top.idx; // [Com]
+            value_state_ = qa_.onElement(top.state, top.idx);
+        } else {
+            value_state_ = path::QueryAutomaton::kUnmatched;
+        }
+    }
+
+    void
+    maybeBeginEmit(size_t pos)
+    {
+        // Frames may nest: a terminal descendant step can accept a
+        // container inside an already-accepted container.
+        if (qa_.isAccept(value_state_))
+            emit_frames_.push_back(EmitFrame{stack_.size(), pos});
+    }
+
+    void
+    maybeFinishEmit(size_t end_pos)
+    {
+        if (!emit_frames_.empty() &&
+            emit_frames_.back().depth == stack_.size()) {
+            emit(emit_frames_.back().start, end_pos);
+            emit_frames_.pop_back();
+        }
+    }
+
+    void
+    emit(size_t begin, size_t end)
+    {
+        ++matches_;
+        if (sink_)
+            sink_->onMatch(input_.substr(begin, end - begin));
+    }
+
+    const path::QueryAutomaton& qa_;
+    std::string_view input_;
+    path::MatchSink* sink_;
+    std::vector<Frame> stack_;
+    std::vector<EmitFrame> emit_frames_;
+    int value_state_;
+    size_t matches_ = 0;
+};
+
+} // namespace jsonski::jpstream
+
+#endif // JSONSKI_BASELINE_JPSTREAM_PDA_H

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Character-by-character SAX-style JSON parser — the detailed-parsing
+ * substrate of the JPStream baseline (paper §2, "streaming scheme").
+ *
+ * Every byte of the input is examined: strings are scanned character
+ * by character, primitives are delimited by scalar scans, and the
+ * syntax stack is maintained explicitly.  No bitmaps, no SIMD — this
+ * is deliberately the work profile the paper attributes to prior
+ * streaming evaluators.
+ *
+ * The handler is a template parameter so the PDA evaluator is invoked
+ * without virtual dispatch; any overhead measured against JSONSki is
+ * parsing work, not abstraction tax.
+ *
+ * Handler concept:
+ *   void onObjectStart(size_t pos);
+ *   void onObjectEnd(size_t end_pos);        // one past '}'
+ *   void onArrayStart(size_t pos);
+ *   void onArrayEnd(size_t end_pos);         // one past ']'
+ *   void onKey(std::string_view name);       // quotes excluded
+ *   void onPrimitive(size_t begin, size_t end);
+ */
+#ifndef JSONSKI_BASELINE_JPSTREAM_TOKENIZER_H
+#define JSONSKI_BASELINE_JPSTREAM_TOKENIZER_H
+
+#include <string_view>
+#include <vector>
+
+#include "json/text.h"
+#include "util/error.h"
+
+namespace jsonski::jpstream {
+
+/**
+ * Parse @p s, delivering events to @p h. Throws ParseError.
+ *
+ * The loop advances exactly one character per iteration through a
+ * single state switch — the character-level DFA work profile of
+ * automaton-based streaming evaluators.
+ */
+template <class Handler>
+void
+saxParse(std::string_view s, Handler& h)
+{
+    enum class St : uint8_t {
+        ExpectValue,      ///< a value must start here (after ',' / ':')
+        ExpectFirstValue, ///< just after '[': value or ']'
+        ExpectFirstKey,   ///< just after '{': key or '}'
+        ExpectKey,        ///< after ',' in an object
+        ExpectColon,      ///< after a key
+        AfterValue,       ///< a value just ended
+        KeyStr,           ///< inside an attribute name
+        KeyEsc,           ///< after '\\' in an attribute name
+        ValStr,           ///< inside a string value
+        ValEsc,           ///< after '\\' in a string value
+        Prim,             ///< inside a number / literal
+    };
+
+    std::vector<char> stack; // '{' or '['
+    stack.reserve(64);
+    St st = St::ExpectValue;
+    size_t token_start = 0;
+    const size_t n = s.size();
+
+    // Shared handling for the character following a completed value.
+    auto afterValue = [&](char c, size_t pos, St& state) {
+        if (json::isWhitespace(c)) {
+            state = St::AfterValue;
+            return;
+        }
+        if (stack.empty())
+            throw ParseError("trailing characters", pos);
+        if (stack.back() == '{') {
+            if (c == ',') {
+                state = St::ExpectKey;
+            } else if (c == '}') {
+                h.onObjectEnd(pos + 1);
+                stack.pop_back();
+                state = St::AfterValue;
+            } else {
+                throw ParseError("expected ',' or '}'", pos);
+            }
+        } else {
+            if (c == ',') {
+                state = St::ExpectValue;
+            } else if (c == ']') {
+                h.onArrayEnd(pos + 1);
+                stack.pop_back();
+                state = St::AfterValue;
+            } else {
+                throw ParseError("expected ',' or ']'", pos);
+            }
+        }
+    };
+
+    for (size_t i = 0; i < n; ++i) {
+        char c = s[i];
+        switch (st) {
+          case St::ExpectFirstValue:
+            if (c == ']') {
+                h.onArrayEnd(i + 1);
+                stack.pop_back();
+                st = St::AfterValue;
+                break;
+            }
+            [[fallthrough]];
+          case St::ExpectValue:
+            if (json::isWhitespace(c))
+                break;
+            if (c == '{') {
+                h.onObjectStart(i);
+                stack.push_back('{');
+                st = St::ExpectFirstKey;
+            } else if (c == '[') {
+                h.onArrayStart(i);
+                stack.push_back('[');
+                st = St::ExpectFirstValue;
+            } else if (c == '"') {
+                token_start = i;
+                st = St::ValStr;
+            } else if (c == ',' || c == ':' || c == '}' || c == ']') {
+                throw ParseError("expected a value", i);
+            } else {
+                token_start = i;
+                st = St::Prim;
+            }
+            break;
+          case St::ExpectFirstKey:
+            if (json::isWhitespace(c))
+                break;
+            if (c == '}') {
+                h.onObjectEnd(i + 1);
+                stack.pop_back();
+                st = St::AfterValue;
+            } else if (c == '"') {
+                token_start = i;
+                st = St::KeyStr;
+            } else {
+                throw ParseError("expected attribute name", i);
+            }
+            break;
+          case St::ExpectKey:
+            if (json::isWhitespace(c))
+                break;
+            if (c == '"') {
+                token_start = i;
+                st = St::KeyStr;
+            } else {
+                throw ParseError("expected attribute name", i);
+            }
+            break;
+          case St::ExpectColon:
+            if (json::isWhitespace(c))
+                break;
+            if (c != ':')
+                throw ParseError("expected ':'", i);
+            st = St::ExpectValue;
+            break;
+          case St::AfterValue:
+            afterValue(c, i, st);
+            break;
+          case St::KeyStr:
+            if (c == '"') {
+                h.onKey(s.substr(token_start + 1, i - token_start - 1));
+                st = St::ExpectColon;
+            } else if (c == '\\') {
+                st = St::KeyEsc;
+            }
+            break;
+          case St::KeyEsc:
+            st = St::KeyStr;
+            break;
+          case St::ValStr:
+            if (c == '"') {
+                h.onPrimitive(token_start, i + 1);
+                st = St::AfterValue;
+            } else if (c == '\\') {
+                st = St::ValEsc;
+            }
+            break;
+          case St::ValEsc:
+            st = St::ValStr;
+            break;
+          case St::Prim:
+            if (json::isWhitespace(c) || c == ',' || c == '}' ||
+                c == ']' || c == ':' || c == '{' || c == '[' ||
+                c == '"') {
+                h.onPrimitive(token_start, i);
+                afterValue(c, i, st);
+            }
+            break;
+        }
+    }
+
+    // End of input: only a completed root value is acceptable.
+    if (st == St::Prim && stack.empty()) {
+        h.onPrimitive(token_start, n);
+        return;
+    }
+    if (st == St::AfterValue && stack.empty())
+        return;
+    throw ParseError(n == 0 ? "empty input" : "unexpected end of input",
+                     n);
+}
+
+} // namespace jsonski::jpstream
+
+#endif // JSONSKI_BASELINE_JPSTREAM_TOKENIZER_H

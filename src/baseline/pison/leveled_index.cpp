@@ -1,0 +1,158 @@
+#include "baseline/pison/leveled_index.h"
+
+#include <algorithm>
+
+#include "util/bits.h"
+
+namespace jsonski::pison {
+
+using intervals::BlockBits;
+using intervals::ClassifierCarry;
+using intervals::kBlockSize;
+
+namespace {
+
+BlockBits
+classifyAt(std::string_view json, size_t base, ClassifierCarry& carry)
+{
+    size_t len = std::min(kBlockSize, json.size() - base);
+    return len == kBlockSize
+               ? intervals::classifyBlock(json.data() + base, carry)
+               : intervals::classifyPartialBlock(json.data() + base, len,
+                                                 carry);
+}
+
+} // namespace
+
+LeveledIndex::LeveledIndex(size_t input_size, size_t levels)
+    : input_size_(input_size), levels_(levels)
+{
+    size_t words = (input_size + kBlockSize - 1) / kBlockSize;
+    colon_.assign(levels, std::vector<uint64_t>(words, 0));
+    comma_.assign(levels, std::vector<uint64_t>(words, 0));
+}
+
+void
+LeveledIndex::scanRange(std::string_view json, size_t begin_block,
+                        size_t end_block, ClassifierCarry carry,
+                        int64_t depth)
+{
+    for (size_t blk = begin_block; blk < end_block; ++blk) {
+        size_t base = blk * kBlockSize;
+        BlockBits b = classifyAt(json, base, carry);
+        uint64_t interesting = b.open_brace | b.open_bracket |
+                               b.close_brace | b.close_bracket | b.colon |
+                               b.comma;
+        while (interesting != 0) {
+            int off = bits::trailingZeros(interesting);
+            interesting = bits::clearLowest(interesting);
+            uint64_t bit = uint64_t{1} << off;
+            if ((b.open_brace | b.open_bracket) & bit) {
+                ++depth;
+            } else if ((b.close_brace | b.close_bracket) & bit) {
+                --depth;
+            } else {
+                int64_t level = depth - 1;
+                if (level >= 0 && level < static_cast<int64_t>(levels_)) {
+                    if (b.colon & bit)
+                        colon_[static_cast<size_t>(level)][blk] |= bit;
+                    else
+                        comma_[static_cast<size_t>(level)][blk] |= bit;
+                }
+            }
+        }
+    }
+}
+
+LeveledIndex
+LeveledIndex::build(std::string_view json, size_t levels)
+{
+    LeveledIndex index(json.size(), levels);
+    size_t blocks = (json.size() + kBlockSize - 1) / kBlockSize;
+    index.scanRange(json, 0, blocks, ClassifierCarry{}, 0);
+    return index;
+}
+
+LeveledIndex
+LeveledIndex::buildParallel(std::string_view json, size_t levels,
+                            ThreadPool& pool)
+{
+    size_t blocks = (json.size() + kBlockSize - 1) / kBlockSize;
+    size_t chunks = std::min(pool.size(), std::max<size_t>(blocks, 1));
+    if (chunks <= 1 || blocks < chunks * 4)
+        return build(json, levels);
+
+    LeveledIndex index(json.size(), levels);
+    size_t per = blocks / chunks;
+    std::vector<size_t> chunk_begin(chunks + 1);
+    for (size_t t = 0; t < chunks; ++t)
+        chunk_begin[t] = t * per;
+    chunk_begin[chunks] = blocks;
+
+    // Pass 1 (parallel): per-chunk depth delta and exit carry,
+    // speculating a clean (outside-string, unescaped) chunk entry.
+    std::vector<int64_t> delta(chunks, 0);
+    std::vector<ClassifierCarry> exit_carry(chunks);
+    auto pass1 = [&](size_t t, ClassifierCarry carry) {
+        int64_t d = 0;
+        for (size_t blk = chunk_begin[t]; blk < chunk_begin[t + 1]; ++blk) {
+            BlockBits b = classifyAt(json, blk * kBlockSize, carry);
+            d += bits::popcount(b.open_brace | b.open_bracket);
+            d -= bits::popcount(b.close_brace | b.close_bracket);
+        }
+        delta[t] = d;
+        exit_carry[t] = carry;
+    };
+    pool.parallelFor(chunks, [&](size_t t) { pass1(t, ClassifierCarry{}); });
+
+    // Sequential fix-up: chain the real carries; re-run the rare chunk
+    // whose speculative entry was wrong.
+    std::vector<ClassifierCarry> entry_carry(chunks);
+    std::vector<int64_t> entry_depth(chunks, 0);
+    for (size_t t = 1; t < chunks; ++t) {
+        ClassifierCarry actual = exit_carry[t - 1];
+        entry_carry[t] = actual;
+        if (actual.prev_in_string != 0 || actual.prev_escaped != 0)
+            pass1(t, actual); // mis-speculated: redo with the real entry
+        entry_depth[t] = entry_depth[t - 1] + delta[t - 1];
+    }
+
+    // Pass 2 (parallel): fill the bitmaps with known entries.  Chunks
+    // are block-aligned, so no two chunks write the same word.
+    pool.parallelFor(chunks, [&](size_t t) {
+        index.scanRange(json, chunk_begin[t], chunk_begin[t + 1],
+                        entry_carry[t], entry_depth[t]);
+    });
+    return index;
+}
+
+size_t
+LeveledIndex::nextBit(const std::vector<uint64_t>& bitmap, size_t from,
+                      size_t to)
+{
+    if (from >= to)
+        return to;
+    size_t word = from / kBlockSize;
+    size_t last_word = (to - 1) / kBlockSize;
+    uint64_t cur = bitmap[word] &
+                   ~bits::maskBelow(static_cast<int>(from % kBlockSize));
+    for (;;) {
+        if (cur != 0) {
+            size_t pos = word * kBlockSize +
+                         static_cast<size_t>(bits::trailingZeros(cur));
+            return pos < to ? pos : to;
+        }
+        if (word == last_word)
+            return to;
+        cur = bitmap[++word];
+    }
+}
+
+size_t
+LeveledIndex::memoryBytes() const
+{
+    size_t words = (input_size_ + kBlockSize - 1) / kBlockSize;
+    return 2 * levels_ * words * sizeof(uint64_t);
+}
+
+} // namespace jsonski::pison

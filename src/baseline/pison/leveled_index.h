@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Leveled colon/comma bitmap index — the Pison/Mison-class baseline
+ * (paper §2, Figure 3-(b)).
+ *
+ * For each nesting level up to the query depth, one bitmap marks the
+ * colons (attribute separators) and one the commas (element
+ * separators) at exactly that level, across the whole record.  Query
+ * evaluation then jumps from separator to separator without parsing.
+ * Building the index is the preprocessing cost Pison pays before any
+ * query runs; Pison's contribution is building it in parallel for a
+ * single large record, reproduced here by buildParallel() (see
+ * DESIGN.md for the speculation substitution).
+ *
+ * Level convention: separators directly inside the root container are
+ * level 0; each container nesting adds one.
+ */
+#ifndef JSONSKI_BASELINE_PISON_LEVELED_INDEX_H
+#define JSONSKI_BASELINE_PISON_LEVELED_INDEX_H
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "intervals/classifier.h"
+#include "util/thread_pool.h"
+
+namespace jsonski::pison {
+
+/** See file comment. */
+class LeveledIndex
+{
+  public:
+    /** Build serially for @p levels levels. */
+    static LeveledIndex build(std::string_view json, size_t levels);
+
+    /**
+     * Build with chunk-parallel classification: a parallel pre-pass
+     * computes per-chunk depth deltas and string-state carries
+     * (speculating that chunks start outside strings and re-running
+     * the rare mis-speculated chunk), then a parallel second pass
+     * fills the level bitmaps with known absolute start depths.
+     */
+    static LeveledIndex buildParallel(std::string_view json, size_t levels,
+                                      ThreadPool& pool);
+
+    size_t levels() const { return levels_; }
+    size_t inputSize() const { return input_size_; }
+
+    /** Bitmap words for colons at @p level. */
+    const std::vector<uint64_t>&
+    colons(size_t level) const
+    {
+        return colon_[level];
+    }
+
+    /** Bitmap words for commas at @p level. */
+    const std::vector<uint64_t>&
+    commas(size_t level) const
+    {
+        return comma_[level];
+    }
+
+    /**
+     * Position of the first set bit of @p bitmap in [from, to), or
+     * @p to when none.
+     */
+    static size_t nextBit(const std::vector<uint64_t>& bitmap, size_t from,
+                          size_t to);
+
+    /** Approximate heap bytes held by the index (for Figure 13). */
+    size_t memoryBytes() const;
+
+  private:
+    LeveledIndex(size_t input_size, size_t levels);
+
+    void scanRange(std::string_view json, size_t begin_block,
+                   size_t end_block, intervals::ClassifierCarry carry,
+                   int64_t depth);
+
+    size_t input_size_ = 0;
+    size_t levels_ = 0;
+    std::vector<std::vector<uint64_t>> colon_;
+    std::vector<std::vector<uint64_t>> comma_;
+};
+
+} // namespace jsonski::pison
+
+#endif // JSONSKI_BASELINE_PISON_LEVELED_INDEX_H

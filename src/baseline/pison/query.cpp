@@ -1,0 +1,157 @@
+#include "baseline/pison/query.h"
+
+#include <algorithm>
+
+#include "json/text.h"
+#include "util/error.h"
+
+namespace jsonski::pison {
+namespace {
+
+void
+trim(std::string_view s, size_t& b, size_t& e)
+{
+    while (b < e && json::isWhitespace(s[b]))
+        ++b;
+    while (e > b && json::isWhitespace(s[e - 1]))
+        --e;
+}
+
+/** Attribute name (quotes excluded) that precedes the colon at @p c. */
+std::string_view
+keyBeforeColon(std::string_view s, size_t colon)
+{
+    size_t i = colon;
+    while (i > 0 && json::isWhitespace(s[i - 1]))
+        --i;
+    if (i == 0 || s[i - 1] != '"')
+        throw ParseError("expected attribute name before ':'", colon);
+    size_t key_end = i - 1;
+    size_t j = key_end;
+    for (;;) {
+        if (j == 0)
+            throw ParseError("unterminated attribute name", key_end);
+        --j;
+        if (s[j] == '"') {
+            size_t k = j;
+            size_t backslashes = 0;
+            while (k > 0 && s[k - 1] == '\\') {
+                ++backslashes;
+                --k;
+            }
+            if (backslashes % 2 == 0)
+                break;
+        }
+    }
+    return s.substr(j + 1, key_end - j - 1);
+}
+
+class Evaluator
+{
+  public:
+    Evaluator(const LeveledIndex& index, std::string_view input,
+              const path::PathQuery& query, path::MatchSink* sink)
+        : ix_(index), s_(input), q_(query), sink_(sink)
+    {}
+
+    size_t
+    run()
+    {
+        return walk(0, s_.size(), 0);
+    }
+
+  private:
+    size_t
+    walk(size_t b, size_t e, size_t step)
+    {
+        trim(s_, b, e);
+        if (b >= e)
+            return 0;
+        if (step == q_.size()) {
+            if (sink_)
+                sink_->onMatch(s_.substr(b, e - b));
+            return 1;
+        }
+        const path::PathStep& st = q_[step];
+        if (st.kind == path::PathStep::Kind::Key) {
+            if (s_[b] != '{')
+                return 0;
+            const auto& colons = ix_.colons(step);
+            const auto& commas = ix_.commas(step);
+            size_t pos = b + 1;
+            for (;;) {
+                size_t c = LeveledIndex::nextBit(colons, pos, e);
+                if (c >= e)
+                    return 0;
+                size_t next_comma = LeveledIndex::nextBit(commas, c + 1, e);
+                size_t value_b = c + 1;
+                size_t value_e = next_comma < e ? next_comma : e - 1;
+                if (keyBeforeColon(s_, c) == st.key)
+                    return walk(value_b, value_e, step + 1);
+                if (next_comma >= e)
+                    return 0;
+                pos = next_comma + 1;
+            }
+        }
+        if (s_[b] != '[')
+            return 0;
+        const auto& commas = ix_.commas(step);
+        size_t idx = 0;
+        size_t cur_b = b + 1;
+        size_t matches = 0;
+        for (;;) {
+            size_t next_comma = LeveledIndex::nextBit(commas, cur_b, e);
+            size_t elem_e = next_comma < e ? next_comma : e - 1;
+            if (st.coversIndex(idx))
+                matches += walk(cur_b, elem_e, step + 1);
+            if (idx + 1 >= st.hi)
+                break; // beyond the index range: nothing more can match
+            if (next_comma >= e)
+                break;
+            cur_b = next_comma + 1;
+            ++idx;
+        }
+        return matches;
+    }
+
+    const LeveledIndex& ix_;
+    std::string_view s_;
+    const path::PathQuery& q_;
+    path::MatchSink* sink_;
+};
+
+} // namespace
+
+size_t
+evaluate(const LeveledIndex& index, std::string_view input,
+         const path::PathQuery& query, path::MatchSink* sink)
+{
+    if (query.hasDescendant()) {
+        // The leveled bitmaps index separators at *fixed* levels; a
+        // step that matches at any depth has no corresponding level.
+        // (The original Pison shares this restriction.)
+        throw PathError(
+            "the leveled-bitmap index does not support '..'");
+    }
+    return Evaluator(index, input, query, sink).run();
+}
+
+size_t
+parseAndQuery(std::string_view json, const path::PathQuery& query,
+              path::MatchSink* sink)
+{
+    LeveledIndex index =
+        LeveledIndex::build(json, std::max<size_t>(query.size(), 1));
+    return evaluate(index, json, query, sink);
+}
+
+size_t
+parseAndQueryParallel(std::string_view json, const path::PathQuery& query,
+                      ThreadPool& pool, path::MatchSink* sink)
+{
+    LeveledIndex index = LeveledIndex::buildParallel(
+        json, std::max<size_t>(query.size(), 1), pool);
+    return evaluate(index, json, query, sink);
+}
+
+} // namespace jsonski::pison

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Path-query evaluation over the leveled bitmap index (Pison-class
+ * baseline): attribute lookup jumps colon-to-colon, element lookup
+ * comma-to-comma, at exactly the query's nesting level.
+ */
+#ifndef JSONSKI_BASELINE_PISON_QUERY_H
+#define JSONSKI_BASELINE_PISON_QUERY_H
+
+#include <string_view>
+
+#include "baseline/pison/leveled_index.h"
+#include "path/ast.h"
+#include "path/matches.h"
+#include "util/thread_pool.h"
+
+namespace jsonski::pison {
+
+/** Evaluate @p query over a built index. */
+size_t evaluate(const LeveledIndex& index, std::string_view input,
+                const path::PathQuery& query,
+                path::MatchSink* sink = nullptr);
+
+/** Full baseline pipeline: build the index, then query. */
+size_t parseAndQuery(std::string_view json, const path::PathQuery& query,
+                     path::MatchSink* sink = nullptr);
+
+/** Pipeline with parallel index construction (Figure 10's Pison(16)). */
+size_t parseAndQueryParallel(std::string_view json,
+                             const path::PathQuery& query, ThreadPool& pool,
+                             path::MatchSink* sink = nullptr);
+
+} // namespace jsonski::pison
+
+#endif // JSONSKI_BASELINE_PISON_QUERY_H

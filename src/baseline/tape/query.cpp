@@ -1,0 +1,130 @@
+#include "baseline/tape/query.h"
+
+#include <algorithm>
+
+namespace jsonski::tape {
+namespace {
+
+class Evaluator
+{
+  public:
+    Evaluator(const Tape& tape, std::string_view input,
+              const path::PathQuery& query, path::MatchSink* sink)
+        : t_(tape), input_(input), q_(query), sink_(sink)
+    {}
+
+    size_t
+    run()
+    {
+        if (t_.words.empty())
+            return 0;
+        return walk(t_.root, 0);
+    }
+
+  private:
+    /**
+     * Descendant search over the tape: every attribute named by the
+     * step at any depth under node @p i, in document pre-order.
+     */
+    size_t
+    walkDescendant(size_t i, size_t step)
+    {
+        const std::string& key = q_[step].key;
+        TapeType ty = t_.typeAt(i);
+        size_t matches = 0;
+        if (ty == TapeType::ObjStart) {
+            size_t end_idx =
+                static_cast<size_t>(t_.payloadAt(i)) - Tape::kNodeWords;
+            size_t cur = i + Tape::kNodeWords;
+            while (cur < end_idx) {
+                std::string_view name =
+                    input_.substr(t_.payloadAt(cur) + 1,
+                                  t_.secondAt(cur) - t_.payloadAt(cur) - 2);
+                size_t value_idx = cur + Tape::kNodeWords;
+                if (name == key)
+                    matches += walk(value_idx, step + 1);
+                matches += walkDescendant(value_idx, step);
+                cur = t_.skip(value_idx);
+            }
+        } else if (ty == TapeType::AryStart) {
+            size_t end_idx =
+                static_cast<size_t>(t_.payloadAt(i)) - Tape::kNodeWords;
+            size_t cur = i + Tape::kNodeWords;
+            while (cur < end_idx) {
+                matches += walkDescendant(cur, step);
+                cur = t_.skip(cur);
+            }
+        }
+        return matches;
+    }
+
+    size_t
+    walk(size_t i, size_t step)
+    {
+        if (step == q_.size()) {
+            if (sink_)
+                sink_->onMatch(t_.textAt(i, input_));
+            return 1;
+        }
+        const path::PathStep& s = q_[step];
+        if (s.kind == path::PathStep::Kind::Descendant)
+            return walkDescendant(i, step);
+        if (s.kind == path::PathStep::Kind::Key) {
+            if (t_.typeAt(i) != TapeType::ObjStart)
+                return 0;
+            size_t end_idx =
+                static_cast<size_t>(t_.payloadAt(i)) - Tape::kNodeWords;
+            size_t cur = i + Tape::kNodeWords;
+            while (cur < end_idx) {
+                // Key node, then its value node.
+                std::string_view key =
+                    input_.substr(t_.payloadAt(cur) + 1,
+                                  t_.secondAt(cur) - t_.payloadAt(cur) - 2);
+                size_t value_idx = cur + Tape::kNodeWords;
+                if (key == s.key)
+                    return walk(value_idx, step + 1);
+                cur = t_.skip(value_idx);
+            }
+            return 0;
+        }
+        if (t_.typeAt(i) != TapeType::AryStart)
+            return 0;
+        size_t end_idx =
+            static_cast<size_t>(t_.payloadAt(i)) - Tape::kNodeWords;
+        size_t cur = i + Tape::kNodeWords;
+        size_t idx = 0;
+        size_t matches = 0;
+        while (cur < end_idx && idx < s.hi) {
+            if (s.coversIndex(idx))
+                matches += walk(cur, step + 1);
+            cur = t_.skip(cur);
+            ++idx;
+        }
+        return matches;
+    }
+
+    const Tape& t_;
+    std::string_view input_;
+    const path::PathQuery& q_;
+    path::MatchSink* sink_;
+};
+
+} // namespace
+
+size_t
+evaluate(const Tape& tape, std::string_view input,
+         const path::PathQuery& query, path::MatchSink* sink)
+{
+    return Evaluator(tape, input, query, sink).run();
+}
+
+size_t
+parseAndQuery(std::string_view json, const path::PathQuery& query,
+              path::MatchSink* sink)
+{
+    StructuralIndex index = buildStructuralIndex(json);
+    Tape tape = buildTape(json, index);
+    return evaluate(tape, json, query, sink);
+}
+
+} // namespace jsonski::tape

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Path-query evaluation over the tape (simdjson-class baseline,
+ * preprocessing scheme): stage 1 + stage 2 build the tape for the
+ * whole record, then navigation touches only tape words.
+ */
+#ifndef JSONSKI_BASELINE_TAPE_QUERY_H
+#define JSONSKI_BASELINE_TAPE_QUERY_H
+
+#include <string_view>
+
+#include "baseline/tape/tape.h"
+#include "path/ast.h"
+#include "path/matches.h"
+
+namespace jsonski::tape {
+
+/** Evaluate @p query over a built tape. */
+size_t evaluate(const Tape& tape, std::string_view input,
+                const path::PathQuery& query,
+                path::MatchSink* sink = nullptr);
+
+/** Full baseline pipeline: index + tape + query. */
+size_t parseAndQuery(std::string_view json, const path::PathQuery& query,
+                     path::MatchSink* sink = nullptr);
+
+} // namespace jsonski::tape
+
+#endif // JSONSKI_BASELINE_TAPE_QUERY_H

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Stage 1 of the simdjson-class baseline: a bit-parallel scan that
+ * materializes the positions of all structural characters (and string
+ * openings) of the whole record *before* any querying — the defining
+ * cost of the preprocessing scheme (paper §2, Table 3).
+ *
+ * Positions are 32-bit, mirroring simdjson's documented 4 GB record
+ * limit (paper §5.4 notes the same cap for the original).
+ */
+#ifndef JSONSKI_BASELINE_TAPE_STRUCTURAL_INDEX_H
+#define JSONSKI_BASELINE_TAPE_STRUCTURAL_INDEX_H
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace jsonski::tape {
+
+/** Record-wide index of structural positions, in document order. */
+struct StructuralIndex
+{
+    /** Offsets of '{' '}' '[' ']' ':' ',' outside strings, plus the
+     *  opening quote of every string literal. */
+    std::vector<uint32_t> positions;
+};
+
+/**
+ * Build the index with the SIMD block classifier.
+ * @throws jsonski::ParseError if the input exceeds the 4 GB limit.
+ */
+StructuralIndex buildStructuralIndex(std::string_view json);
+
+} // namespace jsonski::tape
+
+#endif // JSONSKI_BASELINE_TAPE_STRUCTURAL_INDEX_H

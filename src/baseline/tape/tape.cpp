@@ -1,0 +1,132 @@
+#include "baseline/tape/tape.h"
+
+#include "json/text.h"
+#include "util/error.h"
+
+namespace jsonski::tape {
+namespace {
+
+constexpr uint64_t
+word0(TapeType t, uint64_t payload)
+{
+    return (static_cast<uint64_t>(t) << Tape::kTypeShift) | payload;
+}
+
+} // namespace
+
+Tape
+buildTape(std::string_view json, const StructuralIndex& index)
+{
+    Tape t;
+    t.words.reserve(index.positions.size() * Tape::kNodeWords + 4);
+
+    auto pushNode = [&t](TapeType ty, uint64_t payload, uint64_t second) {
+        t.words.push_back(word0(ty, payload));
+        t.words.push_back(second);
+    };
+
+    if (index.positions.empty()) {
+        // Root-level number / literal.
+        size_t v = json::skipWhitespace(json, 0);
+        if (v >= json.size())
+            throw ParseError("empty input", 0);
+        size_t end = json.size();
+        while (end > v && json::isWhitespace(json[end - 1]))
+            --end;
+        pushNode(TapeType::Primitive, v, end);
+        return t;
+    }
+
+    std::vector<size_t> stack; // tape indices of open container nodes
+    std::vector<char> ctx;     // '{' / '['
+    bool expect_key = false;
+
+    // A primitive sits between structural position @p after and the
+    // next indexed position iff the first non-whitespace byte comes
+    // before it.
+    auto maybePrimitive = [&](size_t after, size_t next_pos) {
+        size_t v = json::skipWhitespace(json, after);
+        if (v < next_pos) {
+            size_t end = next_pos;
+            while (end > v && json::isWhitespace(json[end - 1]))
+                --end;
+            pushNode(TapeType::Primitive, v, end);
+        }
+    };
+
+    size_t n = index.positions.size();
+    for (size_t i = 0; i < n; ++i) {
+        size_t p = index.positions[i];
+        size_t next_pos = i + 1 < n ? index.positions[i + 1] : json.size();
+        switch (json[p]) {
+          case '{':
+            stack.push_back(t.words.size());
+            pushNode(TapeType::ObjStart, 0, p);
+            ctx.push_back('{');
+            expect_key = true;
+            break;
+          case '}': {
+            if (ctx.empty() || ctx.back() != '{')
+                throw ParseError("unbalanced '}'", p);
+            size_t open = stack.back();
+            stack.pop_back();
+            ctx.pop_back();
+            size_t end_idx = t.words.size();
+            t.words[open] = word0(TapeType::ObjStart,
+                                  end_idx + Tape::kNodeWords);
+            pushNode(TapeType::ObjEnd, open, p + 1);
+            expect_key = false;
+            break;
+          }
+          case '[':
+            stack.push_back(t.words.size());
+            pushNode(TapeType::AryStart, 0, p);
+            ctx.push_back('[');
+            expect_key = false;
+            maybePrimitive(p + 1, next_pos);
+            break;
+          case ']': {
+            if (ctx.empty() || ctx.back() != '[')
+                throw ParseError("unbalanced ']'", p);
+            size_t open = stack.back();
+            stack.pop_back();
+            ctx.pop_back();
+            size_t end_idx = t.words.size();
+            t.words[open] = word0(TapeType::AryStart,
+                                  end_idx + Tape::kNodeWords);
+            pushNode(TapeType::AryEnd, open, p + 1);
+            expect_key = false;
+            break;
+          }
+          case ':':
+            expect_key = false;
+            maybePrimitive(p + 1, next_pos);
+            break;
+          case ',':
+            if (ctx.empty())
+                throw ParseError("',' outside any container", p);
+            if (ctx.back() == '{') {
+                expect_key = true;
+            } else {
+                maybePrimitive(p + 1, next_pos);
+            }
+            break;
+          case '"': {
+            size_t send = json::scanString(json, p);
+            if (send == std::string_view::npos)
+                throw ParseError("unterminated string", p);
+            pushNode(expect_key ? TapeType::Key : TapeType::String, p,
+                     send);
+            expect_key = false;
+            break;
+          }
+          default:
+            throw ParseError("unexpected structural character", p);
+        }
+    }
+    if (!stack.empty())
+        throw ParseError("unterminated container", json.size());
+    return t;
+}
+
+} // namespace jsonski::tape

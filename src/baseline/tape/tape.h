@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Stage 2 of the simdjson-class baseline: the *tape*, a flat in-memory
+ * document representation built from the structural index.  Querying
+ * happens over the tape only; the input is no longer parsed.
+ *
+ * Layout: every node occupies exactly two 64-bit words.
+ *   word 0:  type (high 8 bits) | payload (low 56 bits)
+ *   word 1:  second payload
+ *
+ * | type      | word0 payload                 | word1                  |
+ * |-----------|-------------------------------|------------------------|
+ * | ObjStart  | tape index past matching end  | input offset of '{'    |
+ * | ObjEnd    | tape index of matching start  | input offset past '}'  |
+ * | AryStart  | tape index past matching end  | input offset of '['    |
+ * | AryEnd    | tape index of matching start  | input offset past ']'  |
+ * | Key       | input offset of opening quote | offset past close quote|
+ * | String    | input offset of opening quote | offset past close quote|
+ * | Primitive | input begin offset            | input end offset       |
+ */
+#ifndef JSONSKI_BASELINE_TAPE_TAPE_H
+#define JSONSKI_BASELINE_TAPE_TAPE_H
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "baseline/tape/structural_index.h"
+
+namespace jsonski::tape {
+
+/** Node kinds on the tape. */
+enum class TapeType : uint8_t {
+    ObjStart = 1,
+    ObjEnd,
+    AryStart,
+    AryEnd,
+    Key,
+    String,
+    Primitive,
+};
+
+/** The parsed document; see file comment for the layout. */
+class Tape
+{
+  public:
+    static constexpr int kTypeShift = 56;
+    static constexpr uint64_t kPayloadMask =
+        (uint64_t{1} << kTypeShift) - 1;
+
+    /** Words per node. */
+    static constexpr size_t kNodeWords = 2;
+
+    std::vector<uint64_t> words;
+
+    /** Tape index of the root value (0 unless the doc is empty). */
+    size_t root = 0;
+
+    TapeType
+    typeAt(size_t i) const
+    {
+        return static_cast<TapeType>(words[i] >> kTypeShift);
+    }
+
+    uint64_t payloadAt(size_t i) const { return words[i] & kPayloadMask; }
+    uint64_t secondAt(size_t i) const { return words[i + 1]; }
+
+    /** Tape index just past the node starting at @p i. */
+    size_t
+    skip(size_t i) const
+    {
+        TapeType t = typeAt(i);
+        if (t == TapeType::ObjStart || t == TapeType::AryStart)
+            return static_cast<size_t>(payloadAt(i));
+        return i + kNodeWords;
+    }
+
+    /** Raw input text of the value at @p i. */
+    std::string_view
+    textAt(size_t i, std::string_view input) const
+    {
+        TapeType t = typeAt(i);
+        if (t == TapeType::ObjStart || t == TapeType::AryStart) {
+            size_t end_idx = static_cast<size_t>(payloadAt(i)) - kNodeWords;
+            uint64_t begin = secondAt(i);
+            uint64_t end = secondAt(end_idx);
+            return input.substr(begin, end - begin);
+        }
+        return input.substr(payloadAt(i), secondAt(i) - payloadAt(i));
+    }
+};
+
+/**
+ * Build the tape from the structural index (stage 2).
+ * @throws jsonski::ParseError on structural malformations.
+ */
+Tape buildTape(std::string_view json, const StructuralIndex& index);
+
+} // namespace jsonski::tape
+
+#endif // JSONSKI_BASELINE_TAPE_TAPE_H

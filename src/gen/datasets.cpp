@@ -1,0 +1,702 @@
+#include "gen/datasets.h"
+
+#include <cassert>
+
+#include "gen/gen_common.h"
+#include "json/writer.h"
+#include "util/rng.h"
+
+namespace jsonski::gen {
+namespace {
+
+using json::Writer;
+
+// --- TT: geo-referenced tweets (paper Figure 1) -----------------------
+
+/** Place object with the nested bounding_box rings of Figure 1. */
+void
+writeTweetPlace(Writer& w, Rng& rng)
+{
+    w.beginObject();
+    w.key("name");
+    w.string(properName(rng));
+    w.key("country");
+    w.string(properName(rng));
+    w.key("bounding_box");
+    {
+        w.beginObject();
+        w.key("type");
+        w.string("Polygon");
+        w.key("pos");
+        w.beginArray();
+        w.beginArray(); // one ring of 4 points
+        for (int p = 0; p < 4; ++p) {
+            w.beginArray();
+            w.number(longitude(rng));
+            w.number(latitude(rng));
+            w.endArray();
+        }
+        w.endArray();
+        w.endArray();
+        w.endObject();
+    }
+    w.endObject();
+}
+
+/**
+ * Embedded status (retweet / quote), optionally nesting one more
+ * level: this is what pushes real tweets to the paper's depth of 11.
+ */
+void
+writeEmbeddedStatus(Writer& w, Rng& rng, int depth)
+{
+    w.beginObject();
+    w.key("id");
+    w.number(static_cast<int64_t>(rng.below(1000000000000ULL)));
+    w.key("text");
+    w.string(sentence(rng, 6 + rng.below(10)));
+    w.key("user");
+    {
+        w.beginObject();
+        w.key("id");
+        w.number(static_cast<int64_t>(rng.below(100000000)));
+        w.key("screen_name");
+        w.string(rng.ident(6 + rng.below(8)));
+        w.endObject();
+    }
+    if (rng.chance(0.5)) {
+        w.key("place");
+        writeTweetPlace(w, rng);
+    }
+    if (depth > 0 && rng.chance(0.3)) {
+        w.key("qt"); // quoted status inside the retweet
+        writeEmbeddedStatus(w, rng, depth - 1);
+    }
+    w.key("rtc");
+    w.number(static_cast<int64_t>(rng.below(10000)));
+    w.endObject();
+}
+
+void
+writeTweet(Writer& w, Rng& rng, size_t index)
+{
+    w.beginObject();
+    w.key("created_at");
+    w.string(timestamp(rng));
+    w.key("id");
+    w.number(static_cast<int64_t>(900000000000 + index));
+    w.key("text");
+    w.string(sentence(rng, 8 + rng.below(16)));
+    w.key("user");
+    {
+        w.beginObject();
+        w.key("id");
+        w.number(static_cast<int64_t>(rng.below(100000000)));
+        w.key("name");
+        w.string(properName(rng));
+        w.key("screen_name");
+        w.string(rng.ident(6 + rng.below(8)));
+        w.key("followers_count");
+        w.number(static_cast<int64_t>(rng.below(100000)));
+        w.key("friends_count");
+        w.number(static_cast<int64_t>(rng.below(5000)));
+        w.key("description");
+        w.string(sentence(rng, 4 + rng.below(12)));
+        w.key("verified");
+        w.boolean(rng.chance(0.05));
+        w.endObject();
+    }
+    w.key("en");
+    {
+        w.beginObject();
+        w.key("hashtags");
+        w.beginArray();
+        size_t tags = rng.below(3);
+        for (size_t i = 0; i < tags; ++i) {
+            w.beginObject();
+            w.key("text");
+            w.string(rng.ident(4 + rng.below(10)));
+            w.key("indices");
+            w.beginArray();
+            int64_t at = rng.range(0, 100);
+            w.number(at);
+            w.number(at + 8);
+            w.endArray();
+            w.endObject();
+        }
+        w.endArray();
+        w.key("urls");
+        w.beginArray();
+        // ~0.6 urls per tweet, matching TT1's selectivity.
+        size_t urls = rng.chance(0.45) ? 1 + rng.below(2) : 0;
+        for (size_t i = 0; i < urls; ++i) {
+            w.beginObject();
+            w.key("url");
+            w.string(url(rng));
+            w.key("expanded_url");
+            w.string(url(rng));
+            w.key("indices");
+            w.beginArray();
+            w.number(int64_t{23});
+            w.number(int64_t{46});
+            w.endArray();
+            w.endObject();
+        }
+        w.endArray();
+        w.key("user_mentions");
+        w.beginArray();
+        w.endArray();
+        w.endObject();
+    }
+    w.key("coordinates");
+    if (rng.chance(0.4)) {
+        w.beginArray();
+        w.number(longitude(rng));
+        w.number(latitude(rng));
+        w.endArray();
+    } else {
+        w.null();
+    }
+    if (rng.chance(0.6)) {
+        w.key("place");
+        writeTweetPlace(w, rng);
+    }
+    if (rng.chance(0.2)) {
+        w.key("rt"); // retweeted status (may nest a quoted status)
+        writeEmbeddedStatus(w, rng, 1);
+    }
+    w.key("rtc");
+    w.number(static_cast<int64_t>(rng.below(1000)));
+    w.key("lang");
+    w.string(rng.chance(0.7) ? "en" : "es");
+    w.endObject();
+}
+
+// --- BB: Best Buy product catalog --------------------------------------
+
+void
+writeProduct(Writer& w, Rng& rng, size_t index)
+{
+    w.beginObject();
+    w.key("sku");
+    w.number(static_cast<int64_t>(1000000 + index));
+    w.key("name");
+    w.string(sentence(rng, 3 + rng.below(5)));
+    w.key("type");
+    w.string("HardGood");
+    w.key("cp"); // category path; >= 3 entries so cp[1:3] yields 2
+    w.beginArray();
+    size_t cats = 3 + rng.below(3);
+    for (size_t i = 0; i < cats; ++i) {
+        w.beginObject();
+        w.key("id");
+        std::string cat_id = "cat";
+        cat_id += std::to_string(rng.below(100000));
+        w.string(cat_id);
+        w.key("name");
+        w.string(properName(rng));
+        w.endObject();
+    }
+    w.endArray();
+    w.key("price");
+    w.number(static_cast<double>(rng.below(200000)) / 100.0);
+    w.key("sale");
+    w.boolean(rng.chance(0.2));
+    // vc (video chapters) is rare: BB2's low match count.
+    if (rng.chance(0.035)) {
+        w.key("vc");
+        w.beginArray();
+        w.beginObject();
+        w.key("cha");
+        w.string(sentence(rng, 3));
+        w.key("off");
+        w.number(static_cast<int64_t>(rng.below(600)));
+        w.endObject();
+        w.endArray();
+    }
+    w.key("shipping");
+    {
+        w.beginObject();
+        w.key("ground");
+        w.number(static_cast<double>(rng.below(2000)) / 100.0);
+        w.key("nextDay");
+        w.number(static_cast<double>(rng.below(5000)) / 100.0);
+        w.endObject();
+    }
+    w.key("description");
+    w.string(sentence(rng, 10 + rng.below(25)));
+    w.key("image");
+    w.string(url(rng));
+    w.key("reviews");
+    w.beginArray();
+    size_t reviews = rng.below(3);
+    for (size_t i = 0; i < reviews; ++i) {
+        w.beginObject();
+        w.key("rating");
+        w.number(static_cast<int64_t>(1 + rng.below(5)));
+        w.key("comment");
+        w.string(sentence(rng, 6 + rng.below(12)));
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+}
+
+// --- GMD: Google Maps Directions ---------------------------------------
+
+void
+writeStep(Writer& w, Rng& rng)
+{
+    w.beginObject();
+    w.key("dt"); // distance
+    {
+        w.beginObject();
+        w.key("tx");
+        w.string(std::to_string(rng.below(5000)) + " m");
+        w.key("vl");
+        w.number(static_cast<int64_t>(rng.below(5000)));
+        w.endObject();
+    }
+    w.key("du"); // duration
+    {
+        w.beginObject();
+        w.key("tx");
+        w.string(std::to_string(rng.below(60)) + " mins");
+        w.key("vl");
+        w.number(static_cast<int64_t>(rng.below(3600)));
+        w.endObject();
+    }
+    w.key("el"); // end location
+    {
+        w.beginObject();
+        w.key("lat");
+        w.number(latitude(rng));
+        w.key("lng");
+        w.number(longitude(rng));
+        w.endObject();
+    }
+    w.key("hi"); // html instructions
+    w.string(sentence(rng, 5 + rng.below(10)));
+    w.key("pl"); // polyline
+    {
+        w.beginObject();
+        w.key("points");
+        w.string(rng.ident(20 + rng.below(60)));
+        w.endObject();
+    }
+    w.key("tm");
+    w.string("DRIVING");
+    w.endObject();
+}
+
+void
+writeDirections(Writer& w, Rng& rng, size_t index)
+{
+    w.beginObject();
+    w.key("gc"); // geocoded waypoints
+    w.beginArray();
+    for (int i = 0; i < 2; ++i) {
+        w.beginObject();
+        w.key("st");
+        w.string("OK");
+        w.key("pid");
+        w.string(rng.ident(27));
+        w.endObject();
+    }
+    w.endArray();
+    w.key("rt"); // routes
+    w.beginArray();
+    size_t routes = 2 + rng.below(3);
+    for (size_t r = 0; r < routes; ++r) {
+        w.beginObject();
+        w.key("su");
+        w.string(properName(rng) + " Hwy");
+        w.key("lg"); // legs
+        w.beginArray();
+        size_t legs = 1 + rng.below(3);
+        for (size_t l = 0; l < legs; ++l) {
+            w.beginObject();
+            w.key("st"); // steps
+            w.beginArray();
+            size_t steps = 30 + rng.below(40);
+            for (size_t s = 0; s < steps; ++s)
+                writeStep(w, rng);
+            w.endArray();
+            w.key("dt");
+            w.beginObject();
+            w.key("tx");
+            w.string(std::to_string(rng.below(300)) + " km");
+            w.key("vl");
+            w.number(static_cast<int64_t>(rng.below(300000)));
+            w.endObject();
+            w.endObject();
+        }
+        w.endArray();
+        w.key("bounds");
+        {
+            w.beginObject();
+            w.key("ne");
+            w.beginArray();
+            w.number(latitude(rng));
+            w.number(longitude(rng));
+            w.endArray();
+            w.key("sw");
+            w.beginArray();
+            w.number(latitude(rng));
+            w.number(longitude(rng));
+            w.endArray();
+            w.endObject();
+        }
+        w.endObject();
+    }
+    w.endArray();
+    // atm (alternative transit modes) is rare: GMD2's 270 matches.
+    if (rng.chance(0.03)) {
+        w.key("atm");
+        w.string(rng.chance(0.5) ? "TRANSIT" : "BICYCLING");
+    }
+    w.key("status");
+    w.string("OK");
+    w.key("qid");
+    w.number(static_cast<int64_t>(index));
+    w.endObject();
+}
+
+// --- NSPL: postcode lookup (mostly arrays + primitives) -----------------
+
+void
+writeNsplRow(Writer& w, Rng& rng, size_t index)
+{
+    w.beginArray();
+    {
+        std::string row_id = "row-";
+        row_id += rng.ident(12);
+        w.string(row_id);
+    }
+    w.string(postcode(rng));
+    w.number(static_cast<int64_t>(index));
+    // Nested geo array: the target of NSPL2's [2:4].
+    w.beginArray();
+    w.number(latitude(rng));
+    w.number(longitude(rng));
+    w.number(static_cast<int64_t>(rng.below(1000000))); // [2]
+    w.number(static_cast<int64_t>(rng.below(1000000))); // [3]
+    w.number(static_cast<int64_t>(rng.below(100)));
+    w.endArray();
+    // ~40 primitive statistics columns.
+    size_t cols = 36 + rng.below(10);
+    for (size_t i = 0; i < cols; ++i) {
+        if (rng.chance(0.15))
+            w.string(rng.ident(2 + rng.below(6)));
+        else
+            w.number(static_cast<int64_t>(rng.below(10000000)));
+    }
+    w.endArray();
+}
+
+void
+writeNsplMeta(Writer& w, uint64_t seed)
+{
+    Rng rng(seed ^ 0x5A5A5A5AULL);
+    w.beginObject();
+    w.key("vw");
+    w.beginObject();
+    w.key("id");
+    w.string(rng.ident(9));
+    w.key("name");
+    w.string("National Statistics Postcode Lookup UK");
+    w.key("category");
+    w.string("Reference");
+    w.key("co"); // 44 columns: NSPL1's match count
+    w.beginArray();
+    for (int i = 0; i < 44; ++i) {
+        w.beginObject();
+        w.key("id");
+        w.number(static_cast<int64_t>(1000 + i));
+        w.key("nm");
+        std::string col = "col_";
+        col += std::to_string(i);
+        w.string(col);
+        w.key("dataTypeName");
+        w.string(i < 4 ? "text" : "number");
+        w.key("position");
+        w.number(static_cast<int64_t>(i));
+        w.endObject();
+    }
+    w.endArray();
+    w.key("rowsUpdatedAt");
+    w.number(static_cast<int64_t>(1700000000));
+    w.endObject();
+    w.endObject();
+}
+
+// --- WM: Walmart items ---------------------------------------------------
+
+void
+writeWmItem(Writer& w, Rng& rng, size_t index)
+{
+    w.beginObject();
+    w.key("itemId");
+    w.number(static_cast<int64_t>(50000000 + index));
+    w.key("nm");
+    w.string(sentence(rng, 4 + rng.below(6)));
+    w.key("msrp");
+    w.number(static_cast<double>(rng.below(100000)) / 100.0);
+    w.key("salePrice");
+    w.number(static_cast<double>(rng.below(100000)) / 100.0);
+    w.key("upc");
+    w.string(std::to_string(rng.below(1000000000000ULL)));
+    w.key("categoryPath");
+    w.string(properName(rng) + "/" + properName(rng));
+    // bmrpr (best marketplace price) is present for ~6% of items (WM1).
+    if (rng.chance(0.058)) {
+        w.key("bmrpr");
+        w.beginObject();
+        w.key("pr");
+        w.number(static_cast<double>(rng.below(100000)) / 100.0);
+        w.key("sellerInfo");
+        w.string(properName(rng));
+        w.key("standardShipRate");
+        w.number(static_cast<double>(rng.below(1500)) / 100.0);
+        w.endObject();
+    }
+    w.key("shortDescription");
+    w.string(sentence(rng, 15 + rng.below(30)));
+    w.key("brandName");
+    w.string(properName(rng));
+    w.key("stock");
+    w.string(rng.chance(0.8) ? "Available" : "Limited");
+    w.key("customerRating");
+    w.number(static_cast<double>(10 + rng.below(41)) / 10.0);
+    w.key("numReviews");
+    w.number(static_cast<int64_t>(rng.below(5000)));
+    w.key("imageEntities");
+    w.beginObject();
+    w.key("thumbnailImage");
+    w.string(url(rng));
+    w.key("largeImage");
+    w.string(url(rng));
+    w.endObject();
+    w.endObject();
+}
+
+// --- WP: Wikidata entities -----------------------------------------------
+
+void
+writeClaim(Writer& w, Rng& rng, std::string_view property)
+{
+    w.beginObject();
+    w.key("ms"); // mainsnak
+    {
+        w.beginObject();
+        w.key("snaktype");
+        w.string("value");
+        w.key("pty"); // property
+        w.string(property);
+        w.key("dv"); // datavalue
+        {
+            w.beginObject();
+            w.key("vl");
+            {
+                w.beginObject();
+                w.key("entity-type");
+                w.string("item");
+                w.key("numeric-id");
+                w.number(static_cast<int64_t>(rng.below(90000000)));
+                w.endObject();
+            }
+            w.key("type");
+            w.string("wikibase-entityid");
+            w.endObject();
+        }
+        w.endObject();
+    }
+    w.key("type");
+    w.string("statement");
+    w.key("rank");
+    w.string("normal");
+    w.endObject();
+}
+
+void
+writeWpEntity(Writer& w, Rng& rng, size_t index)
+{
+    w.beginObject();
+    w.key("id");
+    std::string qid = "Q";
+    qid += std::to_string(100 + index);
+    w.string(qid);
+    w.key("ty");
+    w.string("item");
+    w.key("lb"); // labels
+    {
+        w.beginObject();
+        w.key("en");
+        w.beginObject();
+        w.key("language");
+        w.string("en");
+        w.key("value");
+        w.string(properName(rng));
+        w.endObject();
+        w.key("de");
+        w.beginObject();
+        w.key("language");
+        w.string("de");
+        w.key("value");
+        w.string(properName(rng));
+        w.endObject();
+        w.endObject();
+    }
+    w.key("cl"); // claims
+    {
+        w.beginObject();
+        w.key("P31");
+        w.beginArray();
+        writeClaim(w, rng, "P31");
+        w.endArray();
+        // P150 ("contains administrative territorial entity") is on
+        // about one entity in eight with ~2 claims, matching WP1's
+        // ~0.11 matches per record; index 17 keeps WP2 non-empty.
+        if (index % 8 == 1) {
+            w.key("P150");
+            w.beginArray();
+            size_t n = 1 + rng.below(3);
+            for (size_t i = 0; i < n; ++i)
+                writeClaim(w, rng, "P150");
+            w.endArray();
+        }
+        w.key("P569");
+        w.beginArray();
+        writeClaim(w, rng, "P569");
+        w.endArray();
+        w.endObject();
+    }
+    w.key("sl"); // sitelinks
+    {
+        w.beginObject();
+        w.key("enwiki");
+        w.beginObject();
+        w.key("site");
+        w.string("enwiki");
+        w.key("title");
+        w.string(properName(rng));
+        w.endObject();
+        w.endObject();
+    }
+    w.endObject();
+}
+
+void
+writeRecord(DatasetId id, Writer& w, Rng& rng, size_t index)
+{
+    switch (id) {
+      case DatasetId::TT:
+        writeTweet(w, rng, index);
+        break;
+      case DatasetId::BB:
+        writeProduct(w, rng, index);
+        break;
+      case DatasetId::GMD:
+        writeDirections(w, rng, index);
+        break;
+      case DatasetId::NSPL:
+        writeNsplRow(w, rng, index);
+        break;
+      case DatasetId::WM:
+        writeWmItem(w, rng, index);
+        break;
+      case DatasetId::WP:
+        writeWpEntity(w, rng, index);
+        break;
+    }
+}
+
+/** Does this dataset's large format wrap records in a bare array? */
+bool
+rootIsArray(DatasetId id)
+{
+    return id == DatasetId::TT || id == DatasetId::GMD ||
+           id == DatasetId::WP;
+}
+
+} // namespace
+
+std::string_view
+datasetName(DatasetId id)
+{
+    switch (id) {
+      case DatasetId::TT: return "TT";
+      case DatasetId::BB: return "BB";
+      case DatasetId::GMD: return "GMD";
+      case DatasetId::NSPL: return "NSPL";
+      case DatasetId::WM: return "WM";
+      case DatasetId::WP: return "WP";
+    }
+    return "?";
+}
+
+std::string
+generateLarge(DatasetId id, size_t target_bytes, uint64_t seed)
+{
+    Writer w;
+    Rng rng(seed);
+    size_t index = 0;
+    if (rootIsArray(id)) {
+        w.beginArray();
+        while (w.size() < target_bytes)
+            writeRecord(id, w, rng, index++);
+        w.endArray();
+        return w.take();
+    }
+    w.beginObject();
+    switch (id) {
+      case DatasetId::BB:
+        w.key("code");
+        w.number(int64_t{200});
+        w.key("pd");
+        break;
+      case DatasetId::NSPL:
+        w.key("mt");
+        writeNsplMeta(w, seed);
+        w.key("dt");
+        break;
+      case DatasetId::WM:
+        w.key("query");
+        w.string("*");
+        w.key("sort");
+        w.string("relevance");
+        w.key("it");
+        break;
+      default:
+        assert(false && "unreachable");
+        break;
+    }
+    w.beginArray();
+    while (w.size() < target_bytes)
+        writeRecord(id, w, rng, index++);
+    w.endArray();
+    w.key("total");
+    w.number(static_cast<int64_t>(index));
+    w.endObject();
+    return w.take();
+}
+
+SmallRecords
+generateSmall(DatasetId id, size_t target_bytes, uint64_t seed)
+{
+    SmallRecords out;
+    out.buffer.reserve(target_bytes + target_bytes / 8);
+    Rng rng(seed);
+    Writer w;
+    size_t index = 0;
+    while (out.buffer.size() < target_bytes) {
+        writeRecord(id, w, rng, index++);
+        std::string rec = w.take();
+        out.spans.emplace_back(out.buffer.size(), rec.size());
+        out.buffer += rec;
+        out.buffer += '\n';
+    }
+    return out;
+}
+
+} // namespace jsonski::gen

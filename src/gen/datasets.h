@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Synthetic counterparts of the paper's six evaluation datasets
+ * (Table 4): Twitter (TT), Best Buy (BB), Google Maps Directions
+ * (GMD), National Statistics Postcode Lookup (NSPL), Walmart (WM),
+ * and Wikidata (WP).
+ *
+ * The generators reproduce each dataset's *structural* profile — the
+ * object/array/attribute/primitive mix, nesting depth, record
+ * granularity, and the attributes the Table 5 queries select — not the
+ * original payloads (see DESIGN.md §3 for the substitution rationale).
+ * Everything is deterministic under the seed, so match counts are
+ * stable across runs.
+ *
+ * Each dataset exists in the paper's two processing formats:
+ *  - a single large record (one JSON value), and
+ *  - a sequence of small records with an offset table.
+ */
+#ifndef JSONSKI_GEN_DATASETS_H
+#define JSONSKI_GEN_DATASETS_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace jsonski::gen {
+
+/** The six paper datasets. */
+enum class DatasetId { TT, BB, GMD, NSPL, WM, WP };
+
+/** All ids, in paper order. */
+inline constexpr DatasetId kAllDatasets[] = {
+    DatasetId::TT, DatasetId::BB,   DatasetId::GMD,
+    DatasetId::NSPL, DatasetId::WM, DatasetId::WP,
+};
+
+/** Short name as used in the paper's tables ("TT", "BB", ...). */
+std::string_view datasetName(DatasetId id);
+
+/**
+ * Generate the single-large-record format: one JSON value of at least
+ * @p target_bytes bytes (the generator finishes the record it is on,
+ * so the result slightly overshoots).
+ */
+std::string generateLarge(DatasetId id, size_t target_bytes,
+                          uint64_t seed = 1);
+
+/** Small-record format: concatenated records plus an offset table. */
+struct SmallRecords
+{
+    std::string buffer;
+    /** (offset, length) of each record within buffer. */
+    std::vector<std::pair<size_t, size_t>> spans;
+
+    std::string_view
+    record(size_t i) const
+    {
+        return std::string_view(buffer).substr(spans[i].first,
+                                               spans[i].second);
+    }
+
+    size_t count() const { return spans.size(); }
+};
+
+/**
+ * Generate the small-records format with the same structural content
+ * as generateLarge (same seed => records identical to the large
+ * format's inner records).
+ */
+SmallRecords generateSmall(DatasetId id, size_t target_bytes,
+                           uint64_t seed = 1);
+
+} // namespace jsonski::gen
+
+#endif // JSONSKI_GEN_DATASETS_H

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Shared building blocks for the synthetic dataset generators: word
+ * pools, sentence/URL/name synthesis, all deterministic under Rng.
+ */
+#ifndef JSONSKI_GEN_GEN_COMMON_H
+#define JSONSKI_GEN_GEN_COMMON_H
+
+#include <string>
+
+#include "util/rng.h"
+
+namespace jsonski::gen {
+
+/** Random capitalized proper name, 4-12 characters. */
+std::string properName(Rng& rng);
+
+/** Random sentence of @p words dictionary words (tweet text, blurbs). */
+std::string sentence(Rng& rng, size_t words);
+
+/** Random http URL, sometimes with a path and query. */
+std::string url(Rng& rng);
+
+/** Random ISO-8601-looking timestamp string. */
+std::string timestamp(Rng& rng);
+
+/** Random UK-style postcode ("AB12 3CD"). */
+std::string postcode(Rng& rng);
+
+/** Random latitude in [-90, 90] with 6 decimals. */
+double latitude(Rng& rng);
+
+/** Random longitude in [-180, 180] with 6 decimals. */
+double longitude(Rng& rng);
+
+} // namespace jsonski::gen
+
+#endif // JSONSKI_GEN_GEN_COMMON_H

@@ -1,0 +1,160 @@
+#include "harness/engines.h"
+
+#include "baseline/dom/query.h"
+#include "baseline/jpstream/engine.h"
+#include "baseline/pison/query.h"
+#include "baseline/tape/query.h"
+#include "ski/streamer.h"
+
+namespace jsonski::harness {
+namespace {
+
+class JsonSkiEngine : public Engine
+{
+  public:
+    std::string_view name() const override { return "JSONSki"; }
+
+    size_t
+    run(std::string_view json, const path::PathQuery& query,
+        path::MatchSink* sink) const override
+    {
+        ski::Streamer streamer(query);
+        return streamer.run(json, sink).matches;
+    }
+};
+
+class JpStreamEngine : public Engine
+{
+  public:
+    std::string_view name() const override { return "JPStream"; }
+
+    size_t
+    run(std::string_view json, const path::PathQuery& query,
+        path::MatchSink* sink) const override
+    {
+        jpstream::Engine e(query);
+        return e.run(json, sink);
+    }
+
+    bool supportsParallelLarge() const override { return true; }
+
+    size_t
+    runParallelLarge(std::string_view json, const path::PathQuery& query,
+                     ThreadPool& pool) const override
+    {
+        jpstream::Engine e(query);
+        return e.runParallel(json, pool);
+    }
+};
+
+class DomEngine : public Engine
+{
+  public:
+    std::string_view name() const override { return "RapidJSON-like"; }
+
+    size_t
+    run(std::string_view json, const path::PathQuery& query,
+        path::MatchSink* sink) const override
+    {
+        return dom::parseAndQuery(json, query, sink);
+    }
+};
+
+class TapeEngine : public Engine
+{
+  public:
+    std::string_view name() const override { return "simdjson-like"; }
+
+    size_t
+    run(std::string_view json, const path::PathQuery& query,
+        path::MatchSink* sink) const override
+    {
+        return tape::parseAndQuery(json, query, sink);
+    }
+};
+
+class PisonEngine : public Engine
+{
+  public:
+    std::string_view name() const override { return "Pison-like"; }
+
+    size_t
+    run(std::string_view json, const path::PathQuery& query,
+        path::MatchSink* sink) const override
+    {
+        return pison::parseAndQuery(json, query, sink);
+    }
+
+    bool supportsParallelLarge() const override { return true; }
+
+    size_t
+    runParallelLarge(std::string_view json, const path::PathQuery& query,
+                     ThreadPool& pool) const override
+    {
+        return pison::parseAndQueryParallel(json, query, pool);
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Engine>
+makeEngine(Method m)
+{
+    switch (m) {
+      case Method::JsonSki:
+        return std::make_unique<JsonSkiEngine>();
+      case Method::JpStream:
+        return std::make_unique<JpStreamEngine>();
+      case Method::RapidJsonLike:
+        return std::make_unique<DomEngine>();
+      case Method::SimdJsonLike:
+        return std::make_unique<TapeEngine>();
+      case Method::PisonLike:
+        return std::make_unique<PisonEngine>();
+    }
+    return nullptr;
+}
+
+std::vector<std::unique_ptr<Engine>>
+makeAllEngines()
+{
+    std::vector<std::unique_ptr<Engine>> engines;
+    for (Method m : kAllMethods)
+        engines.push_back(makeEngine(m));
+    return engines;
+}
+
+size_t
+runJsonSkiWithStats(std::string_view json, const path::PathQuery& query,
+                    ski::FastForwardStats& stats)
+{
+    ski::Streamer streamer(query);
+    ski::StreamResult r = streamer.run(json);
+    stats.merge(r.stats);
+    return r.matches;
+}
+
+const std::vector<QuerySpec>&
+paperQueries()
+{
+    using gen::DatasetId;
+    static const std::vector<QuerySpec> queries = {
+        {"TT1", DatasetId::TT, "$[*].en.urls[*].url", "$.en.urls[*].url"},
+        {"TT2", DatasetId::TT, "$[*].text", "$.text"},
+        {"BB1", DatasetId::BB, "$.pd[*].cp[1:3].id", "$.cp[1:3].id"},
+        {"BB2", DatasetId::BB, "$.pd[*].vc[*].cha", "$.vc[*].cha"},
+        {"GMD1", DatasetId::GMD, "$[*].rt[*].lg[*].st[*].dt.tx",
+         "$.rt[*].lg[*].st[*].dt.tx"},
+        {"GMD2", DatasetId::GMD, "$[*].atm", "$.atm"},
+        {"NSPL1", DatasetId::NSPL, "$.mt.vw.co[*].nm", ""},
+        {"NSPL2", DatasetId::NSPL, "$.dt[*][*][2:4]", "$[*][2:4]"},
+        {"WM1", DatasetId::WM, "$.it[*].bmrpr.pr", "$.bmrpr.pr"},
+        {"WM2", DatasetId::WM, "$.it[*].nm", "$.nm"},
+        {"WP1", DatasetId::WP, "$[*].cl.P150[*].ms.pty",
+         "$.cl.P150[*].ms.pty"},
+        {"WP2", DatasetId::WP, "$[10:21].cl.P150[*].ms.pty", ""},
+    };
+    return queries;
+}
+
+} // namespace jsonski::harness

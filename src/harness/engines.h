@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Uniform engine interface over the five evaluated methods (paper
+ * Table 2): JSONSki plus the four baseline reimplementations.  The
+ * names match the paper's method names; every implementation here is
+ * a from-scratch reproduction of that method's *algorithmic class*
+ * (see DESIGN.md), not the original third-party code.
+ */
+#ifndef JSONSKI_HARNESS_ENGINES_H
+#define JSONSKI_HARNESS_ENGINES_H
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "gen/datasets.h"
+#include "path/ast.h"
+#include "path/matches.h"
+#include "ski/stats.h"
+#include "util/thread_pool.h"
+
+namespace jsonski::harness {
+
+/** The five evaluated methods, in the paper's presentation order. */
+enum class Method {
+    JpStream,
+    RapidJsonLike, ///< conventional DOM parser + tree traversal
+    SimdJsonLike,  ///< two-stage SIMD tape parser
+    PisonLike,     ///< leveled structural bitmap index
+    JsonSki,
+};
+
+/** All methods, in Figure 10's bar order. */
+inline constexpr Method kAllMethods[] = {
+    Method::JpStream, Method::RapidJsonLike, Method::SimdJsonLike,
+    Method::PisonLike, Method::JsonSki,
+};
+
+/** Uniform evaluation interface. */
+class Engine
+{
+  public:
+    virtual ~Engine() = default;
+
+    /** Display name, as printed in the result tables. */
+    virtual std::string_view name() const = 0;
+
+    /**
+     * Evaluate @p query over a single record; preprocessing-scheme
+     * engines build their data structure inside this call (that cost
+     * is the point of the comparison).
+     */
+    virtual size_t run(std::string_view json, const path::PathQuery& query,
+                       path::MatchSink* sink = nullptr) const = 0;
+
+    /** True when the engine has a parallel single-record mode. */
+    virtual bool supportsParallelLarge() const { return false; }
+
+    /** Parallel single-record evaluation (JPStream / Pison only). */
+    virtual size_t
+    runParallelLarge(std::string_view json, const path::PathQuery& query,
+                     ThreadPool& pool) const
+    {
+        (void)pool;
+        return run(json, query);
+    }
+};
+
+/** Construct one engine. */
+std::unique_ptr<Engine> makeEngine(Method m);
+
+/** Construct all five. */
+std::vector<std::unique_ptr<Engine>> makeAllEngines();
+
+/**
+ * JSONSki run that also returns the per-group fast-forward statistics
+ * (Table 6 instrumentation).
+ */
+size_t runJsonSkiWithStats(std::string_view json,
+                           const path::PathQuery& query,
+                           ski::FastForwardStats& stats);
+
+/** One evaluation query of Table 5. */
+struct QuerySpec
+{
+    std::string_view id;          ///< e.g. "TT1"
+    gen::DatasetId dataset;       ///< dataset the query runs on
+    std::string_view large_query; ///< query text for the large record
+    std::string_view small_query; ///< per-record text; empty = excluded
+};
+
+/** The twelve queries of Table 5. */
+const std::vector<QuerySpec>& paperQueries();
+
+} // namespace jsonski::harness
+
+#endif // JSONSKI_HARNESS_ENGINES_H

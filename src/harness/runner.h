@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Experiment-runner utilities shared by the bench binaries: timing,
+ * dataset structural statistics (Table 4), small-record execution
+ * (serial and parallel), and fixed-width table printing.
+ */
+#ifndef JSONSKI_HARNESS_RUNNER_H
+#define JSONSKI_HARNESS_RUNNER_H
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "gen/datasets.h"
+#include "harness/engines.h"
+#include "path/ast.h"
+#include "util/thread_pool.h"
+
+namespace jsonski::harness {
+
+/** Result of one timed evaluation. */
+struct Timing
+{
+    double seconds = 0;
+    size_t matches = 0;
+};
+
+/**
+ * Run @p fn (returning a match count) @p repeats times and keep the
+ * best wall-clock time — the paper-standard way to suppress timer and
+ * scheduler noise for single-digit-second runs.
+ */
+Timing timeBest(const std::function<size_t()>& fn, int repeats = 3);
+
+/** Structural statistics of a JSON input (Table 4's columns). */
+struct DatasetStats
+{
+    size_t objects = 0;
+    size_t arrays = 0;
+    size_t attributes = 0;
+    size_t primitives = 0;
+    size_t max_depth = 0;
+};
+
+/** Compute statistics with a full SAX pass. */
+DatasetStats computeStats(std::string_view json);
+
+/** Evaluate a per-record query over every record, serially. */
+size_t runSmallSerial(const Engine& engine, const gen::SmallRecords& data,
+                      const path::PathQuery& query);
+
+/** Evaluate a per-record query with record-level parallelism. */
+size_t runSmallParallel(const Engine& engine, const gen::SmallRecords& data,
+                        const path::PathQuery& query, ThreadPool& pool);
+
+/**
+ * Benchmark input size in bytes: first CLI argument in MB if present,
+ * else the JSONSKI_BENCH_MB environment variable, else @p default_mb.
+ */
+size_t benchBytes(int argc, char** argv, size_t default_mb);
+
+/** Thread count for parallel benches: JSONSKI_BENCH_THREADS or 16. */
+size_t benchThreads();
+
+// --- Minimal fixed-width table printer --------------------------------
+
+/** Print a rule + header row for the given column labels/widths. */
+void printTableHeader(const std::vector<std::string>& labels,
+                      const std::vector<int>& widths);
+
+/** Print one row of cells with the same widths. */
+void printTableRow(const std::vector<std::string>& cells,
+                   const std::vector<int>& widths);
+
+/** Format seconds with 4 significant digits. */
+std::string fmtSeconds(double s);
+
+/** Format a ratio as a percentage with two decimals. */
+std::string fmtPercent(double r);
+
+/** Format bytes as MB with one decimal. */
+std::string fmtMb(size_t bytes);
+
+} // namespace jsonski::harness
+
+#endif // JSONSKI_HARNESS_RUNNER_H

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Per-block classification result for the bit-parallel streaming layer.
+ *
+ * The input is processed in 64-byte blocks (one word per bitmap,
+ * W = 64, per Section 4.1 of the paper).  For each block the classifier
+ * produces one bitmap per structural metacharacter with
+ * pseudo-metacharacters (those inside string literals) already removed,
+ * plus the string-interior mask and a whitespace mask.
+ *
+ * Bitmap convention: bit i corresponds to byte i of the block ("mirrored
+ * bitmap"), so lower bits are earlier characters and forward scans use
+ * trailing-zero counts.  See util/bits.h.
+ */
+#ifndef JSONSKI_INTERVALS_BLOCK_H
+#define JSONSKI_INTERVALS_BLOCK_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace jsonski::intervals {
+
+/** Characters per block == bits per bitmap word. */
+inline constexpr size_t kBlockSize = 64;
+
+/** Classification bitmaps for one 64-byte block of input. */
+struct BlockBits
+{
+    /** 1 = byte is inside a string literal (opening quote inclusive,
+     *  closing quote exclusive). */
+    uint64_t in_string = 0;
+
+    /** Unescaped quote characters (string boundaries). */
+    uint64_t quote = 0;
+
+    /** Structural metacharacters, already masked by ~in_string. */
+    uint64_t open_brace = 0;    ///< '{'
+    uint64_t close_brace = 0;   ///< '}'
+    uint64_t open_bracket = 0;  ///< '['
+    uint64_t close_bracket = 0; ///< ']'
+    uint64_t colon = 0;         ///< ':'
+    uint64_t comma = 0;         ///< ','
+
+    /** JSON whitespace (space, tab, CR, LF) outside strings. */
+    uint64_t whitespace = 0;
+
+    /** All four brace/bracket openers+closers, for convenience. */
+    uint64_t
+    structural() const
+    {
+        return open_brace | close_brace | open_bracket | close_bracket |
+               colon | comma;
+    }
+};
+
+/** Carry state threaded between consecutive blocks. */
+struct ClassifierCarry
+{
+    /** 1 if the first byte of the next block is escaped by a trailing
+     *  backslash run of odd length. */
+    uint64_t prev_escaped = 0;
+
+    /** All-ones if the next block starts inside a string literal. */
+    uint64_t prev_in_string = 0;
+};
+
+} // namespace jsonski::intervals
+
+#endif // JSONSKI_INTERVALS_BLOCK_H

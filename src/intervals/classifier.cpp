@@ -1,0 +1,279 @@
+#include "intervals/classifier.h"
+
+#include <cstring>
+
+#include "util/bits.h"
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#define JSONSKI_HAVE_AVX2 1
+#else
+#define JSONSKI_HAVE_AVX2 0
+#endif
+
+namespace jsonski::intervals {
+namespace {
+
+/**
+ * Mark characters escaped by a backslash, handling runs of backslashes
+ * that straddle block boundaries (odd-length run => next char escaped).
+ * This is the classic odd/even backslash-sequence computation used by
+ * simdjson and Pison.
+ *
+ * @param backslash     Bitmap of '\\' bytes in this block.
+ * @param prev_escaped  In/out carry: 1 if bit 0 of this block is escaped.
+ * @return Bitmap of escaped characters in this block.
+ */
+uint64_t
+findEscaped(uint64_t backslash, uint64_t& prev_escaped)
+{
+    if (backslash == 0) {
+        uint64_t escaped = prev_escaped;
+        prev_escaped = 0;
+        return escaped;
+    }
+    backslash &= ~prev_escaped;
+    uint64_t follows_escape = (backslash << 1) | prev_escaped;
+    constexpr uint64_t even_bits = 0x5555555555555555ULL;
+    uint64_t odd_starts = backslash & ~even_bits & ~follows_escape;
+    uint64_t even_carries;
+    prev_escaped =
+        __builtin_add_overflow(odd_starts, backslash, &even_carries) ? 1 : 0;
+    uint64_t invert_mask = even_carries << 1;
+    return (even_bits ^ invert_mask) & follows_escape;
+}
+
+/** Raw equality bitmaps for the characters the classifier cares about. */
+struct RawBits
+{
+    uint64_t backslash, quote;
+    uint64_t open_brace, close_brace, open_bracket, close_bracket;
+    uint64_t colon, comma, whitespace;
+};
+
+#if JSONSKI_HAVE_AVX2
+
+uint64_t
+eqMask(__m256i lo, __m256i hi, char c)
+{
+    __m256i needle = _mm256_set1_epi8(c);
+    uint32_t m_lo = static_cast<uint32_t>(
+        _mm256_movemask_epi8(_mm256_cmpeq_epi8(lo, needle)));
+    uint32_t m_hi = static_cast<uint32_t>(
+        _mm256_movemask_epi8(_mm256_cmpeq_epi8(hi, needle)));
+    return (static_cast<uint64_t>(m_hi) << 32) | m_lo;
+}
+
+RawBits
+rawBits(const char* data)
+{
+    __m256i lo = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(data));
+    __m256i hi = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(data + 32));
+    RawBits r;
+    r.backslash = eqMask(lo, hi, '\\');
+    r.quote = eqMask(lo, hi, '"');
+    r.open_brace = eqMask(lo, hi, '{');
+    r.close_brace = eqMask(lo, hi, '}');
+    r.open_bracket = eqMask(lo, hi, '[');
+    r.close_bracket = eqMask(lo, hi, ']');
+    r.colon = eqMask(lo, hi, ':');
+    r.comma = eqMask(lo, hi, ',');
+    r.whitespace = eqMask(lo, hi, ' ') | eqMask(lo, hi, '\t') |
+                   eqMask(lo, hi, '\n') | eqMask(lo, hi, '\r');
+    return r;
+}
+
+#else // !JSONSKI_HAVE_AVX2
+
+RawBits
+rawBits(const char* data)
+{
+    RawBits r{};
+    for (size_t i = 0; i < kBlockSize; ++i) {
+        uint64_t bit = uint64_t{1} << i;
+        switch (data[i]) {
+          case '\\': r.backslash |= bit; break;
+          case '"': r.quote |= bit; break;
+          case '{': r.open_brace |= bit; break;
+          case '}': r.close_brace |= bit; break;
+          case '[': r.open_bracket |= bit; break;
+          case ']': r.close_bracket |= bit; break;
+          case ':': r.colon |= bit; break;
+          case ',': r.comma |= bit; break;
+          case ' ':
+          case '\t':
+          case '\n':
+          case '\r': r.whitespace |= bit; break;
+          default: break;
+        }
+    }
+    return r;
+}
+
+#endif // JSONSKI_HAVE_AVX2
+
+BlockBits
+finishClassification(const RawBits& raw, ClassifierCarry& carry)
+{
+    BlockBits out;
+    uint64_t escaped = findEscaped(raw.backslash, carry.prev_escaped);
+    out.quote = raw.quote & ~escaped;
+    out.in_string = bits::prefixXor(out.quote) ^ carry.prev_in_string;
+    // Carry: all-ones if the block ends inside a string.
+    carry.prev_in_string =
+        static_cast<uint64_t>(static_cast<int64_t>(out.in_string) >> 63);
+    uint64_t outside = ~out.in_string;
+    out.open_brace = raw.open_brace & outside;
+    out.close_brace = raw.close_brace & outside;
+    out.open_bracket = raw.open_bracket & outside;
+    out.close_bracket = raw.close_bracket & outside;
+    out.colon = raw.colon & outside;
+    out.comma = raw.comma & outside;
+    out.whitespace = raw.whitespace & outside;
+    return out;
+}
+
+} // namespace
+
+BlockBits
+classifyBlock(const char* data, ClassifierCarry& carry)
+{
+    return finishClassification(rawBits(data), carry);
+}
+
+BlockBits
+classifyPartialBlock(const char* data, size_t len, ClassifierCarry& carry)
+{
+    // Pad the tail with spaces: padding classifies as whitespace, which
+    // never produces structural bits and keeps whitespace scans simple.
+    // The cursor still clamps positions to the true input length.
+    char buf[kBlockSize];
+    std::memset(buf, ' ', kBlockSize);
+    std::memcpy(buf, data, len);
+    return classifyBlock(buf, carry);
+}
+
+BlockBits
+classifyBlockReference(const char* data, size_t len, ClassifierCarry& carry)
+{
+    BlockBits out;
+    bool in_string = carry.prev_in_string != 0;
+    bool escaped = carry.prev_escaped != 0;
+    for (size_t i = 0; i < kBlockSize; ++i) {
+        char c = i < len ? data[i] : ' ';
+        uint64_t bit = uint64_t{1} << i;
+        bool was_escaped = escaped;
+        escaped = false;
+        if (!was_escaped && c == '\\') {
+            escaped = true;
+            if (in_string)
+                out.in_string |= bit;
+            continue;
+        }
+        if (!was_escaped && c == '"') {
+            out.quote |= bit;
+            if (!in_string) {
+                in_string = true;
+                out.in_string |= bit; // opening quote inclusive
+            } else {
+                in_string = false; // closing quote exclusive
+            }
+            continue;
+        }
+        // Regular character, or a character neutralized by an escape.
+        if (in_string) {
+            out.in_string |= bit;
+            continue;
+        }
+        switch (c) {
+          case '{': out.open_brace |= bit; break;
+          case '}': out.close_brace |= bit; break;
+          case '[': out.open_bracket |= bit; break;
+          case ']': out.close_bracket |= bit; break;
+          case ':': out.colon |= bit; break;
+          case ',': out.comma |= bit; break;
+          case ' ':
+          case '\t':
+          case '\n':
+          case '\r': out.whitespace |= bit; break;
+          default: break;
+        }
+    }
+    carry.prev_escaped = escaped ? 1 : 0;
+    carry.prev_in_string = in_string ? ~uint64_t{0} : 0;
+    return out;
+}
+
+bool
+classifierUsesSimd()
+{
+    return JSONSKI_HAVE_AVX2 != 0;
+}
+
+StringBits
+classifyStringsBlock(const char* data, ClassifierCarry& carry)
+{
+#if JSONSKI_HAVE_AVX2
+    __m256i lo = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data));
+    __m256i hi =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data + 32));
+    uint64_t backslash = eqMask(lo, hi, '\\');
+    uint64_t quote_raw = eqMask(lo, hi, '"');
+#else
+    uint64_t backslash = rawEqBits(data, '\\');
+    uint64_t quote_raw = rawEqBits(data, '"');
+#endif
+    StringBits out;
+    uint64_t escaped = findEscaped(backslash, carry.prev_escaped);
+    out.quote = quote_raw & ~escaped;
+    out.in_string = bits::prefixXor(out.quote) ^ carry.prev_in_string;
+    carry.prev_in_string =
+        static_cast<uint64_t>(static_cast<int64_t>(out.in_string) >> 63);
+    return out;
+}
+
+uint64_t
+rawEqBits(const char* data, char c)
+{
+#if JSONSKI_HAVE_AVX2
+    __m256i lo = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data));
+    __m256i hi =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data + 32));
+    return eqMask(lo, hi, c);
+#else
+    uint64_t out = 0;
+    for (size_t i = 0; i < kBlockSize; ++i) {
+        if (data[i] == c)
+            out |= uint64_t{1} << i;
+    }
+    return out;
+#endif
+}
+
+uint64_t
+rawWhitespaceBits(const char* data)
+{
+#if JSONSKI_HAVE_AVX2
+    __m256i limit = _mm256_set1_epi8(0x20);
+    __m256i lo = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data));
+    __m256i hi =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data + 32));
+    // bytes <= 0x20  <=>  max(byte, 0x20) == 0x20 (unsigned)
+    uint32_t m_lo = static_cast<uint32_t>(_mm256_movemask_epi8(
+        _mm256_cmpeq_epi8(_mm256_max_epu8(lo, limit), limit)));
+    uint32_t m_hi = static_cast<uint32_t>(_mm256_movemask_epi8(
+        _mm256_cmpeq_epi8(_mm256_max_epu8(hi, limit), limit)));
+    return (static_cast<uint64_t>(m_hi) << 32) | m_lo;
+#else
+    uint64_t out = 0;
+    for (size_t i = 0; i < kBlockSize; ++i) {
+        if (static_cast<unsigned char>(data[i]) <= 0x20)
+            out |= uint64_t{1} << i;
+    }
+    return out;
+#endif
+}
+
+} // namespace jsonski::intervals

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Word-at-a-time block classifier.
+ *
+ * Converts 64 input bytes into the BlockBits bitmaps using SIMD
+ * compares (AVX2) or a portable SWAR fallback.  The string-interior
+ * mask uses the standard odd-backslash-sequence algorithm plus a
+ * prefix-XOR over unescaped quotes, with carries threaded between
+ * blocks so classification can run strictly left to right — exactly the
+ * streaming discipline the paper's interval construction assumes.
+ */
+#ifndef JSONSKI_INTERVALS_CLASSIFIER_H
+#define JSONSKI_INTERVALS_CLASSIFIER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "intervals/block.h"
+
+namespace jsonski::intervals {
+
+/**
+ * Classify one full 64-byte block.
+ *
+ * @param data   Pointer to 64 readable bytes.
+ * @param carry  In/out cross-block state (escape and in-string carries).
+ * @return       Bitmaps for this block.
+ */
+BlockBits classifyBlock(const char* data, ClassifierCarry& carry);
+
+/**
+ * Classify a final partial block of @p len < 64 bytes.  Bytes past the
+ * end are treated as padding whitespace (they produce no structural
+ * bits).
+ */
+BlockBits classifyPartialBlock(const char* data, size_t len,
+                               ClassifierCarry& carry);
+
+/**
+ * Reference scalar implementation used by tests to validate the SIMD
+ * path.  Semantically identical to classifyBlock but processes one
+ * character at a time with an explicit state machine.
+ */
+BlockBits classifyBlockReference(const char* data, size_t len,
+                                 ClassifierCarry& carry);
+
+/** True when the build is using the AVX2 path. */
+bool classifierUsesSimd();
+
+/**
+ * String-layer bitmaps only — the part of the classification that
+ * *must* run sequentially (its escape and in-string carries thread
+ * through every block).  Metacharacter bitmaps, by contrast, are pure
+ * per-block functions and are built lazily per fast-forward case (the
+ * paper's "relevant interval bitmaps").
+ */
+struct StringBits
+{
+    uint64_t in_string = 0; ///< see BlockBits::in_string
+    uint64_t quote = 0;     ///< unescaped quotes
+};
+
+/** String-layer classification of one full block. */
+StringBits classifyStringsBlock(const char* data, ClassifierCarry& carry);
+
+/** Raw equality bitmap of @p c over 64 bytes (no string masking). */
+uint64_t rawEqBits(const char* data, char c);
+
+/** Bitmap of bytes <= 0x20 over 64 bytes (JSON whitespace superset). */
+uint64_t rawWhitespaceBits(const char* data);
+
+} // namespace jsonski::intervals
+
+#endif // JSONSKI_INTERVALS_CLASSIFIER_H

@@ -1,0 +1,91 @@
+#include "intervals/cursor.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace jsonski::intervals {
+
+void
+StreamCursor::prepareTail(size_t base)
+{
+    if (tail_ready_)
+        return;
+    std::memset(tail_, ' ', kBlockSize);
+    std::memcpy(tail_, data_ + base, len_ - base);
+    tail_ready_ = true;
+}
+
+void
+StreamCursor::classifyThrough(size_t idx)
+{
+    assert(idx + 1 >= classified_blocks_ &&
+           "cursor cannot rewind to an earlier block");
+    while (classified_blocks_ <= idx) {
+        size_t start = classified_blocks_ * kBlockSize;
+        if (len_ - start < kBlockSize)
+            prepareTail(start);
+        const char* d = blockDataAt(classified_blocks_);
+        if (scalar_classifier_) {
+            // Ablation mode: derive the string layer from the
+            // character-level reference classifier.
+            BlockBits b = classifyBlockReference(
+                d, kBlockSize, carry_);
+            strings_.in_string = b.in_string;
+            strings_.quote = b.quote;
+        } else {
+            strings_ = classifyStringsBlock(d, carry_);
+        }
+        ++classified_blocks_;
+    }
+}
+
+BlockBits
+StreamCursor::blockAt(size_t idx)
+{
+    const StringBits& s = stringsAt(idx);
+    const char* d = blockDataAt(idx);
+    BlockBits out;
+    out.in_string = s.in_string;
+    out.quote = s.quote;
+    uint64_t outside = ~s.in_string;
+    out.open_brace = rawEqBits(d, '{') & outside;
+    out.close_brace = rawEqBits(d, '}') & outside;
+    out.open_bracket = rawEqBits(d, '[') & outside;
+    out.close_bracket = rawEqBits(d, ']') & outside;
+    out.colon = rawEqBits(d, ':') & outside;
+    out.comma = rawEqBits(d, ',') & outside;
+    out.whitespace = rawWhitespaceBits(d) & outside;
+    return out;
+}
+
+char
+StreamCursor::skipWhitespace()
+{
+    // Fast path: compact JSON rarely has whitespace at all; answer
+    // from the raw byte before touching any bitmap.
+    if (pos_ < len_) {
+        char c = data_[pos_];
+        if (c != ' ' && c != '\t' && c != '\n' && c != '\r')
+            return c;
+    }
+    while (!atEnd()) {
+        (void)strings(); // keep the sequential pipeline in step
+        uint64_t ws = rawWhitespaceBits(blockData());
+        uint64_t candidates = maskFromPos(~ws);
+        if (candidates != 0) {
+            size_t p = blockIndex() * kBlockSize +
+                       static_cast<size_t>(bits::trailingZeros(candidates));
+            if (p >= len_) {
+                pos_ = len_;
+                return '\0';
+            }
+            pos_ = p;
+            return data_[pos_];
+        }
+        pos_ = (blockIndex() + 1) * kBlockSize;
+    }
+    pos_ = len_;
+    return '\0';
+}
+
+} // namespace jsonski::intervals

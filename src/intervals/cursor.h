@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Forward-only streaming cursor over a JSON buffer.
+ *
+ * The cursor owns the global streaming position `pos` from the paper
+ * (Table 1) and serves bitmaps of the 64-byte block the position
+ * currently lies in.  Only the *string layer* (escapes, quotes,
+ * in-string mask) is computed eagerly and strictly left-to-right —
+ * its carries thread through every block.  Metacharacter bitmaps are
+ * pure per-block functions and are built lazily, one character class
+ * at a time, exactly when a fast-forward case asks for them (the
+ * paper's "relevant interval bitmaps", §4.2).
+ *
+ * Fast-forward primitives (ski/skipper.h) advance `pos` by consuming
+ * these bitmaps; everything else (attribute-name extraction, primitive
+ * peeks) uses short scalar reads through the same cursor.
+ */
+#ifndef JSONSKI_INTERVALS_CURSOR_H
+#define JSONSKI_INTERVALS_CURSOR_H
+
+#include <cassert>
+#include <cstddef>
+#include <string_view>
+
+#include "intervals/block.h"
+#include "intervals/classifier.h"
+#include "util/bits.h"
+
+namespace jsonski::intervals {
+
+/** See file comment. */
+class StreamCursor
+{
+  public:
+    /**
+     * Attach to a JSON buffer; the buffer must outlive the cursor.
+     *
+     * @param scalar_classifier Use the character-level reference
+     *        classifier instead of the SIMD one (ablation studies).
+     */
+    explicit StreamCursor(std::string_view input,
+                          bool scalar_classifier = false)
+        : data_(input.data()),
+          len_(input.size()),
+          scalar_classifier_(scalar_classifier)
+    {}
+
+    /** Current absolute byte position. */
+    size_t pos() const { return pos_; }
+
+    /** Total input length. */
+    size_t size() const { return len_; }
+
+    /** True once the position has reached the end of input. */
+    bool atEnd() const { return pos_ >= len_; }
+
+    /** Byte at the current position. @pre !atEnd() */
+    char
+    current() const
+    {
+        assert(!atEnd());
+        return data_[pos_];
+    }
+
+    /** Byte at absolute position @p p. @pre p < size() */
+    char
+    at(size_t p) const
+    {
+        assert(p < len_);
+        return data_[p];
+    }
+
+    /** View of bytes [begin, end). */
+    std::string_view
+    slice(size_t begin, size_t end) const
+    {
+        assert(begin <= end && end <= len_);
+        return std::string_view(data_ + begin, end - begin);
+    }
+
+    /** Underlying buffer. */
+    std::string_view
+    input() const
+    {
+        return std::string_view(data_, len_);
+    }
+
+    /**
+     * Move the position forward (or keep it).  Rewinding within the
+     * current block is also allowed (needed when a scan overshoots by
+     * a character); rewinding to an earlier block is not.
+     */
+    void
+    setPos(size_t p)
+    {
+        assert(p / kBlockSize + 1 >= classified_blocks_);
+        pos_ = p;
+    }
+
+    /** Advance the position by @p n bytes. */
+    void advance(size_t n) { setPos(pos_ + n); }
+
+    /** Index of the block containing the current position. */
+    size_t blockIndex() const { return pos_ / kBlockSize; }
+
+    /** Offset of the current position within its block. */
+    int
+    offsetInBlock() const
+    {
+        return static_cast<int>(pos_ % kBlockSize);
+    }
+
+    /**
+     * String-layer bitmaps of block @p idx.  Blocks up to @p idx are
+     * classified on demand; access must be monotonically non-
+     * decreasing except that the most recent block can be re-read.
+     */
+    const StringBits&
+    stringsAt(size_t idx)
+    {
+        assert(idx * kBlockSize < len_);
+        if (idx + 1 != classified_blocks_)
+            classifyThrough(idx);
+        return strings_;
+    }
+
+    /** String-layer bitmaps of the current block. @pre !atEnd() */
+    const StringBits&
+    strings()
+    {
+        return stringsAt(blockIndex());
+    }
+
+    /**
+     * Structural bitmap of character @p c in the current block:
+     * equality bits with pseudo-metacharacters (string interiors)
+     * removed.  Built on demand — callers request only the classes the
+     * active fast-forward case needs.  @pre !atEnd()
+     */
+    uint64_t
+    bits(char c)
+    {
+        const StringBits& s = strings();
+        return rawEqBits(blockData(), c) & ~s.in_string;
+    }
+
+    /** OR of bits(a) | bits(b), with one string-mask application. */
+    uint64_t
+    bits2(char a, char b)
+    {
+        const StringBits& s = strings();
+        const char* d = blockData();
+        return (rawEqBits(d, a) | rawEqBits(d, b)) & ~s.in_string;
+    }
+
+    /** OR of three structural bitmaps. */
+    uint64_t
+    bits3(char a, char b, char c)
+    {
+        const StringBits& s = strings();
+        const char* d = blockData();
+        return (rawEqBits(d, a) | rawEqBits(d, b) | rawEqBits(d, c)) &
+               ~s.in_string;
+    }
+
+    /**
+     * Fully eager classification of block @p idx (every metacharacter
+     * class).  Retained for tests and non-streaming users; the skipper
+     * uses the lazy accessors above.
+     */
+    BlockBits blockAt(size_t idx);
+
+    /** Eager classification of the current block. @pre !atEnd() */
+    const BlockBits&
+    block()
+    {
+        if (!full_valid_ || full_idx_ != blockIndex()) {
+            full_cached_ = blockAt(blockIndex());
+            full_idx_ = blockIndex();
+            full_valid_ = true;
+        }
+        return full_cached_;
+    }
+
+    /**
+     * Clear bits of @p bm that fall strictly before the current
+     * in-block offset (the "mask bits up to start" step of
+     * Algorithm 3).
+     */
+    uint64_t
+    maskFromPos(uint64_t bm) const
+    {
+        return bm & ~bits::maskBelow(offsetInBlock());
+    }
+
+    /**
+     * Skip whitespace from the current position using the whitespace
+     * bitmaps and return the byte found, or '\0' at end of input.  The
+     * position lands on the returned byte.
+     */
+    char skipWhitespace();
+
+    /** Total number of blocks that have been classified so far. */
+    size_t classifiedBlocks() const { return classified_blocks_; }
+
+  private:
+    void classifyThrough(size_t idx);
+
+    /**
+     * 64 readable bytes for the block holding the current position
+     * (the input itself, or the space-padded tail buffer for the final
+     * partial block).
+     */
+    const char*
+    blockData() const
+    {
+        size_t base = blockIndex() * kBlockSize;
+        return len_ - base >= kBlockSize ? data_ + base : tail_;
+    }
+
+    const char*
+    blockDataAt(size_t idx) const
+    {
+        size_t base = idx * kBlockSize;
+        return len_ - base >= kBlockSize ? data_ + base : tail_;
+    }
+
+    void prepareTail(size_t base);
+
+    const char* data_;
+    size_t len_;
+    size_t pos_ = 0;
+    bool scalar_classifier_ = false;
+
+    ClassifierCarry carry_{};
+    StringBits strings_{};
+    size_t classified_blocks_ = 0; ///< blocks [0, n) done; cache holds n-1
+
+    BlockBits full_cached_{};
+    size_t full_idx_ = 0;
+    bool full_valid_ = false;
+
+    char tail_[kBlockSize] = {}; ///< padded copy of the final partial block
+    bool tail_ready_ = false;
+};
+
+} // namespace jsonski::intervals
+
+#endif // JSONSKI_INTERVALS_CURSOR_H

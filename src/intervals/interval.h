@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Structural intervals (Definition 4.1 / Algorithm 3 of the paper).
+ *
+ * A structural interval for metacharacter alpha is the run of characters
+ * between the current position (inclusive) and the next alpha
+ * (exclusive).  Within a single word it is represented as a contiguous
+ * run of 1-bits in an *interval bitmap*.  An interval that spans
+ * multiple words is handled by the callers word by word: an interval
+ * bitmap whose metacharacter does not occur in the word extends to the
+ * end of the word, signalling "continue in the next word".
+ *
+ * These are the word-local building blocks; the multi-word looping
+ * lives in ski/skipper.cpp.
+ */
+#ifndef JSONSKI_INTERVALS_INTERVAL_H
+#define JSONSKI_INTERVALS_INTERVAL_H
+
+#include <cstdint>
+
+#include "util/bits.h"
+
+namespace jsonski::intervals {
+
+/**
+ * Algorithm 3, buildInterval: interval bitmap from @p start_offset
+ * (inclusive) to the first set bit of @p metachar_bm at or after
+ * start_offset (exclusive).
+ *
+ * A metacharacter at start_offset itself does *not* terminate the
+ * interval (it has typically just been consumed); the scan looks
+ * strictly after the start.  If the metacharacter does not occur after
+ * start_offset, the interval extends to the end of the word (bits
+ * [start_offset, 64)).
+ *
+ * @param metachar_bm  Metacharacter bitmap of the current word.
+ * @param start_offset In-word offset of the current position, [0, 64).
+ */
+inline uint64_t
+buildInterval(uint64_t metachar_bm, int start_offset)
+{
+    uint64_t b_start = uint64_t{1} << start_offset;
+    uint64_t mask_start = b_start ^ (b_start - 1); // bits [0, start]
+    uint64_t bm = metachar_bm & ~mask_start;
+    uint64_t b_end = bits::lowestBit(bm);
+    return b_end - b_start; // wraps to [start, 64) when b_end == 0
+}
+
+/**
+ * Algorithm 3, nextInterval: interval bitmap between the first two set
+ * bits of @p metachar_bm (first exclusive, second exclusive).  Used to
+ * hop from one metacharacter to the next in a series.
+ */
+inline uint64_t
+nextInterval(uint64_t metachar_bm)
+{
+    uint64_t b_start = bits::lowestBit(metachar_bm);
+    uint64_t rest = bits::clearLowest(metachar_bm);
+    uint64_t b_end = bits::lowestBit(rest);
+    return b_end - b_start;
+}
+
+/**
+ * Algorithm 3, intervalEnd: in-word offset one past the last character
+ * of the interval — i.e. the offset of the metacharacter that
+ * terminated it, or 64 when the interval runs off the word.
+ *
+ * @pre interval != 0
+ */
+inline int
+intervalEnd(uint64_t interval)
+{
+    return 64 - bits::leadingZeros(interval);
+}
+
+/** True when the interval runs to the end of its word (the terminating
+ *  metacharacter lies in a later word). */
+inline bool
+intervalOpen(uint64_t interval)
+{
+    return (interval >> 63) != 0;
+}
+
+} // namespace jsonski::intervals
+
+#endif // JSONSKI_INTERVALS_INTERVAL_H

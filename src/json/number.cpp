@@ -1,0 +1,83 @@
+#include "json/number.h"
+
+#include <cctype>
+#include <charconv>
+
+namespace jsonski::json {
+namespace {
+
+/** Grammar check: exactly one RFC 8259 number in @p s. */
+bool
+isJsonNumber(std::string_view s)
+{
+    size_t i = 0;
+    const size_t n = s.size();
+    if (i < n && s[i] == '-')
+        ++i;
+    if (i >= n || !std::isdigit(static_cast<unsigned char>(s[i])))
+        return false;
+    if (s[i] == '0') {
+        ++i;
+    } else {
+        while (i < n && std::isdigit(static_cast<unsigned char>(s[i])))
+            ++i;
+    }
+    if (i < n && s[i] == '.') {
+        ++i;
+        size_t frac = 0;
+        while (i < n && std::isdigit(static_cast<unsigned char>(s[i]))) {
+            ++i;
+            ++frac;
+        }
+        if (frac == 0)
+            return false;
+    }
+    if (i < n && (s[i] == 'e' || s[i] == 'E')) {
+        ++i;
+        if (i < n && (s[i] == '+' || s[i] == '-'))
+            ++i;
+        size_t exp = 0;
+        while (i < n && std::isdigit(static_cast<unsigned char>(s[i]))) {
+            ++i;
+            ++exp;
+        }
+        if (exp == 0)
+            return false;
+    }
+    return i == n;
+}
+
+} // namespace
+
+Number
+parseNumber(std::string_view token)
+{
+    Number out;
+    if (!isJsonNumber(token))
+        return out;
+    bool integral = token.find_first_of(".eE") == std::string_view::npos;
+    if (integral) {
+        int64_t v = 0;
+        auto [end, ec] =
+            std::from_chars(token.data(), token.data() + token.size(), v);
+        if (ec == std::errc{} && end == token.data() + token.size()) {
+            out.kind = Number::Kind::Int;
+            out.i = v;
+            out.d = static_cast<double>(v);
+            return out;
+        }
+        // Integer overflow: fall through to double decoding.
+    }
+    double d = 0;
+    auto [end, ec] =
+        std::from_chars(token.data(), token.data() + token.size(), d);
+    if (ec != std::errc{} && ec != std::errc::result_out_of_range)
+        return out;
+    if (end != token.data() + token.size())
+        return out;
+    out.kind = Number::Kind::Double;
+    out.d = d;
+    return out;
+}
+
+} // namespace jsonski::json

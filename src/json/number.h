@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Numeric decoding of matched values.  The engines return raw JSON
+ * text; these helpers turn number tokens into typed values, keeping
+ * the integer/double distinction JSON cannot express in its grammar.
+ */
+#ifndef JSONSKI_JSON_NUMBER_H
+#define JSONSKI_JSON_NUMBER_H
+
+#include <cstdint>
+#include <string_view>
+
+namespace jsonski::json {
+
+/** A decoded JSON number: integer when exactly representable. */
+struct Number
+{
+    enum class Kind { Int, Double, Invalid };
+
+    Kind kind = Kind::Invalid;
+    int64_t i = 0;  ///< valid when kind == Int
+    double d = 0.0; ///< valid for Int (converted) and Double
+
+    bool isInt() const { return kind == Kind::Int; }
+    bool isDouble() const { return kind == Kind::Double; }
+    explicit operator bool() const { return kind != Kind::Invalid; }
+
+    /** The value as a double regardless of kind. */
+    double
+    asDouble() const
+    {
+        return kind == Kind::Int ? static_cast<double>(i) : d;
+    }
+};
+
+/**
+ * Parse a complete JSON number token (no surrounding whitespace).
+ * Tokens with a fraction, an exponent, or magnitude beyond int64
+ * decode as Double; plain integers as Int.  Returns Kind::Invalid for
+ * anything that is not exactly one valid JSON number.
+ */
+Number parseNumber(std::string_view token);
+
+} // namespace jsonski::json
+
+#endif // JSONSKI_JSON_NUMBER_H

@@ -1,0 +1,165 @@
+#include "json/text.h"
+
+#include <cstdint>
+
+#include "util/error.h"
+
+namespace jsonski::json {
+
+size_t
+skipWhitespace(std::string_view s, size_t pos)
+{
+    while (pos < s.size() && isWhitespace(s[pos]))
+        ++pos;
+    return pos;
+}
+
+size_t
+scanString(std::string_view s, size_t pos)
+{
+    // pos is at the opening quote.
+    for (size_t i = pos + 1; i < s.size(); ++i) {
+        if (s[i] == '\\') {
+            ++i; // skip the escaped character
+        } else if (s[i] == '"') {
+            return i + 1;
+        }
+    }
+    return std::string_view::npos;
+}
+
+size_t
+scanPrimitive(std::string_view s, size_t pos)
+{
+    while (pos < s.size()) {
+        char c = s[pos];
+        if (isWhitespace(c) || c == ',' || c == '}' || c == ']' ||
+            c == '{' || c == '[' || c == ':') {
+            break;
+        }
+        ++pos;
+    }
+    return pos;
+}
+
+std::string
+escapeString(std::string_view raw)
+{
+    std::string out;
+    out.reserve(raw.size());
+    for (char c : raw) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                static constexpr char hex[] = "0123456789abcdef";
+                out += "\\u00";
+                out += hex[(c >> 4) & 0xF];
+                out += hex[c & 0xF];
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+namespace {
+
+unsigned
+hexValue(char c, size_t at)
+{
+    if (c >= '0' && c <= '9')
+        return static_cast<unsigned>(c - '0');
+    if (c >= 'a' && c <= 'f')
+        return static_cast<unsigned>(c - 'a' + 10);
+    if (c >= 'A' && c <= 'F')
+        return static_cast<unsigned>(c - 'A' + 10);
+    throw ParseError("bad hex digit in \\u escape", at);
+}
+
+void
+appendUtf8(std::string& out, uint32_t cp)
+{
+    if (cp < 0x80) {
+        out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+        out += static_cast<char>(0xC0 | (cp >> 6));
+        out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+        out += static_cast<char>(0xE0 | (cp >> 12));
+        out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+        out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+        out += static_cast<char>(0xF0 | (cp >> 18));
+        out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+        out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+        out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+}
+
+} // namespace
+
+std::string
+unescapeString(std::string_view body)
+{
+    std::string out;
+    out.reserve(body.size());
+    for (size_t i = 0; i < body.size(); ++i) {
+        char c = body[i];
+        if (c != '\\') {
+            out += c;
+            continue;
+        }
+        if (i + 1 >= body.size())
+            throw ParseError("dangling backslash", i);
+        char e = body[++i];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            if (i + 4 >= body.size())
+                throw ParseError("truncated \\u escape", i);
+            uint32_t cp = 0;
+            for (int k = 1; k <= 4; ++k)
+                cp = cp * 16 + hexValue(body[i + k], i + k);
+            i += 4;
+            if (cp >= 0xD800 && cp < 0xDC00) {
+                // High surrogate: require a following \uXXXX low half.
+                if (i + 6 >= body.size() || body[i + 1] != '\\' ||
+                    body[i + 2] != 'u') {
+                    throw ParseError("unpaired high surrogate", i);
+                }
+                uint32_t lo = 0;
+                for (int k = 3; k <= 6; ++k)
+                    lo = lo * 16 + hexValue(body[i + k], i + k);
+                if (lo < 0xDC00 || lo > 0xDFFF)
+                    throw ParseError("bad low surrogate", i);
+                cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                i += 6;
+            } else if (cp >= 0xDC00 && cp < 0xE000) {
+                throw ParseError("unpaired low surrogate", i);
+            }
+            appendUtf8(out, cp);
+            break;
+          }
+          default:
+            throw ParseError("unknown escape", i);
+        }
+    }
+    return out;
+}
+
+} // namespace jsonski::json

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Scalar JSON text helpers shared by the engines: whitespace handling,
+ * string-literal scanning, primitive scanning, and escaping.  These are
+ * deliberately simple character-level routines; the bit-parallel layer
+ * (intervals/) replaces them on the JSONSki hot path, while the
+ * character-by-character baselines use them directly.
+ */
+#ifndef JSONSKI_JSON_TEXT_H
+#define JSONSKI_JSON_TEXT_H
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace jsonski::json {
+
+/** True for the four JSON whitespace bytes. */
+inline bool
+isWhitespace(char c)
+{
+    return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+}
+
+/** Advance @p pos past whitespace; returns the new position. */
+size_t skipWhitespace(std::string_view s, size_t pos);
+
+/**
+ * Scan a string literal starting at the opening quote.
+ *
+ * @param s    Input text.
+ * @param pos  Position of the opening '"'.
+ * @return Position just past the closing quote, or std::string_view::npos
+ *         when the literal is unterminated.
+ */
+size_t scanString(std::string_view s, size_t pos);
+
+/**
+ * Scan a primitive (number / true / false / null) starting at @p pos.
+ * @return Position of the first byte after the primitive (a structural
+ *         character or whitespace).
+ */
+size_t scanPrimitive(std::string_view s, size_t pos);
+
+/** Escape @p raw into a JSON string literal body (no quotes added). */
+std::string escapeString(std::string_view raw);
+
+/**
+ * Unescape the body of a JSON string literal (quotes excluded).
+ * Handles the standard escapes and \\uXXXX (encoded as UTF-8;
+ * surrogate pairs supported).  Throws ParseError on malformed escapes.
+ */
+std::string unescapeString(std::string_view body);
+
+} // namespace jsonski::json
+
+#endif // JSONSKI_JSON_TEXT_H

@@ -1,0 +1,101 @@
+#include "json/utf8.h"
+
+#include <cstdint>
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace jsonski::json {
+namespace {
+
+/** True when all 64 bytes at @p p are ASCII (< 0x80). */
+bool
+asciiBlock(const char* p)
+{
+#if defined(__AVX2__)
+    __m256i lo = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+    __m256i hi =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + 32));
+    return (_mm256_movemask_epi8(lo) | _mm256_movemask_epi8(hi)) == 0;
+#else
+    uint64_t acc = 0;
+    for (int i = 0; i < 8; ++i) {
+        uint64_t w;
+        __builtin_memcpy(&w, p + i * 8, 8);
+        acc |= w;
+    }
+    return (acc & 0x8080808080808080ULL) == 0;
+#endif
+}
+
+/**
+ * Validate one multi-byte sequence starting at @p i.
+ * @return length of the sequence, or 0 on error.
+ */
+size_t
+sequenceLength(std::string_view s, size_t i)
+{
+    auto cont = [&](size_t k) {
+        return k < s.size() &&
+               (static_cast<uint8_t>(s[k]) & 0xC0) == 0x80;
+    };
+    uint8_t b0 = static_cast<uint8_t>(s[i]);
+    if (b0 < 0xC2)
+        return 0; // continuation byte or overlong C0/C1 lead
+    if (b0 < 0xE0) {
+        // 2-byte: U+0080..U+07FF
+        return cont(i + 1) ? 2 : 0;
+    }
+    if (b0 < 0xF0) {
+        // 3-byte: U+0800..U+FFFF, minus surrogates
+        if (!cont(i + 1) || !cont(i + 2))
+            return 0;
+        uint8_t b1 = static_cast<uint8_t>(s[i + 1]);
+        if (b0 == 0xE0 && b1 < 0xA0)
+            return 0; // overlong
+        if (b0 == 0xED && b1 >= 0xA0)
+            return 0; // UTF-16 surrogate range
+        return 3;
+    }
+    if (b0 < 0xF5) {
+        // 4-byte: U+10000..U+10FFFF
+        if (!cont(i + 1) || !cont(i + 2) || !cont(i + 3))
+            return 0;
+        uint8_t b1 = static_cast<uint8_t>(s[i + 1]);
+        if (b0 == 0xF0 && b1 < 0x90)
+            return 0; // overlong
+        if (b0 == 0xF4 && b1 >= 0x90)
+            return 0; // above U+10FFFF
+        return 4;
+    }
+    return 0; // F5..FF are never valid leads
+}
+
+} // namespace
+
+Utf8Result
+validateUtf8(std::string_view data)
+{
+    size_t i = 0;
+    const size_t n = data.size();
+    while (i < n) {
+        // Vector fast path over aligned-ish full blocks.
+        while (i + 64 <= n && asciiBlock(data.data() + i))
+            i += 64;
+        if (i >= n)
+            break;
+        uint8_t b = static_cast<uint8_t>(data[i]);
+        if (b < 0x80) {
+            ++i;
+            continue;
+        }
+        size_t len = sequenceLength(data, i);
+        if (len == 0)
+            return {false, i};
+        i += len;
+    }
+    return {};
+}
+
+} // namespace jsonski::json

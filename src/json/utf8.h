@@ -1,0 +1,37 @@
+/**
+ * @file
+ * UTF-8 validation with an ASCII SIMD fast path.
+ *
+ * Fast-forwarded regions skip syntactic validation (paper §3.3);
+ * encoding validation is likewise a separate, optional pass.  This
+ * module provides it: blocks that are pure ASCII (the overwhelming
+ * majority in machine-generated JSON) are cleared 64 bytes at a time
+ * with one vector test; only blocks containing high bytes run the
+ * scalar DFA.
+ */
+#ifndef JSONSKI_JSON_UTF8_H
+#define JSONSKI_JSON_UTF8_H
+
+#include <cstddef>
+#include <string_view>
+
+namespace jsonski::json {
+
+/** Outcome of UTF-8 validation. */
+struct Utf8Result
+{
+    bool ok = true;
+    size_t error_position = 0; ///< offset of the offending byte
+
+    explicit operator bool() const { return ok; }
+};
+
+/**
+ * Validate that @p data is well-formed UTF-8: no truncated or overlong
+ * sequences, no surrogate code points, nothing above U+10FFFF.
+ */
+Utf8Result validateUtf8(std::string_view data);
+
+} // namespace jsonski::json
+
+#endif // JSONSKI_JSON_UTF8_H

@@ -1,0 +1,248 @@
+#include "json/validate.h"
+
+#include <cctype>
+
+#include "json/text.h"
+
+namespace jsonski::json {
+namespace {
+
+/** Iterative-friendly recursive validator with bounded depth. */
+class Validator
+{
+  public:
+    explicit Validator(std::string_view s) : s_(s) {}
+
+    ValidationResult
+    run()
+    {
+        pos_ = skipWhitespace(s_, 0);
+        if (!value())
+            return fail();
+        pos_ = skipWhitespace(s_, pos_);
+        if (pos_ != s_.size()) {
+            error("trailing characters after value");
+            return fail();
+        }
+        return {};
+    }
+
+  private:
+    static constexpr int kMaxDepth = 1024;
+
+    ValidationResult
+    fail()
+    {
+        return result_;
+    }
+
+    bool
+    error(std::string msg)
+    {
+        if (result_.ok) {
+            result_.ok = false;
+            result_.error_position = pos_;
+            result_.message = std::move(msg);
+        }
+        return false;
+    }
+
+    bool
+    expect(char c)
+    {
+        if (pos_ >= s_.size() || s_[pos_] != c)
+            return error(std::string("expected '") + c + "'");
+        ++pos_;
+        return true;
+    }
+
+    bool
+    value()
+    {
+        if (++depth_ > kMaxDepth)
+            return error("nesting too deep");
+        pos_ = skipWhitespace(s_, pos_);
+        if (pos_ >= s_.size()) {
+            --depth_;
+            return error("unexpected end of input");
+        }
+        bool ok = false;
+        switch (s_[pos_]) {
+          case '{': ok = object(); break;
+          case '[': ok = array(); break;
+          case '"': ok = stringLiteral(); break;
+          case 't': ok = literal("true"); break;
+          case 'f': ok = literal("false"); break;
+          case 'n': ok = literal("null"); break;
+          default: ok = number(); break;
+        }
+        --depth_;
+        return ok;
+    }
+
+    bool
+    object()
+    {
+        ++pos_; // '{'
+        pos_ = skipWhitespace(s_, pos_);
+        if (pos_ < s_.size() && s_[pos_] == '}') {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            pos_ = skipWhitespace(s_, pos_);
+            if (pos_ >= s_.size() || s_[pos_] != '"')
+                return error("expected attribute name");
+            if (!stringLiteral())
+                return false;
+            pos_ = skipWhitespace(s_, pos_);
+            if (!expect(':'))
+                return false;
+            if (!value())
+                return false;
+            pos_ = skipWhitespace(s_, pos_);
+            if (pos_ >= s_.size())
+                return error("unterminated object");
+            if (s_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (s_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            return error("expected ',' or '}'");
+        }
+    }
+
+    bool
+    array()
+    {
+        ++pos_; // '['
+        pos_ = skipWhitespace(s_, pos_);
+        if (pos_ < s_.size() && s_[pos_] == ']') {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            if (!value())
+                return false;
+            pos_ = skipWhitespace(s_, pos_);
+            if (pos_ >= s_.size())
+                return error("unterminated array");
+            if (s_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (s_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            return error("expected ',' or ']'");
+        }
+    }
+
+    bool
+    stringLiteral()
+    {
+        size_t end = scanString(s_, pos_);
+        if (end == std::string_view::npos)
+            return error("unterminated string");
+        // Check escape validity inside the body.
+        for (size_t i = pos_ + 1; i + 1 < end;) {
+            if (s_[i] != '\\') {
+                if (static_cast<unsigned char>(s_[i]) < 0x20)
+                    return error("raw control character in string");
+                ++i;
+                continue;
+            }
+            char e = s_[i + 1];
+            if (e == 'u') {
+                if (i + 6 > end - 1)
+                    return error("truncated \\u escape");
+                for (size_t k = i + 2; k < i + 6; ++k) {
+                    if (!std::isxdigit(static_cast<unsigned char>(s_[k])))
+                        return error("bad \\u escape");
+                }
+                i += 6;
+            } else if (e == '"' || e == '\\' || e == '/' || e == 'b' ||
+                       e == 'f' || e == 'n' || e == 'r' || e == 't') {
+                i += 2;
+            } else {
+                return error("invalid escape");
+            }
+        }
+        pos_ = end;
+        return true;
+    }
+
+    bool
+    literal(std::string_view word)
+    {
+        if (s_.substr(pos_, word.size()) != word)
+            return error("bad literal");
+        pos_ += word.size();
+        return true;
+    }
+
+    bool
+    number()
+    {
+        size_t start = pos_;
+        if (pos_ < s_.size() && s_[pos_] == '-')
+            ++pos_;
+        size_t digits = 0;
+        while (pos_ < s_.size() &&
+               std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+            ++pos_;
+            ++digits;
+        }
+        if (digits == 0)
+            return error("expected a value");
+        // No leading zeros (except "0" itself).
+        if (digits > 1 && s_[start] == '-' && s_[start + 1] == '0')
+            return error("leading zero");
+        if (digits > 1 && s_[start] == '0')
+            return error("leading zero");
+        if (pos_ < s_.size() && s_[pos_] == '.') {
+            ++pos_;
+            size_t frac = 0;
+            while (pos_ < s_.size() &&
+                   std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+                ++pos_;
+                ++frac;
+            }
+            if (frac == 0)
+                return error("missing fraction digits");
+        }
+        if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < s_.size() && (s_[pos_] == '+' || s_[pos_] == '-'))
+                ++pos_;
+            size_t exp = 0;
+            while (pos_ < s_.size() &&
+                   std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+                ++pos_;
+                ++exp;
+            }
+            if (exp == 0)
+                return error("missing exponent digits");
+        }
+        return true;
+    }
+
+    std::string_view s_;
+    size_t pos_ = 0;
+    int depth_ = 0;
+    ValidationResult result_;
+};
+
+} // namespace
+
+ValidationResult
+validate(std::string_view input)
+{
+    return Validator(input).run();
+}
+
+} // namespace jsonski::json

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Full recursive JSON validator.
+ *
+ * Used by tests and the dataset generators to guarantee that every
+ * synthetic input is well-formed, and exposed publicly for users who
+ * want the validation the fast-forwarded stream skips (paper §3.3).
+ */
+#ifndef JSONSKI_JSON_VALIDATE_H
+#define JSONSKI_JSON_VALIDATE_H
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace jsonski::json {
+
+/** Outcome of validate(). */
+struct ValidationResult
+{
+    bool ok = true;
+    size_t error_position = 0;
+    std::string message;
+
+    explicit operator bool() const { return ok; }
+};
+
+/**
+ * Validate that @p input is exactly one well-formed JSON value
+ * (object, array, or primitive) with optional surrounding whitespace.
+ */
+ValidationResult validate(std::string_view input);
+
+} // namespace jsonski::json
+
+#endif // JSONSKI_JSON_VALIDATE_H

@@ -1,0 +1,132 @@
+#include "json/writer.h"
+
+#include <cassert>
+#include <charconv>
+
+#include "json/text.h"
+
+namespace jsonski::json {
+
+void
+Writer::prepareValue()
+{
+    assert((stack_.empty() || stack_.back() == Ctx::Array || after_key_) &&
+           "value inside an object requires a preceding key()");
+    if (need_comma_ && !after_key_)
+        out_ += ',';
+    after_key_ = false;
+    need_comma_ = true;
+}
+
+void
+Writer::beginObject()
+{
+    prepareValue();
+    out_ += '{';
+    stack_.push_back(Ctx::Object);
+    need_comma_ = false;
+}
+
+void
+Writer::endObject()
+{
+    assert(!stack_.empty() && stack_.back() == Ctx::Object);
+    stack_.pop_back();
+    out_ += '}';
+    need_comma_ = true;
+}
+
+void
+Writer::beginArray()
+{
+    prepareValue();
+    out_ += '[';
+    stack_.push_back(Ctx::Array);
+    need_comma_ = false;
+}
+
+void
+Writer::endArray()
+{
+    assert(!stack_.empty() && stack_.back() == Ctx::Array);
+    stack_.pop_back();
+    out_ += ']';
+    need_comma_ = true;
+}
+
+void
+Writer::key(std::string_view name)
+{
+    assert(!stack_.empty() && stack_.back() == Ctx::Object);
+    assert(!after_key_);
+    if (need_comma_)
+        out_ += ',';
+    out_ += '"';
+    out_ += escapeString(name);
+    out_ += "\":";
+    after_key_ = true;
+    need_comma_ = true;
+}
+
+void
+Writer::string(std::string_view value)
+{
+    prepareValue();
+    out_ += '"';
+    out_ += escapeString(value);
+    out_ += '"';
+}
+
+void
+Writer::number(int64_t value)
+{
+    prepareValue();
+    char buf[24];
+    auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+    assert(ec == std::errc{});
+    out_.append(buf, end);
+}
+
+void
+Writer::number(double value)
+{
+    prepareValue();
+    char buf[32];
+    auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+    assert(ec == std::errc{});
+    out_.append(buf, end);
+}
+
+void
+Writer::boolean(bool value)
+{
+    prepareValue();
+    out_ += value ? "true" : "false";
+}
+
+void
+Writer::null()
+{
+    prepareValue();
+    out_ += "null";
+}
+
+void
+Writer::raw(std::string_view text)
+{
+    prepareValue();
+    out_ += text;
+}
+
+std::string
+Writer::take()
+{
+    assert(stack_.empty() && "unbalanced begin/end");
+    std::string result = std::move(out_);
+    out_.clear();
+    need_comma_ = false;
+    after_key_ = false;
+    return result;
+}
+
+} // namespace jsonski::json

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Streaming JSON writer used by the synthetic dataset generators.
+ *
+ * Emits syntactically valid JSON into a growable string buffer with
+ * explicit begin/end calls; nesting correctness is enforced with an
+ * internal context stack in debug builds.
+ */
+#ifndef JSONSKI_JSON_WRITER_H
+#define JSONSKI_JSON_WRITER_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace jsonski::json {
+
+/** See file comment. */
+class Writer
+{
+  public:
+    Writer() { stack_.reserve(16); }
+
+    /** Start/finish the current object value. */
+    void beginObject();
+    void endObject();
+
+    /** Start/finish the current array value. */
+    void beginArray();
+    void endArray();
+
+    /** Emit an attribute name; must be followed by exactly one value. */
+    void key(std::string_view name);
+
+    /** Primitive values. */
+    void string(std::string_view value);
+    void number(int64_t value);
+    void number(double value);
+    void boolean(bool value);
+    void null();
+
+    /** Emit pre-rendered JSON text verbatim as one value. */
+    void raw(std::string_view text);
+
+    /** Finished document; @pre nesting is balanced. */
+    std::string take();
+
+    /** Current size of the buffer in bytes. */
+    size_t size() const { return out_.size(); }
+
+    /** Read-only view of what has been emitted so far. */
+    std::string_view view() const { return out_; }
+
+  private:
+    enum class Ctx : uint8_t { Object, Array };
+
+    void prepareValue();
+
+    std::string out_;
+    std::vector<Ctx> stack_;
+    bool need_comma_ = false;
+    bool after_key_ = false;
+};
+
+} // namespace jsonski::json
+
+#endif // JSONSKI_JSON_WRITER_H

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * JSONPath abstract syntax shared by every engine.
+ *
+ * The supported dialect matches the paper (§5.1): root `$`, child
+ * (`.name` / `['name']`), array index `[n]`, index range `[m:n]`
+ * (half-open, so `[2:4]` selects the 3rd and 4th elements), and the
+ * array wildcard `[*]`.  Going beyond the paper's implementation (it
+ * names `..` as future work), the descendant operator is supported in
+ * terminal position (`$..name`, `$.a[*]..name`): it selects every
+ * attribute called `name` at any depth under the current value, in
+ * document (pre-)order.
+ */
+#ifndef JSONSKI_PATH_AST_H
+#define JSONSKI_PATH_AST_H
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace jsonski::path {
+
+/** The JSON container type a path step can only apply to. */
+enum class ExpectedType : uint8_t {
+    Object, ///< next step is a key: the value must be an object
+    Array,  ///< next step is an index/slice/wildcard: must be an array
+    Any,    ///< no next step: the value is the output, any type
+};
+
+/** One step of a path expression. */
+struct PathStep
+{
+    enum class Kind : uint8_t {
+        Key,        ///< `.name` — match an object attribute name
+        Index,      ///< `[n]` — match exactly one array position
+        Slice,      ///< `[m:n]` — match array positions in [m, n)
+        Wildcard,   ///< `[*]` — match every array position
+        Descendant, ///< `..name` — match the attribute at any depth
+    };
+
+    Kind kind = Kind::Key;
+    std::string key;   ///< attribute name, Kind::Key only
+    size_t lo = 0;     ///< first index (Index/Slice)
+    size_t hi = 0;     ///< one past last index (Index/Slice)
+
+    static PathStep
+    makeKey(std::string name)
+    {
+        PathStep s;
+        s.kind = Kind::Key;
+        s.key = std::move(name);
+        return s;
+    }
+
+    static PathStep
+    makeIndex(size_t n)
+    {
+        PathStep s;
+        s.kind = Kind::Index;
+        s.lo = n;
+        s.hi = n + 1;
+        return s;
+    }
+
+    static PathStep
+    makeSlice(size_t m, size_t n)
+    {
+        PathStep s;
+        s.kind = Kind::Slice;
+        s.lo = m;
+        s.hi = n;
+        return s;
+    }
+
+    static PathStep
+    makeWildcard()
+    {
+        PathStep s;
+        s.kind = Kind::Wildcard;
+        s.lo = 0;
+        s.hi = std::numeric_limits<size_t>::max();
+        return s;
+    }
+
+    static PathStep
+    makeDescendant(std::string name)
+    {
+        PathStep s;
+        s.kind = Kind::Descendant;
+        s.key = std::move(name);
+        return s;
+    }
+
+    /** True for the array-selecting step kinds. */
+    bool
+    isArrayStep() const
+    {
+        return kind == Kind::Index || kind == Kind::Slice ||
+               kind == Kind::Wildcard;
+    }
+
+    /** For array steps: does array position @p idx satisfy the step? */
+    bool
+    coversIndex(size_t idx) const
+    {
+        return idx >= lo && idx < hi;
+    }
+
+    bool operator==(const PathStep&) const = default;
+};
+
+/** A parsed path expression: `$` followed by zero or more steps. */
+struct PathQuery
+{
+    std::vector<PathStep> steps;
+
+    size_t size() const { return steps.size(); }
+    bool empty() const { return steps.empty(); }
+    const PathStep& operator[](size_t i) const { return steps[i]; }
+
+    /**
+     * Container type required of the value *selected by* step
+     * @p i — i.e. inferred from the following step (paper §3.2's type
+     * inference).  i == size() (or the last step) yields Any.
+     */
+    ExpectedType
+    expectedTypeAfter(size_t i) const
+    {
+        size_t next = i + 1;
+        if (next >= steps.size() ||
+            steps[next].kind == PathStep::Kind::Descendant)
+            return ExpectedType::Any; // `..` targets may be any container
+        return steps[next].isArrayStep() ? ExpectedType::Array
+                                         : ExpectedType::Object;
+    }
+
+    /** True when the final step is the descendant operator. */
+    bool
+    hasDescendant() const
+    {
+        return !steps.empty() &&
+               steps.back().kind == PathStep::Kind::Descendant;
+    }
+
+    /** Human-readable round-trip of the query. */
+    std::string toString() const;
+
+    bool operator==(const PathQuery&) const = default;
+};
+
+} // namespace jsonski::path
+
+#endif // JSONSKI_PATH_AST_H

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Query automaton compiled from a path expression (paper Figure 5).
+ *
+ * A path with n steps yields states 0..n: state i means "the first i
+ * steps have been matched on the path from the root to the current
+ * value".  State n is ACCEPT.  A failed transition yields the special
+ * UNMATCHED state.  The per-level stack the paper describes is owned by
+ * the *caller*: the recursive-descent streamer keeps it implicitly in
+ * its call stack, while the JPStream-style baseline keeps an explicit
+ * query stack — both drive their transitions through this class so all
+ * engines share one matching semantics.
+ */
+#ifndef JSONSKI_PATH_AUTOMATON_H
+#define JSONSKI_PATH_AUTOMATON_H
+
+#include <string_view>
+
+#include "path/ast.h"
+
+namespace jsonski::path {
+
+/** See file comment. */
+class QueryAutomaton
+{
+  public:
+    /** Sentinel state for "matching failed at this level". */
+    static constexpr int kUnmatched = -1;
+
+    explicit QueryAutomaton(PathQuery query) : query_(std::move(query)) {}
+
+    /** The compiled query. */
+    const PathQuery& query() const { return query_; }
+
+    /** Initial state (root value reached, nothing matched yet). */
+    int start() const { return 0; }
+
+    /** Accepting state (every step matched). */
+    int accept() const { return static_cast<int>(query_.size()); }
+
+    /** True when @p state is the accepting state. */
+    bool isAccept(int state) const { return state == accept(); }
+
+    /**
+     * [Key] transition: object attribute @p key consumed while the
+     * current level's state is @p state.
+     */
+    int
+    onKey(int state, std::string_view key) const
+    {
+        if (state < 0)
+            return kUnmatched;
+        if (isAccept(state)) {
+            // Values inside an accepted subtree only stay live under a
+            // terminal descendant step, which keeps searching: a
+            // matching name re-accepts, anything else resumes the
+            // search state.
+            if (query_.hasDescendant()) {
+                const PathStep& d = query_[query_.size() - 1];
+                return d.key == key ? state : state - 1;
+            }
+            return kUnmatched;
+        }
+        const PathStep& s = query_[static_cast<size_t>(state)];
+        if (s.kind == PathStep::Kind::Key && s.key == key)
+            return state + 1;
+        if (s.kind == PathStep::Kind::Descendant)
+            return s.key == key ? state + 1 : state; // stay at any depth
+        return kUnmatched;
+    }
+
+    /**
+     * Array-element transition: element at position @p idx of an array
+     * whose own state is @p state.
+     */
+    int
+    onElement(int state, size_t idx) const
+    {
+        if (state < 0)
+            return kUnmatched;
+        if (isAccept(state)) {
+            // Inside an accepted array under a terminal descendant
+            // step, elements keep the search alive but never match.
+            return query_.hasDescendant() ? state - 1 : kUnmatched;
+        }
+        const PathStep& s = query_[static_cast<size_t>(state)];
+        if (s.isArrayStep() && s.coversIndex(idx))
+            return state + 1;
+        if (s.kind == PathStep::Kind::Descendant)
+            return state; // stay at any depth
+        return kUnmatched;
+    }
+
+    /**
+     * Container type the value at @p state must have for matching to
+     * continue (paper §3.2 type inference).  Accepting values may be of
+     * any type.
+     */
+    ExpectedType
+    containerAt(int state) const
+    {
+        if (state < 0 || isAccept(state))
+            return ExpectedType::Any;
+        const PathStep& s = query_[static_cast<size_t>(state)];
+        if (s.kind == PathStep::Kind::Descendant)
+            return ExpectedType::Any;
+        return s.isArrayStep() ? ExpectedType::Array
+                               : ExpectedType::Object;
+    }
+
+    /**
+     * For array steps: the half-open index range [lo, hi) the step
+     * selects.  @pre containerAt(state) == ExpectedType::Array
+     */
+    void
+    indexRange(int state, size_t& lo, size_t& hi) const
+    {
+        const PathStep& s = query_[static_cast<size_t>(state)];
+        lo = s.lo;
+        hi = s.hi;
+    }
+
+  private:
+    PathQuery query_;
+};
+
+} // namespace jsonski::path
+
+#endif // JSONSKI_PATH_AUTOMATON_H

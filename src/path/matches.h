@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Match delivery interface shared by every query engine (JSONSki and
+ * the four baselines), so results are comparable across engines.
+ */
+#ifndef JSONSKI_PATH_MATCHES_H
+#define JSONSKI_PATH_MATCHES_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace jsonski::path {
+
+/** Receiver for matched values. */
+class MatchSink
+{
+  public:
+    virtual ~MatchSink() = default;
+
+    /**
+     * Called once per match with the matched value's raw JSON text
+     * (containers include their braces; strings include quotes).  The
+     * view aliases the engine's input buffer and is only valid for the
+     * duration of the call.
+     */
+    virtual void onMatch(std::string_view value) = 0;
+};
+
+/** Sink that copies every match into a vector. */
+class CollectSink : public MatchSink
+{
+  public:
+    void
+    onMatch(std::string_view value) override
+    {
+        values.push_back(std::string(value));
+    }
+
+    std::vector<std::string> values;
+};
+
+} // namespace jsonski::path
+
+#endif // JSONSKI_PATH_MATCHES_H

@@ -1,0 +1,164 @@
+#include "path/parser.h"
+
+#include <cctype>
+#include <charconv>
+
+#include "util/error.h"
+
+namespace jsonski::path {
+namespace {
+
+/** Hand-written scanner for the small JSONPath dialect. */
+class Parser
+{
+  public:
+    explicit Parser(std::string_view text) : s_(text) {}
+
+    PathQuery
+    run()
+    {
+        if (s_.empty() || s_[0] != '$')
+            throw PathError("expression must start with '$'");
+        pos_ = 1;
+        PathQuery q;
+        while (pos_ < s_.size()) {
+            char c = s_[pos_];
+            if (c == '.') {
+                if (pos_ + 1 < s_.size() && s_[pos_ + 1] == '.') {
+                    pos_ += 2;
+                    q.steps.push_back(
+                        PathStep::makeDescendant(identifier()));
+                    if (pos_ != s_.size())
+                        throw PathError("the descendant operator '..' is "
+                                        "only supported as the final "
+                                        "step");
+                    return q;
+                }
+                ++pos_;
+                q.steps.push_back(PathStep::makeKey(identifier()));
+            } else if (c == '[') {
+                ++pos_;
+                q.steps.push_back(bracketStep());
+            } else {
+                throw PathError(std::string("unexpected character '") + c +
+                                "'");
+            }
+        }
+        return q;
+    }
+
+  private:
+    std::string
+    identifier()
+    {
+        size_t start = pos_;
+        while (pos_ < s_.size() && s_[pos_] != '.' && s_[pos_] != '[')
+            ++pos_;
+        if (pos_ == start)
+            throw PathError("empty attribute name");
+        return std::string(s_.substr(start, pos_ - start));
+    }
+
+    size_t
+    integer()
+    {
+        size_t value = 0;
+        auto [end, ec] =
+            std::from_chars(s_.data() + pos_, s_.data() + s_.size(), value);
+        if (ec != std::errc{} || end == s_.data() + pos_)
+            throw PathError("expected an array index");
+        pos_ = static_cast<size_t>(end - s_.data());
+        return value;
+    }
+
+    PathStep
+    bracketStep()
+    {
+        if (pos_ >= s_.size())
+            throw PathError("unterminated '['");
+        char c = s_[pos_];
+        if (c == '*') {
+            ++pos_;
+            expect(']');
+            return PathStep::makeWildcard();
+        }
+        if (c == '\'' || c == '"') {
+            // Quoted child name: ['name'].
+            char quote = c;
+            ++pos_;
+            size_t start = pos_;
+            while (pos_ < s_.size() && s_[pos_] != quote)
+                ++pos_;
+            if (pos_ >= s_.size())
+                throw PathError("unterminated quoted name");
+            std::string name(s_.substr(start, pos_ - start));
+            ++pos_;
+            expect(']');
+            return PathStep::makeKey(std::move(name));
+        }
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            size_t lo = integer();
+            if (pos_ < s_.size() && s_[pos_] == ':') {
+                ++pos_;
+                size_t hi = integer();
+                if (hi <= lo)
+                    throw PathError("empty index range");
+                expect(']');
+                return PathStep::makeSlice(lo, hi);
+            }
+            expect(']');
+            return PathStep::makeIndex(lo);
+        }
+        throw PathError("unsupported bracket expression");
+    }
+
+    void
+    expect(char c)
+    {
+        if (pos_ >= s_.size() || s_[pos_] != c)
+            throw PathError(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    std::string_view s_;
+    size_t pos_ = 0;
+};
+
+} // namespace
+
+PathQuery
+parse(std::string_view text)
+{
+    return Parser(text).run();
+}
+
+std::string
+PathQuery::toString() const
+{
+    std::string out = "$";
+    for (const PathStep& s : steps) {
+        switch (s.kind) {
+          case PathStep::Kind::Key:
+            out += '.';
+            out += s.key;
+            break;
+          case PathStep::Kind::Index:
+            out += '[' + std::to_string(s.lo) + ']';
+            break;
+          case PathStep::Kind::Slice:
+            out += '[' + std::to_string(s.lo) + ':' +
+                   std::to_string(s.hi) + ']';
+            break;
+          case PathStep::Kind::Wildcard:
+            out += "[*]";
+            break;
+          case PathStep::Kind::Descendant:
+            out += "..";
+            out += s.key;
+            break;
+        }
+    }
+    return out;
+}
+
+} // namespace jsonski::path

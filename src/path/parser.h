@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Text parser for the JSONPath dialect described in path/ast.h.
+ */
+#ifndef JSONSKI_PATH_PARSER_H
+#define JSONSKI_PATH_PARSER_H
+
+#include <string_view>
+
+#include "path/ast.h"
+
+namespace jsonski::path {
+
+/**
+ * Parse a JSONPath expression such as `$.pd[*].cp[1:3].id`.
+ *
+ * @throws jsonski::PathError on syntax errors or unsupported operators
+ *         (e.g. the descendant operator `..`).
+ */
+PathQuery parse(std::string_view text);
+
+} // namespace jsonski::path
+
+#endif // JSONSKI_PATH_PARSER_H

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Query-plan explanation: a human-readable rendering of how the
+ * streamer will evaluate a path — the container type expected at each
+ * level (the paper's §3.2 type inference) and the fast-forward groups
+ * that can fire there.  Useful for understanding Table 6 profiles and
+ * for debugging slow queries.
+ */
+#ifndef JSONSKI_SKI_EXPLAIN_H
+#define JSONSKI_SKI_EXPLAIN_H
+
+#include <string>
+
+#include "path/ast.h"
+
+namespace jsonski::ski {
+
+/**
+ * Render the evaluation plan of @p query, one line per level, e.g.
+ *
+ *   $.pd[*].cp[1:3].id
+ *     level 0  object : match key "pd" -> value must be ARRAY
+ *              [G1 skip non-array attrs] [G2 skip unmatched] [G4 leave
+ *              after match]
+ *     ...
+ */
+std::string explain(const path::PathQuery& query);
+
+} // namespace jsonski::ski
+
+#endif // JSONSKI_SKI_EXPLAIN_H

@@ -1,0 +1,317 @@
+#include "ski/multi.h"
+
+#include <algorithm>
+
+#include "intervals/cursor.h"
+#include "json/text.h"
+#include "ski/sinks.h"
+#include "ski/skipper.h"
+#include "util/error.h"
+
+namespace jsonski::ski {
+
+using path::PathQuery;
+using path::PathStep;
+
+MultiStreamer::MultiStreamer(std::vector<PathQuery> queries)
+    : queries_(std::move(queries))
+{
+    for (const PathQuery& q : queries_) {
+        if (q.hasDescendant())
+            throw PathError(
+                "multi-query streaming does not support '..'");
+    }
+    trie_.emplace_back(); // root
+    for (size_t qi = 0; qi < queries_.size(); ++qi) {
+        int node = 0;
+        for (const PathStep& step : queries_[qi].steps) {
+            int next = -1;
+            if (step.kind == PathStep::Kind::Key) {
+                for (auto& [key, child] : trie_[node].key_children) {
+                    if (key == step.key) {
+                        next = child;
+                        break;
+                    }
+                }
+                if (next < 0) {
+                    next = static_cast<int>(trie_.size());
+                    trie_[node].key_children.emplace_back(step.key, next);
+                    trie_.emplace_back();
+                }
+            } else {
+                for (auto& [s, child] : trie_[node].array_children) {
+                    if (s == step) {
+                        next = child;
+                        break;
+                    }
+                }
+                if (next < 0) {
+                    next = static_cast<int>(trie_.size());
+                    trie_[node].array_children.emplace_back(step, next);
+                    trie_.emplace_back();
+                }
+            }
+            node = next;
+        }
+        trie_[node].accepts.push_back(qi);
+    }
+}
+
+namespace {
+
+using NodeSet = std::vector<int>;
+
+} // namespace
+
+/** One multi-query pass over a single record. */
+class MultiDriver
+{
+  public:
+    MultiDriver(const MultiStreamer& ms,
+                const std::vector<MultiStreamer::Node>& trie,
+                std::string_view json, MultiSink* sink,
+                MultiStreamer::Result& result)
+        : ms_(ms),
+          trie_(trie),
+          cur_(json),
+          skip_(cur_, &result.stats),
+          sink_(sink),
+          result_(result)
+    {}
+
+    void
+    run()
+    {
+        char c = cur_.skipWhitespace();
+        if (c == '\0')
+            throw ParseError("empty input", 0);
+        NodeSet root{0};
+        runValue(root);
+    }
+
+  private:
+    const MultiStreamer::Node& node(int i) const { return trie_[i]; }
+
+    void
+    emitTo(const NodeSet& active, size_t begin, size_t end)
+    {
+        while (end > begin && json::isWhitespace(cur_.at(end - 1)))
+            --end;
+        for (int n : active) {
+            for (size_t qi : node(n).accepts) {
+                ++result_.matches[qi];
+                if (sink_)
+                    sink_->onMatch(qi, cur_.slice(begin, end));
+            }
+        }
+    }
+
+    bool
+    anyAccept(const NodeSet& active) const
+    {
+        for (int n : active) {
+            if (!node(n).accepts.empty())
+                return true;
+        }
+        return false;
+    }
+
+    /** Process one value against the active node set. */
+    void
+    runValue(const NodeSet& active)
+    {
+        bool want_obj = false;
+        bool want_ary = false;
+        for (int n : active) {
+            want_obj = want_obj || !node(n).key_children.empty();
+            want_ary = want_ary || !node(n).array_children.empty();
+        }
+        bool accepts = anyAccept(active);
+
+        char c = cur_.skipWhitespace();
+        if (c == '\0')
+            throw ParseError("missing value", cur_.pos());
+        size_t start = cur_.pos();
+        if (c == '{' && want_obj) {
+            cur_.advance(1);
+            runObject(active);
+        } else if (c == '[' && want_ary) {
+            cur_.advance(1);
+            runArray(active);
+        } else {
+            // Nothing deeper can match: fast-forward the whole value.
+            skip_.overValue(accepts ? Group::G3 : Group::G2);
+        }
+        if (accepts)
+            emitTo(active, start, cur_.pos());
+    }
+
+    /** Count of distinct attribute names the active set can match. */
+    size_t
+    distinctKeyCount(const NodeSet& active)
+    {
+        if (active.size() == 1)
+            return node(active[0]).key_children.size();
+        scratch_keys_.clear();
+        for (int n : active) {
+            for (const auto& [key, child] : node(n).key_children) {
+                if (std::find(scratch_keys_.begin(), scratch_keys_.end(),
+                              key) == scratch_keys_.end()) {
+                    scratch_keys_.push_back(key);
+                }
+            }
+        }
+        return scratch_keys_.size();
+    }
+
+    /** Entry: position just past '{'.  Exit: just past the '}'. */
+    void
+    runObject(const NodeSet& active)
+    {
+        size_t remaining = distinctKeyCount(active);
+
+        // A shared type filter is sound only when every candidate
+        // attribute needs the same container type.
+        Skipper::TypeFilter filter = sharedFilter(active);
+
+        NodeSet targets;
+        targets.reserve(4);
+        for (;;) {
+            Skipper::AttrResult attr = skip_.toAttr(filter, Group::G1);
+            if (!attr.found)
+                return;
+            std::string_view key =
+                cur_.slice(attr.key_begin, attr.key_end);
+            targets.clear();
+            for (int n : active) {
+                for (const auto& [k, child] : node(n).key_children) {
+                    if (k == key)
+                        targets.push_back(child);
+                }
+            }
+            if (targets.empty()) {
+                skip_.overValue(Group::G2);
+                continue;
+            }
+            runValue(targets);
+            // Generalized G4: abandon the object once every candidate
+            // name has been seen (names are unique per object).
+            if (--remaining == 0) {
+                skip_.toObjEnd(Group::G4);
+                return;
+            }
+        }
+    }
+
+    /** Entry: position just past '['.  Exit: just past the ']'. */
+    void
+    runArray(const NodeSet& active)
+    {
+        // Local copy: recursion below may reuse the scratch space.
+        std::vector<std::pair<const PathStep*, int>> steps;
+        steps.reserve(4);
+        for (int n : active) {
+            for (const auto& [step, child] : node(n).array_children)
+                steps.emplace_back(&step, child);
+        }
+        size_t lo_min = SIZE_MAX;
+        size_t hi_max = 0;
+        for (auto& [step, child] : steps) {
+            lo_min = std::min(lo_min, step->lo);
+            hi_max = std::max(hi_max, step->hi);
+        }
+
+        size_t idx = 0;
+        char c = cur_.skipWhitespace();
+        if (c == ']') {
+            cur_.advance(1);
+            return;
+        }
+        if (lo_min > 0 &&
+            skip_.overElems(lo_min, idx, Group::G5) ==
+                Skipper::ElemStop::End) {
+            return;
+        }
+        NodeSet covering;
+        for (;;) {
+            if (idx >= hi_max) {
+                skip_.toAryEnd(Group::G5);
+                return;
+            }
+            c = cur_.skipWhitespace();
+            if (c == ']') {
+                cur_.advance(1);
+                return;
+            }
+            covering.clear();
+            for (auto& [step, child] : steps) {
+                if (step->coversIndex(idx))
+                    covering.push_back(child);
+            }
+            if (covering.empty())
+                skip_.overValue(Group::G5); // a gap between ranges
+            else
+                runValue(covering);
+            c = cur_.skipWhitespace();
+            if (c == ',') {
+                cur_.advance(1);
+                ++idx;
+                continue;
+            }
+            if (c == ']') {
+                cur_.advance(1);
+                return;
+            }
+            throw ParseError("expected ',' or ']'", cur_.pos());
+        }
+    }
+
+    /** Object filter usable for *all* candidate attributes, or Any. */
+    Skipper::TypeFilter
+    sharedFilter(const NodeSet& active) const
+    {
+        bool all_obj = true;
+        bool all_ary = true;
+        for (int n : active) {
+            for (const auto& [key, child] : node(n).key_children) {
+                const MultiStreamer::Node& t = node(child);
+                bool obj_only = !t.key_children.empty() &&
+                                t.array_children.empty() &&
+                                t.accepts.empty();
+                bool ary_only = t.key_children.empty() &&
+                                !t.array_children.empty() &&
+                                t.accepts.empty();
+                all_obj = all_obj && obj_only;
+                all_ary = all_ary && ary_only;
+            }
+        }
+        if (all_obj)
+            return Skipper::TypeFilter::Object;
+        if (all_ary)
+            return Skipper::TypeFilter::Array;
+        return Skipper::TypeFilter::Any;
+    }
+
+    const MultiStreamer& ms_;
+    const std::vector<MultiStreamer::Node>& trie_;
+    std::vector<std::string_view> scratch_keys_;
+    intervals::StreamCursor cur_;
+    Skipper skip_;
+    MultiSink* sink_;
+    MultiStreamer::Result& result_;
+};
+
+MultiStreamer::Result
+MultiStreamer::run(std::string_view json, MultiSink* sink) const
+{
+    Result result;
+    result.matches.assign(queries_.size(), 0);
+    try {
+        MultiDriver(*this, trie_, json, sink, result).run();
+    } catch (const StopStreaming&) {
+        // Early termination requested by the sink; partial result.
+    }
+    return result;
+}
+
+} // namespace jsonski::ski

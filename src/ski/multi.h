@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Multi-query streaming: evaluate several JSONPath expressions in one
+ * pass over the data stream.
+ *
+ * The queries are compiled into a prefix trie; the driver walks the
+ * stream once with a *set* of active trie nodes per level and
+ * fast-forwards whatever no query cares about.  The G4 optimization
+ * generalizes: an object is abandoned once every distinct attribute
+ * name any active query could match has been seen.
+ *
+ * This extends the paper's single-query framework the way JPStream's
+ * multi-query support motivates; all fast-forward machinery is reused
+ * unchanged.
+ */
+#ifndef JSONSKI_SKI_MULTI_H
+#define JSONSKI_SKI_MULTI_H
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "path/ast.h"
+#include "ski/stats.h"
+
+namespace jsonski::ski {
+
+/** Receiver for matches of a multi-query run. */
+class MultiSink
+{
+  public:
+    virtual ~MultiSink() = default;
+
+    /**
+     * Called once per match.
+     * @param query_index index into the query vector the streamer was
+     *        built with.
+     * @param value       raw JSON text of the matched value; aliases
+     *        the input buffer, valid only during the call.
+     */
+    virtual void onMatch(size_t query_index, std::string_view value) = 0;
+};
+
+/** Sink collecting matches per query. */
+class MultiCollectSink : public MultiSink
+{
+  public:
+    explicit MultiCollectSink(size_t queries) : values(queries) {}
+
+    void
+    onMatch(size_t query_index, std::string_view value) override
+    {
+        values[query_index].push_back(std::string(value));
+    }
+
+    std::vector<std::vector<std::string>> values;
+};
+
+/** See file comment. */
+class MultiStreamer
+{
+  public:
+    /** Compile @p queries into one trie. */
+    explicit MultiStreamer(std::vector<path::PathQuery> queries);
+
+    /** Outcome of one pass. */
+    struct Result
+    {
+        /** Match count per query, same order as the constructor. */
+        std::vector<size_t> matches;
+        FastForwardStats stats;
+    };
+
+    /** Evaluate all queries over one record in a single pass. */
+    Result run(std::string_view json, MultiSink* sink = nullptr) const;
+
+    /** The compiled queries. */
+    const std::vector<path::PathQuery>& queries() const { return queries_; }
+
+  private:
+    friend class MultiDriver;
+
+    /** One trie node; an edge per distinct next step. */
+    struct Node
+    {
+        /** Child per distinct attribute name. */
+        std::vector<std::pair<std::string, int>> key_children;
+
+        /** Child per distinct array step (ranges may overlap). */
+        std::vector<std::pair<path::PathStep, int>> array_children;
+
+        /** Queries accepted at this node (value = match). */
+        std::vector<size_t> accepts;
+    };
+
+    std::vector<path::PathQuery> queries_;
+    std::vector<Node> trie_;
+};
+
+} // namespace jsonski::ski
+
+#endif // JSONSKI_SKI_MULTI_H

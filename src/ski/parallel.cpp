@@ -1,0 +1,164 @@
+#include "ski/parallel.h"
+
+#include <atomic>
+
+#include "intervals/cursor.h"
+#include "json/text.h"
+#include "ski/skipper.h"
+#include "ski/streamer.h"
+#include "util/error.h"
+
+namespace jsonski::ski {
+
+using path::PathQuery;
+using path::PathStep;
+
+namespace {
+
+/** Collects match spans (views into the shared input). */
+class SpanSink : public path::MatchSink
+{
+  public:
+    void
+    onMatch(std::string_view value) override
+    {
+        values.push_back(value);
+    }
+
+    std::vector<std::string_view> values;
+};
+
+/** Index of the first array step, or npos when there is none. */
+size_t
+firstArrayStep(const PathQuery& q)
+{
+    for (size_t i = 0; i < q.size(); ++i) {
+        if (q[i].isArrayStep())
+            return i;
+    }
+    return std::string_view::npos;
+}
+
+} // namespace
+
+bool
+ParallelStreamer::parallelizable() const
+{
+    return firstArrayStep(query_) != std::string_view::npos;
+}
+
+size_t
+ParallelStreamer::run(std::string_view json, ThreadPool& pool,
+                      path::MatchSink* sink) const
+{
+    size_t split = firstArrayStep(query_);
+    if (split == std::string_view::npos) {
+        // Key-only query: nothing to fan out over.
+        Streamer serial(query_);
+        return serial.run(json, sink).matches;
+    }
+
+    // --- Phase 0 (serial): walk the key prefix to the split array. ---
+    intervals::StreamCursor cur(json);
+    Skipper skip(cur, nullptr);
+    char c = cur.skipWhitespace();
+    if (c == '\0')
+        throw ParseError("empty input", 0);
+    for (size_t s = 0; s < split; ++s) {
+        if (c != '{')
+            return 0; // type mismatch on the prefix: no matches
+        cur.advance(1);
+        const std::string& want = query_[s].key;
+        bool found = false;
+        for (;;) {
+            Skipper::AttrResult attr =
+                skip.toAttr(Skipper::TypeFilter::Any, Group::G1);
+            if (!attr.found)
+                break;
+            if (cur.slice(attr.key_begin, attr.key_end) == want) {
+                found = true;
+                break;
+            }
+            skip.overValue(Group::G2);
+        }
+        if (!found)
+            return 0;
+        c = cur.skipWhitespace();
+    }
+    if (c != '[')
+        return 0; // the value at the split position is not an array
+
+    // --- Phase 1 (serial, bit-parallel): split element spans. ---
+    const PathStep& astep = query_[split];
+    PathQuery remaining;
+    remaining.steps.assign(query_.steps.begin() +
+                               static_cast<long>(split) + 1,
+                           query_.steps.end());
+
+    std::vector<std::pair<size_t, size_t>> spans;
+    cur.advance(1);
+    size_t idx = 0;
+    c = cur.skipWhitespace();
+    if (c != ']') {
+        if (astep.lo > 0 &&
+            skip.overElems(astep.lo, idx, Group::G5) ==
+                Skipper::ElemStop::End) {
+            idx = astep.hi; // array exhausted below the range
+        }
+        while (idx < astep.hi) {
+            c = cur.skipWhitespace();
+            if (c == ']')
+                break;
+            size_t begin = cur.pos();
+            skip.overValue(Group::G1);
+            size_t end = cur.pos();
+            while (end > begin && json::isWhitespace(cur.at(end - 1)))
+                --end;
+            spans.emplace_back(begin, end);
+            c = cur.skipWhitespace();
+            if (c == ',') {
+                cur.advance(1);
+                ++idx;
+                continue;
+            }
+            break; // ']' or end
+        }
+    }
+
+    // --- Phase 2 (parallel): evaluate the tail query per element. ---
+    std::vector<std::vector<std::string_view>> results(spans.size());
+    if (remaining.empty()) {
+        // The elements themselves are the matches; no work to fan out.
+        for (size_t i = 0; i < spans.size(); ++i) {
+            results[i].push_back(
+                json.substr(spans[i].first,
+                            spans[i].second - spans[i].first));
+        }
+    } else {
+        Streamer tail(remaining);
+        pool.parallelFor(spans.size(), [&](size_t i) {
+            std::string_view elem = json.substr(
+                spans[i].first, spans[i].second - spans[i].first);
+            // Primitive elements cannot satisfy further steps.
+            char first = elem.empty() ? '\0' : elem.front();
+            if (first != '{' && first != '[')
+                return;
+            SpanSink local;
+            tail.run(elem, &local);
+            results[i] = std::move(local.values);
+        });
+    }
+
+    // --- Merge in document order. ---
+    size_t matches = 0;
+    for (const auto& r : results) {
+        matches += r.size();
+        if (sink) {
+            for (std::string_view v : r)
+                sink->onMatch(v);
+        }
+    }
+    return matches;
+}
+
+} // namespace jsonski::ski

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Convenience sinks and early termination for the streaming API.
+ *
+ * Sinks may throw StopStreaming from onMatch() to abort the pass;
+ * Streamer::run catches it and returns the partial result.  Combined
+ * with fast-forwarding this makes "first match" probes nearly free
+ * even on huge inputs.
+ */
+#ifndef JSONSKI_SKI_SINKS_H
+#define JSONSKI_SKI_SINKS_H
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "json/text.h"
+#include "path/matches.h"
+
+namespace jsonski::ski {
+
+/** Thrown by a sink to stop the streaming pass early. */
+struct StopStreaming
+{
+};
+
+/** Stops the pass after @p limit matches (collects them). */
+class LimitSink : public path::MatchSink
+{
+  public:
+    explicit LimitSink(size_t limit) : limit_(limit) {}
+
+    void
+    onMatch(std::string_view value) override
+    {
+        values.push_back(std::string(value));
+        if (values.size() >= limit_)
+            throw StopStreaming{};
+    }
+
+    std::vector<std::string> values;
+
+  private:
+    size_t limit_;
+};
+
+/**
+ * Collects string matches with JSON escapes decoded (non-string
+ * matches are kept verbatim).
+ */
+class UnescapeSink : public path::MatchSink
+{
+  public:
+    void
+    onMatch(std::string_view value) override
+    {
+        if (value.size() >= 2 && value.front() == '"' &&
+            value.back() == '"') {
+            values.push_back(
+                json::unescapeString(value.substr(1, value.size() - 2)));
+        } else {
+            values.push_back(std::string(value));
+        }
+    }
+
+    std::vector<std::string> values;
+};
+
+/**
+ * Streams matches into one output buffer with a separator — e.g. an
+ * NDJSON projection of the matched subtrees.
+ */
+class ConcatSink : public path::MatchSink
+{
+  public:
+    explicit ConcatSink(std::string separator = "\n")
+        : separator_(std::move(separator))
+    {}
+
+    void
+    onMatch(std::string_view value) override
+    {
+        out.append(value);
+        out.append(separator_);
+    }
+
+    std::string out;
+
+  private:
+    std::string separator_;
+};
+
+} // namespace jsonski::ski
+
+#endif // JSONSKI_SKI_SINKS_H

@@ -1,0 +1,426 @@
+#include "ski/skipper.h"
+
+#include <cassert>
+
+#include "util/error.h"
+
+namespace jsonski::ski {
+
+using intervals::BlockBits;
+using intervals::kBlockSize;
+
+void
+Skipper::consume(char expected)
+{
+    char c = cur_.skipWhitespace();
+    if (c != expected)
+        throw ParseError(std::string("expected '") + expected + "'",
+                         cur_.pos());
+    cur_.advance(1);
+}
+
+void
+Skipper::overValue(Group g)
+{
+    char c = cur_.skipWhitespace();
+    switch (c) {
+      case '{':
+        overObj(g);
+        break;
+      case '[':
+        overAry(g);
+        break;
+      case '\0':
+        throw ParseError("unexpected end of input", cur_.pos());
+      default:
+        overPrimitive(g);
+        break;
+    }
+}
+
+void
+Skipper::overObj(Group g)
+{
+    cur_.skipWhitespace();
+    size_t start = cur_.pos();
+    consume('{');
+    closeContainer(/*object=*/true, /*depth=*/1, g, start);
+}
+
+void
+Skipper::overAry(Group g)
+{
+    cur_.skipWhitespace();
+    size_t start = cur_.pos();
+    consume('[');
+    closeContainer(/*object=*/false, /*depth=*/1, g, start);
+}
+
+void
+Skipper::toObjEnd(Group g)
+{
+    closeContainer(/*object=*/true, /*depth=*/1, g, cur_.pos());
+}
+
+void
+Skipper::toAryEnd(Group g)
+{
+    closeContainer(/*object=*/false, /*depth=*/1, g, cur_.pos());
+}
+
+void
+Skipper::closeContainer(bool object, int depth, Group g, size_t account_from)
+{
+    size_t start = account_from;
+    const char open_ch = object ? '{' : '[';
+    const char close_ch = object ? '}' : ']';
+    while (!cur_.atEnd()) {
+        size_t base = cur_.blockIndex() * kBlockSize;
+        uint64_t opens = cur_.maskFromPos(cur_.bits(open_ch));
+        uint64_t closes = cur_.maskFromPos(cur_.bits(close_ch));
+        // Walk the word interval by interval (Algorithm 4): each opener
+        // bounds a structural interval; closers inside it are counted
+        // against the unpaired-opener total (Theorem 4.3).
+        for (;;) {
+            if (opens == 0) {
+                int n = bits::popcount(closes);
+                if (n >= depth) {
+                    int off = bits::selectBit(closes, depth);
+                    cur_.setPos(base + static_cast<size_t>(off) + 1);
+                    account(g, start, cur_.pos());
+                    return;
+                }
+                depth -= n;
+                break; // interval continues into the next word
+            }
+            uint64_t below = bits::maskBelowLowest(opens);
+            uint64_t closes_before = closes & below;
+            int n = bits::popcount(closes_before);
+            if (n >= depth) {
+                int off = bits::selectBit(closes_before, depth);
+                cur_.setPos(base + static_cast<size_t>(off) + 1);
+                account(g, start, cur_.pos());
+                return;
+            }
+            depth += 1 - n; // the opener at the interval end is unpaired
+            closes &= ~below;
+            opens = bits::clearLowest(opens);
+        }
+        cur_.setPos(base + kBlockSize);
+    }
+    throw ParseError(object ? "unterminated object" : "unterminated array",
+                     start);
+}
+
+void
+Skipper::overPrimitive(Group g)
+{
+    size_t start = cur_.pos();
+    while (!cur_.atEnd()) {
+        size_t base = cur_.blockIndex() * kBlockSize;
+        uint64_t stops = cur_.maskFromPos(cur_.bits3(',', '}', ']'));
+        if (stops != 0) {
+            cur_.setPos(base +
+                        static_cast<size_t>(bits::trailingZeros(stops)));
+            account(g, start, cur_.pos());
+            return;
+        }
+        cur_.setPos(base + kBlockSize);
+    }
+    // A bare root-level primitive runs to the end of input.
+    cur_.setPos(cur_.size());
+    account(g, start, cur_.pos());
+}
+
+size_t
+Skipper::stringEnd(size_t open_pos)
+{
+    size_t block = open_pos / kBlockSize;
+    int off = static_cast<int>(open_pos % kBlockSize);
+    uint64_t q = cur_.stringsAt(block).quote & ~bits::maskBelow(off + 1);
+    while (q == 0) {
+        ++block;
+        if (block * kBlockSize >= cur_.size())
+            throw ParseError("unterminated string", open_pos);
+        q = cur_.stringsAt(block).quote;
+    }
+    return block * kBlockSize +
+           static_cast<size_t>(bits::trailingZeros(q)) + 1;
+}
+
+Skipper::ScanStop
+Skipper::scanPrimitives(bool closer_is_brace, size_t max_seps, size_t& seps,
+                        Group g)
+{
+    assert(seps < max_seps);
+    size_t start = cur_.pos();
+    const char closer_ch = closer_is_brace ? '}' : ']';
+    while (!cur_.atEnd()) {
+        size_t base = cur_.blockIndex() * kBlockSize;
+        uint64_t stops =
+            cur_.maskFromPos(cur_.bits3('{', '[', closer_ch));
+        uint64_t commas = cur_.maskFromPos(cur_.bits(','));
+        uint64_t before =
+            stops != 0 ? bits::maskBelowLowest(stops) : ~uint64_t{0};
+        uint64_t commas_before = commas & before;
+        size_t n = static_cast<size_t>(bits::popcount(commas_before));
+        size_t budget = max_seps - seps;
+        if (n >= budget) {
+            int off =
+                bits::selectBit(commas_before, static_cast<int>(budget));
+            seps = max_seps;
+            cur_.setPos(base + static_cast<size_t>(off) + 1);
+            account(g, start, cur_.pos());
+            return ScanStop::SepBudget;
+        }
+        seps += n;
+        if (stops != 0) {
+            cur_.setPos(base +
+                        static_cast<size_t>(bits::trailingZeros(stops)));
+            account(g, start, cur_.pos());
+            char c = cur_.current();
+            if (c == '{')
+                return ScanStop::OpenBrace;
+            if (c == '[')
+                return ScanStop::OpenBracket;
+            return ScanStop::Closer;
+        }
+        cur_.setPos(base + kBlockSize);
+    }
+    throw ParseError("unexpected end of input while skipping primitives",
+                     start);
+}
+
+Skipper::AttrResult
+Skipper::toAttr(TypeFilter filter, Group g)
+{
+    for (;;) {
+        char c = cur_.skipWhitespace();
+        if (c == ',') {
+            cur_.advance(1);
+            c = cur_.skipWhitespace();
+        }
+        if (c == '}') {
+            cur_.advance(1);
+            return {};
+        }
+        if (c != '"')
+            throw ParseError("expected attribute name", cur_.pos());
+        size_t key_begin = cur_.pos() + 1;
+        size_t key_close = stringEnd(cur_.pos()); // one past closing quote
+        cur_.setPos(key_close);
+        consume(':');
+        c = cur_.skipWhitespace();
+        if (c == '\0')
+            throw ParseError("missing attribute value", cur_.pos());
+
+        switch (filter) {
+          case TypeFilter::Any:
+            return {true, key_begin, key_close - 1};
+          case TypeFilter::Object:
+            if (c == '{')
+                return {true, key_begin, key_close - 1};
+            if (c == '[') {
+                overAry(g);
+                continue;
+            }
+            break;
+          case TypeFilter::Array:
+            if (c == '[')
+                return {true, key_begin, key_close - 1};
+            if (c == '{') {
+                overObj(g);
+                continue;
+            }
+            break;
+        }
+
+        if (!batch_primitives_) {
+            overPrimitive(g); // one attribute at a time (ablation mode)
+            continue;
+        }
+        // Primitive value under a container-type filter: batch-skip the
+        // whole run of primitive attributes (enhanced goOverPriAttrs of
+        // Algorithm 5) until a container value or the object end.
+        size_t seps = 0;
+        ScanStop stop = scanPrimitives(/*closer_is_brace=*/true,
+                                       /*max_seps=*/SIZE_MAX, seps, g);
+        if (stop == ScanStop::Closer) {
+            cur_.advance(1); // consume '}'
+            return {};
+        }
+        bool is_object_value = (stop == ScanStop::OpenBrace);
+        if (is_object_value == (filter == TypeFilter::Object)) {
+            AttrResult r = keyBefore(cur_.pos());
+            r.found = true;
+            return r;
+        }
+        // Wrong container type: skip the value and keep scanning.
+        if (is_object_value)
+            overObj(g);
+        else
+            overAry(g);
+    }
+}
+
+Skipper::AttrResult
+Skipper::keyBefore(size_t value_pos) const
+{
+    auto is_ws = [](char c) {
+        return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+    };
+    size_t i = value_pos;
+    while (i > 0 && is_ws(cur_.at(i - 1)))
+        --i;
+    if (i == 0 || cur_.at(i - 1) != ':')
+        throw ParseError("expected ':' before attribute value", i);
+    --i;
+    while (i > 0 && is_ws(cur_.at(i - 1)))
+        --i;
+    if (i == 0 || cur_.at(i - 1) != '"')
+        throw ParseError("expected attribute name before ':'", i);
+    size_t key_end = i - 1; // index of the closing quote
+    size_t j = key_end;
+    for (;;) {
+        if (j == 0)
+            throw ParseError("unterminated attribute name", key_end);
+        --j;
+        if (cur_.at(j) == '"') {
+            // Unescaped iff preceded by an even-length backslash run.
+            size_t k = j;
+            size_t backslashes = 0;
+            while (k > 0 && cur_.at(k - 1) == '\\') {
+                ++backslashes;
+                --k;
+            }
+            if (backslashes % 2 == 0)
+                break;
+        }
+    }
+    AttrResult r;
+    r.key_begin = j + 1;
+    r.key_end = key_end;
+    return r;
+}
+
+Skipper::ElemStop
+Skipper::toTypedElem(char open_char, size_t& idx, size_t limit, Group g)
+{
+    assert(open_char == '{' || open_char == '[');
+    for (;;) {
+        if (idx >= limit)
+            return ElemStop::Found; // budget reached; caller re-checks idx
+        char c = cur_.skipWhitespace();
+        if (c == ']') {
+            cur_.advance(1);
+            return ElemStop::End;
+        }
+        if (c == '\0')
+            throw ParseError("unterminated array", cur_.pos());
+        if (c == open_char)
+            return ElemStop::Found;
+        if (c == '{' || c == '[' || !batch_primitives_) {
+            // Wrong-typed element (or per-element ablation mode): skip
+            // it whole, then its separator.
+            if (c == '{')
+                overObj(g);
+            else if (c == '[')
+                overAry(g);
+            else
+                overPrimitive(g);
+            c = cur_.skipWhitespace();
+            if (c == ',') {
+                cur_.advance(1);
+                ++idx;
+                continue;
+            }
+            if (c == ']') {
+                cur_.advance(1);
+                return ElemStop::End;
+            }
+            throw ParseError("expected ',' or ']'", cur_.pos());
+        }
+        // Primitive run: batch-skip, counting elements via separators.
+        size_t seps = 0;
+        ScanStop stop =
+            scanPrimitives(/*closer_is_brace=*/false, limit - idx, seps, g);
+        idx += seps;
+        if (stop == ScanStop::Closer) {
+            cur_.advance(1); // consume ']'
+            return ElemStop::End;
+        }
+        // SepBudget / OpenBrace / OpenBracket: loop re-examines.
+    }
+}
+
+Skipper::ElemStop
+Skipper::toContainerElem(Group g)
+{
+    for (;;) {
+        char c = cur_.skipWhitespace();
+        if (c == ']') {
+            cur_.advance(1);
+            return ElemStop::End;
+        }
+        if (c == '\0')
+            throw ParseError("unterminated array", cur_.pos());
+        if (c == '{' || c == '[')
+            return ElemStop::Found;
+        size_t seps = 0;
+        ScanStop stop =
+            scanPrimitives(/*closer_is_brace=*/false, SIZE_MAX, seps, g);
+        if (stop == ScanStop::Closer) {
+            cur_.advance(1);
+            return ElemStop::End;
+        }
+        // OpenBrace / OpenBracket: re-examined at the loop top.
+    }
+}
+
+Skipper::ElemStop
+Skipper::overElems(size_t count, size_t& idx, Group g)
+{
+    size_t target = idx + count;
+    for (;;) {
+        if (idx >= target)
+            return ElemStop::Found;
+        char c = cur_.skipWhitespace();
+        if (c == ']') {
+            cur_.advance(1);
+            return ElemStop::End;
+        }
+        if (c == '\0')
+            throw ParseError("unterminated array", cur_.pos());
+        if (c == '{' || c == '[' || !batch_primitives_) {
+            if (c == '{')
+                overObj(g);
+            else if (c == '[')
+                overAry(g);
+            else
+                overPrimitive(g);
+            c = cur_.skipWhitespace();
+            if (c == ',') {
+                cur_.advance(1);
+                ++idx;
+                continue;
+            }
+            if (c == ']') {
+                cur_.advance(1);
+                return ElemStop::End;
+            }
+            throw ParseError("expected ',' or ']'", cur_.pos());
+        }
+        size_t seps = 0;
+        ScanStop stop =
+            scanPrimitives(/*closer_is_brace=*/false, target - idx, seps, g);
+        idx += seps;
+        if (stop == ScanStop::Closer) {
+            cur_.advance(1);
+            return ElemStop::End;
+        }
+        // SepBudget: pos is at the next element; loop exits at the top.
+        // OpenBrace/OpenBracket: container element; handled next round.
+    }
+}
+
+} // namespace jsonski::ski

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Bit-parallel fast-forward primitives (paper Section 4, Table 1).
+ *
+ * The Skipper advances a StreamCursor over query-irrelevant
+ * substructures without tokenizing them.  Object/array ends are located
+ * with the counting-based pairing strategy of Lemma 4.2 / Theorem 4.3:
+ * per 64-byte word, close-metacharacter population counts are compared
+ * against the number of still-unpaired openers, and the terminating
+ * close character is selected directly from the bitmap.  Runs of
+ * primitive attributes/elements are skipped with comma structural
+ * intervals (Algorithm 4/5), batching whole runs per word.
+ *
+ * Invariant for every public method: on entry and exit the cursor
+ * position is outside any string literal.
+ */
+#ifndef JSONSKI_SKI_SKIPPER_H
+#define JSONSKI_SKI_SKIPPER_H
+
+#include <cstddef>
+#include <limits>
+
+#include "intervals/cursor.h"
+#include "ski/stats.h"
+
+namespace jsonski::ski {
+
+/** See file comment. */
+class Skipper
+{
+  public:
+    /** Result of the attribute scan. */
+    struct AttrResult
+    {
+        bool found = false;     ///< false: object ended (pos after '}')
+        size_t key_begin = 0;   ///< first byte of the attribute name
+        size_t key_end = 0;     ///< one past last byte (quotes excluded)
+    };
+
+    /** Result of element-level scans. */
+    enum class ElemStop {
+        Found, ///< positioned at the start of an element
+        End,   ///< array ended; position is just past ']'
+    };
+
+    /** Value-type filter used by the G1 attribute scan. */
+    enum class TypeFilter { Object, Array, Any };
+
+    /**
+     * @param cursor Cursor to drive; must outlive the skipper.
+     * @param stats  Optional per-group skip accounting (may be null).
+     */
+    explicit Skipper(intervals::StreamCursor& cursor,
+                     FastForwardStats* stats = nullptr)
+        : cur_(cursor), stats_(stats)
+    {}
+
+    /**
+     * Disable the batched primitive-run skipping (the enhanced
+     * goOverPriAttrs/goOverPriElems of Algorithm 5); primitives are
+     * then skipped one comma interval at a time.  Ablation knob.
+     */
+    void setBatchPrimitives(bool on) { batch_primitives_ = on; }
+
+    /// @name G2/G3 value skipping
+    /// @{
+
+    /**
+     * Skip one whole value of any type, dispatching on its first
+     * non-whitespace character.  Containers end just past their closer;
+     * primitives end at (not past) the terminating ',', '}' or ']'.
+     */
+    void overValue(Group g);
+
+    /** goOverObj(): skip a whole object. @pre next non-ws char is '{'. */
+    void overObj(Group g);
+
+    /** goOverAry(): skip a whole array. @pre next non-ws char is '['. */
+    void overAry(Group g);
+
+    /**
+     * goOverPriAttr()/goOverPriElem(): skip one primitive (number,
+     * string, literal); position ends at the terminating ',' / '}' /
+     * ']' or at end of input for a bare root primitive.
+     */
+    void overPrimitive(Group g);
+
+    /// @}
+    /// @name G4/G5 container-end skipping
+    /// @{
+
+    /**
+     * goToObjEnd(): from a position inside an object (between
+     * attributes or after a value), fast-forward just past its '}'.
+     */
+    void toObjEnd(Group g);
+
+    /** goToAryEnd(): array counterpart of toObjEnd(). */
+    void toAryEnd(Group g);
+
+    /// @}
+    /// @name G1 attribute scan
+    /// @{
+
+    /**
+     * goToObjAttr()/goToAryAttr(): advance to the next attribute whose
+     * value type passes @p filter, skipping non-matching attributes
+     * wholesale (their names are never extracted).  With
+     * TypeFilter::Any every attribute stops the scan.
+     *
+     * Entry position: the attribute-list position (just after '{', or
+     * just after a consumed value).  A separating ',' is consumed here.
+     *
+     * On success the position is at the first character of the
+     * attribute's value and the returned span is the attribute name.
+     */
+    AttrResult toAttr(TypeFilter filter, Group g);
+
+    /// @}
+    /// @name Element scans (G1/G5)
+    /// @{
+
+    /**
+     * goToObjElem()/goToAryElem() with an element budget: skip elements
+     * until one starts with @p open_char or @p idx reaches @p limit.
+     * @p idx is advanced by the number of elements skipped.
+     *
+     * Entry/exit position: element start.  Returns End when the array
+     * closed first (position past ']').
+     */
+    ElemStop toTypedElem(char open_char, size_t& idx, size_t limit,
+                         Group g);
+
+    /**
+     * goOverElems(K): skip exactly @p count elements (fewer if the
+     * array ends), advancing @p idx per element.  Exit position: start
+     * of the following element, or past ']' on End.
+     */
+    ElemStop overElems(size_t count, size_t& idx, Group g);
+
+    /**
+     * Skip primitive elements (and their separators) until the next
+     * container element of either type, used by descendant traversal
+     * where element types cannot be inferred.  Exit: at '{' or '['
+     * (Found), or just past ']' (End).
+     */
+    ElemStop toContainerElem(Group g);
+
+    /// @}
+
+    /**
+     * Bit-parallel scan for the end of the string literal opening at
+     * @p open_pos. @return index one past the closing quote.
+     */
+    size_t stringEnd(size_t open_pos);
+
+    /** Consume expected punctuation after whitespace. */
+    void consume(char expected);
+
+  private:
+    enum class ScanStop { OpenBrace, OpenBracket, Closer, SepBudget };
+
+    /**
+     * Core of the counting-based pairing strategy: advance past the
+     * closer that brings @p depth unpaired openers to zero.
+     * @param object       true = braces, false = brackets.
+     * @param account_from start of the span charged to @p g (callers
+     *                     that consumed the opener include it here).
+     */
+    void closeContainer(bool object, int depth, Group g,
+                        size_t account_from);
+
+    /**
+     * Skip consecutive primitives separated by commas, stopping at the
+     * first '{' or '[' (position lands on it), at the level's closer
+     * (position lands on it), or after @p max_seps separators have been
+     * consumed (position lands just past the last one).
+     *
+     * @param closer_is_brace true in object context ('}'), false in
+     *                        array context (']').
+     * @param seps            incremented per separator consumed.
+     */
+    ScanStop scanPrimitives(bool closer_is_brace, size_t max_seps,
+                            size_t& seps, Group g);
+
+    /**
+     * Recover the attribute name that precedes the container value at
+     * @p value_pos (used when a batched primitive scan stops at a
+     * container-typed value whose key was skimmed past).
+     */
+    AttrResult keyBefore(size_t value_pos) const;
+
+    void
+    account(Group g, size_t from, size_t to)
+    {
+        if (stats_ && to > from)
+            stats_->add(g, to - from);
+    }
+
+    intervals::StreamCursor& cur_;
+    FastForwardStats* stats_;
+    bool batch_primitives_ = true;
+};
+
+} // namespace jsonski::ski
+
+#endif // JSONSKI_SKI_SKIPPER_H

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Fast-forward accounting (paper §5.3, Table 6).
+ *
+ * Every fast-forward primitive attributes the number of characters it
+ * skipped to one of the five groups of Table 1.  The *fast-forward
+ * ratio* of a run is skipped / input-length per group; the paper
+ * reports these ratios per query to show where the skipping comes from.
+ */
+#ifndef JSONSKI_SKI_STATS_H
+#define JSONSKI_SKI_STATS_H
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace jsonski::ski {
+
+/** The five fast-forward groups of Table 1. */
+enum class Group : uint8_t {
+    G1, ///< fast-forward to a type-specific attribute / element
+    G2, ///< fast-forward over an unmatched attribute value
+    G3, ///< fast-forward over a matched value while outputting it
+    G4, ///< fast-forward to the end of the current object after a match
+    G5, ///< fast-forward over out-of-range array elements
+};
+
+/** Number of groups. */
+inline constexpr size_t kGroupCount = 5;
+
+/** Characters fast-forwarded, per group. */
+struct FastForwardStats
+{
+    std::array<uint64_t, kGroupCount> skipped{};
+
+    void
+    add(Group g, uint64_t chars)
+    {
+        skipped[static_cast<size_t>(g)] += chars;
+    }
+
+    uint64_t
+    get(Group g) const
+    {
+        return skipped[static_cast<size_t>(g)];
+    }
+
+    /** Characters skipped across all groups. */
+    uint64_t
+    total() const
+    {
+        uint64_t t = 0;
+        for (uint64_t v : skipped)
+            t += v;
+        return t;
+    }
+
+    /** Per-group ratio against an input of @p input_len bytes. */
+    double
+    ratio(Group g, size_t input_len) const
+    {
+        return input_len == 0
+                   ? 0.0
+                   : static_cast<double>(get(g)) /
+                         static_cast<double>(input_len);
+    }
+
+    /** Overall fast-forward ratio. */
+    double
+    overallRatio(size_t input_len) const
+    {
+        return input_len == 0
+                   ? 0.0
+                   : static_cast<double>(total()) /
+                         static_cast<double>(input_len);
+    }
+
+    void
+    merge(const FastForwardStats& other)
+    {
+        for (size_t i = 0; i < kGroupCount; ++i)
+            skipped[i] += other.skipped[i];
+    }
+};
+
+} // namespace jsonski::ski
+
+#endif // JSONSKI_SKI_STATS_H

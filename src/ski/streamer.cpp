@@ -1,0 +1,377 @@
+#include "ski/streamer.h"
+
+#include "intervals/cursor.h"
+#include "json/text.h"
+#include "path/parser.h"
+#include "ski/sinks.h"
+#include "util/error.h"
+
+namespace jsonski::ski {
+namespace {
+
+using intervals::StreamCursor;
+using path::PathQuery;
+using path::PathStep;
+
+/** One streaming pass over a single record. */
+class Driver
+{
+  public:
+    Driver(const PathQuery& query, const StreamerOptions& options,
+           std::string_view json, MatchSink* sink, StreamResult& result)
+        : q_(query),
+          options_(options),
+          cur_(json, options.scalar_classifier),
+          skip_(cur_, &result.stats),
+          sink_(sink),
+          result_(result)
+    {
+        skip_.setBatchPrimitives(options.batch_primitives);
+    }
+
+    void
+    run()
+    {
+        char c = cur_.skipWhitespace();
+        if (c == '\0')
+            throw ParseError("empty input", 0);
+        if (q_.empty()) {
+            // `$` selects the whole record.
+            emitValue();
+            return;
+        }
+        if (q_[0].kind == PathStep::Kind::Descendant) {
+            if (c == '{') {
+                cur_.advance(1);
+                runDescObject();
+            } else if (c == '[') {
+                cur_.advance(1);
+                runDescArray();
+            }
+        } else if (q_[0].isArrayStep()) {
+            if (c != '[')
+                return; // root type mismatch: no match possible
+            cur_.advance(1);
+            runArray(0);
+        } else {
+            if (c != '{')
+                return;
+            cur_.advance(1);
+            runObject(0);
+        }
+        flushDescendantMatches();
+    }
+
+  private:
+    /** ACCEPT: fast-forward over the value and report it (G3). */
+    void
+    emitValue()
+    {
+        size_t start = cur_.pos();
+        skip_.overValue(Group::G3);
+        size_t end = cur_.pos();
+        // Trim trailing whitespace a primitive skip may have crossed.
+        while (end > start && json::isWhitespace(cur_.at(end - 1)))
+            --end;
+        ++result_.matches;
+        if (sink_)
+            sink_->onMatch(cur_.slice(start, end));
+    }
+
+    /**
+     * Process an object whose attributes are matched against step
+     * @p state.  Entry: position just past '{'.  Exit: position just
+     * past the matching '}'.
+     */
+    void
+    runObject(size_t state)
+    {
+        const PathStep& st = q_[state];
+        bool accept_child = (state + 1 == q_.size());
+        bool desc_child =
+            !accept_child &&
+            q_[state + 1].kind == PathStep::Kind::Descendant;
+        Skipper::TypeFilter filter =
+            accept_child || desc_child || !options_.type_filter
+                ? Skipper::TypeFilter::Any
+            : q_[state + 1].isArrayStep() ? Skipper::TypeFilter::Array
+                                          : Skipper::TypeFilter::Object;
+        for (;;) {
+            Skipper::AttrResult attr = skip_.toAttr(filter, Group::G1);
+            if (!attr.found)
+                return; // object consumed; includes G4-less exhaustion
+            if (cur_.slice(attr.key_begin, attr.key_end) != st.key) {
+                // G2: unmatched attribute — skip its value wholesale.
+                skip_.overValue(Group::G2);
+                continue;
+            }
+            if (accept_child) {
+                emitValue(); // G3
+            } else if (desc_child) {
+                char c = cur_.current();
+                if (c == '{') {
+                    cur_.advance(1);
+                    runDescObject();
+                } else if (c == '[') {
+                    cur_.advance(1);
+                    runDescArray();
+                } else {
+                    skip_.overValue(Group::G2); // primitives: no match
+                }
+            } else {
+                char want = q_[state + 1].isArrayStep() ? '[' : '{';
+                if (cur_.current() != want) {
+                    // Type mismatch at runtime (only reachable with the
+                    // G1 filter disabled): the subtree cannot match.
+                    skip_.overValue(Group::G2);
+                    skip_.toObjEnd(Group::G4);
+                    return;
+                }
+                cur_.advance(1); // consume '{' or '['
+                if (want == '{')
+                    runObject(state + 1);
+                else
+                    runArray(state + 1);
+            }
+            // G4: attribute names are unique per object — nothing else
+            // in this object can match; fast-forward past its '}'.
+            skip_.toObjEnd(Group::G4);
+            return;
+        }
+    }
+
+    /**
+     * Process an array whose elements are matched against step
+     * @p state.  Entry: position just past '['.  Exit: just past ']'.
+     */
+    void
+    runArray(size_t state)
+    {
+        const PathStep& st = q_[state];
+        bool accept_child = (state + 1 == q_.size());
+        size_t idx = 0;
+        char c = cur_.skipWhitespace();
+        if (c == ']') {
+            cur_.advance(1);
+            return;
+        }
+        // G5: skip the prefix below the range start without matching.
+        if (st.lo > 0 &&
+            skip_.overElems(st.lo, idx, Group::G5) == Skipper::ElemStop::End)
+            return;
+        for (;;) {
+            if (idx >= st.hi) {
+                // G5: the range is exhausted; nothing further can match.
+                skip_.toAryEnd(Group::G5);
+                return;
+            }
+            c = cur_.skipWhitespace();
+            if (c == ']') {
+                cur_.advance(1);
+                return;
+            }
+            if (accept_child) {
+                emitValue(); // G3: every in-range element is a match
+            } else if (q_[state + 1].kind == PathStep::Kind::Descendant) {
+                if (c == '{') {
+                    cur_.advance(1);
+                    runDescObject();
+                } else if (c == '[') {
+                    cur_.advance(1);
+                    runDescArray();
+                } else {
+                    skip_.overValue(Group::G2);
+                }
+            } else {
+                char want = q_[state + 1].isArrayStep() ? '[' : '{';
+                if (options_.type_filter) {
+                    // G1: only elements of the expected container type
+                    // can extend the match.
+                    Skipper::ElemStop stop =
+                        skip_.toTypedElem(want, idx, st.hi, Group::G1);
+                    if (stop == Skipper::ElemStop::End)
+                        return;
+                    if (idx >= st.hi)
+                        continue; // budget reached; loop skips out
+                } else if (cur_.current() != want) {
+                    skip_.overValue(Group::G2);
+                    c = cur_.skipWhitespace();
+                    if (c == ',') {
+                        cur_.advance(1);
+                        ++idx;
+                        continue;
+                    }
+                    if (c == ']') {
+                        cur_.advance(1);
+                        return;
+                    }
+                    throw ParseError("expected ',' or ']'", cur_.pos());
+                }
+                cur_.advance(1); // consume '{' or '['
+                if (want == '{')
+                    runObject(state + 1);
+                else
+                    runArray(state + 1);
+            }
+            c = cur_.skipWhitespace();
+            if (c == ',') {
+                cur_.advance(1);
+                ++idx;
+                continue;
+            }
+            if (c == ']') {
+                cur_.advance(1);
+                return;
+            }
+            throw ParseError("expected ',' or ']'", cur_.pos());
+        }
+    }
+
+    /**
+     * Descendant traversal (terminal `..name` step, an extension over
+     * the paper): every attribute at any depth whose name matches is
+     * a result.  Matches may nest, so container spans are recorded as
+     * placeholder slots patched once their end is known; slot order is
+     * document pre-order, flushed after the pass (flushDescendant-
+     * Matches).  Only primitive runs can still be fast-forwarded —
+     * the type-inference limitation the paper predicts for `..`.
+     *
+     * Entry: position just past '{'.  Exit: just past the '}'.
+     */
+    void
+    runDescObject()
+    {
+        if (++desc_depth_ > kMaxDescDepth)
+            throw ParseError("nesting too deep for descendant traversal",
+                             cur_.pos());
+        const std::string& k = q_.steps.back().key;
+        for (;;) {
+            Skipper::AttrResult attr =
+                skip_.toAttr(Skipper::TypeFilter::Any, Group::G1);
+            if (!attr.found) {
+                --desc_depth_;
+                return;
+            }
+            bool matched =
+                cur_.slice(attr.key_begin, attr.key_end) == k;
+            char c = cur_.current();
+            if (c == '{' || c == '[') {
+                size_t slot = SIZE_MAX;
+                if (matched) {
+                    slot = desc_pending_.size();
+                    desc_pending_.emplace_back(cur_.pos(), cur_.pos());
+                }
+                cur_.advance(1);
+                if (c == '{')
+                    runDescObject();
+                else
+                    runDescArray();
+                if (matched)
+                    desc_pending_[slot].second = cur_.pos();
+            } else if (matched) {
+                size_t start = cur_.pos();
+                skip_.overPrimitive(Group::G3);
+                size_t end = cur_.pos();
+                while (end > start &&
+                       json::isWhitespace(cur_.at(end - 1)))
+                    --end;
+                desc_pending_.emplace_back(start, end);
+            } else {
+                skip_.overPrimitive(Group::G2);
+            }
+        }
+    }
+
+    /** Entry: position just past '['.  Exit: just past the ']'. */
+    void
+    runDescArray()
+    {
+        if (++desc_depth_ > kMaxDescDepth)
+            throw ParseError("nesting too deep for descendant traversal",
+                             cur_.pos());
+        for (;;) {
+            // Primitive elements cannot match a name: batch-skip them.
+            if (skip_.toContainerElem(Group::G1) ==
+                Skipper::ElemStop::End) {
+                --desc_depth_;
+                return;
+            }
+            char c = cur_.current();
+            cur_.advance(1);
+            if (c == '{')
+                runDescObject();
+            else
+                runDescArray();
+            c = cur_.skipWhitespace();
+            if (c == ',') {
+                cur_.advance(1);
+                continue;
+            }
+            if (c == ']') {
+                cur_.advance(1);
+                --desc_depth_;
+                return;
+            }
+            throw ParseError("expected ',' or ']'", cur_.pos());
+        }
+    }
+
+    /** Report the collected descendant matches, in document order. */
+    void
+    flushDescendantMatches()
+    {
+        for (auto [start, end] : desc_pending_) {
+            ++result_.matches;
+            if (sink_)
+                sink_->onMatch(cur_.slice(start, end));
+        }
+        desc_pending_.clear();
+    }
+
+    static constexpr int kMaxDescDepth = 20000;
+
+    const PathQuery& q_;
+    const StreamerOptions& options_;
+    StreamCursor cur_;
+    Skipper skip_;
+    MatchSink* sink_;
+    StreamResult& result_;
+    std::vector<std::pair<size_t, size_t>> desc_pending_;
+    int desc_depth_ = 0;
+};
+
+} // namespace
+
+StreamResult
+Streamer::run(std::string_view json, MatchSink* sink) const
+{
+    StreamResult result;
+    try {
+        Driver(query_, options_, json, sink, result).run();
+    } catch (const StopStreaming&) {
+        // A sink requested early termination; the partial result
+        // (matches delivered so far) is valid.
+    }
+    return result;
+}
+
+QueryResult
+query(std::string_view json, std::string_view path_text, bool collect)
+{
+    Streamer streamer(path::parse(path_text));
+    QueryResult out;
+    if (collect) {
+        CollectSink sink;
+        StreamResult r = streamer.run(json, &sink);
+        out.count = r.matches;
+        out.stats = r.stats;
+        out.values = std::move(sink.values);
+    } else {
+        StreamResult r = streamer.run(json);
+        out.count = r.matches;
+        out.stats = r.stats;
+    }
+    return out;
+}
+
+} // namespace jsonski::ski

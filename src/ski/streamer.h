@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Recursive-descent streaming with fast-forwarding — the JSONSki core
+ * (paper Algorithm 2 integrated with the G1..G5 primitives).
+ *
+ * The streamer walks the input with a Skipper, descending recursively
+ * only along the query's match path; everything irrelevant is
+ * fast-forwarded.  Recursion depth is therefore bounded by the query
+ * length, not by the data's nesting depth.
+ */
+#ifndef JSONSKI_SKI_STREAMER_H
+#define JSONSKI_SKI_STREAMER_H
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "path/automaton.h"
+#include "path/matches.h"
+#include "ski/skipper.h"
+#include "ski/stats.h"
+
+namespace jsonski::ski {
+
+using path::CollectSink;
+using path::MatchSink;
+
+/** Outcome of one streaming pass. */
+struct StreamResult
+{
+    size_t matches = 0;
+    FastForwardStats stats;
+};
+
+/**
+ * Tuning/ablation knobs for the streamer; defaults reproduce the
+ * paper's full design.
+ */
+struct StreamerOptions
+{
+    /** G1 on/off: skip attributes/elements by inferred value type. */
+    bool type_filter = true;
+
+    /** Batched primitive-run skipping (enhanced goOverPriAttrs). */
+    bool batch_primitives = true;
+
+    /** Use the scalar reference classifier instead of SIMD. */
+    bool scalar_classifier = false;
+};
+
+/**
+ * Streaming query evaluator.  Construct once per query, run on any
+ * number of inputs (a run is stateless with respect to the streamer).
+ */
+class Streamer
+{
+  public:
+    explicit Streamer(path::PathQuery query, StreamerOptions options = {})
+        : query_(std::move(query)), options_(options)
+    {}
+
+    /** The compiled query. */
+    const path::PathQuery& query() const { return query_; }
+
+    /**
+     * Evaluate the query over one JSON record.
+     *
+     * @param json  The record text.
+     * @param sink  Optional match receiver (null = count only).
+     * @throws ParseError on malformed input along the traversed path.
+     */
+    StreamResult run(std::string_view json, MatchSink* sink = nullptr) const;
+
+  private:
+    path::PathQuery query_;
+    StreamerOptions options_;
+};
+
+/**
+ * One-call convenience API: evaluate @p path_text against @p json.
+ *
+ * @param collect  When true the matched values are copied out.
+ */
+struct QueryResult
+{
+    size_t count = 0;
+    std::vector<std::string> values;
+    FastForwardStats stats;
+};
+
+QueryResult query(std::string_view json, std::string_view path_text,
+                  bool collect = false);
+
+} // namespace jsonski::ski
+
+#endif // JSONSKI_SKI_STREAMER_H

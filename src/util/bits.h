@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Word-level bit-manipulation primitives used by the bit-parallel
+ * fast-forward algorithms (Algorithm 3 of the JSONSki paper).
+ *
+ * All bitmaps in this codebase follow the "mirrored" convention of
+ * simdjson / Mison / Pison (paper footnote 2): bit i of a word
+ * corresponds to byte i of the 64-byte block, so the *lowest* set bit is
+ * the *earliest* character.  Consequently "next" scans use
+ * count-trailing-zeros and interval ends are found at the lowest bit.
+ */
+#ifndef JSONSKI_UTIL_BITS_H
+#define JSONSKI_UTIL_BITS_H
+
+#include <cstdint>
+#include <cstddef>
+
+#if defined(__BMI2__)
+#include <immintrin.h>
+#endif
+
+namespace jsonski::bits {
+
+/** Number of set bits in @p x. */
+inline int
+popcount(uint64_t x)
+{
+    return __builtin_popcountll(x);
+}
+
+/** Index (0-based) of the lowest set bit; undefined when x == 0. */
+inline int
+trailingZeros(uint64_t x)
+{
+    return __builtin_ctzll(x);
+}
+
+/** Index of the highest set bit; undefined when x == 0. */
+inline int
+leadingZeros(uint64_t x)
+{
+    return __builtin_clzll(x);
+}
+
+/** Isolate the lowest set bit (x & -x); 0 stays 0. */
+inline uint64_t
+lowestBit(uint64_t x)
+{
+    return x & (0 - x);
+}
+
+/** Clear the lowest set bit (x & (x - 1)); 0 stays 0. */
+inline uint64_t
+clearLowest(uint64_t x)
+{
+    return x & (x - 1);
+}
+
+/** Mask of all bits strictly below the lowest set bit of @p x.
+ *  For x == 0 the result is all ones. */
+inline uint64_t
+maskBelowLowest(uint64_t x)
+{
+    return lowestBit(x) - 1;
+}
+
+/** Mask with bits [0, i) set. i must be in [0, 64]. */
+inline uint64_t
+maskBelow(int i)
+{
+    return i >= 64 ? ~uint64_t{0} : ((uint64_t{1} << i) - 1);
+}
+
+/**
+ * Position of the k-th (1-based) set bit of @p x.
+ *
+ * Used by the counting-based pairing strategy (Theorem 4.3): once we
+ * know the object ends at the depth-th "}" inside an interval, select
+ * finds that close brace in O(1) with PDEP, or via a short loop on
+ * machines without BMI2.
+ *
+ * @pre 1 <= k <= popcount(x)
+ */
+inline int
+selectBit(uint64_t x, int k)
+{
+#if defined(__BMI2__)
+    return trailingZeros(_pdep_u64(uint64_t{1} << (k - 1), x));
+#else
+    for (int i = 1; i < k; ++i)
+        x = clearLowest(x);
+    return trailingZeros(x);
+#endif
+}
+
+/**
+ * Prefix XOR: bit i of the result is the XOR of bits [0, i] of @p x.
+ *
+ * This turns an (unescaped) quote bitmap into an in-string mask: bits
+ * between an opening quote (inclusive) and the matching closing quote
+ * (exclusive) read 1.  Uses carry-less multiplication by all-ones when
+ * PCLMUL is available, otherwise a log-step shift cascade.
+ */
+inline uint64_t
+prefixXor(uint64_t x)
+{
+#if defined(__PCLMUL__)
+    __m128i v = _mm_set_epi64x(0, static_cast<int64_t>(x));
+    __m128i ones = _mm_set1_epi8(static_cast<char>(0xFF));
+    __m128i r = _mm_clmulepi64_si128(v, ones, 0);
+    return static_cast<uint64_t>(_mm_cvtsi128_si64(r));
+#else
+    x ^= x << 1;
+    x ^= x << 2;
+    x ^= x << 4;
+    x ^= x << 8;
+    x ^= x << 16;
+    x ^= x << 32;
+    return x;
+#endif
+}
+
+/** Broadcast one byte across a 64-bit word (for SWAR fallbacks). */
+inline uint64_t
+broadcastByte(uint8_t b)
+{
+    return uint64_t{0x0101010101010101ULL} * b;
+}
+
+} // namespace jsonski::bits
+
+#endif // JSONSKI_UTIL_BITS_H

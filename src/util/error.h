@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Error types shared across the library.
+ *
+ * Following the CppCoreGuidelines split between programmer errors
+ * (asserted) and input errors (thrown): malformed JSON or malformed
+ * JSONPath raised by *user input* throws one of the exceptions below;
+ * internal invariant violations use assert().
+ */
+#ifndef JSONSKI_UTIL_ERROR_H
+#define JSONSKI_UTIL_ERROR_H
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+namespace jsonski {
+
+/** Malformed JSON input detected during parsing or streaming. */
+class ParseError : public std::runtime_error
+{
+  public:
+    ParseError(std::string what, size_t position)
+        : std::runtime_error(std::move(what) + " (at byte " +
+                             std::to_string(position) + ")"),
+          position_(position)
+    {}
+
+    /** Byte offset in the input where the error was detected. */
+    size_t position() const { return position_; }
+
+  private:
+    size_t position_;
+};
+
+/** Malformed JSONPath query expression. */
+class PathError : public std::runtime_error
+{
+  public:
+    explicit PathError(const std::string& what)
+        : std::runtime_error("bad JSONPath: " + what)
+    {}
+};
+
+} // namespace jsonski
+
+#endif // JSONSKI_UTIL_ERROR_H

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for the synthetic
+ * dataset generators.  A fixed, seedable generator keeps every
+ * experiment reproducible bit-for-bit across runs and machines.
+ */
+#ifndef JSONSKI_UTIL_RNG_H
+#define JSONSKI_UTIL_RNG_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace jsonski {
+
+/**
+ * xoshiro256** by Blackman & Vigna — small, fast, and high quality;
+ * implemented locally so the generators do not depend on libstdc++'s
+ * unspecified distribution algorithms.
+ */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL)
+    {
+        // SplitMix64 seeding to fill the state from one word.
+        uint64_t z = seed;
+        for (auto& s : state_) {
+            z += 0x9E3779B97F4A7C15ULL;
+            uint64_t w = z;
+            w = (w ^ (w >> 30)) * 0xBF58476D1CE4E5B9ULL;
+            w = (w ^ (w >> 27)) * 0x94D049BB133111EBULL;
+            s = w ^ (w >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    uint64_t
+    next()
+    {
+        auto rotl = [](uint64_t x, int k) {
+            return (x << k) | (x >> (64 - k));
+        };
+        uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, n). @pre n > 0. */
+    uint64_t
+    below(uint64_t n)
+    {
+        // Lemire's nearly-divisionless method (bias negligible here).
+        return static_cast<uint64_t>(
+            (static_cast<__uint128_t>(next()) * n) >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t
+    range(int64_t lo, int64_t hi)
+    {
+        return lo + static_cast<int64_t>(below(static_cast<uint64_t>(hi - lo + 1)));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    real()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability @p p. */
+    bool
+    chance(double p)
+    {
+        return real() < p;
+    }
+
+    /** Random lowercase ASCII identifier of length @p len. */
+    std::string
+    ident(size_t len)
+    {
+        static constexpr std::string_view alphabet =
+            "abcdefghijklmnopqrstuvwxyz";
+        std::string s;
+        s.reserve(len);
+        for (size_t i = 0; i < len; ++i)
+            s.push_back(alphabet[below(alphabet.size())]);
+        return s;
+    }
+
+  private:
+    uint64_t state_[4];
+};
+
+} // namespace jsonski
+
+#endif // JSONSKI_UTIL_RNG_H

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Wall-clock timing helper for the benchmark harness.
+ */
+#ifndef JSONSKI_UTIL_STOPWATCH_H
+#define JSONSKI_UTIL_STOPWATCH_H
+
+#include <chrono>
+
+namespace jsonski {
+
+/** Monotonic stopwatch; starts running on construction. */
+class Stopwatch
+{
+  public:
+    Stopwatch() : start_(Clock::now()) {}
+
+    /** Restart from zero. */
+    void reset() { start_ = Clock::now(); }
+
+    /** Elapsed seconds since construction or last reset(). */
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(Clock::now() - start_).count();
+    }
+
+    /** Elapsed milliseconds. */
+    double milliseconds() const { return seconds() * 1e3; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+} // namespace jsonski
+
+#endif // JSONSKI_UTIL_STOPWATCH_H

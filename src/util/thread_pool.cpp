@@ -1,0 +1,86 @@
+#include "util/thread_pool.h"
+
+#include <cassert>
+
+namespace jsonski {
+
+ThreadPool::ThreadPool(size_t threads)
+{
+    assert(threads >= 1);
+    workers_.reserve(threads);
+    for (size_t i = 0; i < threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    cv_task_.notify_all();
+    for (auto& w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push(std::move(task));
+    }
+    cv_task_.notify_one();
+}
+
+void
+ThreadPool::waitIdle()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void
+ThreadPool::parallelFor(size_t n, const std::function<void(size_t)>& f)
+{
+    if (n == 0)
+        return;
+    auto counter = std::make_shared<std::atomic<size_t>>(0);
+    size_t spawn = std::min(n, workers_.size());
+    for (size_t t = 0; t < spawn; ++t) {
+        submit([counter, n, &f] {
+            for (size_t i = counter->fetch_add(1); i < n;
+                 i = counter->fetch_add(1)) {
+                f(i);
+            }
+        });
+    }
+    waitIdle();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_task_.wait(lock,
+                          [this] { return stopping_ || !queue_.empty(); });
+            if (stopping_ && queue_.empty())
+                return;
+            task = std::move(queue_.front());
+            queue_.pop();
+            ++active_;
+        }
+        task();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --active_;
+            if (queue_.empty() && active_ == 0)
+                cv_idle_.notify_all();
+        }
+    }
+}
+
+} // namespace jsonski

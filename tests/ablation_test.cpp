@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The ablation knobs must never change results — only performance.
+ * Every option combination is run against every paper query on small
+ * generated datasets and must agree with the default configuration.
+ */
+#include <gtest/gtest.h>
+
+#include "gen/datasets.h"
+#include "harness/engines.h"
+#include "path/parser.h"
+#include "ski/streamer.h"
+
+using namespace jsonski::ski;
+using jsonski::gen::generateLarge;
+using jsonski::path::CollectSink;
+using jsonski::path::parse;
+
+namespace {
+
+std::vector<std::string>
+runWith(const std::string& json, const jsonski::path::PathQuery& q,
+        StreamerOptions opt)
+{
+    Streamer s(q, opt);
+    CollectSink sink;
+    s.run(json, &sink);
+    return sink.values;
+}
+
+} // namespace
+
+TEST(Ablation, AllOptionCombinationsAgree)
+{
+    for (const auto& spec : jsonski::harness::paperQueries()) {
+        std::string json = generateLarge(spec.dataset, 2 * 1024 * 1024);
+        auto q = parse(spec.large_query);
+        auto reference = runWith(json, q, StreamerOptions{});
+        EXPECT_FALSE(reference.empty()) << spec.id;
+        for (bool type_filter : {false, true}) {
+            for (bool batch : {false, true}) {
+                for (bool scalar : {false, true}) {
+                    StreamerOptions opt{type_filter, batch, scalar};
+                    EXPECT_EQ(runWith(json, q, opt), reference)
+                        << spec.id << " tf=" << type_filter
+                        << " batch=" << batch << " scalar=" << scalar;
+                }
+            }
+        }
+    }
+}
+
+TEST(Ablation, StatsShiftBetweenGroupsNotTotals)
+{
+    // Disabling the type filter reroutes G1 skips into G2 but the
+    // match counts stay identical (checked above); here we confirm G1
+    // drops to zero in that mode.
+    std::string json =
+        generateLarge(jsonski::gen::DatasetId::WM, 256 * 1024);
+    auto q = parse("$.it[*].bmrpr.pr");
+    Streamer no_g1(q, StreamerOptions{.type_filter = false});
+    StreamResult r = no_g1.run(json);
+    EXPECT_EQ(r.stats.get(Group::G1), 0u);
+    Streamer full(q);
+    StreamResult rf = full.run(json);
+    EXPECT_GT(rf.stats.get(Group::G1), 0u);
+}

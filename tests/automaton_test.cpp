@@ -1,0 +1,83 @@
+/** @file Tests for the query automaton (Figure 5 transitions). */
+#include "path/automaton.h"
+
+#include <gtest/gtest.h>
+
+#include "path/parser.h"
+
+using namespace jsonski::path;
+
+TEST(Automaton, KeyTransitions)
+{
+    QueryAutomaton qa(parse("$.place.name"));
+    EXPECT_EQ(qa.start(), 0);
+    EXPECT_EQ(qa.accept(), 2);
+    int s = qa.onKey(0, "place");
+    EXPECT_EQ(s, 1);
+    EXPECT_FALSE(qa.isAccept(s));
+    s = qa.onKey(s, "name");
+    EXPECT_EQ(s, 2);
+    EXPECT_TRUE(qa.isAccept(s));
+}
+
+TEST(Automaton, UnmatchedKey)
+{
+    QueryAutomaton qa(parse("$.place.name"));
+    EXPECT_EQ(qa.onKey(0, "user"), QueryAutomaton::kUnmatched);
+    EXPECT_EQ(qa.onKey(QueryAutomaton::kUnmatched, "place"),
+              QueryAutomaton::kUnmatched);
+}
+
+TEST(Automaton, KeyOnArrayStepFails)
+{
+    QueryAutomaton qa(parse("$[*].text"));
+    EXPECT_EQ(qa.onKey(0, "text"), QueryAutomaton::kUnmatched);
+    EXPECT_EQ(qa.onElement(0, 5), 1);
+    EXPECT_EQ(qa.onKey(1, "text"), 2);
+}
+
+TEST(Automaton, ElementRange)
+{
+    QueryAutomaton qa(parse("$.cp[1:3]"));
+    int s = qa.onKey(0, "cp");
+    ASSERT_EQ(s, 1);
+    EXPECT_EQ(qa.onElement(s, 0), QueryAutomaton::kUnmatched);
+    EXPECT_EQ(qa.onElement(s, 1), 2);
+    EXPECT_EQ(qa.onElement(s, 2), 2);
+    EXPECT_EQ(qa.onElement(s, 3), QueryAutomaton::kUnmatched);
+}
+
+TEST(Automaton, AcceptStateHasNoOutgoing)
+{
+    QueryAutomaton qa(parse("$.a"));
+    int s = qa.onKey(0, "a");
+    ASSERT_TRUE(qa.isAccept(s));
+    EXPECT_EQ(qa.onKey(s, "a"), QueryAutomaton::kUnmatched);
+    EXPECT_EQ(qa.onElement(s, 0), QueryAutomaton::kUnmatched);
+}
+
+TEST(Automaton, ContainerTypeInference)
+{
+    QueryAutomaton qa(parse("$.pd[*].id"));
+    EXPECT_EQ(qa.containerAt(0), ExpectedType::Object); // root: .pd
+    EXPECT_EQ(qa.containerAt(1), ExpectedType::Array);  // pd: [*]
+    EXPECT_EQ(qa.containerAt(2), ExpectedType::Object); // element: .id
+    EXPECT_EQ(qa.containerAt(3), ExpectedType::Any);    // accept
+    EXPECT_EQ(qa.containerAt(QueryAutomaton::kUnmatched),
+              ExpectedType::Any);
+}
+
+TEST(Automaton, IndexRange)
+{
+    QueryAutomaton qa(parse("$[10:21]"));
+    size_t lo = 0, hi = 0;
+    qa.indexRange(0, lo, hi);
+    EXPECT_EQ(lo, 10u);
+    EXPECT_EQ(hi, 21u);
+}
+
+TEST(Automaton, EmptyQueryAcceptsRoot)
+{
+    QueryAutomaton qa(parse("$"));
+    EXPECT_TRUE(qa.isAccept(qa.start()));
+}

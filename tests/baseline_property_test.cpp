@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Structural property tests for the baseline engines' internals:
+ * tape skip-links must partition containers exactly, the leveled
+ * index's nextBit must agree with a naive scan, and the two dataset
+ * formats (large record vs small records) must contain the same
+ * matches.
+ */
+#include <gtest/gtest.h>
+
+#include "baseline/pison/leveled_index.h"
+#include "baseline/tape/query.h"
+#include "gen/datasets.h"
+#include "json/validate.h"
+#include "json/writer.h"
+#include "path/parser.h"
+#include "ski/streamer.h"
+#include "util/rng.h"
+
+using namespace jsonski;
+
+namespace {
+
+void
+genValue(Rng& rng, json::Writer& w, int depth)
+{
+    double shape = rng.real();
+    if (depth <= 0 || shape < 0.45) {
+        if (rng.chance(0.3))
+            w.string(rng.ident(1 + rng.below(10)));
+        else
+            w.number(rng.range(-1000, 1000));
+    } else if (shape < 0.75) {
+        w.beginObject();
+        size_t n = rng.below(4);
+        for (size_t i = 0; i < n; ++i) {
+            w.key("k" + std::to_string(i));
+            genValue(rng, w, depth - 1);
+        }
+        w.endObject();
+    } else {
+        w.beginArray();
+        size_t n = rng.below(5);
+        for (size_t i = 0; i < n; ++i)
+            genValue(rng, w, depth - 1);
+        w.endArray();
+    }
+}
+
+std::string
+genDoc(Rng& rng)
+{
+    json::Writer w;
+    w.beginObject();
+    w.key("root");
+    genValue(rng, w, 5);
+    w.endObject();
+    return w.take();
+}
+
+} // namespace
+
+TEST(TapeProperty, SkipLinksPartitionContainers)
+{
+    Rng rng(77);
+    for (int iter = 0; iter < 200; ++iter) {
+        std::string doc = genDoc(rng);
+        tape::Tape t =
+            tape::buildTape(doc, tape::buildStructuralIndex(doc));
+        // Walk every container: children found via skip() must land
+        // exactly on the container's end entry.
+        for (size_t i = 0; i < t.words.size(); i += tape::Tape::kNodeWords) {
+            tape::TapeType ty = t.typeAt(i);
+            if (ty != tape::TapeType::ObjStart &&
+                ty != tape::TapeType::AryStart)
+                continue;
+            size_t end_idx = static_cast<size_t>(t.payloadAt(i)) -
+                             tape::Tape::kNodeWords;
+            size_t cur = i + tape::Tape::kNodeWords;
+            while (cur < end_idx) {
+                if (ty == tape::TapeType::ObjStart) {
+                    ASSERT_EQ(t.typeAt(cur), tape::TapeType::Key) << doc;
+                    cur = t.skip(cur + tape::Tape::kNodeWords);
+                } else {
+                    cur = t.skip(cur);
+                }
+            }
+            ASSERT_EQ(cur, end_idx) << doc;
+            // The end entry must point back at the start.
+            ASSERT_EQ(t.payloadAt(end_idx), i);
+        }
+    }
+}
+
+TEST(TapeProperty, TextAtRoundTripsWholeDocument)
+{
+    Rng rng(78);
+    for (int iter = 0; iter < 100; ++iter) {
+        std::string doc = genDoc(rng);
+        tape::Tape t =
+            tape::buildTape(doc, tape::buildStructuralIndex(doc));
+        EXPECT_EQ(t.textAt(t.root, doc), doc);
+    }
+}
+
+TEST(PisonProperty, NextBitMatchesNaiveScan)
+{
+    Rng rng(79);
+    for (int iter = 0; iter < 100; ++iter) {
+        std::string doc = genDoc(rng);
+        pison::LeveledIndex ix = pison::LeveledIndex::build(doc, 2);
+        for (size_t level = 0; level < 2; ++level) {
+            const auto& bm = ix.colons(level);
+            // Collect positions naively.
+            std::vector<size_t> naive;
+            for (size_t w = 0; w < bm.size(); ++w) {
+                for (int b = 0; b < 64; ++b) {
+                    if ((bm[w] >> b) & 1)
+                        naive.push_back(w * 64 + static_cast<size_t>(b));
+                }
+            }
+            // nextBit must enumerate exactly those.
+            size_t from = 0;
+            for (size_t expect : naive) {
+                size_t got =
+                    pison::LeveledIndex::nextBit(bm, from, doc.size());
+                ASSERT_EQ(got, expect);
+                from = got + 1;
+            }
+            EXPECT_EQ(pison::LeveledIndex::nextBit(bm, from, doc.size()),
+                      doc.size());
+        }
+    }
+}
+
+TEST(GenProperty, SmallAndLargeFormatsHoldTheSameMatches)
+{
+    using gen::DatasetId;
+    struct Case
+    {
+        DatasetId id;
+        const char* large;
+        const char* small;
+    };
+    const Case cases[] = {
+        {DatasetId::TT, "$[*].text", "$.text"},
+        {DatasetId::BB, "$.pd[*].cp[1:3].id", "$.cp[1:3].id"},
+        {DatasetId::GMD, "$[*].rt[*].lg[*].st[*].dt.tx",
+         "$.rt[*].lg[*].st[*].dt.tx"},
+        {DatasetId::NSPL, "$.dt[*][*][2:4]", "$[*][2:4]"},
+        {DatasetId::WM, "$.it[*].nm", "$.nm"},
+        {DatasetId::WP, "$[*].cl.P150[*].ms.pty", "$.cl.P150[*].ms.pty"},
+    };
+    for (const Case& c : cases) {
+        std::string large = gen::generateLarge(c.id, 256 * 1024);
+        gen::SmallRecords small = gen::generateSmall(c.id, 256 * 1024);
+        size_t large_matches = ski::query(large, c.large).count;
+        ski::Streamer per_record(path::parse(c.small));
+        size_t small_matches = 0;
+        for (size_t i = 0; i < small.count(); ++i)
+            small_matches += per_record.run(small.record(i)).matches;
+        // Same seed, same record sequence; the wrappers may differ by
+        // one record at the size cutoff.
+        double ratio = static_cast<double>(large_matches) /
+                       static_cast<double>(std::max<size_t>(
+                           small_matches, 1));
+        EXPECT_GT(ratio, 0.9) << gen::datasetName(c.id);
+        EXPECT_LT(ratio, 1.1) << gen::datasetName(c.id);
+    }
+}

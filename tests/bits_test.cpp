@@ -1,0 +1,113 @@
+/** @file Unit tests for util/bits.h word primitives. */
+#include "util/bits.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace bits = jsonski::bits;
+
+TEST(Bits, Popcount)
+{
+    EXPECT_EQ(bits::popcount(0), 0);
+    EXPECT_EQ(bits::popcount(1), 1);
+    EXPECT_EQ(bits::popcount(~uint64_t{0}), 64);
+    EXPECT_EQ(bits::popcount(0xF0F0F0F0F0F0F0F0ULL), 32);
+}
+
+TEST(Bits, TrailingZeros)
+{
+    EXPECT_EQ(bits::trailingZeros(1), 0);
+    EXPECT_EQ(bits::trailingZeros(uint64_t{1} << 63), 63);
+    EXPECT_EQ(bits::trailingZeros(0b101000), 3);
+}
+
+TEST(Bits, LowestBit)
+{
+    EXPECT_EQ(bits::lowestBit(0), 0u);
+    EXPECT_EQ(bits::lowestBit(0b1100), 0b100u);
+    EXPECT_EQ(bits::lowestBit(uint64_t{1} << 63), uint64_t{1} << 63);
+}
+
+TEST(Bits, ClearLowest)
+{
+    EXPECT_EQ(bits::clearLowest(0), 0u);
+    EXPECT_EQ(bits::clearLowest(0b1100), 0b1000u);
+    EXPECT_EQ(bits::clearLowest(1), 0u);
+}
+
+TEST(Bits, MaskBelowLowest)
+{
+    EXPECT_EQ(bits::maskBelowLowest(0b1000), 0b111u);
+    EXPECT_EQ(bits::maskBelowLowest(1), 0u);
+    EXPECT_EQ(bits::maskBelowLowest(0), ~uint64_t{0});
+}
+
+TEST(Bits, MaskBelow)
+{
+    EXPECT_EQ(bits::maskBelow(0), 0u);
+    EXPECT_EQ(bits::maskBelow(1), 1u);
+    EXPECT_EQ(bits::maskBelow(8), 0xFFu);
+    EXPECT_EQ(bits::maskBelow(64), ~uint64_t{0});
+}
+
+TEST(Bits, SelectBitSimple)
+{
+    //         bit:   76543210
+    uint64_t x = 0b10110010;
+    EXPECT_EQ(bits::selectBit(x, 1), 1);
+    EXPECT_EQ(bits::selectBit(x, 2), 4);
+    EXPECT_EQ(bits::selectBit(x, 3), 5);
+    EXPECT_EQ(bits::selectBit(x, 4), 7);
+}
+
+TEST(Bits, SelectBitMatchesNaive)
+{
+    jsonski::Rng rng(42);
+    for (int iter = 0; iter < 2000; ++iter) {
+        uint64_t x = rng.next() & rng.next(); // sparse-ish
+        int n = bits::popcount(x);
+        if (n == 0)
+            continue;
+        int k = static_cast<int>(rng.below(static_cast<uint64_t>(n))) + 1;
+        // Naive k-th set bit.
+        uint64_t y = x;
+        for (int i = 1; i < k; ++i)
+            y &= y - 1;
+        int expected = bits::trailingZeros(y);
+        EXPECT_EQ(bits::selectBit(x, k), expected)
+            << "x=" << std::hex << x << " k=" << std::dec << k;
+    }
+}
+
+TEST(Bits, PrefixXorSimple)
+{
+    EXPECT_EQ(bits::prefixXor(0), 0u);
+    // Single bit at i: everything from i upward flips.
+    EXPECT_EQ(bits::prefixXor(uint64_t{1} << 3), ~uint64_t{0} << 3);
+    // Two bits: a run between them (first inclusive, second exclusive).
+    uint64_t quotes = (uint64_t{1} << 2) | (uint64_t{1} << 5);
+    EXPECT_EQ(bits::prefixXor(quotes), uint64_t{0b011100});
+}
+
+TEST(Bits, PrefixXorMatchesNaive)
+{
+    jsonski::Rng rng(7);
+    for (int iter = 0; iter < 2000; ++iter) {
+        uint64_t x = rng.next();
+        uint64_t expected = 0;
+        bool parity = false;
+        for (int i = 0; i < 64; ++i) {
+            parity ^= ((x >> i) & 1) != 0;
+            if (parity)
+                expected |= uint64_t{1} << i;
+        }
+        EXPECT_EQ(bits::prefixXor(x), expected);
+    }
+}
+
+TEST(Bits, BroadcastByte)
+{
+    EXPECT_EQ(bits::broadcastByte(0x00), 0u);
+    EXPECT_EQ(bits::broadcastByte(0xAB), 0xABABABABABABABABULL);
+}

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Parameterized block-boundary sweeps: every bit-parallel algorithm in
+ * the repository works on 64-byte words, so every interesting structure
+ * is slid across a word boundary at all 64+ alignments and checked
+ * against the character-level DOM engine.
+ */
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "baseline/dom/query.h"
+#include "intervals/cursor.h"
+#include "json/validate.h"
+#include "path/parser.h"
+#include "ski/skipper.h"
+#include "ski/streamer.h"
+
+using namespace jsonski;
+using jsonski::path::parse;
+
+namespace {
+
+/** The document under test; structurally diverse on purpose. */
+const char* kCore =
+    R"({"alpha": [1, -2.5e3, "s,]}"], "beta": {"gamma": {"x": true},)"
+    R"( "delta": [[0], [1, 2], []]}, "eps\"c": null, "tail": "end"})";
+
+const char* kQueries[] = {
+    "$.alpha[2]",       "$.beta.gamma.x", "$.beta.delta[1][0]",
+    "$.tail",           "$.alpha[*]",     "$.beta.delta[*][*]",
+    "$.missing.attr",   "$.beta.delta[0:2]",
+};
+
+/** Pad with @p offset spaces so structures straddle block boundaries. */
+std::string
+padded(size_t offset)
+{
+    return std::string(offset, ' ') + kCore;
+}
+
+class AlignmentSweep : public ::testing::TestWithParam<size_t>
+{
+};
+
+} // namespace
+
+TEST_P(AlignmentSweep, JsonSkiMatchesDomAtEveryAlignment)
+{
+    std::string doc = padded(GetParam());
+    for (const char* qtext : kQueries) {
+        auto q = parse(qtext);
+        ski::Streamer streamer(q);
+        path::CollectSink ski_sink;
+        streamer.run(doc, &ski_sink);
+        path::CollectSink dom_sink;
+        dom::parseAndQuery(doc, q, &dom_sink);
+        EXPECT_EQ(ski_sink.values, dom_sink.values)
+            << "offset=" << GetParam() << " query=" << qtext;
+    }
+}
+
+TEST_P(AlignmentSweep, SkipperFindsObjectEndAtEveryAlignment)
+{
+    std::string doc = padded(GetParam()) + "###";
+    intervals::StreamCursor cur(doc);
+    ski::Skipper skip(cur);
+    cur.setPos(GetParam()); // at the '{'
+    skip.overObj(ski::Group::G2);
+    EXPECT_EQ(doc.compare(cur.pos(), 3, "###"), 0)
+        << "offset=" << GetParam();
+}
+
+TEST_P(AlignmentSweep, StringEndAtEveryAlignment)
+{
+    // A string whose escaped quote lands at a different in-block
+    // offset for each parameter.
+    std::string doc = std::string(GetParam(), ' ') +
+                      "\"pad\\\"ding\" rest";
+    intervals::StreamCursor cur(doc);
+    ski::Skipper skip(cur);
+    size_t end = skip.stringEnd(GetParam());
+    EXPECT_EQ(doc[end - 1], '"');
+    EXPECT_EQ(doc.substr(end, 5), " rest");
+}
+
+INSTANTIATE_TEST_SUITE_P(AllInBlockOffsets, AlignmentSweep,
+                         ::testing::Range<size_t>(0, 130));
+
+namespace {
+
+class BackslashRunSweep : public ::testing::TestWithParam<int>
+{
+};
+
+} // namespace
+
+TEST_P(BackslashRunSweep, EscapeRunsStraddlingBlockEdges)
+{
+    // A backslash run of parameter length placed so it ends exactly at
+    // the 64-byte boundary; whether the quote that follows closes the
+    // string depends on the run parity.
+    int run = GetParam();
+    std::string prefix = "{\"k\": \"";
+    std::string doc = prefix;
+    doc += std::string(static_cast<size_t>(64 - (prefix.size() % 64)) +
+                           64 - static_cast<size_t>(run),
+                       'x');
+    doc += std::string(static_cast<size_t>(run), '\\');
+    if (run % 2 == 0) {
+        // The quote closes the string.
+        doc += "\", \"m\": [1, 2]}";
+    } else {
+        // The quote is escaped; the string continues and closes later.
+        doc += "\" after\", \"m\": [1, 2]}";
+    }
+    ASSERT_TRUE(jsonski::json::validate(doc)) << "run=" << run;
+    // Compare SIMD vs reference classification over the whole doc.
+    using namespace jsonski::intervals;
+    ClassifierCarry c1, c2;
+    for (size_t base = 0; base < doc.size(); base += kBlockSize) {
+        size_t len = std::min(kBlockSize, doc.size() - base);
+        BlockBits a = len == kBlockSize
+                          ? classifyBlock(doc.data() + base, c1)
+                          : classifyPartialBlock(doc.data() + base, len,
+                                                 c1);
+        BlockBits b = classifyBlockReference(doc.data() + base, len, c2);
+        ASSERT_EQ(a.in_string, b.in_string) << "run=" << run;
+        ASSERT_EQ(a.quote, b.quote) << "run=" << run;
+        ASSERT_EQ(a.comma, b.comma) << "run=" << run;
+    }
+    // And the engine behaves identically to the DOM baseline.
+    auto q = parse("$.m[1]");
+    EXPECT_EQ(ski::Streamer(q).run(doc).matches,
+              dom::parseAndQuery(doc, q))
+        << "run=" << run;
+}
+
+INSTANTIATE_TEST_SUITE_P(RunLengths, BackslashRunSweep,
+                         ::testing::Range(0, 20));
+
+namespace {
+
+class ElementCountSweep : public ::testing::TestWithParam<size_t>
+{
+};
+
+} // namespace
+
+TEST_P(ElementCountSweep, SliceAcrossSizes)
+{
+    // Arrays of every size around the block capacity; slice semantics
+    // must agree with DOM everywhere.
+    size_t n = GetParam();
+    std::string doc = "[";
+    for (size_t i = 0; i < n; ++i) {
+        if (i)
+            doc += ',';
+        doc += std::to_string(i);
+    }
+    doc += "]";
+    for (const char* qtext : {"$[3:7]", "$[0]", "$[*]", "$[15:40]"}) {
+        auto q = parse(qtext);
+        path::CollectSink a, b;
+        ski::Streamer(q).run(doc, &a);
+        dom::parseAndQuery(doc, q, &b);
+        EXPECT_EQ(a.values, b.values) << "n=" << n << " q=" << qtext;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ElementCountSweep,
+                         ::testing::Values(0, 1, 2, 3, 6, 7, 8, 15, 16,
+                                           17, 20, 31, 32, 33, 40, 63,
+                                           64, 65, 100, 128, 200));

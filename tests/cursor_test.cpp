@@ -1,0 +1,115 @@
+/** @file Tests for the forward-only stream cursor. */
+#include "intervals/cursor.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+using namespace jsonski::intervals;
+
+TEST(Cursor, BasicAccess)
+{
+    std::string s = R"({"a": 1})";
+    StreamCursor cur(s);
+    EXPECT_EQ(cur.pos(), 0u);
+    EXPECT_EQ(cur.size(), s.size());
+    EXPECT_EQ(cur.current(), '{');
+    EXPECT_EQ(cur.at(1), '"');
+    EXPECT_EQ(cur.slice(1, 4), "\"a\"");
+}
+
+TEST(Cursor, BlockBitsForSmallInput)
+{
+    std::string s = R"({"a": 1})";
+    StreamCursor cur(s);
+    const BlockBits& b = cur.block();
+    EXPECT_EQ(b.open_brace, 1u);
+    EXPECT_EQ((b.close_brace >> 7) & 1, 1u);
+}
+
+TEST(Cursor, LazySequentialClassification)
+{
+    std::string s(300, ' ');
+    s[0] = '{';
+    s[150] = ':';
+    s[299] = '}';
+    StreamCursor cur(s);
+    EXPECT_EQ(cur.classifiedBlocks(), 0u);
+    cur.block();
+    EXPECT_EQ(cur.classifiedBlocks(), 1u);
+    cur.setPos(150);
+    const BlockBits& b = cur.block();
+    EXPECT_EQ(cur.classifiedBlocks(), 3u); // blocks 0..2
+    EXPECT_NE(b.colon, 0u);
+}
+
+TEST(Cursor, InStringStateSurvivesBlockSkips)
+{
+    // Open a string in block 0 that closes in block 2; a '{' in block 1
+    // must be masked even if we jump straight to block 2.
+    std::string s = "[\"";
+    s += std::string(70, 'a');
+    s += "{";                    // inside the string (block 1)
+    s += std::string(70, 'b');
+    s += "\", {\"k\": 1}]";
+    StreamCursor cur(s);
+    cur.setPos(140); // in block 2
+    (void)cur.block();
+    // Reading block 1 is no longer possible (forward-only), but the
+    // carry must have flowed through it: check block 2's bits.
+    size_t brace_pos = s.find("{\"k\"");
+    cur.setPos(brace_pos);
+    const BlockBits& b = cur.block();
+    EXPECT_NE(b.open_brace & (uint64_t{1} << (brace_pos % 64)), 0u);
+}
+
+TEST(Cursor, MaskFromPos)
+{
+    std::string s(64, ',');
+    StreamCursor cur(s);
+    cur.setPos(10);
+    uint64_t m = cur.maskFromPos(cur.block().comma);
+    EXPECT_EQ(m, ~uint64_t{0} << 10);
+}
+
+TEST(Cursor, SkipWhitespaceWithinBlock)
+{
+    std::string s = "   \t\n  {\"a\":1}";
+    StreamCursor cur(s);
+    EXPECT_EQ(cur.skipWhitespace(), '{');
+    EXPECT_EQ(cur.pos(), s.find('{'));
+}
+
+TEST(Cursor, SkipWhitespaceAcrossBlocks)
+{
+    std::string s(200, ' ');
+    s += '[';
+    StreamCursor cur(s);
+    EXPECT_EQ(cur.skipWhitespace(), '[');
+    EXPECT_EQ(cur.pos(), 200u);
+}
+
+TEST(Cursor, SkipWhitespaceToEnd)
+{
+    std::string s = "1   ";
+    StreamCursor cur(s);
+    cur.setPos(1);
+    EXPECT_EQ(cur.skipWhitespace(), '\0');
+    EXPECT_TRUE(cur.atEnd());
+}
+
+TEST(Cursor, SkipWhitespaceNoWhitespace)
+{
+    std::string s = "123";
+    StreamCursor cur(s);
+    EXPECT_EQ(cur.skipWhitespace(), '1');
+    EXPECT_EQ(cur.pos(), 0u);
+}
+
+TEST(Cursor, AtEndAfterAdvance)
+{
+    std::string s = "{}";
+    StreamCursor cur(s);
+    cur.advance(2);
+    EXPECT_TRUE(cur.atEnd());
+}

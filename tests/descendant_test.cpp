@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Tests for the descendant operator extension (`$..name`, terminal
+ * position): JSONSki semantics, pre-order emission, cross-engine
+ * agreement (JSONSki / JPStream / DOM / tape), and the documented
+ * restrictions (Pison rejects it; non-terminal use rejected by the
+ * parser).
+ */
+#include <gtest/gtest.h>
+
+#include "baseline/dom/query.h"
+#include "baseline/jpstream/engine.h"
+#include "baseline/pison/query.h"
+#include "baseline/tape/query.h"
+#include "json/validate.h"
+#include "json/writer.h"
+#include "path/parser.h"
+#include "ski/multi.h"
+#include "ski/streamer.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+using namespace jsonski;
+using jsonski::path::parse;
+
+namespace {
+
+std::vector<std::string>
+ski_values(std::string_view json, const char* q)
+{
+    auto r = ski::query(json, q, /*collect=*/true);
+    return r.values;
+}
+
+} // namespace
+
+TEST(Descendant, ParserAcceptsTerminalOnly)
+{
+    auto q = parse("$..name");
+    ASSERT_EQ(q.size(), 1u);
+    EXPECT_EQ(q[0].kind, path::PathStep::Kind::Descendant);
+    EXPECT_EQ(q.toString(), "$..name");
+    EXPECT_TRUE(q.hasDescendant());
+
+    EXPECT_NO_THROW(parse("$.a[*]..name"));
+    EXPECT_THROW(parse("$..a.b"), PathError);
+    EXPECT_THROW(parse("$..a[0]"), PathError);
+    EXPECT_THROW(parse("$.."), PathError);
+}
+
+TEST(Descendant, FindsAtAllDepths)
+{
+    std::string json = R"({
+      "name": "top",
+      "user": {"name": "mid", "info": {"name": "deep"}},
+      "list": [{"name": "in-array"}, [{"name": "nested-array"}], 5]
+    })";
+    auto values = ski_values(json, "$..name");
+    EXPECT_EQ(values,
+              (std::vector<std::string>{"\"top\"", "\"mid\"", "\"deep\"",
+                                        "\"in-array\"",
+                                        "\"nested-array\""}));
+}
+
+TEST(Descendant, NestedMatchesAreAllReportedPreOrder)
+{
+    std::string json = R"({"a": {"x": 1, "a": {"a": 2}}})";
+    auto values = ski_values(json, "$..a");
+    ASSERT_EQ(values.size(), 3u);
+    // Outer first (pre-order), then its nested matches.
+    EXPECT_EQ(values[0], R"({"x": 1, "a": {"a": 2}})");
+    EXPECT_EQ(values[1], R"({"a": 2})");
+    EXPECT_EQ(values[2], "2");
+}
+
+TEST(Descendant, AfterKeyAndArrayPrefix)
+{
+    std::string json =
+        R"({"data": [{"v": {"id": 1}}, {"w": [{"id": 2}, {"id": 3}]}],)"
+        R"( "id": 99})";
+    EXPECT_EQ(ski_values(json, "$.data..id"),
+              (std::vector<std::string>{"1", "2", "3"}));
+    EXPECT_EQ(ski_values(json, "$.data[1]..id"),
+              (std::vector<std::string>{"2", "3"}));
+    EXPECT_EQ(ski_values(json, "$.data[*]..id").size(), 3u);
+}
+
+TEST(Descendant, NoMatches)
+{
+    EXPECT_TRUE(ski_values(R"({"a": [1, {"b": 2}]})", "$..zz").empty());
+    EXPECT_TRUE(ski_values("[]", "$..k").empty());
+    EXPECT_TRUE(ski_values("{}", "$..k").empty());
+    EXPECT_TRUE(ski_values("5", "$..k").empty());
+}
+
+TEST(Descendant, DecoysInsideStrings)
+{
+    std::string json =
+        R"({"s": "\"k\": 1", "o": {"k": "real"}})";
+    EXPECT_EQ(ski_values(json, "$..k"),
+              (std::vector<std::string>{"\"real\""}));
+}
+
+TEST(Descendant, EnginesAgree)
+{
+    std::string json = R"({
+      "a": {"k": 1, "b": [{"k": [2, 3]}, {"c": {"k": {"k": 4}}}]},
+      "k": "top"
+    })";
+    auto q = parse("$..k");
+    path::CollectSink ski_sink, dom_sink, tape_sink;
+    ski::Streamer(q).run(json, &ski_sink);
+    dom::parseAndQuery(json, q, &dom_sink);
+    tape::parseAndQuery(json, q, &tape_sink);
+    EXPECT_FALSE(ski_sink.values.empty());
+    EXPECT_EQ(dom_sink.values, ski_sink.values);
+    EXPECT_EQ(tape_sink.values, ski_sink.values);
+
+    // The character-level PDA emits container matches on their closing
+    // brace, so its *order* differs under nesting; the multiset must
+    // still agree.
+    path::CollectSink jp_sink;
+    jpstream::Engine(q).run(json, &jp_sink);
+    auto sorted = [](std::vector<std::string> v) {
+        std::sort(v.begin(), v.end());
+        return v;
+    };
+    EXPECT_EQ(sorted(jp_sink.values), sorted(ski_sink.values));
+}
+
+TEST(Descendant, PisonRejectsByDesign)
+{
+    EXPECT_THROW(pison::parseAndQuery(R"({"a":1})", parse("$..a")),
+                 PathError);
+}
+
+TEST(Descendant, MultiStreamerRejects)
+{
+    std::vector<path::PathQuery> qs;
+    qs.push_back(parse("$..a"));
+    EXPECT_THROW(ski::MultiStreamer ms(std::move(qs)), PathError);
+}
+
+TEST(Descendant, RandomDifferentialSkiVsDom)
+{
+    Rng rng(1357);
+    const std::vector<std::string> keys = {"a", "b", "k"};
+    std::function<void(json::Writer&, int)> gen =
+        [&](json::Writer& w, int depth) {
+            double shape = rng.real();
+            if (depth <= 0 || shape < 0.4) {
+                w.number(rng.range(0, 99));
+            } else if (shape < 0.75) {
+                w.beginObject();
+                std::vector<std::string> pool = keys;
+                size_t n = rng.below(4);
+                for (size_t i = 0; i < n && !pool.empty(); ++i) {
+                    size_t pick = rng.below(pool.size());
+                    w.key(pool[pick]);
+                    pool.erase(pool.begin() + static_cast<long>(pick));
+                    gen(w, depth - 1);
+                }
+                w.endObject();
+            } else {
+                w.beginArray();
+                size_t n = rng.below(4);
+                for (size_t i = 0; i < n; ++i)
+                    gen(w, depth - 1);
+                w.endArray();
+            }
+        };
+    auto q = parse("$..k");
+    size_t total = 0;
+    for (int iter = 0; iter < 300; ++iter) {
+        json::Writer w;
+        w.beginObject();
+        w.key("root");
+        gen(w, 5);
+        w.endObject();
+        std::string doc = w.take();
+        ASSERT_TRUE(json::validate(doc));
+        path::CollectSink a, b;
+        ski::Streamer(q).run(doc, &a);
+        dom::parseAndQuery(doc, q, &b);
+        ASSERT_EQ(a.values, b.values) << doc;
+        total += a.values.size();
+    }
+    EXPECT_GT(total, 50u);
+}
+
+TEST(Descendant, StatsStillAccumulate)
+{
+    // Primitive runs remain fast-forwardable under `..` (the paper's
+    // predicted limitation is on *type* skipping, not primitives).
+    std::string json = "{\"rows\": [";
+    for (int i = 0; i < 500; ++i)
+        json += std::to_string(i) + ",";
+    json += R"({"k": 1}], "k": 2})";
+    auto r = ski::query(json, "$..k");
+    EXPECT_EQ(r.count, 2u);
+    EXPECT_GT(r.stats.get(ski::Group::G1), 500u);
+}

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Cross-engine differential property test: on randomly generated JSON
+ * documents and randomly generated path queries, all five engines
+ * (JSONSki, JPStream-, DOM-, tape-, and Pison-class) must produce the
+ * same matches, value for value.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "baseline/dom/query.h"
+#include "baseline/jpstream/engine.h"
+#include "baseline/pison/query.h"
+#include "baseline/tape/query.h"
+#include "json/validate.h"
+#include "json/writer.h"
+#include "path/parser.h"
+#include "ski/streamer.h"
+#include "util/rng.h"
+
+using jsonski::Rng;
+using jsonski::json::Writer;
+using jsonski::path::CollectSink;
+using jsonski::path::PathQuery;
+using jsonski::path::PathStep;
+
+namespace {
+
+const std::vector<std::string> kKeys = {"a", "b", "cc", "dd", "key",
+                                        "nm", "id", "v"};
+
+/** Random JSON value with unique keys per object. */
+void
+genValue(Rng& rng, Writer& w, int depth)
+{
+    double shape = rng.real();
+    if (depth <= 0 || shape < 0.45) {
+        // Primitive.
+        switch (rng.below(5)) {
+          case 0:
+            w.number(rng.range(-1000000, 1000000));
+            break;
+          case 1:
+            w.number(rng.real() * 100 - 50);
+            break;
+          case 2:
+            w.string(rng.chance(0.3) ? "we\"ird }{ ][ :, \\chars"
+                                     : rng.ident(1 + rng.below(20)));
+            break;
+          case 3:
+            w.boolean(rng.chance(0.5));
+            break;
+          default:
+            w.null();
+            break;
+        }
+    } else if (shape < 0.75) {
+        w.beginObject();
+        std::vector<std::string> keys = kKeys;
+        size_t n = rng.below(5);
+        for (size_t i = 0; i < n && !keys.empty(); ++i) {
+            size_t pick = rng.below(keys.size());
+            w.key(keys[pick]);
+            keys.erase(keys.begin() + static_cast<long>(pick));
+            genValue(rng, w, depth - 1);
+        }
+        w.endObject();
+    } else {
+        w.beginArray();
+        size_t n = rng.below(6);
+        for (size_t i = 0; i < n; ++i)
+            genValue(rng, w, depth - 1);
+        w.endArray();
+    }
+}
+
+std::string
+genDocument(Rng& rng)
+{
+    Writer w;
+    if (rng.chance(0.5)) {
+        w.beginObject();
+        std::vector<std::string> keys = kKeys;
+        size_t n = 1 + rng.below(5);
+        for (size_t i = 0; i < n && !keys.empty(); ++i) {
+            size_t pick = rng.below(keys.size());
+            w.key(keys[pick]);
+            keys.erase(keys.begin() + static_cast<long>(pick));
+            genValue(rng, w, 4);
+        }
+        w.endObject();
+    } else {
+        w.beginArray();
+        size_t n = 1 + rng.below(7);
+        for (size_t i = 0; i < n; ++i)
+            genValue(rng, w, 4);
+        w.endArray();
+    }
+    return w.take();
+}
+
+PathQuery
+genQuery(Rng& rng)
+{
+    PathQuery q;
+    size_t steps = 1 + rng.below(4);
+    for (size_t i = 0; i < steps; ++i) {
+        switch (rng.below(4)) {
+          case 0:
+            q.steps.push_back(
+                PathStep::makeKey(kKeys[rng.below(kKeys.size())]));
+            break;
+          case 1:
+            q.steps.push_back(PathStep::makeIndex(rng.below(4)));
+            break;
+          case 2: {
+            size_t lo = rng.below(3);
+            q.steps.push_back(
+                PathStep::makeSlice(lo, lo + 1 + rng.below(3)));
+            break;
+          }
+          default:
+            q.steps.push_back(PathStep::makeWildcard());
+            break;
+        }
+    }
+    return q;
+}
+
+std::vector<std::string>
+runAll(const std::string& json, const PathQuery& q,
+       std::vector<std::vector<std::string>>& per_engine)
+{
+    per_engine.clear();
+    {
+        CollectSink s;
+        jsonski::ski::Streamer streamer(q);
+        streamer.run(json, &s);
+        per_engine.push_back(std::move(s.values));
+    }
+    {
+        CollectSink s;
+        jsonski::jpstream::Engine e(q);
+        e.run(json, &s);
+        per_engine.push_back(std::move(s.values));
+    }
+    {
+        CollectSink s;
+        jsonski::dom::parseAndQuery(json, q, &s);
+        per_engine.push_back(std::move(s.values));
+    }
+    {
+        CollectSink s;
+        jsonski::tape::parseAndQuery(json, q, &s);
+        per_engine.push_back(std::move(s.values));
+    }
+    {
+        CollectSink s;
+        jsonski::pison::parseAndQuery(json, q, &s);
+        per_engine.push_back(std::move(s.values));
+    }
+    return per_engine[0];
+}
+
+} // namespace
+
+TEST(Differential, AllEnginesAgreeOnRandomInputs)
+{
+    Rng rng(20260707);
+    const char* names[] = {"jsonski", "jpstream", "dom", "tape", "pison"};
+    size_t total_matches = 0;
+    for (int iter = 0; iter < 400; ++iter) {
+        std::string json = genDocument(rng);
+        ASSERT_TRUE(jsonski::json::validate(json)) << json;
+        PathQuery q = genQuery(rng);
+        std::vector<std::vector<std::string>> results;
+        std::vector<std::string> reference = runAll(json, q, results);
+        for (size_t e = 1; e < results.size(); ++e) {
+            EXPECT_EQ(results[e], reference)
+                << "engine " << names[e] << " disagrees with jsonski\n"
+                << "query: " << q.toString() << "\njson:  " << json;
+        }
+        total_matches += reference.size();
+    }
+    // The corpus must actually exercise matching, not just misses.
+    EXPECT_GT(total_matches, 100u);
+}
+
+TEST(Differential, AgreementOnWhitespaceHeavyInputs)
+{
+    Rng rng(777);
+    for (int iter = 0; iter < 100; ++iter) {
+        std::string json = genDocument(rng);
+        // Inject whitespace after every structural character outside
+        // strings (cheap: regenerate via validator-approved expansion).
+        std::string spaced;
+        bool in_string = false;
+        bool escaped = false;
+        for (char c : json) {
+            spaced += c;
+            if (escaped) {
+                escaped = false;
+                continue;
+            }
+            if (c == '\\') {
+                escaped = true;
+                continue;
+            }
+            if (c == '"')
+                in_string = !in_string;
+            if (!in_string &&
+                (c == '{' || c == ',' || c == ':' || c == '[')) {
+                spaced += iter % 2 == 0 ? " " : "\n\t ";
+            }
+        }
+        ASSERT_TRUE(jsonski::json::validate(spaced));
+        PathQuery q = genQuery(rng);
+        std::vector<std::vector<std::string>> results;
+        std::vector<std::string> reference = runAll(spaced, q, results);
+        for (size_t e = 1; e < results.size(); ++e)
+            EXPECT_EQ(results[e], reference)
+                << "query: " << q.toString() << "\njson: " << spaced;
+    }
+}

@@ -1,0 +1,116 @@
+/** @file Tests for the DOM (RapidJSON-class) baseline. */
+#include "baseline/dom/query.h"
+
+#include <gtest/gtest.h>
+
+#include "baseline/dom/parser.h"
+#include "path/parser.h"
+#include "util/error.h"
+
+using namespace jsonski::dom;
+using jsonski::ParseError;
+using jsonski::path::CollectSink;
+using jsonski::path::parse;
+
+TEST(DomParser, BuildsTree)
+{
+    std::string json = R"({"a": [1, {"b": "x"}], "c": true})";
+    Document doc;
+    parse(json, doc);
+    const Node* root = doc.root();
+    ASSERT_TRUE(root && root->isObject());
+    ASSERT_EQ(root->members.size(), 2u);
+    const Node* a = root->find("a");
+    ASSERT_TRUE(a && a->isArray());
+    ASSERT_EQ(a->elements.size(), 2u);
+    EXPECT_EQ(a->elements[0]->text, "1");
+    const Node* b = a->elements[1]->find("b");
+    ASSERT_TRUE(b);
+    EXPECT_EQ(b->text, "\"x\"");
+    const Node* c = root->find("c");
+    ASSERT_TRUE(c);
+    EXPECT_EQ(c->type, Node::Type::Bool);
+    EXPECT_EQ(doc.nodeCount(), 6u);
+}
+
+TEST(DomParser, ContainerSpans)
+{
+    std::string json = R"(  {"a": [1, 2]}  )";
+    Document doc;
+    parse(json, doc);
+    EXPECT_EQ(doc.root()->text, R"({"a": [1, 2]})");
+    EXPECT_EQ(doc.root()->find("a")->text, "[1, 2]");
+}
+
+TEST(DomParser, EmptyContainers)
+{
+    Document doc;
+    parse("{}", doc);
+    EXPECT_TRUE(doc.root()->members.empty());
+    Document doc2;
+    parse(R"({"a":[]})", doc2);
+    EXPECT_TRUE(doc2.root()->find("a")->elements.empty());
+}
+
+TEST(DomParser, Malformed)
+{
+    Document doc;
+    EXPECT_THROW(parse("", doc), ParseError);
+    EXPECT_THROW(parse("{", doc), ParseError);
+    EXPECT_THROW(parse("[1,,2]", doc), ParseError);
+    EXPECT_THROW(parse("{\"a\":1}}", doc), ParseError);
+    EXPECT_THROW(parse("tru", doc), ParseError);
+}
+
+TEST(DomParser, DepthLimit)
+{
+    std::string deep(10000, '[');
+    Document doc;
+    EXPECT_THROW(parse(deep, doc), ParseError);
+}
+
+TEST(DomQuery, BasicPath)
+{
+    CollectSink sink;
+    size_t n = parseAndQuery(R"({"place":{"name":"Manhattan"}})",
+                             parse("$.place.name"), &sink);
+    EXPECT_EQ(n, 1u);
+    EXPECT_EQ(sink.values[0], "\"Manhattan\"");
+}
+
+TEST(DomQuery, SliceOverArray)
+{
+    CollectSink sink;
+    size_t n =
+        parseAndQuery("[0,10,20,30,40]", parse("$[1:4]"), &sink);
+    EXPECT_EQ(n, 3u);
+    EXPECT_EQ(sink.values, (std::vector<std::string>{"10", "20", "30"}));
+}
+
+TEST(DomQuery, WildcardNested)
+{
+    size_t n = parseAndQuery(R"([{"v":[1,2]},{"v":[3]},{"w":[4]}])",
+                             parse("$[*].v[*]"));
+    EXPECT_EQ(n, 3u);
+}
+
+TEST(DomQuery, TypeMismatch)
+{
+    EXPECT_EQ(parseAndQuery(R"({"a": 5})", parse("$.a.b")), 0u);
+    EXPECT_EQ(parseAndQuery(R"({"a": 5})", parse("$.a[0]")), 0u);
+    EXPECT_EQ(parseAndQuery("[1,2]", parse("$.a")), 0u);
+}
+
+TEST(DomQuery, RootQuery)
+{
+    CollectSink sink;
+    size_t n = parseAndQuery(R"({"a":1})", parse("$"), &sink);
+    EXPECT_EQ(n, 1u);
+    EXPECT_EQ(sink.values[0], R"({"a":1})");
+}
+
+TEST(DomQuery, OutOfRangeIndex)
+{
+    EXPECT_EQ(parseAndQuery("[1,2]", parse("$[9]")), 0u);
+    EXPECT_EQ(parseAndQuery("[1,2]", parse("$[1]")), 1u);
+}

@@ -1,0 +1,67 @@
+/** @file Tests for the query-plan explanation. */
+#include "ski/explain.h"
+
+#include <gtest/gtest.h>
+
+#include "path/parser.h"
+
+using jsonski::path::parse;
+using jsonski::ski::explain;
+
+TEST(Explain, PaperQueryBb1)
+{
+    std::string plan = explain(parse("$.pd[*].cp[1:3].id"));
+    EXPECT_NE(plan.find("$.pd[*].cp[1:3].id"), std::string::npos);
+    EXPECT_NE(plan.find("match key \"pd\" -> value must be ARRAY"),
+              std::string::npos);
+    EXPECT_NE(plan.find("elements [1:3)"), std::string::npos);
+    EXPECT_NE(plan.find("G5 skip out-of-range"), std::string::npos);
+    EXPECT_NE(plan.find("accept : emit matched values"),
+              std::string::npos);
+}
+
+TEST(Explain, TypeInferenceShown)
+{
+    std::string plan = explain(parse("$.a.b"));
+    // a's value must be an object (its child is a key step).
+    EXPECT_NE(plan.find("match key \"a\" -> value must be OBJECT"),
+              std::string::npos);
+    // b is terminal: any type.
+    EXPECT_NE(plan.find("match key \"b\" -> value must be any"),
+              std::string::npos);
+}
+
+TEST(Explain, RootQuery)
+{
+    std::string plan = explain(parse("$"));
+    EXPECT_NE(plan.find("emit the whole record"), std::string::npos);
+}
+
+TEST(Explain, WildcardWithUnknownElementType)
+{
+    std::string plan = explain(parse("$[*]"));
+    EXPECT_NE(plan.find("all elements examined"), std::string::npos);
+}
+
+TEST(Explain, Descendant)
+{
+    std::string plan = explain(parse("$..name"));
+    EXPECT_NE(plan.find("ANY depth"), std::string::npos);
+    EXPECT_NE(plan.find("type inference disabled"), std::string::npos);
+}
+
+TEST(Explain, EveryPaperQueryRenders)
+{
+    const char* queries[] = {
+        "$[*].en.urls[*].url", "$[*].text", "$.pd[*].cp[1:3].id",
+        "$.pd[*].vc[*].cha",   "$[*].rt[*].lg[*].st[*].dt.tx",
+        "$[*].atm",            "$.mt.vw.co[*].nm", "$.dt[*][*][2:4]",
+        "$.it[*].bmrpr.pr",    "$.it[*].nm", "$[*].cl.P150[*].ms.pty",
+        "$[10:21].cl.P150[*].ms.pty",
+    };
+    for (const char* q : queries) {
+        std::string plan = explain(parse(q));
+        EXPECT_GT(plan.size(), 50u) << q;
+        EXPECT_NE(plan.find("accept"), std::string::npos) << q;
+    }
+}

@@ -1,0 +1,137 @@
+/** @file Tests for the synthetic dataset generators. */
+#include "gen/datasets.h"
+
+#include <gtest/gtest.h>
+
+#include "json/validate.h"
+#include "path/parser.h"
+#include "ski/streamer.h"
+
+using namespace jsonski::gen;
+using jsonski::json::validate;
+using jsonski::path::parse;
+
+namespace {
+
+size_t
+countMatches(std::string_view json, const char* query)
+{
+    return jsonski::ski::query(json, query).count;
+}
+
+} // namespace
+
+TEST(Datasets, Names)
+{
+    EXPECT_EQ(datasetName(DatasetId::TT), "TT");
+    EXPECT_EQ(datasetName(DatasetId::NSPL), "NSPL");
+}
+
+TEST(Datasets, LargeRecordsAreValidJson)
+{
+    for (DatasetId id : kAllDatasets) {
+        std::string json = generateLarge(id, 64 * 1024);
+        EXPECT_GE(json.size(), 64u * 1024) << datasetName(id);
+        auto r = validate(json);
+        EXPECT_TRUE(r.ok) << datasetName(id) << ": " << r.message
+                          << " at " << r.error_position;
+    }
+}
+
+TEST(Datasets, SmallRecordsAreValidJson)
+{
+    for (DatasetId id : kAllDatasets) {
+        SmallRecords data = generateSmall(id, 64 * 1024);
+        EXPECT_GT(data.count(), 0u);
+        for (size_t i = 0; i < data.count(); ++i) {
+            auto r = validate(data.record(i));
+            ASSERT_TRUE(r.ok)
+                << datasetName(id) << " record " << i << ": " << r.message;
+        }
+    }
+}
+
+TEST(Datasets, Deterministic)
+{
+    std::string a = generateLarge(DatasetId::TT, 32 * 1024, 7);
+    std::string b = generateLarge(DatasetId::TT, 32 * 1024, 7);
+    std::string c = generateLarge(DatasetId::TT, 32 * 1024, 8);
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+}
+
+TEST(Datasets, PaperQueriesFindMatches)
+{
+    // Every Table 5 query must hit its dataset (the rare-attribute
+    // queries too, at this size).
+    struct Case
+    {
+        DatasetId id;
+        const char* query;
+    };
+    const Case cases[] = {
+        {DatasetId::TT, "$[*].en.urls[*].url"},
+        {DatasetId::TT, "$[*].text"},
+        {DatasetId::BB, "$.pd[*].cp[1:3].id"},
+        {DatasetId::BB, "$.pd[*].vc[*].cha"},
+        {DatasetId::GMD, "$[*].rt[*].lg[*].st[*].dt.tx"},
+        {DatasetId::GMD, "$[*].atm"},
+        {DatasetId::NSPL, "$.mt.vw.co[*].nm"},
+        {DatasetId::NSPL, "$.dt[*][*][2:4]"},
+        {DatasetId::WM, "$.it[*].bmrpr.pr"},
+        {DatasetId::WM, "$.it[*].nm"},
+        {DatasetId::WP, "$[*].cl.P150[*].ms.pty"},
+        {DatasetId::WP, "$[10:21].cl.P150[*].ms.pty"},
+    };
+    for (const Case& c : cases) {
+        std::string json = generateLarge(c.id, 2 * 1024 * 1024);
+        EXPECT_GT(countMatches(json, c.query), 0u)
+            << datasetName(c.id) << " " << c.query;
+    }
+}
+
+TEST(Datasets, SelectivityShapes)
+{
+    // Rare-attribute queries must be *much* more selective than their
+    // dataset's per-record query, mirroring Table 5.
+    std::string bb = generateLarge(DatasetId::BB, 4 * 1024 * 1024);
+    size_t bb1 = countMatches(bb, "$.pd[*].cp[1:3].id");
+    size_t bb2 = countMatches(bb, "$.pd[*].vc[*].cha");
+    EXPECT_GT(bb1, 20 * bb2);
+
+    std::string wm = generateLarge(DatasetId::WM, 4 * 1024 * 1024);
+    size_t wm1 = countMatches(wm, "$.it[*].bmrpr.pr");
+    size_t wm2 = countMatches(wm, "$.it[*].nm");
+    EXPECT_GT(wm2, 8 * wm1);
+    EXPECT_GT(wm1, 0u);
+}
+
+TEST(Datasets, Nspl1HasExactly44Matches)
+{
+    std::string json = generateLarge(DatasetId::NSPL, 1024 * 1024);
+    EXPECT_EQ(countMatches(json, "$.mt.vw.co[*].nm"), 44u);
+}
+
+TEST(Datasets, Tt2MatchesEqualRecordCount)
+{
+    SmallRecords small = generateSmall(DatasetId::TT, 512 * 1024);
+    std::string large = generateLarge(DatasetId::TT, 512 * 1024);
+    size_t matches = countMatches(large, "$[*].text");
+    // Same seed and target: the large array holds the same records
+    // (allowing one record of drift from the different wrappers).
+    EXPECT_LE(matches > small.count() ? matches - small.count()
+                                      : small.count() - matches,
+              1u);
+    EXPECT_GT(matches, 50u);
+}
+
+TEST(Datasets, SmallSpansCoverBuffer)
+{
+    SmallRecords data = generateSmall(DatasetId::BB, 128 * 1024);
+    size_t covered = 0;
+    for (auto [off, len] : data.spans) {
+        EXPECT_LE(off + len, data.buffer.size());
+        covered += len + 1; // +1 newline separator
+    }
+    EXPECT_EQ(covered, data.buffer.size());
+}

@@ -1,0 +1,89 @@
+/** @file Tests for structural-interval word operations (Algorithm 3). */
+#include "intervals/interval.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+using namespace jsonski::intervals;
+namespace bits = jsonski::bits;
+
+TEST(Interval, BuildBasic)
+{
+    // Metachar at bit 9, start at 3: interval covers [3, 9).
+    uint64_t bm = uint64_t{1} << 9;
+    uint64_t iv = buildInterval(bm, 3);
+    EXPECT_EQ(iv, uint64_t{0b111111} << 3);
+    EXPECT_EQ(intervalEnd(iv), 9);
+    EXPECT_FALSE(intervalOpen(iv));
+}
+
+TEST(Interval, BuildSkipsHitAtStart)
+{
+    // A metachar at the start position itself is excluded.
+    uint64_t bm = (uint64_t{1} << 3) | (uint64_t{1} << 7);
+    uint64_t iv = buildInterval(bm, 3);
+    EXPECT_EQ(intervalEnd(iv), 7);
+}
+
+TEST(Interval, BuildOpenInterval)
+{
+    // No metachar after the start: interval runs to the end of word.
+    uint64_t iv = buildInterval(0, 10);
+    EXPECT_EQ(iv, ~uint64_t{0} << 10);
+    EXPECT_TRUE(intervalOpen(iv));
+    EXPECT_EQ(intervalEnd(iv), 64);
+}
+
+TEST(Interval, BuildFromZero)
+{
+    uint64_t bm = uint64_t{1} << 5;
+    uint64_t iv = buildInterval(bm, 0);
+    EXPECT_EQ(iv, uint64_t{0b11111});
+    EXPECT_EQ(intervalEnd(iv), 5);
+}
+
+TEST(Interval, BuildAdjacent)
+{
+    // Metachar immediately after start: interval is a single character.
+    uint64_t bm = uint64_t{1} << 4;
+    uint64_t iv = buildInterval(bm, 3);
+    EXPECT_EQ(iv, uint64_t{1} << 3);
+    EXPECT_EQ(intervalEnd(iv), 4);
+}
+
+TEST(Interval, NextIntervalBetweenFirstTwoBits)
+{
+    uint64_t bm = (uint64_t{1} << 4) | (uint64_t{1} << 11) |
+                  (uint64_t{1} << 30);
+    uint64_t iv = nextInterval(bm);
+    EXPECT_EQ(iv, (bits::maskBelow(11) & ~bits::maskBelow(4)));
+    EXPECT_EQ(intervalEnd(iv), 11);
+}
+
+TEST(Interval, NextIntervalSingleBitIsOpen)
+{
+    uint64_t bm = uint64_t{1} << 20;
+    uint64_t iv = nextInterval(bm);
+    EXPECT_TRUE(intervalOpen(iv));
+    EXPECT_EQ(iv, ~uint64_t{0} << 20);
+}
+
+TEST(Interval, PropertyIntervalIsContiguousRun)
+{
+    jsonski::Rng rng(5);
+    for (int iter = 0; iter < 2000; ++iter) {
+        uint64_t bm = rng.next() & rng.next() & rng.next();
+        int start = static_cast<int>(rng.below(64));
+        uint64_t iv = buildInterval(bm, start);
+        // The interval must be a contiguous run of 1s starting at start.
+        ASSERT_NE(iv & (uint64_t{1} << start), 0u);
+        // (iv >> start) + 1 must be a power of two for a contiguous run.
+        uint64_t run = iv >> start;
+        EXPECT_EQ(run & (run + 1), 0u) << "not contiguous";
+        // No metachar bit strictly inside the interval after start.
+        EXPECT_EQ(bm & iv & ~(uint64_t{1} << start) &
+                      ~bits::maskBelow(start),
+                  0u);
+    }
+}

@@ -1,0 +1,189 @@
+/** @file Tests for the JPStream-style character-by-character baseline. */
+#include "baseline/jpstream/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "baseline/jpstream/tokenizer.h"
+#include "path/parser.h"
+#include "util/error.h"
+
+using namespace jsonski::jpstream;
+using jsonski::ParseError;
+using jsonski::ThreadPool;
+using jsonski::path::CollectSink;
+using jsonski::path::parse;
+
+namespace {
+
+/** Collect SAX events as strings for structural assertions. */
+struct EventLog
+{
+    std::vector<std::string> events;
+    std::string_view input;
+
+    void onObjectStart(size_t) { events.push_back("{"); }
+    void onObjectEnd(size_t) { events.push_back("}"); }
+    void onArrayStart(size_t) { events.push_back("["); }
+    void onArrayEnd(size_t) { events.push_back("]"); }
+    void onKey(std::string_view k) { events.push_back("K:" + std::string(k)); }
+    void
+    onPrimitive(size_t b, size_t e)
+    {
+        events.push_back("P:" + std::string(input.substr(b, e - b)));
+    }
+};
+
+std::vector<std::string>
+sax(std::string_view json)
+{
+    EventLog log;
+    log.input = json;
+    saxParse(json, log);
+    return log.events;
+}
+
+} // namespace
+
+TEST(SaxParser, EventOrder)
+{
+    auto ev = sax(R"({"a": [1, {"b": "x"}], "c": null})");
+    std::vector<std::string> expected = {
+        "{", "K:a", "[", "P:1", "{", "K:b", "P:\"x\"", "}", "]",
+        "K:c", "P:null", "}",
+    };
+    EXPECT_EQ(ev, expected);
+}
+
+TEST(SaxParser, EmptyContainers)
+{
+    EXPECT_EQ(sax("{}"), (std::vector<std::string>{"{", "}"}));
+    EXPECT_EQ(sax("[]"), (std::vector<std::string>{"[", "]"}));
+    EXPECT_EQ(sax(R"({"a":{}})"),
+              (std::vector<std::string>{"{", "K:a", "{", "}", "}"}));
+}
+
+TEST(SaxParser, RootPrimitive)
+{
+    EXPECT_EQ(sax("42"), (std::vector<std::string>{"P:42"}));
+    EXPECT_EQ(sax("\"s\""), (std::vector<std::string>{"P:\"s\""}));
+}
+
+TEST(SaxParser, Malformed)
+{
+    EXPECT_THROW(sax(""), ParseError);
+    EXPECT_THROW(sax("{"), ParseError);
+    EXPECT_THROW(sax("{\"a\"}"), ParseError);
+    EXPECT_THROW(sax("[1,]"), ParseError);
+    EXPECT_THROW(sax("[1] extra"), ParseError);
+    EXPECT_THROW(sax("{\"a\":1"), ParseError);
+}
+
+TEST(JpStreamEngine, BasicQueries)
+{
+    Engine e(parse("$.place.name"));
+    std::string json =
+        R"({"user":{"name":"u"},"place":{"name":"Manhattan"}})";
+    CollectSink sink;
+    EXPECT_EQ(e.run(json, &sink), 1u);
+    EXPECT_EQ(sink.values, (std::vector<std::string>{"\"Manhattan\""}));
+}
+
+TEST(JpStreamEngine, WildcardAndSlice)
+{
+    Engine e(parse("$[1:3].v"));
+    std::string json = R"([{"v":0},{"v":1},{"v":2},{"v":3}])";
+    CollectSink sink;
+    EXPECT_EQ(e.run(json, &sink), 2u);
+    EXPECT_EQ(sink.values, (std::vector<std::string>{"1", "2"}));
+}
+
+TEST(JpStreamEngine, ContainerMatchEmitsWholeSubtree)
+{
+    Engine e(parse("$.a"));
+    std::string json = R"({"a": {"b": [1, 2, {"c": 3}]}})";
+    CollectSink sink;
+    EXPECT_EQ(e.run(json, &sink), 1u);
+    EXPECT_EQ(sink.values[0], R"({"b": [1, 2, {"c": 3}]})");
+}
+
+TEST(JpStreamEngine, CountsDeepMatches)
+{
+    Engine e(parse("$.dt[*][*][2:4]"));
+    std::string json = R"({"dt":[[[1,2,3,4],[5,6,7,8]],[[9,10,11,12]]]})";
+    EXPECT_EQ(e.run(json), 6u);
+}
+
+TEST(TokenSplits, CoverInputAndAlignToStructure)
+{
+    std::string json = "[";
+    for (int i = 0; i < 600; ++i)
+        json += R"({"k)" + std::to_string(i) + R"(":"val "},)";
+    json += "{}]";
+    auto splits = tokenSplits(json, 4);
+    ASSERT_GE(splits.size(), 3u);
+    EXPECT_EQ(splits.front(), 0u);
+    EXPECT_EQ(splits.back(), json.size());
+    for (size_t i = 1; i + 1 < splits.size(); ++i) {
+        EXPECT_GT(splits[i], splits[i - 1]);
+        char c = json[splits[i]];
+        EXPECT_TRUE(c == '{' || c == '}' || c == '[' || c == ']' ||
+                    c == ':' || c == ',')
+            << c;
+    }
+}
+
+TEST(TokenSplits, NeverSplitsInsideStrings)
+{
+    // Long strings containing structural chars right around the
+    // nominal boundaries.
+    std::string json = "[\"" + std::string(400, ',') + "\",\"" +
+                       std::string(400, '}') + "\",123]";
+    auto splits = tokenSplits(json, 4);
+    EXPECT_EQ(splits.back(), json.size());
+    Engine e(parse("$[2]"));
+    ThreadPool pool(4);
+    EXPECT_EQ(e.runParallel(json, pool), 1u);
+}
+
+TEST(TokenizeChunk, RoundTrip)
+{
+    std::string json = R"({"a": [1, "two", {"b": null}], "c": -7.5})";
+    std::vector<Token> tokens;
+    tokenizeChunk(json, 0, json.size(), tokens);
+    ASSERT_FALSE(tokens.empty());
+    EXPECT_EQ(tokens.front().type, Token::Type::ObjStart);
+    EXPECT_EQ(tokens.back().type, Token::Type::ObjEnd);
+    // Reconstructing the token texts must reproduce the non-ws input.
+    std::string compact;
+    for (const Token& t : tokens)
+        compact += json.substr(t.begin, t.end - t.begin);
+    std::string expected;
+    bool in_str = false;
+    for (size_t i = 0; i < json.size(); ++i) {
+        char c = json[i];
+        if (c == '"')
+            in_str = !in_str;
+        if (in_str || !jsonski::json::isWhitespace(c))
+            expected += c;
+    }
+    EXPECT_EQ(compact, expected);
+}
+
+TEST(JpStreamEngine, ParallelMatchesSerial)
+{
+    std::string json = "[";
+    for (int i = 0; i < 500; ++i) {
+        json += R"({"id":)" + std::to_string(i) +
+                R"(,"tags":["a","b"],"info":{"v":)" + std::to_string(i % 7) +
+                "}},";
+    }
+    json += R"({"id":-1,"info":{"v":0}}])";
+    for (const char* q : {"$[*].info.v", "$[10:20].id", "$[*].tags[1]"}) {
+        Engine e(parse(q));
+        size_t serial = e.run(json);
+        ThreadPool pool(4);
+        size_t parallel = e.runParallel(json, pool);
+        EXPECT_EQ(serial, parallel) << q;
+        EXPECT_GT(serial, 0u) << q;
+    }
+}

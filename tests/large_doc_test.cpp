@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Large-document differential tests: random documents big enough that
+ * every structure routinely crosses many 64-byte blocks — long
+ * strings, long primitive runs, deep mixed nesting — with all five
+ * engines compared value for value.  This is the heavy-caliber
+ * companion to differential_test.cpp's small-document fuzzing.
+ */
+#include <gtest/gtest.h>
+
+#include "baseline/dom/query.h"
+#include "baseline/jpstream/engine.h"
+#include "baseline/pison/query.h"
+#include "baseline/tape/query.h"
+#include "json/validate.h"
+#include "json/writer.h"
+#include "path/parser.h"
+#include "ski/streamer.h"
+#include "util/rng.h"
+
+using namespace jsonski;
+using jsonski::path::parse;
+
+namespace {
+
+/** Value generator biased toward block-crossing shapes. */
+void
+genValue(Rng& rng, json::Writer& w, int depth)
+{
+    double shape = rng.real();
+    if (depth <= 0 || shape < 0.35) {
+        switch (rng.below(4)) {
+          case 0:
+            // Long strings with embedded metacharacters and escapes.
+            w.string("x" + std::string(rng.below(300), ',') +
+                     "\"}{][:" + rng.ident(rng.below(100)));
+            break;
+          case 1:
+            w.number(rng.range(-1000000000, 1000000000));
+            break;
+          case 2:
+            w.boolean(rng.chance(0.5));
+            break;
+          default:
+            w.null();
+            break;
+        }
+    } else if (shape < 0.55) {
+        // Long primitive arrays: exercise comma batching across blocks.
+        w.beginArray();
+        size_t n = rng.below(400);
+        for (size_t i = 0; i < n; ++i)
+            w.number(static_cast<int64_t>(i));
+        w.endArray();
+    } else if (shape < 0.8) {
+        w.beginObject();
+        size_t n = rng.below(12);
+        for (size_t i = 0; i < n; ++i) {
+            w.key("key_" + std::to_string(i) + "_" +
+                  rng.ident(rng.below(20)));
+            genValue(rng, w, depth - 1);
+        }
+        // The queried keys, placed late so skipping precedes them.
+        if (rng.chance(0.5)) {
+            w.key("target");
+            genValue(rng, w, depth - 1);
+        }
+        if (rng.chance(0.4)) {
+            w.key("list");
+            w.beginArray();
+            size_t m = rng.below(6);
+            for (size_t j = 0; j < m; ++j)
+                genValue(rng, w, depth - 1);
+            w.endArray();
+        }
+        w.endObject();
+    } else {
+        w.beginArray();
+        size_t n = rng.below(8);
+        for (size_t i = 0; i < n; ++i)
+            genValue(rng, w, depth - 1);
+        w.endArray();
+    }
+}
+
+void
+expectAllEnginesAgree(const std::string& doc, const char* query)
+{
+    auto q = parse(query);
+    path::CollectSink ref;
+    ski::Streamer(q).run(doc, &ref);
+
+    path::CollectSink jp, dm, tp, pi;
+    jpstream::Engine(q).run(doc, &jp);
+    dom::parseAndQuery(doc, q, &dm);
+    tape::parseAndQuery(doc, q, &tp);
+    pison::parseAndQuery(doc, q, &pi);
+    ASSERT_EQ(jp.values, ref.values) << query << " (jpstream)";
+    ASSERT_EQ(dm.values, ref.values) << query << " (dom)";
+    ASSERT_EQ(tp.values, ref.values) << query << " (tape)";
+    ASSERT_EQ(pi.values, ref.values) << query << " (pison)";
+}
+
+} // namespace
+
+TEST(LargeDoc, AllEnginesAgreeOnBlockCrossingDocuments)
+{
+    Rng rng(987654);
+    const char* queries[] = {
+        "$.target",
+        "$.target.target",
+        "$.list[*].target",
+        "$.list[2:5]",
+        "$.target.list[0]",
+        "$.key_0_",  // likely miss
+    };
+    size_t total_bytes = 0;
+    size_t total_matches = 0;
+    for (int iter = 0; iter < 30; ++iter) {
+        json::Writer w;
+        w.beginObject();
+        w.key("pad");
+        genValue(rng, w, 3);
+        w.key("target");
+        genValue(rng, w, 4);
+        w.key("list");
+        w.beginArray();
+        size_t n = 2 + rng.below(8);
+        for (size_t i = 0; i < n; ++i)
+            genValue(rng, w, 3);
+        w.endArray();
+        w.endObject();
+        std::string doc = w.take();
+        ASSERT_TRUE(json::validate(doc));
+        total_bytes += doc.size();
+        for (const char* q : queries) {
+            expectAllEnginesAgree(doc, q);
+            total_matches += ski::query(doc, q).count;
+        }
+    }
+    // The corpus must be genuinely large and matching.
+    EXPECT_GT(total_bytes, 400u * 1024);
+    EXPECT_GT(total_matches, 50u);
+}
+
+TEST(LargeDoc, DescendantAgreesSkiVsDomOnBigDocuments)
+{
+    Rng rng(13579);
+    for (int iter = 0; iter < 10; ++iter) {
+        json::Writer w;
+        w.beginObject();
+        w.key("root");
+        genValue(rng, w, 5);
+        w.endObject();
+        std::string doc = w.take();
+        ASSERT_TRUE(json::validate(doc));
+        auto q = parse("$..target");
+        path::CollectSink a, b;
+        ski::Streamer(q).run(doc, &a);
+        dom::parseAndQuery(doc, q, &b);
+        ASSERT_EQ(a.values, b.values);
+    }
+}

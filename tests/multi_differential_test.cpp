@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Property test: on random documents and random query *sets*, the
+ * multi-query streamer must agree with per-query single runs, value
+ * for value and in order.
+ */
+#include <gtest/gtest.h>
+
+#include "json/validate.h"
+#include "json/writer.h"
+#include "path/ast.h"
+#include "ski/multi.h"
+#include "ski/streamer.h"
+#include "util/rng.h"
+
+using namespace jsonski;
+using jsonski::path::PathQuery;
+using jsonski::path::PathStep;
+
+namespace {
+
+const std::vector<std::string> kKeys = {"a", "b", "cc", "id", "v", "nm"};
+
+void
+genValue(Rng& rng, json::Writer& w, int depth)
+{
+    double shape = rng.real();
+    if (depth <= 0 || shape < 0.4) {
+        switch (rng.below(4)) {
+          case 0:
+            w.number(rng.range(-999, 999));
+            break;
+          case 1:
+            w.string(rng.ident(1 + rng.below(8)));
+            break;
+          case 2:
+            w.boolean(rng.chance(0.5));
+            break;
+          default:
+            w.null();
+            break;
+        }
+    } else if (shape < 0.72) {
+        w.beginObject();
+        std::vector<std::string> keys = kKeys;
+        size_t n = rng.below(4);
+        for (size_t i = 0; i < n && !keys.empty(); ++i) {
+            size_t pick = rng.below(keys.size());
+            w.key(keys[pick]);
+            keys.erase(keys.begin() + static_cast<long>(pick));
+            genValue(rng, w, depth - 1);
+        }
+        w.endObject();
+    } else {
+        w.beginArray();
+        size_t n = rng.below(5);
+        for (size_t i = 0; i < n; ++i)
+            genValue(rng, w, depth - 1);
+        w.endArray();
+    }
+}
+
+PathQuery
+genQuery(Rng& rng)
+{
+    PathQuery q;
+    size_t steps = 1 + rng.below(3);
+    for (size_t i = 0; i < steps; ++i) {
+        switch (rng.below(4)) {
+          case 0:
+            q.steps.push_back(
+                PathStep::makeKey(kKeys[rng.below(kKeys.size())]));
+            break;
+          case 1:
+            q.steps.push_back(PathStep::makeIndex(rng.below(3)));
+            break;
+          case 2: {
+            size_t lo = rng.below(2);
+            q.steps.push_back(
+                PathStep::makeSlice(lo, lo + 1 + rng.below(3)));
+            break;
+          }
+          default:
+            q.steps.push_back(PathStep::makeWildcard());
+            break;
+        }
+    }
+    return q;
+}
+
+} // namespace
+
+TEST(MultiDifferential, RandomQuerySetsAgreeWithSingleRuns)
+{
+    Rng rng(424242);
+    size_t total = 0;
+    for (int iter = 0; iter < 300; ++iter) {
+        json::Writer w;
+        w.beginObject();
+        std::vector<std::string> keys = kKeys;
+        size_t n = 1 + rng.below(4);
+        for (size_t i = 0; i < n && !keys.empty(); ++i) {
+            size_t pick = rng.below(keys.size());
+            w.key(keys[pick]);
+            keys.erase(keys.begin() + static_cast<long>(pick));
+            genValue(rng, w, 4);
+        }
+        w.endObject();
+        std::string doc = w.take();
+        ASSERT_TRUE(json::validate(doc));
+
+        size_t k = 1 + rng.below(4);
+        std::vector<PathQuery> queries;
+        for (size_t i = 0; i < k; ++i)
+            queries.push_back(genQuery(rng));
+
+        ski::MultiStreamer multi(queries);
+        ski::MultiCollectSink msink(k);
+        auto mr = multi.run(doc, &msink);
+
+        for (size_t i = 0; i < k; ++i) {
+            ski::Streamer single(queries[i]);
+            path::CollectSink ssink;
+            auto sr = single.run(doc, &ssink);
+            ASSERT_EQ(mr.matches[i], sr.matches)
+                << "query " << queries[i].toString() << "\ndoc " << doc;
+            ASSERT_EQ(msink.values[i], ssink.values)
+                << "query " << queries[i].toString() << "\ndoc " << doc;
+            total += sr.matches;
+        }
+    }
+    EXPECT_GT(total, 20u); // the corpus exercised real matches
+}

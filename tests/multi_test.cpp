@@ -1,0 +1,157 @@
+/** @file Tests for the multi-query streamer. */
+#include "ski/multi.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/datasets.h"
+#include "path/parser.h"
+#include "ski/streamer.h"
+#include "util/rng.h"
+
+using namespace jsonski::ski;
+using jsonski::path::PathQuery;
+using jsonski::path::parse;
+
+namespace {
+
+MultiStreamer
+make(std::initializer_list<const char*> queries)
+{
+    std::vector<PathQuery> qs;
+    for (const char* q : queries)
+        qs.push_back(parse(q));
+    return MultiStreamer(std::move(qs));
+}
+
+const char* kDoc = R"({
+  "user": {"id": 7, "name": "ann"},
+  "place": {"name": "Manhattan", "tags": ["a", "b", "c"]},
+  "stats": {"views": 10, "likes": [1, 2, 3, 4, 5]}
+})";
+
+} // namespace
+
+TEST(MultiStreamer, TwoDisjointQueries)
+{
+    MultiStreamer ms = make({"$.user.id", "$.place.name"});
+    MultiCollectSink sink(2);
+    auto r = ms.run(kDoc, &sink);
+    EXPECT_EQ(r.matches, (std::vector<size_t>{1, 1}));
+    EXPECT_EQ(sink.values[0], (std::vector<std::string>{"7"}));
+    EXPECT_EQ(sink.values[1], (std::vector<std::string>{"\"Manhattan\""}));
+}
+
+TEST(MultiStreamer, SharedPrefix)
+{
+    MultiStreamer ms = make({"$.place.name", "$.place.tags[*]"});
+    MultiCollectSink sink(2);
+    auto r = ms.run(kDoc, &sink);
+    EXPECT_EQ(r.matches, (std::vector<size_t>{1, 3}));
+    EXPECT_EQ(sink.values[1],
+              (std::vector<std::string>{"\"a\"", "\"b\"", "\"c\""}));
+}
+
+TEST(MultiStreamer, PrefixQueryAlsoAccepts)
+{
+    // $.place accepts a value that $.place.name descends into: both
+    // must fire.
+    MultiStreamer ms = make({"$.place", "$.place.name"});
+    MultiCollectSink sink(2);
+    auto r = ms.run(kDoc, &sink);
+    EXPECT_EQ(r.matches, (std::vector<size_t>{1, 1}));
+    EXPECT_EQ(sink.values[1][0], "\"Manhattan\"");
+    // The container match spans the whole object.
+    EXPECT_EQ(sink.values[0][0].front(), '{');
+    EXPECT_NE(sink.values[0][0].find("Manhattan"), std::string::npos);
+}
+
+TEST(MultiStreamer, OverlappingArrayRanges)
+{
+    MultiStreamer ms =
+        make({"$.stats.likes[1:3]", "$.stats.likes[2:5]",
+              "$.stats.likes[*]"});
+    MultiCollectSink sink(3);
+    auto r = ms.run(kDoc, &sink);
+    EXPECT_EQ(r.matches, (std::vector<size_t>{2, 3, 5}));
+    EXPECT_EQ(sink.values[0], (std::vector<std::string>{"2", "3"}));
+    EXPECT_EQ(sink.values[1], (std::vector<std::string>{"3", "4", "5"}));
+}
+
+TEST(MultiStreamer, DuplicateQueries)
+{
+    MultiStreamer ms = make({"$.user.id", "$.user.id"});
+    auto r = ms.run(kDoc);
+    EXPECT_EQ(r.matches, (std::vector<size_t>{1, 1}));
+}
+
+TEST(MultiStreamer, MatchesSingleQueryRuns)
+{
+    // Every multi result must equal the corresponding single-query run.
+    const char* queries[] = {"$.user.id", "$.user.name", "$.place.name",
+                             "$.place.tags[0]", "$.stats.likes[2:4]",
+                             "$.missing.deep[1]"};
+    std::vector<PathQuery> qs;
+    for (const char* q : queries)
+        qs.push_back(parse(q));
+    MultiStreamer ms(qs);
+    MultiCollectSink sink(qs.size());
+    auto r = ms.run(kDoc, &sink);
+    for (size_t i = 0; i < qs.size(); ++i) {
+        Streamer single(qs[i]);
+        CollectSink ss;
+        auto sr = single.run(kDoc, &ss);
+        EXPECT_EQ(r.matches[i], sr.matches) << queries[i];
+        EXPECT_EQ(sink.values[i], ss.values) << queries[i];
+    }
+}
+
+TEST(MultiStreamer, AgreesOnGeneratedDatasets)
+{
+    using jsonski::gen::DatasetId;
+    struct Case
+    {
+        DatasetId id;
+        std::initializer_list<const char*> queries;
+    };
+    const Case cases[] = {
+        {DatasetId::TT, {"$[*].en.urls[*].url", "$[*].text"}},
+        {DatasetId::BB, {"$.pd[*].cp[1:3].id", "$.pd[*].vc[*].cha"}},
+        {DatasetId::WM, {"$.it[*].bmrpr.pr", "$.it[*].nm"}},
+    };
+    for (const Case& c : cases) {
+        std::string json = jsonski::gen::generateLarge(c.id, 512 * 1024);
+        std::vector<PathQuery> qs;
+        for (const char* q : c.queries)
+            qs.push_back(parse(q));
+        MultiStreamer ms(qs);
+        auto r = ms.run(json);
+        for (size_t i = 0; i < qs.size(); ++i) {
+            Streamer single(qs[i]);
+            EXPECT_EQ(r.matches[i], single.run(json).matches)
+                << static_cast<int>(c.id) << " query " << i;
+        }
+    }
+}
+
+TEST(MultiStreamer, FastForwardStillHigh)
+{
+    std::string json =
+        jsonski::gen::generateLarge(jsonski::gen::DatasetId::WM,
+                                    512 * 1024);
+    MultiStreamer ms = make({"$.it[*].nm", "$.it[*].bmrpr.pr"});
+    auto r = ms.run(json);
+    EXPECT_GT(r.stats.overallRatio(json.size()), 0.6);
+}
+
+TEST(MultiStreamer, G4GeneralizesToAllCandidates)
+{
+    // Both keys live early in the object; the tail must be skipped.
+    std::string json = R"({"a":1,"b":2,)";
+    for (int i = 0; i < 200; ++i)
+        json += "\"f" + std::to_string(i) + "\":[1,2,3],";
+    json += "\"z\":0}";
+    MultiStreamer ms = make({"$.a", "$.b"});
+    auto r = ms.run(json);
+    EXPECT_EQ(r.matches, (std::vector<size_t>{1, 1}));
+    EXPECT_GT(r.stats.get(Group::G4), json.size() / 2);
+}

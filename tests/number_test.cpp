@@ -1,0 +1,72 @@
+/** @file Tests for JSON number decoding. */
+#include "json/number.h"
+
+#include <gtest/gtest.h>
+
+using jsonski::json::Number;
+using jsonski::json::parseNumber;
+
+TEST(Number, Integers)
+{
+    auto n = parseNumber("42");
+    ASSERT_TRUE(n.isInt());
+    EXPECT_EQ(n.i, 42);
+    EXPECT_EQ(n.asDouble(), 42.0);
+
+    EXPECT_EQ(parseNumber("0").i, 0);
+    EXPECT_EQ(parseNumber("-7").i, -7);
+    EXPECT_EQ(parseNumber("9223372036854775807").i, INT64_MAX);
+    EXPECT_EQ(parseNumber("-9223372036854775808").i, INT64_MIN);
+}
+
+TEST(Number, IntegerOverflowBecomesDouble)
+{
+    auto n = parseNumber("9223372036854775808"); // INT64_MAX + 1
+    ASSERT_TRUE(n.isDouble());
+    EXPECT_NEAR(n.d, 9.223372036854776e18, 1e4);
+}
+
+TEST(Number, Doubles)
+{
+    EXPECT_DOUBLE_EQ(parseNumber("3.25").d, 3.25);
+    EXPECT_DOUBLE_EQ(parseNumber("-0.5").d, -0.5);
+    EXPECT_DOUBLE_EQ(parseNumber("1e3").d, 1000.0);
+    EXPECT_DOUBLE_EQ(parseNumber("1E+3").d, 1000.0);
+    EXPECT_DOUBLE_EQ(parseNumber("2.5e-2").d, 0.025);
+    EXPECT_TRUE(parseNumber("1.0").isDouble()); // fraction => double
+}
+
+TEST(Number, ExtremeDoubles)
+{
+    EXPECT_TRUE(parseNumber("1e308"));
+    EXPECT_TRUE(parseNumber("1e-308"));
+    // Out-of-range magnitudes still decode (to inf/0 per from_chars).
+    EXPECT_TRUE(parseNumber("1e999"));
+}
+
+TEST(Number, RejectsNonNumbers)
+{
+    EXPECT_FALSE(parseNumber(""));
+    EXPECT_FALSE(parseNumber("abc"));
+    EXPECT_FALSE(parseNumber("01"));    // leading zero
+    EXPECT_FALSE(parseNumber("-01"));
+    EXPECT_FALSE(parseNumber("1."));    // missing fraction digits
+    EXPECT_FALSE(parseNumber(".5"));    // missing integer part
+    EXPECT_FALSE(parseNumber("1e"));    // missing exponent
+    EXPECT_FALSE(parseNumber("+1"));    // no leading plus in JSON
+    EXPECT_FALSE(parseNumber("1 "));    // trailing junk
+    EXPECT_FALSE(parseNumber(" 1"));
+    EXPECT_FALSE(parseNumber("0x10"));
+    EXPECT_FALSE(parseNumber("NaN"));
+    EXPECT_FALSE(parseNumber("Infinity"));
+    EXPECT_FALSE(parseNumber("--1"));
+    EXPECT_FALSE(parseNumber("1.2.3"));
+}
+
+TEST(Number, InvalidDefaultState)
+{
+    Number n;
+    EXPECT_FALSE(n);
+    EXPECT_FALSE(n.isInt());
+    EXPECT_FALSE(n.isDouble());
+}

@@ -1,0 +1,125 @@
+/** @file Tests for the parallel single-record JSONSki extension. */
+#include "ski/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/datasets.h"
+#include "path/parser.h"
+#include "ski/streamer.h"
+
+using namespace jsonski;
+using jsonski::path::parse;
+
+namespace {
+
+/** Parallel result must equal the serial streamer's, values included. */
+void
+expectMatchesSerial(const std::string& json, const char* query,
+                    size_t threads = 4)
+{
+    auto q = parse(query);
+    ski::Streamer serial(q);
+    path::CollectSink want;
+    serial.run(json, &want);
+
+    ski::ParallelStreamer par(q);
+    ThreadPool pool(threads);
+    path::CollectSink got;
+    size_t n = par.run(json, pool, &got);
+    EXPECT_EQ(n, want.values.size()) << query;
+    EXPECT_EQ(got.values, want.values) << query;
+}
+
+} // namespace
+
+TEST(ParallelStreamer, RootArrayQueries)
+{
+    std::string json = R"([{"v":1},{"v":2},{"w":0},{"v":3},[9],7])";
+    expectMatchesSerial(json, "$[*].v");
+    expectMatchesSerial(json, "$[*]");
+    expectMatchesSerial(json, "$[1:4].v");
+    expectMatchesSerial(json, "$[2]");
+    expectMatchesSerial(json, "$[10]");
+}
+
+TEST(ParallelStreamer, KeyPrefixBeforeArray)
+{
+    std::string json =
+        R"({"meta": 1, "pd": [{"id":1},{"id":2},{"id":3}], "z": 0})";
+    expectMatchesSerial(json, "$.pd[*].id");
+    expectMatchesSerial(json, "$.pd[0:2].id");
+    expectMatchesSerial(json, "$.pd[*]");
+    expectMatchesSerial(json, "$.missing[*].id");
+}
+
+TEST(ParallelStreamer, KeyOnlyQueryFallsBackToSerial)
+{
+    std::string json = R"({"a": {"b": 42}})";
+    auto q = parse("$.a.b");
+    ski::ParallelStreamer par(q);
+    EXPECT_FALSE(par.parallelizable());
+    ThreadPool pool(2);
+    path::CollectSink sink;
+    EXPECT_EQ(par.run(json, pool, &sink), 1u);
+    EXPECT_EQ(sink.values, (std::vector<std::string>{"42"}));
+}
+
+TEST(ParallelStreamer, TypeMismatches)
+{
+    ThreadPool pool(2);
+    EXPECT_EQ(ski::ParallelStreamer(parse("$[*].v"))
+                  .run(R"({"a":1})", pool),
+              0u);
+    EXPECT_EQ(ski::ParallelStreamer(parse("$.a[*]"))
+                  .run(R"({"a": 5})", pool),
+              0u);
+    EXPECT_EQ(ski::ParallelStreamer(parse("$.a[*]")).run("[]", pool), 0u);
+}
+
+TEST(ParallelStreamer, EmptyAndTinyArrays)
+{
+    expectMatchesSerial("[]", "$[*].v");
+    expectMatchesSerial("[1]", "$[*]");
+    expectMatchesSerial(R"([{"v":1}])", "$[*].v");
+}
+
+TEST(ParallelStreamer, DeepTailQuery)
+{
+    std::string json =
+        R"([{"a":{"b":[{"c":1},{"c":2}]}},{"a":{"b":[{"c":3}]}}])";
+    expectMatchesSerial(json, "$[*].a.b[*].c");
+    expectMatchesSerial(json, "$[*].a.b[1].c");
+}
+
+TEST(ParallelStreamer, GeneratedDatasets)
+{
+    using gen::DatasetId;
+    struct Case
+    {
+        DatasetId id;
+        const char* query;
+    };
+    const Case cases[] = {
+        {DatasetId::TT, "$[*].en.urls[*].url"},
+        {DatasetId::TT, "$[*].text"},
+        {DatasetId::BB, "$.pd[*].cp[1:3].id"},
+        {DatasetId::WP, "$[10:21].cl.P150[*].ms.pty"},
+        {DatasetId::NSPL, "$.dt[*][*][2:4]"},
+    };
+    for (const Case& c : cases) {
+        std::string json = gen::generateLarge(c.id, 1024 * 1024);
+        expectMatchesSerial(json, c.query, 4);
+    }
+}
+
+TEST(ParallelStreamer, ThreadCountInvariance)
+{
+    std::string json = gen::generateLarge(gen::DatasetId::WM, 256 * 1024);
+    auto q = parse("$.it[*].nm");
+    ski::ParallelStreamer par(q);
+    size_t expected = ski::Streamer(q).run(json).matches;
+    for (size_t t : {1u, 2u, 3u, 8u}) {
+        ThreadPool pool(t);
+        EXPECT_EQ(par.run(json, pool), expected) << t;
+    }
+}

@@ -1,0 +1,114 @@
+/** @file Tests for the JSONPath parser. */
+#include "path/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+using namespace jsonski::path;
+using jsonski::PathError;
+
+TEST(PathParser, RootOnly)
+{
+    PathQuery q = parse("$");
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.toString(), "$");
+}
+
+TEST(PathParser, DotChildren)
+{
+    PathQuery q = parse("$.place.name");
+    ASSERT_EQ(q.size(), 2u);
+    EXPECT_EQ(q[0], PathStep::makeKey("place"));
+    EXPECT_EQ(q[1], PathStep::makeKey("name"));
+}
+
+TEST(PathParser, QuotedChild)
+{
+    PathQuery q = parse("$['bounding_box'].type");
+    ASSERT_EQ(q.size(), 2u);
+    EXPECT_EQ(q[0], PathStep::makeKey("bounding_box"));
+    EXPECT_EQ(q[1], PathStep::makeKey("type"));
+}
+
+TEST(PathParser, Index)
+{
+    PathQuery q = parse("$.a[3]");
+    ASSERT_EQ(q.size(), 2u);
+    EXPECT_EQ(q[1], PathStep::makeIndex(3));
+    EXPECT_TRUE(q[1].coversIndex(3));
+    EXPECT_FALSE(q[1].coversIndex(2));
+    EXPECT_FALSE(q[1].coversIndex(4));
+}
+
+TEST(PathParser, Slice)
+{
+    PathQuery q = parse("$.cp[1:3].id");
+    ASSERT_EQ(q.size(), 3u);
+    EXPECT_EQ(q[1], PathStep::makeSlice(1, 3));
+    EXPECT_FALSE(q[1].coversIndex(0));
+    EXPECT_TRUE(q[1].coversIndex(1));
+    EXPECT_TRUE(q[1].coversIndex(2));
+    EXPECT_FALSE(q[1].coversIndex(3));
+}
+
+TEST(PathParser, Wildcard)
+{
+    PathQuery q = parse("$[*].text");
+    ASSERT_EQ(q.size(), 2u);
+    EXPECT_EQ(q[0].kind, PathStep::Kind::Wildcard);
+    EXPECT_TRUE(q[0].coversIndex(0));
+    EXPECT_TRUE(q[0].coversIndex(1u << 30));
+}
+
+TEST(PathParser, PaperQueries)
+{
+    // All twelve Table 5 query shapes must parse.
+    const char* queries[] = {
+        "$[*].en.urls[*].url", "$[*].text",
+        "$.pd[*].cp[1:3].id",  "$.pd[*].vc[*].cha",
+        "$[*].rt[*].lg[*].st[*].dt.tx", "$[*].atm",
+        "$.mt.vw.co[*].nm",    "$.dt[*][*][2:4]",
+        "$.it[*].bmrpr.pr",    "$.it[*].nm",
+        "$[*].cl.P150[*].ms.pty", "$[10:21].cl.P150[*].ms.pty",
+    };
+    for (const char* s : queries) {
+        PathQuery q = parse(s);
+        EXPECT_EQ(q.toString(), s);
+    }
+}
+
+TEST(PathParser, TypeInference)
+{
+    PathQuery q = parse("$.pd[*].cp[1:3].id");
+    // pd selects an array (next step [*]), [*] selects objects (.cp),
+    // cp selects an array ([1:3]), [1:3] selects objects (.id), id: Any.
+    EXPECT_EQ(q.expectedTypeAfter(0), ExpectedType::Array);
+    EXPECT_EQ(q.expectedTypeAfter(1), ExpectedType::Object);
+    EXPECT_EQ(q.expectedTypeAfter(2), ExpectedType::Array);
+    EXPECT_EQ(q.expectedTypeAfter(3), ExpectedType::Object);
+    EXPECT_EQ(q.expectedTypeAfter(4), ExpectedType::Any);
+}
+
+TEST(PathParser, Errors)
+{
+    EXPECT_THROW(parse(""), PathError);
+    EXPECT_THROW(parse("place.name"), PathError);
+    EXPECT_THROW(parse("$..name.more"), PathError); // '..' must be last
+    EXPECT_THROW(parse("$."), PathError);
+    EXPECT_THROW(parse("$["), PathError);
+    EXPECT_THROW(parse("$[abc]"), PathError);
+    EXPECT_THROW(parse("$[1:"), PathError);
+    EXPECT_THROW(parse("$[3:1]"), PathError);
+    EXPECT_THROW(parse("$[2:2]"), PathError);
+    EXPECT_THROW(parse("$['unterminated]"), PathError);
+    EXPECT_THROW(parse("$[*"), PathError);
+    EXPECT_THROW(parse("$x"), PathError);
+}
+
+TEST(PathParser, RootSlice)
+{
+    PathQuery q = parse("$[10:21].cl");
+    ASSERT_EQ(q.size(), 2u);
+    EXPECT_EQ(q[0], PathStep::makeSlice(10, 21));
+}

@@ -1,0 +1,187 @@
+/** @file Tests for the Pison-class leveled bitmap baseline. */
+#include "baseline/pison/query.h"
+
+#include <gtest/gtest.h>
+
+#include "baseline/pison/leveled_index.h"
+#include "path/parser.h"
+#include "util/bits.h"
+
+using namespace jsonski::pison;
+using jsonski::ThreadPool;
+using jsonski::path::CollectSink;
+using jsonski::path::parse;
+namespace bits = jsonski::bits;
+
+namespace {
+
+/** All set-bit positions of a level bitmap. */
+std::vector<size_t>
+positions(const std::vector<uint64_t>& bm)
+{
+    std::vector<size_t> out;
+    for (size_t w = 0; w < bm.size(); ++w) {
+        uint64_t v = bm[w];
+        while (v != 0) {
+            out.push_back(w * 64 +
+                          static_cast<size_t>(bits::trailingZeros(v)));
+            v = bits::clearLowest(v);
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+TEST(LeveledIndex, ColonLevels)
+{
+    //                0123456789012345678901234
+    std::string json = R"({"a":{"b":1},"c":2})";
+    LeveledIndex ix = LeveledIndex::build(json, 2);
+    EXPECT_EQ(positions(ix.colons(0)),
+              (std::vector<size_t>{4, 16})); // after "a", after "c"
+    EXPECT_EQ(positions(ix.colons(1)), (std::vector<size_t>{9}));
+    EXPECT_EQ(positions(ix.commas(0)), (std::vector<size_t>{12}));
+}
+
+TEST(LeveledIndex, CommaLevelsInNestedArrays)
+{
+    std::string json = R"([[1,2],[3,4],5])";
+    LeveledIndex ix = LeveledIndex::build(json, 2);
+    EXPECT_EQ(positions(ix.commas(0)), (std::vector<size_t>{6, 12}));
+    EXPECT_EQ(positions(ix.commas(1)), (std::vector<size_t>{3, 9}));
+}
+
+TEST(LeveledIndex, StringsMasked)
+{
+    std::string json = R"({"k": "a:b,c", "m": 1})";
+    LeveledIndex ix = LeveledIndex::build(json, 1);
+    EXPECT_EQ(positions(ix.colons(0)).size(), 2u);
+    EXPECT_EQ(positions(ix.commas(0)).size(), 1u);
+}
+
+TEST(LeveledIndex, NextBit)
+{
+    std::string json = R"({"a":1,"b":2,"c":3})";
+    LeveledIndex ix = LeveledIndex::build(json, 1);
+    auto cols = positions(ix.colons(0));
+    ASSERT_EQ(cols.size(), 3u);
+    EXPECT_EQ(LeveledIndex::nextBit(ix.colons(0), 0, json.size()), cols[0]);
+    EXPECT_EQ(LeveledIndex::nextBit(ix.colons(0), cols[0] + 1, json.size()),
+              cols[1]);
+    EXPECT_EQ(LeveledIndex::nextBit(ix.colons(0), cols[2] + 1, json.size()),
+              json.size());
+    // Range-limited lookup.
+    EXPECT_EQ(LeveledIndex::nextBit(ix.colons(0), 0, cols[0]), cols[0]);
+}
+
+TEST(LeveledIndex, DeeperLevelsThanIndexAreDropped)
+{
+    std::string json = R"({"a":{"b":{"c":1}}})";
+    LeveledIndex ix = LeveledIndex::build(json, 1);
+    EXPECT_EQ(positions(ix.colons(0)).size(), 1u);
+}
+
+TEST(LeveledIndex, ParallelMatchesSerial)
+{
+    std::string json = "[";
+    for (int i = 0; i < 2000; ++i) {
+        json += R"({"k":"some text, with: stuff","n":[1,2,3],"m":)" +
+                std::to_string(i) + "},";
+    }
+    json += "{}]";
+    LeveledIndex serial = LeveledIndex::build(json, 3);
+    ThreadPool pool(4);
+    LeveledIndex parallel = LeveledIndex::buildParallel(json, 3, pool);
+    for (size_t level = 0; level < 3; ++level) {
+        EXPECT_EQ(positions(serial.colons(level)),
+                  positions(parallel.colons(level)))
+            << level;
+        EXPECT_EQ(positions(serial.commas(level)),
+                  positions(parallel.commas(level)))
+            << level;
+    }
+}
+
+TEST(LeveledIndex, ParallelHandlesStringsAcrossChunks)
+{
+    // Giant strings force chunk boundaries into string interiors,
+    // exercising the mis-speculation re-run path.
+    std::string json = "[\"" + std::string(5000, 'x') + ",:\",\"" +
+                       std::string(5000, '{') + "\",{\"k\":1}]";
+    LeveledIndex serial = LeveledIndex::build(json, 2);
+    ThreadPool pool(8);
+    LeveledIndex parallel = LeveledIndex::buildParallel(json, 2, pool);
+    for (size_t level = 0; level < 2; ++level) {
+        EXPECT_EQ(positions(serial.colons(level)),
+                  positions(parallel.colons(level)));
+        EXPECT_EQ(positions(serial.commas(level)),
+                  positions(parallel.commas(level)));
+    }
+}
+
+TEST(PisonQuery, BasicPaths)
+{
+    CollectSink sink;
+    EXPECT_EQ(parseAndQuery(R"({"place":{"name":"Manhattan","x":1}})",
+                            parse("$.place.name"), &sink),
+              1u);
+    EXPECT_EQ(sink.values[0], "\"Manhattan\"");
+}
+
+TEST(PisonQuery, ArraySteps)
+{
+    std::string json = R"({"pd":[{"id":1},{"id":2},{"id":3}]})";
+    EXPECT_EQ(parseAndQuery(json, parse("$.pd[*].id")), 3u);
+    EXPECT_EQ(parseAndQuery(json, parse("$.pd[1].id")), 1u);
+    EXPECT_EQ(parseAndQuery(json, parse("$.pd[1:3].id")), 2u);
+    EXPECT_EQ(parseAndQuery(json, parse("$.pd[5].id")), 0u);
+}
+
+TEST(PisonQuery, ValueSpansExcludeSeparators)
+{
+    CollectSink sink;
+    parseAndQuery(R"({"a": [1, 2] , "b": {"c": 2} })", parse("$.a"), &sink);
+    parseAndQuery(R"({"a": [1, 2] , "b": {"c": 2} })", parse("$.b"), &sink);
+    EXPECT_EQ(sink.values,
+              (std::vector<std::string>{"[1, 2]", R"({"c": 2})"}));
+}
+
+TEST(PisonQuery, TypeMismatch)
+{
+    EXPECT_EQ(parseAndQuery(R"({"a":5})", parse("$.a.b")), 0u);
+    EXPECT_EQ(parseAndQuery("[1,2]", parse("$.a")), 0u);
+    EXPECT_EQ(parseAndQuery(R"({"a":1})", parse("$[0]")), 0u);
+}
+
+TEST(PisonQuery, EmptyContainers)
+{
+    EXPECT_EQ(parseAndQuery("{}", parse("$.a")), 0u);
+    EXPECT_EQ(parseAndQuery("[]", parse("$[*]")), 0u);
+    EXPECT_EQ(parseAndQuery(R"({"a":[]})", parse("$.a[*]")), 0u);
+}
+
+TEST(PisonQuery, ParallelPipelineMatchesSerial)
+{
+    std::string json = R"({"pd":[)";
+    for (int i = 0; i < 300; ++i) {
+        json += R"({"cp":[{"id":1},{"id":2},{"id":3}],"x":"a,b:c"},)";
+    }
+    json += R"({"cp":[]}]})";
+    ThreadPool pool(4);
+    size_t serial = parseAndQuery(json, parse("$.pd[*].cp[1:3].id"));
+    size_t parallel =
+        parseAndQueryParallel(json, parse("$.pd[*].cp[1:3].id"), pool);
+    EXPECT_EQ(serial, parallel);
+    EXPECT_EQ(serial, 600u);
+}
+
+TEST(PisonQuery, MemoryBytesScalesWithLevels)
+{
+    std::string json(10000, ' ');
+    json[0] = '{';
+    json[9999] = '}';
+    LeveledIndex one = LeveledIndex::build(json, 1);
+    LeveledIndex four = LeveledIndex::build(json, 4);
+    EXPECT_EQ(four.memoryBytes(), 4 * one.memoryBytes());
+}

@@ -1,0 +1,144 @@
+/** @file Tests for the incremental buffered record reader. */
+#include "ski/record_reader.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "gen/datasets.h"
+#include "path/parser.h"
+#include "ski/streamer.h"
+#include "util/error.h"
+
+using jsonski::ParseError;
+using jsonski::ski::RecordReader;
+
+namespace {
+
+std::vector<std::string>
+readAll(const std::string& text, size_t buffer)
+{
+    std::istringstream in(text);
+    RecordReader reader(in, buffer);
+    std::vector<std::string> out;
+    std::string_view rec;
+    while (reader.next(rec))
+        out.push_back(std::string(rec));
+    return out;
+}
+
+} // namespace
+
+TEST(RecordReader, BasicNdjson)
+{
+    auto recs = readAll("{\"a\":1}\n{\"b\":2}\n[3]\n", 1 << 16);
+    EXPECT_EQ(recs, (std::vector<std::string>{"{\"a\":1}", "{\"b\":2}",
+                                              "[3]"}));
+}
+
+TEST(RecordReader, EmptyStream)
+{
+    EXPECT_TRUE(readAll("", 1024).empty());
+    EXPECT_TRUE(readAll("  \n \t ", 1024).empty());
+}
+
+TEST(RecordReader, TinyBufferForcesRefills)
+{
+    std::string text;
+    std::vector<std::string> expected;
+    for (int i = 0; i < 200; ++i) {
+        std::string rec =
+            "{\"id\":" + std::to_string(i) + ",\"p\":[1,2,3]}";
+        expected.push_back(rec);
+        text += rec + "\n";
+    }
+    // Buffer fits only a handful of records at a time.
+    auto recs = readAll(text, 300);
+    EXPECT_EQ(recs, expected);
+}
+
+TEST(RecordReader, RecordLargerThanBufferGrows)
+{
+    std::string big = "{\"payload\":\"" + std::string(5000, 'x') + "\"}";
+    std::string text = big + "\n{\"k\":1}";
+    std::istringstream in(text);
+    RecordReader reader(in, 256);
+    std::string_view rec;
+    ASSERT_TRUE(reader.next(rec));
+    EXPECT_EQ(rec, big);
+    ASSERT_TRUE(reader.next(rec));
+    EXPECT_EQ(rec, "{\"k\":1}");
+    EXPECT_FALSE(reader.next(rec));
+    EXPECT_GT(reader.bufferSize(), 256u);
+}
+
+TEST(RecordReader, CountsAndBytes)
+{
+    std::istringstream in("{} [1] {}");
+    RecordReader reader(in, 64);
+    std::string_view rec;
+    size_t n = 0;
+    while (reader.next(rec))
+        ++n;
+    EXPECT_EQ(n, 3u);
+    EXPECT_EQ(reader.recordsRead(), 3u);
+    EXPECT_EQ(reader.bytesRead(), 2u + 3u + 2u);
+}
+
+TEST(RecordReader, UnterminatedTrailingRecordThrows)
+{
+    std::istringstream in("{\"a\":1}\n{\"b\":");
+    RecordReader reader(in, 64);
+    std::string_view rec;
+    ASSERT_TRUE(reader.next(rec));
+    EXPECT_EQ(rec, "{\"a\":1}");
+    EXPECT_THROW(reader.next(rec), ParseError);
+}
+
+TEST(RecordReader, StrayBytesThrow)
+{
+    // The scan is eager, so the error may surface on any next() call;
+    // draining the stream must throw.
+    std::istringstream in("{} oops {}");
+    RecordReader reader(in, 64);
+    EXPECT_THROW(
+        {
+            std::string_view rec;
+            while (reader.next(rec)) {
+            }
+        },
+        ParseError);
+}
+
+TEST(RecordReader, StringsStraddlingRefills)
+{
+    // A record whose long string crosses several buffer refills, with
+    // metacharacters inside.
+    std::string big = "{\"s\":\"" + std::string(700, ',') + "}{" +
+                      std::string(700, ']') + "\"}";
+    std::string text = big + "\n[7]";
+    std::istringstream in(text);
+    RecordReader reader(in, 256);
+    std::string_view rec;
+    ASSERT_TRUE(reader.next(rec));
+    EXPECT_EQ(rec, big);
+    ASSERT_TRUE(reader.next(rec));
+    EXPECT_EQ(rec, "[7]");
+}
+
+TEST(RecordReader, EndToEndQueryOverGeneratedFeed)
+{
+    auto data = jsonski::gen::generateSmall(jsonski::gen::DatasetId::WM,
+                                            128 * 1024);
+    std::istringstream in(data.buffer);
+    RecordReader reader(in, 4096);
+    jsonski::ski::Streamer streamer(jsonski::path::parse("$.nm"));
+    std::string_view rec;
+    size_t matches = 0, records = 0;
+    while (reader.next(rec)) {
+        matches += streamer.run(rec).matches;
+        ++records;
+    }
+    EXPECT_EQ(records, data.count());
+    EXPECT_EQ(matches, data.count());
+}

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Property test pinning the fast-forward primitives to ground truth:
+ * for every container in random documents, goOverObj/goOverAry started
+ * at its opener must land exactly one past its closer — as reported by
+ * the character-level DOM parse of the same document.
+ */
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "baseline/dom/node.h"
+#include "baseline/dom/parser.h"
+#include "intervals/cursor.h"
+#include "json/validate.h"
+#include "json/writer.h"
+#include "ski/skipper.h"
+#include "util/rng.h"
+
+using namespace jsonski;
+
+namespace {
+
+void
+genValue(Rng& rng, json::Writer& w, int depth)
+{
+    double shape = rng.real();
+    if (depth <= 0 || shape < 0.4) {
+        if (rng.chance(0.4))
+            w.string(rng.chance(0.3) ? "tricky }{][ \\\" here"
+                                     : rng.ident(1 + rng.below(40)));
+        else
+            w.number(rng.range(-100000, 100000));
+    } else if (shape < 0.72) {
+        w.beginObject();
+        size_t n = rng.below(5);
+        for (size_t i = 0; i < n; ++i) {
+            w.key("k" + std::to_string(i));
+            genValue(rng, w, depth - 1);
+        }
+        w.endObject();
+    } else {
+        w.beginArray();
+        size_t n = rng.below(6);
+        for (size_t i = 0; i < n; ++i)
+            genValue(rng, w, depth - 1);
+        w.endArray();
+    }
+}
+
+/** Collect (start, end) extents of every container via the DOM. */
+void
+collectExtents(const dom::Node* node, std::string_view doc,
+               std::vector<std::pair<size_t, size_t>>& out)
+{
+    if (node->isObject() || node->isArray()) {
+        size_t start =
+            static_cast<size_t>(node->text.data() - doc.data());
+        out.emplace_back(start, start + node->text.size());
+        for (const auto& [name, child] : node->members)
+            collectExtents(child, doc, out);
+        for (const dom::Node* child : node->elements)
+            collectExtents(child, doc, out);
+    }
+}
+
+} // namespace
+
+TEST(SkipperProperty, ContainerSkipsMatchDomExtents)
+{
+    Rng rng(24680);
+    size_t containers_checked = 0;
+    for (int iter = 0; iter < 150; ++iter) {
+        json::Writer w;
+        genValue(rng, w, 5);
+        std::string doc = w.take();
+        if (doc.empty() || (doc[0] != '{' && doc[0] != '['))
+            continue;
+        ASSERT_TRUE(json::validate(doc));
+
+        dom::Document tree;
+        dom::parse(doc, tree);
+        std::vector<std::pair<size_t, size_t>> extents;
+        collectExtents(tree.root(), doc, extents);
+
+        // Forward-only cursor: visit extents in start order.
+        std::sort(extents.begin(), extents.end());
+        for (auto [start, end] : extents) {
+            // Each check needs a fresh cursor (forward-only), so bound
+            // the per-document work.
+            intervals::StreamCursor cur(doc);
+            ski::Skipper skip(cur);
+            cur.setPos(start);
+            if (doc[start] == '{')
+                skip.overObj(ski::Group::G2);
+            else
+                skip.overAry(ski::Group::G2);
+            ASSERT_EQ(cur.pos(), end)
+                << "container at " << start << " in: " << doc;
+            ++containers_checked;
+            if (containers_checked % 7 == 0)
+                break; // sample the rest; keep runtime bounded
+        }
+    }
+    EXPECT_GT(containers_checked, 300u);
+}
+
+TEST(SkipperProperty, ToObjEndFromEveryAttributeBoundary)
+{
+    // From the position after each top-level attribute value, toObjEnd
+    // must land one past the root '}'.
+    Rng rng(11223);
+    for (int iter = 0; iter < 100; ++iter) {
+        json::Writer w;
+        w.beginObject();
+        size_t n = 1 + rng.below(6);
+        for (size_t i = 0; i < n; ++i) {
+            w.key("k" + std::to_string(i));
+            genValue(rng, w, 3);
+        }
+        w.endObject();
+        std::string doc = w.take();
+
+        dom::Document tree;
+        dom::parse(doc, tree);
+        for (const auto& [name, child] : tree.root()->members) {
+            size_t value_end =
+                static_cast<size_t>(child->text.data() - doc.data()) +
+                child->text.size();
+            intervals::StreamCursor cur(doc);
+            ski::Skipper skip(cur);
+            cur.setPos(value_end);
+            skip.toObjEnd(ski::Group::G4);
+            ASSERT_EQ(cur.pos(), doc.size()) << doc;
+        }
+    }
+}

@@ -1,0 +1,114 @@
+/** @file Tests for the simdjson-class two-stage tape baseline. */
+#include "baseline/tape/query.h"
+
+#include <gtest/gtest.h>
+
+#include "path/parser.h"
+#include "util/error.h"
+
+using namespace jsonski::tape;
+using jsonski::ParseError;
+using jsonski::path::CollectSink;
+using jsonski::path::parse;
+
+TEST(StructuralIndex, FindsAllStructuralChars)
+{
+    std::string json = R"({"a": [1, "x"], "b": {"c": 2}})";
+    StructuralIndex ix = buildStructuralIndex(json);
+    // Every indexed position must be a structural char or a quote.
+    for (uint32_t p : ix.positions) {
+        char c = json[p];
+        EXPECT_TRUE(c == '{' || c == '}' || c == '[' || c == ']' ||
+                    c == ':' || c == ',' || c == '"')
+            << c;
+    }
+    // Spot-check: the outer braces and the quote of "a".
+    EXPECT_EQ(ix.positions.front(), 0u);
+    EXPECT_EQ(ix.positions.back(), json.size() - 1);
+}
+
+TEST(StructuralIndex, MasksStringInteriors)
+{
+    std::string json = R"({"k": "a{b}[c]:,d"})";
+    StructuralIndex ix = buildStructuralIndex(json);
+    // Expect: '{', quote(k), ':', quote(value), '}': 5 entries.
+    ASSERT_EQ(ix.positions.size(), 5u);
+    EXPECT_EQ(json[ix.positions[0]], '{');
+    EXPECT_EQ(json[ix.positions[1]], '"');
+    EXPECT_EQ(json[ix.positions[2]], ':');
+    EXPECT_EQ(json[ix.positions[3]], '"');
+    EXPECT_EQ(json[ix.positions[4]], '}');
+}
+
+TEST(Tape, BuildsSkipLinks)
+{
+    std::string json = R"({"a": [1, 2], "b": 3})";
+    Tape t = buildTape(json, buildStructuralIndex(json));
+    ASSERT_EQ(t.typeAt(0), TapeType::ObjStart);
+    // Skipping the root lands one past the last word.
+    EXPECT_EQ(t.skip(0), t.words.size());
+    EXPECT_EQ(t.textAt(0, json), json);
+}
+
+TEST(Tape, TextSpans)
+{
+    std::string json = R"({"a": [1, 2], "b": "str", "c": null})";
+    Tape t = buildTape(json, buildStructuralIndex(json));
+    CollectSink sink;
+    EXPECT_EQ(evaluate(t, json, parse("$.a"), &sink), 1u);
+    EXPECT_EQ(evaluate(t, json, parse("$.b"), &sink), 1u);
+    EXPECT_EQ(evaluate(t, json, parse("$.c"), &sink), 1u);
+    EXPECT_EQ(sink.values,
+              (std::vector<std::string>{"[1, 2]", "\"str\"", "null"}));
+}
+
+TEST(Tape, RootPrimitive)
+{
+    std::string json = "  42  ";
+    Tape t = buildTape(json, buildStructuralIndex(json));
+    ASSERT_EQ(t.typeAt(0), TapeType::Primitive);
+    EXPECT_EQ(t.textAt(0, json), "42");
+}
+
+TEST(Tape, MalformedStructures)
+{
+    for (const char* bad : {"{", "[", "{]", "[}", "}", ",", "{\"a\":1"}) {
+        std::string json = bad;
+        EXPECT_THROW(buildTape(json, buildStructuralIndex(json)),
+                     ParseError)
+            << bad;
+    }
+}
+
+TEST(TapeQuery, PaperStyleQueries)
+{
+    std::string json =
+        R"({"pd":[{"cp":[{"id":1},{"id":2},{"id":3}],"vc":[]},)"
+        R"({"cp":[{"id":4}],"vc":[{"cha":"x"}]}]})";
+    EXPECT_EQ(parseAndQuery(json, parse("$.pd[*].cp[1:3].id")), 2u);
+    EXPECT_EQ(parseAndQuery(json, parse("$.pd[*].vc[*].cha")), 1u);
+    EXPECT_EQ(parseAndQuery(json, parse("$.pd[*].cp[*].id")), 4u);
+}
+
+TEST(TapeQuery, EmptyContainers)
+{
+    EXPECT_EQ(parseAndQuery("{}", parse("$.a")), 0u);
+    EXPECT_EQ(parseAndQuery("[]", parse("$[*]")), 0u);
+    EXPECT_EQ(parseAndQuery(R"({"a":{}})", parse("$.a.b")), 0u);
+}
+
+TEST(TapeQuery, StringsWithStructuralDecoys)
+{
+    std::string json =
+        R"({"decoy": "\"k\": {", "k": [1, "a,b]", 3]})";
+    CollectSink sink;
+    EXPECT_EQ(parseAndQuery(json, parse("$.k[2]"), &sink), 1u);
+    EXPECT_EQ(sink.values[0], "3");
+}
+
+TEST(TapeQuery, DeepNesting)
+{
+    EXPECT_EQ(parseAndQuery(R"({"a":{"b":{"c":{"d":[0,1]}}}})",
+                            parse("$.a.b.c.d[1]")),
+              1u);
+}

@@ -1,0 +1,94 @@
+/** @file Tests for scalar JSON text helpers. */
+#include "json/text.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+using namespace jsonski::json;
+using jsonski::ParseError;
+
+TEST(Text, SkipWhitespace)
+{
+    EXPECT_EQ(skipWhitespace("  \t\n x", 0), 5u);
+    EXPECT_EQ(skipWhitespace("x", 0), 0u);
+    EXPECT_EQ(skipWhitespace("   ", 0), 3u);
+    EXPECT_EQ(skipWhitespace("ab  cd", 2), 4u);
+}
+
+TEST(Text, ScanStringSimple)
+{
+    std::string s = R"("hello" rest)";
+    EXPECT_EQ(scanString(s, 0), 7u);
+}
+
+TEST(Text, ScanStringWithEscapes)
+{
+    std::string s = R"("a\"b\\" tail)";
+    EXPECT_EQ(scanString(s, 0), 8u);
+}
+
+TEST(Text, ScanStringUnterminated)
+{
+    EXPECT_EQ(scanString(R"("abc)", 0), std::string_view::npos);
+    EXPECT_EQ(scanString(R"("abc\")", 0), std::string_view::npos);
+}
+
+TEST(Text, ScanPrimitiveNumber)
+{
+    std::string s = "-12.5e3, next";
+    EXPECT_EQ(scanPrimitive(s, 0), 7u);
+}
+
+TEST(Text, ScanPrimitiveLiteralBeforeBrace)
+{
+    std::string s = "true}";
+    EXPECT_EQ(scanPrimitive(s, 0), 4u);
+}
+
+TEST(Text, EscapeRoundTrip)
+{
+    std::string raw = "line1\nline2\t\"quoted\" \\slash";
+    std::string escaped = escapeString(raw);
+    EXPECT_EQ(unescapeString(escaped), raw);
+}
+
+TEST(Text, EscapeControlCharacters)
+{
+    std::string raw;
+    raw += '\x01';
+    EXPECT_EQ(escapeString(raw), "\\u0001");
+}
+
+TEST(Text, UnescapeUnicodeBasic)
+{
+    EXPECT_EQ(unescapeString("\\u0041"), "A");
+    EXPECT_EQ(unescapeString("\\u00e9"), "\xc3\xa9");     // é
+    EXPECT_EQ(unescapeString("\\u4e2d"), "\xe4\xb8\xad"); // 中
+}
+
+TEST(Text, UnescapeSurrogatePair)
+{
+    // U+1F600 GRINNING FACE
+    EXPECT_EQ(unescapeString("\\ud83d\\ude00"), "\xf0\x9f\x98\x80");
+}
+
+TEST(Text, UnescapeErrors)
+{
+    EXPECT_THROW(unescapeString("\\"), ParseError);
+    EXPECT_THROW(unescapeString("\\q"), ParseError);
+    EXPECT_THROW(unescapeString("\\u12"), ParseError);
+    EXPECT_THROW(unescapeString("\\u12zz"), ParseError);
+    EXPECT_THROW(unescapeString("\\ud800x"), ParseError);  // unpaired high
+    EXPECT_THROW(unescapeString("\\udc00"), ParseError);   // unpaired low
+}
+
+TEST(Text, IsWhitespace)
+{
+    EXPECT_TRUE(isWhitespace(' '));
+    EXPECT_TRUE(isWhitespace('\t'));
+    EXPECT_TRUE(isWhitespace('\n'));
+    EXPECT_TRUE(isWhitespace('\r'));
+    EXPECT_FALSE(isWhitespace('a'));
+    EXPECT_FALSE(isWhitespace('\0'));
+}

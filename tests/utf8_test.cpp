@@ -1,0 +1,73 @@
+/** @file Tests for the UTF-8 validator. */
+#include "json/utf8.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+using jsonski::json::validateUtf8;
+
+TEST(Utf8, AcceptsAscii)
+{
+    EXPECT_TRUE(validateUtf8(""));
+    EXPECT_TRUE(validateUtf8("hello world"));
+    EXPECT_TRUE(validateUtf8(std::string(1000, 'a')));
+}
+
+TEST(Utf8, AcceptsWellFormedMultibyte)
+{
+    EXPECT_TRUE(validateUtf8("caf\xc3\xa9"));               // é (2B)
+    EXPECT_TRUE(validateUtf8("\xe4\xb8\xad\xe6\x96\x87"));  // 中文 (3B)
+    EXPECT_TRUE(validateUtf8("\xf0\x9f\x98\x80"));          // 😀 (4B)
+    EXPECT_TRUE(validateUtf8("\xc2\x80"));                  // U+0080 min 2B
+    EXPECT_TRUE(validateUtf8("\xe0\xa0\x80"));              // U+0800 min 3B
+    EXPECT_TRUE(validateUtf8("\xf0\x90\x80\x80"));          // U+10000 min 4B
+    EXPECT_TRUE(validateUtf8("\xf4\x8f\xbf\xbf"));          // U+10FFFF max
+    EXPECT_TRUE(validateUtf8("\xed\x9f\xbf"));              // U+D7FF
+    EXPECT_TRUE(validateUtf8("\xee\x80\x80"));              // U+E000
+}
+
+TEST(Utf8, RejectsMalformed)
+{
+    EXPECT_FALSE(validateUtf8("\x80"));         // stray continuation
+    EXPECT_FALSE(validateUtf8("\xc3"));         // truncated 2B
+    EXPECT_FALSE(validateUtf8("\xc3(z"));       // bad continuation
+    EXPECT_FALSE(validateUtf8("\xe2\x82"));     // truncated 3B
+    EXPECT_FALSE(validateUtf8("\xf0\x9f\x98")); // truncated 4B
+    EXPECT_FALSE(validateUtf8("\xc0\xaf"));     // overlong '/'
+    EXPECT_FALSE(validateUtf8("\xc1\xbf"));     // overlong
+    EXPECT_FALSE(validateUtf8("\xe0\x9f\xbf")); // overlong 3B
+    EXPECT_FALSE(validateUtf8("\xf0\x8f\xbf\xbf")); // overlong 4B
+    EXPECT_FALSE(validateUtf8("\xed\xa0\x80")); // surrogate U+D800
+    EXPECT_FALSE(validateUtf8("\xed\xbf\xbf")); // surrogate U+DFFF
+    EXPECT_FALSE(validateUtf8("\xf4\x90\x80\x80")); // > U+10FFFF
+    EXPECT_FALSE(validateUtf8("\xf5\x80\x80\x80")); // invalid lead F5
+    EXPECT_FALSE(validateUtf8("\xff"));
+}
+
+TEST(Utf8, ErrorPositionReported)
+{
+    std::string s = "good ascii then \xc3(";
+    auto r = validateUtf8(s);
+    EXPECT_FALSE(r.ok);
+    EXPECT_EQ(r.error_position, s.size() - 2);
+}
+
+TEST(Utf8, FastPathBlocksWithLateError)
+{
+    // >64 bytes of ASCII (vector fast path) before the bad byte.
+    std::string s(200, 'x');
+    s += '\x80';
+    auto r = validateUtf8(s);
+    EXPECT_FALSE(r.ok);
+    EXPECT_EQ(r.error_position, 200u);
+}
+
+TEST(Utf8, MultibyteStraddlingBlockBoundary)
+{
+    // A 4-byte sequence crossing a 64-byte boundary.
+    std::string s(62, 'a');
+    s += "\xf0\x9f\x98\x80"; // bytes 62..65
+    s += std::string(70, 'b');
+    EXPECT_TRUE(validateUtf8(s));
+}

@@ -1,0 +1,99 @@
+/** @file Tests for the full JSON validator. */
+#include "json/validate.h"
+
+#include <gtest/gtest.h>
+
+using jsonski::json::validate;
+
+TEST(Validate, AcceptsBasics)
+{
+    EXPECT_TRUE(validate("{}"));
+    EXPECT_TRUE(validate("[]"));
+    EXPECT_TRUE(validate("1"));
+    EXPECT_TRUE(validate("-0.5e+10"));
+    EXPECT_TRUE(validate("\"s\""));
+    EXPECT_TRUE(validate("true"));
+    EXPECT_TRUE(validate("false"));
+    EXPECT_TRUE(validate("null"));
+    EXPECT_TRUE(validate("  [1, 2]  "));
+}
+
+TEST(Validate, AcceptsNested)
+{
+    EXPECT_TRUE(validate(R"({"a":{"b":[{"c":[1,2,{"d":null}]}]}})"));
+}
+
+TEST(Validate, RejectsStructuralErrors)
+{
+    EXPECT_FALSE(validate(""));
+    EXPECT_FALSE(validate("{"));
+    EXPECT_FALSE(validate("}"));
+    EXPECT_FALSE(validate("[1,]"));
+    EXPECT_FALSE(validate("{\"a\":}"));
+    EXPECT_FALSE(validate("{\"a\" 1}"));
+    EXPECT_FALSE(validate("{a:1}"));
+    EXPECT_FALSE(validate("[1 2]"));
+    EXPECT_FALSE(validate("[1][2]"));
+    EXPECT_FALSE(validate("{\"a\":1,}"));
+}
+
+TEST(Validate, RejectsBadNumbers)
+{
+    EXPECT_FALSE(validate("01"));
+    EXPECT_FALSE(validate("-01"));
+    EXPECT_FALSE(validate("1."));
+    EXPECT_FALSE(validate("1.e3"));
+    EXPECT_FALSE(validate("1e"));
+    EXPECT_FALSE(validate("+1"));
+    EXPECT_FALSE(validate("-"));
+    EXPECT_TRUE(validate("0"));
+    EXPECT_TRUE(validate("-0"));
+    EXPECT_TRUE(validate("0.5"));
+}
+
+TEST(Validate, RejectsBadStrings)
+{
+    EXPECT_FALSE(validate("\"abc"));
+    EXPECT_FALSE(validate("\"\\q\""));
+    EXPECT_FALSE(validate("\"\\u12g4\""));
+    EXPECT_FALSE(validate("\"a\nb\"")); // raw control char
+    EXPECT_TRUE(validate("\"a\\nb\""));
+    EXPECT_TRUE(validate("\"\\u1234\""));
+}
+
+TEST(Validate, RejectsBadLiterals)
+{
+    EXPECT_FALSE(validate("tru"));
+    EXPECT_FALSE(validate("nul"));
+    EXPECT_FALSE(validate("falsey"));  // trailing chars
+}
+
+TEST(Validate, ErrorPositionReported)
+{
+    auto r = validate("[1, x]");
+    EXPECT_FALSE(r.ok);
+    EXPECT_EQ(r.error_position, 4u);
+    EXPECT_FALSE(r.message.empty());
+}
+
+TEST(Validate, DeepNestingWithinLimit)
+{
+    std::string deep;
+    for (int i = 0; i < 500; ++i)
+        deep += '[';
+    deep += '1';
+    for (int i = 0; i < 500; ++i)
+        deep += ']';
+    EXPECT_TRUE(validate(deep));
+}
+
+TEST(Validate, NestingBeyondLimitRejected)
+{
+    std::string deep;
+    for (int i = 0; i < 2000; ++i)
+        deep += '[';
+    deep += '1';
+    for (int i = 0; i < 2000; ++i)
+        deep += ']';
+    EXPECT_FALSE(validate(deep));
+}

@@ -1,0 +1,122 @@
+/** @file Tests for the streaming JSON writer. */
+#include "json/writer.h"
+
+#include <gtest/gtest.h>
+
+#include "json/validate.h"
+
+using namespace jsonski::json;
+
+TEST(Writer, EmptyObject)
+{
+    Writer w;
+    w.beginObject();
+    w.endObject();
+    EXPECT_EQ(w.take(), "{}");
+}
+
+TEST(Writer, EmptyArray)
+{
+    Writer w;
+    w.beginArray();
+    w.endArray();
+    EXPECT_EQ(w.take(), "[]");
+}
+
+TEST(Writer, FlatObject)
+{
+    Writer w;
+    w.beginObject();
+    w.key("a");
+    w.number(int64_t{1});
+    w.key("b");
+    w.string("x");
+    w.key("c");
+    w.boolean(true);
+    w.key("d");
+    w.null();
+    w.endObject();
+    EXPECT_EQ(w.take(), R"({"a":1,"b":"x","c":true,"d":null})");
+}
+
+TEST(Writer, NestedStructures)
+{
+    Writer w;
+    w.beginObject();
+    w.key("arr");
+    w.beginArray();
+    w.number(int64_t{1});
+    w.beginObject();
+    w.key("k");
+    w.string("v");
+    w.endObject();
+    w.beginArray();
+    w.endArray();
+    w.endArray();
+    w.endObject();
+    EXPECT_EQ(w.take(), R"({"arr":[1,{"k":"v"},[]]})");
+}
+
+TEST(Writer, EscapesStrings)
+{
+    Writer w;
+    w.beginObject();
+    w.key("quote\"key");
+    w.string("line\nbreak");
+    w.endObject();
+    std::string out = w.take();
+    EXPECT_EQ(out, "{\"quote\\\"key\":\"line\\nbreak\"}");
+    EXPECT_TRUE(validate(out));
+}
+
+TEST(Writer, Doubles)
+{
+    Writer w;
+    w.beginArray();
+    w.number(3.25);
+    w.number(-0.5);
+    w.endArray();
+    std::string out = w.take();
+    EXPECT_TRUE(validate(out)) << out;
+}
+
+TEST(Writer, RawValue)
+{
+    Writer w;
+    w.beginArray();
+    w.raw(R"({"pre":"rendered"})");
+    w.number(int64_t{2});
+    w.endArray();
+    EXPECT_EQ(w.take(), R"([{"pre":"rendered"},2])");
+}
+
+TEST(Writer, TakeResetsState)
+{
+    Writer w;
+    w.beginArray();
+    w.number(int64_t{1});
+    w.endArray();
+    EXPECT_EQ(w.take(), "[1]");
+    w.beginObject();
+    w.endObject();
+    EXPECT_EQ(w.take(), "{}");
+}
+
+TEST(Writer, ProducesValidJsonUnderStress)
+{
+    Writer w;
+    w.beginArray();
+    for (int i = 0; i < 50; ++i) {
+        w.beginObject();
+        w.key("i");
+        w.number(static_cast<int64_t>(i));
+        w.key("nested");
+        w.beginArray();
+        for (int j = 0; j < 3; ++j)
+            w.string("s" + std::to_string(j));
+        w.endArray();
+        w.endObject();
+    }
+    w.endArray();
+    EXPECT_TRUE(validate(w.take()));
+}
