@@ -8,6 +8,11 @@ namespace jsonski::intervals {
 void
 StreamCursor::prepareTail(size_t base)
 {
+    // The padding must classify as pure whitespace: it can then never
+    // contribute structural or quote bits, so no scan can mistake a
+    // byte past len_ for real input (tests/boundary_test.cpp pins this
+    // down for structural characters landing on the final byte).
+    assert(base <= len_ && len_ - base < kBlockSize);
     if (tail_ready_)
         return;
     std::memset(tail_, ' ', kBlockSize);
@@ -22,8 +27,8 @@ StreamCursor::classifyThrough(size_t idx)
            "cursor cannot rewind to an earlier block");
     while (classified_blocks_ <= idx) {
         size_t start = classified_blocks_ * kBlockSize;
-        if (len_ - start < kBlockSize)
-            prepareTail(start);
+        if (start + kBlockSize > len_) // overflow-free form of the
+            prepareTail(start);        // partial-tail test
         const char* d = blockDataAt(classified_blocks_);
         if (scalar_classifier_) {
             // Ablation mode: derive the string layer from the

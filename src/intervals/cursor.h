@@ -14,6 +14,14 @@
  * Fast-forward primitives (ski/skipper.h) advance `pos` by consuming
  * these bitmaps; everything else (attribute-name extraction, primitive
  * peeks) uses short scalar reads through the same cursor.
+ *
+ * Bounds guarantee: the cursor never dereferences a byte at or past
+ * size().  The final partial block is served from an internal
+ * space-padded copy (prepareTail), and the padding classifies as pure
+ * whitespace, so it can never be mistaken for structure; block-pointer
+ * selection is written overflow-free so even a position past the end
+ * (legal transiently, e.g. after a block-skip) resolves to that padded
+ * buffer rather than out-of-bounds input memory.
  */
 #ifndef JSONSKI_INTERVALS_CURSOR_H
 #define JSONSKI_INTERVALS_CURSOR_H
@@ -209,20 +217,22 @@ class StreamCursor
     /**
      * 64 readable bytes for the block holding the current position
      * (the input itself, or the space-padded tail buffer for the final
-     * partial block).
+     * partial block).  The comparison is written overflow-free so a
+     * position at or past len_ can never fabricate an out-of-bounds
+     * data_ pointer — it resolves to the padded tail, which is always
+     * readable.
      */
     const char*
     blockData() const
     {
-        size_t base = blockIndex() * kBlockSize;
-        return len_ - base >= kBlockSize ? data_ + base : tail_;
+        return blockDataAt(blockIndex());
     }
 
     const char*
     blockDataAt(size_t idx) const
     {
         size_t base = idx * kBlockSize;
-        return len_ - base >= kBlockSize ? data_ + base : tail_;
+        return base + kBlockSize <= len_ ? data_ + base : tail_;
     }
 
     void prepareTail(size_t base);

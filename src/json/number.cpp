@@ -2,6 +2,9 @@
 
 #include <cctype>
 #include <charconv>
+#include <cmath>
+#include <cstdlib>
+#include <string>
 
 namespace jsonski::json {
 namespace {
@@ -75,6 +78,12 @@ parseNumber(std::string_view token)
         return out;
     if (end != token.data() + token.size())
         return out;
+    if (ec == std::errc::result_out_of_range) {
+        // from_chars leaves d unmodified out of range; strtod pins the
+        // policy instead: overflow saturates to +/-inf, underflow to a
+        // signed (sub)normal near zero.
+        d = std::strtod(std::string(token).c_str(), nullptr);
+    }
     out.kind = Number::Kind::Double;
     out.d = d;
     return out;

@@ -81,7 +81,8 @@ hexValue(char c, size_t at)
         return static_cast<unsigned>(c - 'a' + 10);
     if (c >= 'A' && c <= 'F')
         return static_cast<unsigned>(c - 'A' + 10);
-    throw ParseError("bad hex digit in \\u escape", at);
+    throw ParseError(ErrorCode::BadEscape, "bad hex digit in \\u escape",
+                         at);
 }
 
 void
@@ -118,7 +119,7 @@ unescapeString(std::string_view body)
             continue;
         }
         if (i + 1 >= body.size())
-            throw ParseError("dangling backslash", i);
+            throw ParseError(ErrorCode::BadEscape, "dangling backslash", i);
         char e = body[++i];
         switch (e) {
           case '"': out += '"'; break;
@@ -131,7 +132,7 @@ unescapeString(std::string_view body)
           case 'f': out += '\f'; break;
           case 'u': {
             if (i + 4 >= body.size())
-                throw ParseError("truncated \\u escape", i);
+                throw ParseError(ErrorCode::BadEscape, "truncated \\u escape", i);
             uint32_t cp = 0;
             for (int k = 1; k <= 4; ++k)
                 cp = cp * 16 + hexValue(body[i + k], i + k);
@@ -140,23 +141,23 @@ unescapeString(std::string_view body)
                 // High surrogate: require a following \uXXXX low half.
                 if (i + 6 >= body.size() || body[i + 1] != '\\' ||
                     body[i + 2] != 'u') {
-                    throw ParseError("unpaired high surrogate", i);
+                    throw ParseError(ErrorCode::BadEscape, "unpaired high surrogate", i);
                 }
                 uint32_t lo = 0;
                 for (int k = 3; k <= 6; ++k)
                     lo = lo * 16 + hexValue(body[i + k], i + k);
                 if (lo < 0xDC00 || lo > 0xDFFF)
-                    throw ParseError("bad low surrogate", i);
+                    throw ParseError(ErrorCode::BadEscape, "bad low surrogate", i);
                 cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
                 i += 6;
             } else if (cp >= 0xDC00 && cp < 0xE000) {
-                throw ParseError("unpaired low surrogate", i);
+                throw ParseError(ErrorCode::BadEscape, "unpaired low surrogate", i);
             }
             appendUtf8(out, cp);
             break;
           }
           default:
-            throw ParseError("unknown escape", i);
+            throw ParseError(ErrorCode::BadEscape, "unknown escape", i);
         }
     }
     return out;

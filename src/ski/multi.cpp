@@ -84,7 +84,7 @@ class MultiDriver
     {
         char c = cur_.skipWhitespace();
         if (c == '\0')
-            throw ParseError("empty input", 0);
+            throw ParseError(ErrorCode::UnexpectedEnd, "empty input", 0);
         NodeSet root{0};
         runValue(root);
     }
@@ -130,7 +130,7 @@ class MultiDriver
 
         char c = cur_.skipWhitespace();
         if (c == '\0')
-            throw ParseError("missing value", cur_.pos());
+            throw ParseError(ErrorCode::BadValue, "missing value", cur_.pos());
         size_t start = cur_.pos();
         if (c == '{' && want_obj) {
             cur_.advance(1);
@@ -262,7 +262,8 @@ class MultiDriver
                 cur_.advance(1);
                 return;
             }
-            throw ParseError("expected ',' or ']'", cur_.pos());
+            throw ParseError(ErrorCode::ExpectedPunctuation,
+                             "expected ',' or ']'", cur_.pos());
         }
     }
 

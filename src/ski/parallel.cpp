@@ -63,7 +63,7 @@ ParallelStreamer::run(std::string_view json, ThreadPool& pool,
     Skipper skip(cur, nullptr);
     char c = cur.skipWhitespace();
     if (c == '\0')
-        throw ParseError("empty input", 0);
+        throw ParseError(ErrorCode::UnexpectedEnd, "empty input", 0);
     for (size_t s = 0; s < split; ++s) {
         if (c != '{')
             return 0; // type mismatch on the prefix: no matches

@@ -65,7 +65,8 @@ RecordReader::next(std::string_view& record)
             if (eof_) {
                 // Trailing content with no complete record.
                 if (tail < window.size())
-                    throw ParseError("unterminated trailing record",
+                    throw ParseError(ErrorCode::UnterminatedRecord,
+                                     "unterminated trailing record",
                                      bytes_read_ + tail);
                 begin_ = end_; // only whitespace left
                 return false;

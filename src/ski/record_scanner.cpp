@@ -66,7 +66,8 @@ scanRecords(std::string_view stream, size_t* tail_start)
                 ++depth;
             } else if (closes & bit) {
                 if (!in_record || depth == 0)
-                    throw ParseError("unbalanced close", pos);
+                    throw ParseError(ErrorCode::UnbalancedClose, "unbalanced close",
+                                     pos);
                 if (--depth == 0) {
                     spans.emplace_back(record_start,
                                        pos + 1 - record_start);
@@ -76,7 +77,8 @@ scanRecords(std::string_view stream, size_t* tail_start)
                                ~interesting;
                 }
             } else if (!in_record) {
-                throw ParseError("stray character between records", pos);
+                throw ParseError(ErrorCode::StrayByte,
+                                 "stray character between records", pos);
             }
             // else: record content; nothing to do.
         }
@@ -88,7 +90,8 @@ scanRecords(std::string_view stream, size_t* tail_start)
         return spans;
     }
     if (in_record)
-        throw ParseError("unterminated record", stream.size());
+        throw ParseError(ErrorCode::UnterminatedRecord, "unterminated record",
+                         stream.size());
     return spans;
 }
 

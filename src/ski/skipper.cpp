@@ -14,7 +14,8 @@ Skipper::consume(char expected)
 {
     char c = cur_.skipWhitespace();
     if (c != expected)
-        throw ParseError(std::string("expected '") + expected + "'",
+        throw ParseError(ErrorCode::ExpectedPunctuation,
+                         std::string("expected '") + expected + "'",
                          cur_.pos());
     cur_.advance(1);
 }
@@ -31,7 +32,8 @@ Skipper::overValue(Group g)
         overAry(g);
         break;
       case '\0':
-        throw ParseError("unexpected end of input", cur_.pos());
+        throw ParseError(ErrorCode::UnexpectedEnd, "unexpected end of input",
+                         cur_.pos());
       default:
         overPrimitive(g);
         break;
@@ -69,8 +71,10 @@ Skipper::toAryEnd(Group g)
 }
 
 void
-Skipper::closeContainer(bool object, int depth, Group g, size_t account_from)
+Skipper::closeContainer(bool object, uint64_t depth, Group g,
+                        size_t account_from)
 {
+    assert(depth > 0);
     size_t start = account_from;
     const char open_ch = object ? '{' : '[';
     const char close_ch = object ? '}' : ']';
@@ -80,12 +84,16 @@ Skipper::closeContainer(bool object, int depth, Group g, size_t account_from)
         uint64_t closes = cur_.maskFromPos(cur_.bits(close_ch));
         // Walk the word interval by interval (Algorithm 4): each opener
         // bounds a structural interval; closers inside it are counted
-        // against the unpaired-opener total (Theorem 4.3).
+        // against the unpaired-opener total (Theorem 4.3).  The
+        // unpaired count is kept in 64 bits: an all-opener input grows
+        // it by at most 64 per block, so it is bounded by size() and
+        // cannot overflow the way a 32-bit counter could.
         for (;;) {
             if (opens == 0) {
-                int n = bits::popcount(closes);
+                uint64_t n = static_cast<uint64_t>(bits::popcount(closes));
                 if (n >= depth) {
-                    int off = bits::selectBit(closes, depth);
+                    int off =
+                        bits::selectBit(closes, static_cast<int>(depth));
                     cur_.setPos(base + static_cast<size_t>(off) + 1);
                     account(g, start, cur_.pos());
                     return;
@@ -95,20 +103,24 @@ Skipper::closeContainer(bool object, int depth, Group g, size_t account_from)
             }
             uint64_t below = bits::maskBelowLowest(opens);
             uint64_t closes_before = closes & below;
-            int n = bits::popcount(closes_before);
+            uint64_t n = static_cast<uint64_t>(bits::popcount(closes_before));
             if (n >= depth) {
-                int off = bits::selectBit(closes_before, depth);
+                int off =
+                    bits::selectBit(closes_before, static_cast<int>(depth));
                 cur_.setPos(base + static_cast<size_t>(off) + 1);
                 account(g, start, cur_.pos());
                 return;
             }
-            depth += 1 - n; // the opener at the interval end is unpaired
+            depth = depth - n + 1; // the interval-ending opener is unpaired
             closes &= ~below;
             opens = bits::clearLowest(opens);
         }
         cur_.setPos(base + kBlockSize);
     }
-    throw ParseError(object ? "unterminated object" : "unterminated array",
+    cur_.setPos(cur_.size()); // never leave the position past the input
+    throw ParseError(object ? ErrorCode::UnterminatedObject
+                            : ErrorCode::UnterminatedArray,
+                     object ? "unterminated object" : "unterminated array",
                      start);
 }
 
@@ -141,7 +153,8 @@ Skipper::stringEnd(size_t open_pos)
     while (q == 0) {
         ++block;
         if (block * kBlockSize >= cur_.size())
-            throw ParseError("unterminated string", open_pos);
+            throw ParseError(ErrorCode::UnterminatedString,
+                             "unterminated string", open_pos);
         q = cur_.stringsAt(block).quote;
     }
     return block * kBlockSize +
@@ -187,7 +200,10 @@ Skipper::scanPrimitives(bool closer_is_brace, size_t max_seps, size_t& seps,
         }
         cur_.setPos(base + kBlockSize);
     }
-    throw ParseError("unexpected end of input while skipping primitives",
+    cur_.setPos(cur_.size());
+    throw ParseError(closer_is_brace ? ErrorCode::UnterminatedObject
+                                     : ErrorCode::UnterminatedArray,
+                     "unexpected end of input while skipping primitives",
                      start);
 }
 
@@ -205,14 +221,16 @@ Skipper::toAttr(TypeFilter filter, Group g)
             return {};
         }
         if (c != '"')
-            throw ParseError("expected attribute name", cur_.pos());
+            throw ParseError(ErrorCode::BadAttributeName,
+                             "expected attribute name", cur_.pos());
         size_t key_begin = cur_.pos() + 1;
         size_t key_close = stringEnd(cur_.pos()); // one past closing quote
         cur_.setPos(key_close);
         consume(':');
         c = cur_.skipWhitespace();
         if (c == '\0')
-            throw ParseError("missing attribute value", cur_.pos());
+            throw ParseError(ErrorCode::UnexpectedEnd,
+                             "missing attribute value", cur_.pos());
 
         switch (filter) {
           case TypeFilter::Any:
@@ -273,17 +291,20 @@ Skipper::keyBefore(size_t value_pos) const
     while (i > 0 && is_ws(cur_.at(i - 1)))
         --i;
     if (i == 0 || cur_.at(i - 1) != ':')
-        throw ParseError("expected ':' before attribute value", i);
+        throw ParseError(ErrorCode::ExpectedPunctuation,
+                         "expected ':' before attribute value", i);
     --i;
     while (i > 0 && is_ws(cur_.at(i - 1)))
         --i;
     if (i == 0 || cur_.at(i - 1) != '"')
-        throw ParseError("expected attribute name before ':'", i);
+        throw ParseError(ErrorCode::BadAttributeName,
+                         "expected attribute name before ':'", i);
     size_t key_end = i - 1; // index of the closing quote
     size_t j = key_end;
     for (;;) {
         if (j == 0)
-            throw ParseError("unterminated attribute name", key_end);
+            throw ParseError(ErrorCode::BadAttributeName,
+                             "unterminated attribute name", key_end);
         --j;
         if (cur_.at(j) == '"') {
             // Unescaped iff preceded by an even-length backslash run.
@@ -316,7 +337,8 @@ Skipper::toTypedElem(char open_char, size_t& idx, size_t limit, Group g)
             return ElemStop::End;
         }
         if (c == '\0')
-            throw ParseError("unterminated array", cur_.pos());
+            throw ParseError(ErrorCode::UnterminatedArray,
+                             "unterminated array", cur_.pos());
         if (c == open_char)
             return ElemStop::Found;
         if (c == '{' || c == '[' || !batch_primitives_) {
@@ -338,7 +360,8 @@ Skipper::toTypedElem(char open_char, size_t& idx, size_t limit, Group g)
                 cur_.advance(1);
                 return ElemStop::End;
             }
-            throw ParseError("expected ',' or ']'", cur_.pos());
+            throw ParseError(ErrorCode::ExpectedPunctuation,
+                             "expected ',' or ']'", cur_.pos());
         }
         // Primitive run: batch-skip, counting elements via separators.
         size_t seps = 0;
@@ -363,7 +386,8 @@ Skipper::toContainerElem(Group g)
             return ElemStop::End;
         }
         if (c == '\0')
-            throw ParseError("unterminated array", cur_.pos());
+            throw ParseError(ErrorCode::UnterminatedArray,
+                             "unterminated array", cur_.pos());
         if (c == '{' || c == '[')
             return ElemStop::Found;
         size_t seps = 0;
@@ -390,7 +414,8 @@ Skipper::overElems(size_t count, size_t& idx, Group g)
             return ElemStop::End;
         }
         if (c == '\0')
-            throw ParseError("unterminated array", cur_.pos());
+            throw ParseError(ErrorCode::UnterminatedArray,
+                             "unterminated array", cur_.pos());
         if (c == '{' || c == '[' || !batch_primitives_) {
             if (c == '{')
                 overObj(g);
@@ -408,7 +433,8 @@ Skipper::overElems(size_t count, size_t& idx, Group g)
                 cur_.advance(1);
                 return ElemStop::End;
             }
-            throw ParseError("expected ',' or ']'", cur_.pos());
+            throw ParseError(ErrorCode::ExpectedPunctuation,
+                             "expected ',' or ']'", cur_.pos());
         }
         size_t seps = 0;
         ScanStop stop =

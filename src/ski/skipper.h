@@ -13,11 +13,19 @@
  *
  * Invariant for every public method: on entry and exit the cursor
  * position is outside any string literal.
+ *
+ * Error handling contract: every method is safe on malformed input.
+ * Truncated, unbalanced, or otherwise damaged documents raise
+ * jsonski::ParseError carrying an ErrorCode and the byte position where
+ * the damage was detected; no method reads past the cursor's size() or
+ * leaves the position beyond it.  assert() is reserved for caller
+ * contract violations (e.g. a @pre not met), never for input content.
  */
 #ifndef JSONSKI_SKI_SKIPPER_H
 #define JSONSKI_SKI_SKIPPER_H
 
 #include <cstddef>
+#include <cstdint>
 #include <limits>
 
 #include "intervals/cursor.h"
@@ -151,6 +159,8 @@ class Skipper
     /**
      * Bit-parallel scan for the end of the string literal opening at
      * @p open_pos. @return index one past the closing quote.
+     * @throws ParseError (UnterminatedString, positioned at @p open_pos)
+     *         when the input ends before an unescaped closing quote.
      */
     size_t stringEnd(size_t open_pos);
 
@@ -162,12 +172,19 @@ class Skipper
 
     /**
      * Core of the counting-based pairing strategy: advance past the
-     * closer that brings @p depth unpaired openers to zero.
+     * closer that brings @p depth unpaired openers to zero.  The scan
+     * never reads past the input: every block it touches lies below
+     * size(), and input that ends before the container balances throws
+     * ParseError (UnterminatedObject / UnterminatedArray) positioned at
+     * @p account_from.  Depth is tracked in 64 bits — an adversarial
+     * input made of openers can push the unpaired count to size()
+     * without overflow.
+     *
      * @param object       true = braces, false = brackets.
      * @param account_from start of the span charged to @p g (callers
      *                     that consumed the opener include it here).
      */
-    void closeContainer(bool object, int depth, Group g,
+    void closeContainer(bool object, uint64_t depth, Group g,
                         size_t account_from);
 
     /**

@@ -34,7 +34,7 @@ class Driver
     {
         char c = cur_.skipWhitespace();
         if (c == '\0')
-            throw ParseError("empty input", 0);
+            throw ParseError(ErrorCode::UnexpectedEnd, "empty input", 0);
         if (q_.empty()) {
             // `$` selects the whole record.
             emitValue();
@@ -205,7 +205,8 @@ class Driver
                         cur_.advance(1);
                         return;
                     }
-                    throw ParseError("expected ',' or ']'", cur_.pos());
+                    throw ParseError(ErrorCode::ExpectedPunctuation,
+                             "expected ',' or ']'", cur_.pos());
                 }
                 cur_.advance(1); // consume '{' or '['
                 if (want == '{')
@@ -223,7 +224,8 @@ class Driver
                 cur_.advance(1);
                 return;
             }
-            throw ParseError("expected ',' or ']'", cur_.pos());
+            throw ParseError(ErrorCode::ExpectedPunctuation,
+                             "expected ',' or ']'", cur_.pos());
         }
     }
 
@@ -242,7 +244,8 @@ class Driver
     runDescObject()
     {
         if (++desc_depth_ > kMaxDescDepth)
-            throw ParseError("nesting too deep for descendant traversal",
+            throw ParseError(ErrorCode::DepthExceeded,
+                             "nesting too deep for descendant traversal",
                              cur_.pos());
         const std::string& k = q_.steps.back().key;
         for (;;) {
@@ -287,7 +290,8 @@ class Driver
     runDescArray()
     {
         if (++desc_depth_ > kMaxDescDepth)
-            throw ParseError("nesting too deep for descendant traversal",
+            throw ParseError(ErrorCode::DepthExceeded,
+                             "nesting too deep for descendant traversal",
                              cur_.pos());
         for (;;) {
             // Primitive elements cannot match a name: batch-skip them.
@@ -312,7 +316,8 @@ class Driver
                 --desc_depth_;
                 return;
             }
-            throw ParseError("expected ',' or ']'", cur_.pos());
+            throw ParseError(ErrorCode::ExpectedPunctuation,
+                             "expected ',' or ']'", cur_.pos());
         }
     }
 

@@ -1,0 +1,233 @@
+#include "testing/differential.h"
+
+#include <cassert>
+#include <exception>
+
+#include "baseline/dom/query.h"
+#include "gen/datasets.h"
+#include "json/validate.h"
+#include "path/matches.h"
+#include "path/parser.h"
+#include "ski/record_scanner.h"
+#include "ski/streamer.h"
+#include "testing/mutator.h"
+#include "util/error.h"
+
+namespace jsonski::testing {
+namespace {
+
+/** What one engine did with one (mutant, query) pair. */
+struct EngineRun
+{
+    bool threw_parse_error = false;
+    bool threw_other = false;
+    size_t error_position = 0;
+    std::string error_what;
+    std::vector<std::string> values;
+};
+
+EngineRun
+runStreamer(const std::string& json, const path::PathQuery& q)
+{
+    EngineRun r;
+    try {
+        path::CollectSink sink;
+        ski::Streamer(q).run(json, &sink);
+        r.values = std::move(sink.values);
+    } catch (const ParseError& e) {
+        r.threw_parse_error = true;
+        r.error_position = e.position();
+        r.error_what = e.what();
+    } catch (const std::exception& e) {
+        r.threw_other = true;
+        r.error_what = e.what();
+    }
+    return r;
+}
+
+/** Clip a mutant for inclusion in a failure message. */
+std::string
+excerpt(const std::string& doc)
+{
+    constexpr size_t kMax = 160;
+    if (doc.size() <= kMax)
+        return doc;
+    return doc.substr(0, kMax) + "...<" + std::to_string(doc.size()) +
+           " bytes>";
+}
+
+std::string
+describeEdits(const std::vector<Mutation>& edits)
+{
+    std::string out;
+    for (const Mutation& m : edits) {
+        if (!out.empty())
+            out += ", ";
+        out += describe(m);
+    }
+    return out;
+}
+
+} // namespace
+
+FuzzReport
+runDifferentialFuzz(const FuzzConfig& config)
+{
+    assert(!config.corpus.empty());
+    for (const std::string& doc : config.corpus)
+        assert(json::validate(doc) && "corpus documents must be valid");
+
+    std::vector<path::PathQuery> queries;
+    queries.reserve(config.queries.size());
+    for (const std::string& text : config.queries)
+        queries.push_back(path::parse(text));
+
+    StructuredMutator mutator(config.seed);
+    FuzzReport report;
+    std::vector<Mutation> edits;
+
+    auto recordFailure = [&](const std::string& what) {
+        if (report.failures.size() < config.max_failures)
+            report.failures.push_back(what);
+    };
+
+    for (size_t iter = 0; iter < config.mutants; ++iter) {
+        if (report.failures.size() >= config.max_failures)
+            break;
+        const std::string& seed_doc =
+            config.corpus[mutator.rng().below(config.corpus.size())];
+        std::string mutant = mutator.mutate(seed_doc, &edits);
+        ++report.executed;
+        bool valid = static_cast<bool>(json::validate(mutant));
+        (valid ? report.valid_mutants : report.invalid_mutants)++;
+
+        std::string context = "iter " + std::to_string(iter) + " [" +
+                              describeEdits(edits) +
+                              "] json: " + excerpt(mutant);
+
+        // Evaluate a rotating window of queries so runtime stays
+        // proportional to the mutant count, not mutants x queries.
+        size_t nq = queries.size() < 4 ? queries.size() : 4;
+        for (size_t k = 0; k < nq; ++k) {
+            size_t qi = (iter + k) % queries.size();
+            EngineRun ski = runStreamer(mutant, queries[qi]);
+            if (ski.threw_other) {
+                ++report.escapes;
+                recordFailure("non-ParseError escape: " + ski.error_what +
+                              " query=" + config.queries[qi] + " " +
+                              context);
+                continue;
+            }
+            if (ski.threw_parse_error &&
+                ski.error_position > mutant.size()) {
+                ++report.escapes;
+                recordFailure("ParseError position past the input: " +
+                              ski.error_what +
+                              " query=" + config.queries[qi] + " " +
+                              context);
+                continue;
+            }
+            if (valid) {
+                if (ski.threw_parse_error) {
+                    ++report.divergences;
+                    recordFailure("throw on valid mutant: " +
+                                  ski.error_what +
+                                  " query=" + config.queries[qi] + " " +
+                                  context);
+                    continue;
+                }
+                path::CollectSink dom_sink;
+                try {
+                    dom::parseAndQuery(mutant, queries[qi], &dom_sink);
+                } catch (const std::exception& e) {
+                    ++report.escapes;
+                    recordFailure(std::string("oracle threw on input the "
+                                              "validator accepted: ") +
+                                  e.what() + " " + context);
+                    continue;
+                }
+                if (ski.values != dom_sink.values) {
+                    ++report.divergences;
+                    recordFailure(
+                        "oracle divergence (ski " +
+                        std::to_string(ski.values.size()) + " vs dom " +
+                        std::to_string(dom_sink.values.size()) +
+                        " values) query=" + config.queries[qi] + " " +
+                        context);
+                }
+            } else if (ski.threw_parse_error) {
+                ++report.parse_errors;
+            }
+        }
+
+        // The record scanner sees the same mutants: it must also obey
+        // the result-or-ParseError contract.
+        try {
+            (void)ski::scanRecords(mutant);
+        } catch (const ParseError& e) {
+            if (e.position() > mutant.size()) {
+                ++report.escapes;
+                recordFailure(std::string("scanRecords position past the "
+                                          "input: ") +
+                              e.what() + " " + context);
+            }
+        } catch (const std::exception& e) {
+            ++report.escapes;
+            recordFailure(std::string("scanRecords escape: ") + e.what() +
+                          " " + context);
+        }
+    }
+    return report;
+}
+
+std::vector<std::string>
+defaultCorpus(size_t per_dataset_bytes)
+{
+    std::vector<std::string> corpus;
+    for (gen::DatasetId id : gen::kAllDatasets) {
+        // A whole small-format record set, record by record, plus the
+        // single-large-record form of the same dataset.
+        gen::SmallRecords small =
+            gen::generateSmall(id, per_dataset_bytes);
+        size_t take = small.count() < 4 ? small.count() : 4;
+        for (size_t i = 0; i < take; ++i)
+            corpus.emplace_back(small.record(i));
+        corpus.push_back(gen::generateLarge(id, per_dataset_bytes));
+    }
+    // Handcrafted adversaries: escape runs ending on a block boundary,
+    // metacharacters inside strings, and nesting deeper than a block.
+    std::string run_doc = "{\"k\": \"";
+    run_doc += std::string(64 - run_doc.size() - 3, 'x');
+    run_doc += "\\\\\\\"q\", \"m\": [1, 2]}";
+    corpus.push_back(run_doc);
+    corpus.push_back(
+        R"({"a":"}}}{{{","b":["s,]}",{"c":"x\"y\\"},null],"d":{"e":[]}})");
+    std::string deep;
+    for (int i = 0; i < 40; ++i)
+        deep += "[";
+    deep += "{\"id\": 7}";
+    for (int i = 0; i < 40; ++i)
+        deep += "]";
+    corpus.push_back(deep);
+    return corpus;
+}
+
+std::vector<std::string>
+defaultQueries()
+{
+    // The Table 5 small-record query shapes, plus wildcard, slice,
+    // index, and descendant coverage.
+    return {
+        "$.nm",
+        "$.en.urls[*].url",
+        "$.cp[1:3].id",
+        "$.rt[*].lg[*].st[*].dt.tx",
+        "$.cl.P150[*].ms.pty",
+        "$.bmrpr.pr",
+        "$[*][2:4]",
+        "$[0]",
+        "$..id",
+    };
+}
+
+} // namespace jsonski::testing

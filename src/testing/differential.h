@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Differential fuzz harness: JSONSki streamer vs. the DOM baseline as
+ * oracle, over structured mutants of known-good corpora.
+ *
+ * The verdict rules follow the error handling contract (DESIGN.md §7):
+ *  - a mutant that still validates must stream without throwing and
+ *    must produce exactly the DOM engine's match values;
+ *  - an invalid mutant may either stream to a (possibly empty) result
+ *    — the paper's §3.3 license to skip damage in fast-forwarded
+ *    regions — or throw jsonski::ParseError with a position inside the
+ *    input; any other escape (foreign exception, crash, position past
+ *    the end) is a harness failure.
+ *
+ * Everything is deterministic under (seed, config), so the ctest smoke
+ * run and a long local soak explore exactly reproducible mutant
+ * streams.
+ */
+#ifndef JSONSKI_TESTING_DIFFERENTIAL_H
+#define JSONSKI_TESTING_DIFFERENTIAL_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace jsonski::testing {
+
+/** Configuration of one fuzz run. */
+struct FuzzConfig
+{
+    uint64_t seed = 1;
+    size_t mutants = 10000; ///< total mutants across the whole corpus
+
+    /** Seed documents; every one must be valid JSON. */
+    std::vector<std::string> corpus;
+
+    /** JSONPath texts evaluated against every mutant. */
+    std::vector<std::string> queries;
+
+    /** Cap on failures recorded before the run stops early. */
+    size_t max_failures = 8;
+};
+
+/** Outcome of one fuzz run. */
+struct FuzzReport
+{
+    size_t executed = 0;       ///< mutants actually run
+    size_t valid_mutants = 0;  ///< mutants that still validated
+    size_t invalid_mutants = 0;
+    size_t parse_errors = 0;   ///< ParseErrors thrown (invalid mutants)
+    size_t divergences = 0;    ///< result mismatch or throw on valid input
+    size_t escapes = 0;        ///< non-ParseError exception / bad position
+
+    /** Reproducible descriptions of every recorded failure. */
+    std::vector<std::string> failures;
+
+    bool ok() const { return divergences == 0 && escapes == 0; }
+};
+
+/**
+ * Run the harness.  @p config.corpus must be non-empty and valid (the
+ * harness asserts each seed document against the validator before
+ * mutating it).
+ */
+FuzzReport runDifferentialFuzz(const FuzzConfig& config);
+
+/**
+ * Default corpus: records from every generator dataset (Table 4) in
+ * both processing formats — a handful of small records plus a slice of
+ * the single-large-record form per dataset — topped off with a few
+ * handcrafted adversarial documents (escape runs at block boundaries,
+ * strings full of metacharacters, deep nesting).
+ *
+ * @param per_dataset_bytes Approximate generated size per dataset.
+ */
+std::vector<std::string> defaultCorpus(size_t per_dataset_bytes = 4096);
+
+/** Default query mix: the Table 5 shapes plus descendant/wildcard. */
+std::vector<std::string> defaultQueries();
+
+} // namespace jsonski::testing
+
+#endif // JSONSKI_TESTING_DIFFERENTIAL_H

@@ -1,0 +1,107 @@
+#include "testing/mutator.h"
+
+#include "intervals/block.h"
+
+namespace jsonski::testing {
+
+std::string
+describe(const Mutation& m)
+{
+    const char* name = "?";
+    switch (m.kind) {
+      case Mutation::Kind::Truncate: name = "truncate"; break;
+      case Mutation::Kind::FlipContainer: name = "flip-container"; break;
+      case Mutation::Kind::DropQuote: name = "drop-quote"; break;
+      case Mutation::Kind::SpliceByte: name = "splice-byte"; break;
+      case Mutation::Kind::BlockBoundary: name = "block-boundary"; break;
+    }
+    std::string out = name;
+    out += " @" + std::to_string(m.position);
+    if (m.byte != '\0') {
+        out += " -> '";
+        out += m.byte;
+        out += '\'';
+    }
+    return out;
+}
+
+void
+StructuredMutator::applyOne(std::string& doc, std::vector<Mutation>& applied)
+{
+    static constexpr char kContainers[] = "{}[]";
+    static constexpr char kSplice[] = "{}[]\",:\\ x1-";
+    switch (rng_.below(5)) {
+      case 0: { // Truncate
+        size_t cut = rng_.below(doc.size() + 1);
+        doc.resize(cut);
+        applied.push_back({Mutation::Kind::Truncate, cut, '\0'});
+        break;
+      }
+      case 1: { // FlipContainer
+        if (doc.empty())
+            break;
+        size_t p = rng_.below(doc.size());
+        char b = kContainers[rng_.below(4)];
+        doc[p] = b;
+        applied.push_back({Mutation::Kind::FlipContainer, p, b});
+        break;
+      }
+      case 2: { // DropQuote: delete a randomly chosen '"'
+        size_t quotes = 0;
+        for (char c : doc)
+            quotes += c == '"';
+        if (quotes == 0)
+            break;
+        size_t target = rng_.below(quotes);
+        for (size_t i = 0; i < doc.size(); ++i) {
+            if (doc[i] == '"' && target-- == 0) {
+                doc.erase(i, 1);
+                applied.push_back({Mutation::Kind::DropQuote, i, '\0'});
+                break;
+            }
+        }
+        break;
+      }
+      case 3: { // SpliceByte: insert or overwrite one byte
+        char b = kSplice[rng_.below(sizeof(kSplice) - 1)];
+        size_t p = rng_.below(doc.size() + 1);
+        if (rng_.chance(0.5) || doc.empty())
+            doc.insert(p, 1, b);
+        else
+            doc[p % doc.size()] = b;
+        applied.push_back({Mutation::Kind::SpliceByte, p, b});
+        break;
+      }
+      case 4: { // BlockBoundary: damage right at a 64-byte edge
+        constexpr size_t kBlock = intervals::kBlockSize;
+        if (doc.size() <= kBlock)
+            break;
+        size_t boundary = (1 + rng_.below(doc.size() / kBlock)) * kBlock;
+        // Offsets 62..65 relative to the block start straddle the edge.
+        size_t p = boundary - 2 + rng_.below(4);
+        if (p >= doc.size())
+            break;
+        static constexpr char kEdge[] = "{}[]\"\\,";
+        char b = kEdge[rng_.below(sizeof(kEdge) - 1)];
+        doc[p] = b;
+        applied.push_back({Mutation::Kind::BlockBoundary, p, b});
+        break;
+      }
+    }
+}
+
+std::string
+StructuredMutator::mutate(std::string_view doc,
+                          std::vector<Mutation>* applied)
+{
+    std::string out(doc);
+    std::vector<Mutation> edits;
+    size_t n = 1 + rng_.below(3);
+    for (size_t i = 0; i < n; ++i)
+        applyOne(out, edits);
+    if (applied)
+        *applied = std::move(edits);
+    return out;
+}
+
+} // namespace jsonski::testing

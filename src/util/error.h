@@ -6,6 +6,13 @@
  * (asserted) and input errors (thrown): malformed JSON or malformed
  * JSONPath raised by *user input* throws one of the exceptions below;
  * internal invariant violations use assert().
+ *
+ * Error handling contract (see DESIGN.md §7 for the full statement):
+ * every fast-forward primitive and streaming entry point detects
+ * truncated input, unbalanced containers, and unterminated strings and
+ * throws ParseError with a machine-checkable ErrorCode and the byte
+ * position where the damage was detected.  No primitive ever reads past
+ * the end of the attached buffer, even on hostile input.
  */
 #ifndef JSONSKI_UTIL_ERROR_H
 #define JSONSKI_UTIL_ERROR_H
@@ -13,23 +20,78 @@
 #include <cstddef>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 
 namespace jsonski {
+
+/**
+ * Machine-checkable failure kind carried by ParseError, so tests (and
+ * retry/telemetry layers) can assert on *what* went wrong rather than
+ * string-matching the message.
+ */
+enum class ErrorCode {
+    Unspecified,        ///< legacy sites that predate the enum
+    UnexpectedEnd,      ///< input truncated mid-value
+    UnterminatedString, ///< no closing quote before end of input
+    UnterminatedObject, ///< '{' never balanced by '}'
+    UnterminatedArray,  ///< '[' never balanced by ']'
+    UnterminatedRecord, ///< record stream ends inside a record
+    UnbalancedClose,    ///< '}' or ']' with no matching opener
+    ExpectedPunctuation,///< missing ',', ':', '{', ... where required
+    BadAttributeName,   ///< attribute name absent or not a string
+    BadValue,           ///< malformed literal / missing value
+    BadEscape,          ///< malformed backslash or \uXXXX escape
+    DepthExceeded,      ///< nesting beyond an engine's recursion bound
+    StrayByte,          ///< garbage between top-level records
+    RecordTooLarge,     ///< record exceeds an engine's size limit
+};
+
+/** Short stable name for an ErrorCode ("unterminated-string", ...). */
+inline std::string_view
+errorCodeName(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::Unspecified: return "unspecified";
+      case ErrorCode::UnexpectedEnd: return "unexpected-end";
+      case ErrorCode::UnterminatedString: return "unterminated-string";
+      case ErrorCode::UnterminatedObject: return "unterminated-object";
+      case ErrorCode::UnterminatedArray: return "unterminated-array";
+      case ErrorCode::UnterminatedRecord: return "unterminated-record";
+      case ErrorCode::UnbalancedClose: return "unbalanced-close";
+      case ErrorCode::ExpectedPunctuation: return "expected-punctuation";
+      case ErrorCode::BadAttributeName: return "bad-attribute-name";
+      case ErrorCode::BadValue: return "bad-value";
+      case ErrorCode::BadEscape: return "bad-escape";
+      case ErrorCode::DepthExceeded: return "depth-exceeded";
+      case ErrorCode::StrayByte: return "stray-byte";
+      case ErrorCode::RecordTooLarge: return "record-too-large";
+    }
+    return "unknown";
+}
 
 /** Malformed JSON input detected during parsing or streaming. */
 class ParseError : public std::runtime_error
 {
   public:
     ParseError(std::string what, size_t position)
+        : ParseError(ErrorCode::Unspecified, std::move(what), position)
+    {}
+
+    ParseError(ErrorCode code, std::string what, size_t position)
         : std::runtime_error(std::move(what) + " (at byte " +
                              std::to_string(position) + ")"),
+          code_(code),
           position_(position)
     {}
 
     /** Byte offset in the input where the error was detected. */
     size_t position() const { return position_; }
 
+    /** The failure kind. */
+    ErrorCode code() const { return code_; }
+
   private:
+    ErrorCode code_;
     size_t position_;
 };
 

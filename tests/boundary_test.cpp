@@ -172,3 +172,42 @@ INSTANTIATE_TEST_SUITE_P(Sizes, ElementCountSweep,
                          ::testing::Values(0, 1, 2, 3, 6, 7, 8, 15, 16,
                                            17, 20, 31, 32, 33, 40, 63,
                                            64, 65, 100, 128, 200));
+
+TEST(TailPadding, StructuralFinalByteAtEveryOffset)
+{
+    // Regression for StreamCursor::prepareTail: when the document's
+    // final byte is structural (a closing brace/bracket) and lands at
+    // any in-block offset — including 63, where the padded tail block
+    // is one byte short of full — the close must still classify and
+    // the query must still complete.  Documents ending at offset 63
+    // exactly fill a block and must NOT take the tail path at all.
+    auto q = parse("$.k[0]");
+    for (size_t total = 60; total <= 132; ++total) {
+        // total bytes, last byte '}': {"k": [1], "p": "x..x"}
+        std::string fixed = R"({"k": [1], "p": ")";
+        size_t pad = total - fixed.size() - 2; // payload + `"}`
+        std::string doc = fixed + std::string(pad, 'x') + "\"}";
+        ASSERT_EQ(doc.size(), total);
+        path::CollectSink a, b;
+        ski::Streamer(q).run(doc, &a);
+        dom::parseAndQuery(doc, q, &b);
+        EXPECT_EQ(a.values, b.values) << "total=" << total;
+        ASSERT_EQ(a.values.size(), 1u) << "total=" << total;
+        EXPECT_EQ(a.values[0], "1");
+    }
+}
+
+TEST(TailPadding, CloseScanIntoPaddedTail)
+{
+    // The G2/G3 close scans read whole blocks; when the matching close
+    // sits in the padded tail the padding must read as whitespace, not
+    // as stale bytes.  Exercise the skipper directly at sizes around
+    // one and two blocks.
+    for (size_t inner : {40u, 55u, 56u, 57u, 61u, 62u, 120u, 125u}) {
+        std::string doc = "[" + std::string(inner, ' ') + "1]";
+        intervals::StreamCursor cur(doc);
+        ski::Skipper skip(cur);
+        skip.overAry(ski::Group::G2);
+        EXPECT_EQ(cur.pos(), doc.size()) << "inner=" << inner;
+    }
+}

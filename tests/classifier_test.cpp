@@ -192,3 +192,44 @@ TEST(Classifier, ReportsSimdMode)
     (void)classifierUsesSimd();
     SUCCEED();
 }
+
+TEST(Classifier, BackslashRunParityAtBlock63)
+{
+    // Regression: a backslash run ending exactly at byte 63 must carry
+    // its parity into block 1 — an odd run escapes the quote at byte
+    // 64, an even run does not.  The probe is the ',' at byte 65:
+    // structural only when the quote closed the string.
+    for (size_t run = 1; run <= 8; ++run) {
+        std::string s = "{\"k\": \"";
+        s += std::string(64 - run - s.size(), 'y');
+        s += std::string(run, '\\');
+        ASSERT_EQ(s.size(), 64u);
+        s += '"';
+        s += ',';
+        if (run % 2) {
+            s += " z\", \"m\": 1}"; // quote was escaped; close later
+        } else {
+            s += " \"m\": 1}"; // quote closed the value string
+        }
+        expectSame(s);
+        auto blocks = classifyAll(s);
+        ASSERT_GE(blocks.size(), 2u);
+        EXPECT_EQ(bitAt(blocks[1].comma, 1), run % 2 ? 0u : 1u)
+            << "run of " << run;
+    }
+}
+
+TEST(Classifier, BackslashesFillingWholeBlocks)
+{
+    // Escape runs longer than a block: both full-block carries (the
+    // run covers all of block 1) and the parity at its end must agree
+    // with the scalar reference.
+    for (size_t run = 63; run <= 130; ++run) {
+        std::string s = "{\"k\": \"";
+        s += std::string(run, '\\');
+        if (run % 2)
+            s += '\\'; // keep the escape count even => string can close
+        s += "\", \"m\": [1, 2]}";
+        expectSame(s);
+    }
+}

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Time-boxed differential fuzz smoke run, registered as a ctest so the
+ * malformed-input contract is re-proven on every build (including the
+ * ASan+UBSan CI job).  Ten thousand seeded mutants across every
+ * generator dataset; JSONSKI_FUZZ_MUTANTS overrides the budget for
+ * longer local or CI soaks.
+ */
+#include "testing/differential.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "json/validate.h"
+#include "testing/mutator.h"
+
+using namespace jsonski;
+// gtest also owns a ::testing namespace; alias ours unambiguously.
+namespace jt = jsonski::testing;
+
+namespace {
+
+size_t
+mutantBudget()
+{
+    if (const char* env = std::getenv("JSONSKI_FUZZ_MUTANTS")) {
+        long v = std::atol(env);
+        if (v > 0)
+            return static_cast<size_t>(v);
+    }
+    return 10000;
+}
+
+} // namespace
+
+TEST(FuzzSmoke, CorpusIsValidAndCoversEveryDataset)
+{
+    auto corpus = jt::defaultCorpus();
+    // 6 datasets x (up to 4 small records + 1 large) + 3 handcrafted.
+    EXPECT_GE(corpus.size(), 6u * 2u + 3u);
+    for (const std::string& doc : corpus)
+        EXPECT_TRUE(json::validate(doc)) << doc.substr(0, 120);
+}
+
+TEST(FuzzSmoke, MutatorIsDeterministic)
+{
+    jt::StructuredMutator a(99), b(99);
+    std::string doc = R"({"k":[1,2,{"x":"y"}],"m":"z"})";
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(a.mutate(doc), b.mutate(doc));
+}
+
+TEST(FuzzSmoke, MutatorActuallyMutates)
+{
+    jt::StructuredMutator m(7);
+    std::string doc = R"({"k":[1,2,3],"m":"z"})";
+    size_t changed = 0, invalid = 0;
+    for (int i = 0; i < 200; ++i) {
+        std::vector<jt::Mutation> edits;
+        std::string mut = m.mutate(doc, &edits);
+        changed += mut != doc;
+        invalid += !json::validate(mut);
+        EXPECT_FALSE(edits.empty() && mut != doc);
+    }
+    // The corpus must be genuinely damaged most of the time.
+    EXPECT_GT(changed, 150u);
+    EXPECT_GT(invalid, 100u);
+}
+
+TEST(FuzzSmoke, TenThousandMutantsNoDivergenceNoEscape)
+{
+    jt::FuzzConfig config;
+    config.seed = 20260805;
+    config.mutants = mutantBudget();
+    config.corpus = jt::defaultCorpus();
+    config.queries = jt::defaultQueries();
+
+    jt::FuzzReport report = jt::runDifferentialFuzz(config);
+
+    EXPECT_EQ(report.executed, config.mutants);
+    EXPECT_GT(report.valid_mutants, 0u);
+    EXPECT_GT(report.invalid_mutants, 0u);
+    // Damage must actually be detected sometimes, not just skipped.
+    EXPECT_GT(report.parse_errors, 0u);
+    std::string details;
+    for (const std::string& f : report.failures)
+        details += "\n  " + f;
+    EXPECT_TRUE(report.ok())
+        << report.divergences << " divergences, " << report.escapes
+        << " escapes:" << details;
+}

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 using jsonski::json::Number;
 using jsonski::json::parseNumber;
 
@@ -17,6 +19,20 @@ TEST(Number, Integers)
     EXPECT_EQ(parseNumber("-7").i, -7);
     EXPECT_EQ(parseNumber("9223372036854775807").i, INT64_MAX);
     EXPECT_EQ(parseNumber("-9223372036854775808").i, INT64_MIN);
+}
+
+TEST(Number, Int64MinStaysIntegral)
+{
+    // INT64_MIN's magnitude exceeds INT64_MAX, so a naive
+    // negate-after-parse scheme overflows; the decoder must still
+    // classify it as Kind::Int, not fall back to an inexact double.
+    auto n = parseNumber("-9223372036854775808");
+    ASSERT_TRUE(n.isInt());
+    EXPECT_EQ(n.i, INT64_MIN);
+    // One past the minimum no longer fits and must become a double.
+    auto over = parseNumber("-9223372036854775809");
+    ASSERT_TRUE(over.isDouble());
+    EXPECT_NEAR(over.d, -9.223372036854776e18, 1e4);
 }
 
 TEST(Number, IntegerOverflowBecomesDouble)
@@ -40,8 +56,27 @@ TEST(Number, ExtremeDoubles)
 {
     EXPECT_TRUE(parseNumber("1e308"));
     EXPECT_TRUE(parseNumber("1e-308"));
-    // Out-of-range magnitudes still decode (to inf/0 per from_chars).
     EXPECT_TRUE(parseNumber("1e999"));
+}
+
+TEST(Number, OverflowSaturatesToSignedInfinity)
+{
+    // Policy: grammar-valid magnitudes beyond double range decode to
+    // +/-inf (and underflow to ~0), never to a silent unrelated value.
+    auto big = parseNumber("1e999");
+    ASSERT_TRUE(big.isDouble());
+    EXPECT_TRUE(std::isinf(big.d));
+    EXPECT_GT(big.d, 0.0);
+
+    auto neg = parseNumber("-1e999");
+    ASSERT_TRUE(neg.isDouble());
+    EXPECT_TRUE(std::isinf(neg.d));
+    EXPECT_LT(neg.d, 0.0);
+
+    auto tiny = parseNumber("1e-999");
+    ASSERT_TRUE(tiny.isDouble());
+    EXPECT_GE(tiny.d, 0.0);
+    EXPECT_LT(tiny.d, 1e-300);
 }
 
 TEST(Number, RejectsNonNumbers)

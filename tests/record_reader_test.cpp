@@ -126,6 +126,34 @@ TEST(RecordReader, StringsStraddlingRefills)
     EXPECT_EQ(rec, "[7]");
 }
 
+TEST(RecordReader, EscapeHeavyRecordsAcrossBufferGrowth)
+{
+    // Regression: record views must stay intact when the buffer grows
+    // mid-stream while \uXXXX and \\ escapes straddle refill points.
+    // Build records whose escape sequences land at every offset around
+    // the 256-byte refill boundary.
+    std::vector<std::string> records;
+    for (size_t pad = 240; pad <= 260; ++pad) {
+        std::string rec = "{\"k\":\"" + std::string(pad, 'a');
+        rec += "\\u00e9\\\\\\\"\\n"; // é, backslash, quote, newline
+        rec += "tail\", \"n\": " + std::to_string(pad) + "}";
+        records.push_back(rec);
+    }
+    // One oversized record in the middle forces buffer growth; the
+    // records after it must still come back byte-identical.  The run
+    // length is even so the closing quote stays a real quote.
+    std::string big = "{\"big\":\"" + std::string(3000, '\\') + "\"}";
+    records.insert(records.begin() + records.size() / 2, big);
+
+    std::string text;
+    for (const std::string& r : records)
+        text += r + "\n";
+    auto out = readAll(text, 256);
+    ASSERT_EQ(out.size(), records.size());
+    for (size_t i = 0; i < records.size(); ++i)
+        EXPECT_EQ(out[i], records[i]) << "record " << i;
+}
+
 TEST(RecordReader, EndToEndQueryOverGeneratedFeed)
 {
     auto data = jsonski::gen::generateSmall(jsonski::gen::DatasetId::WM,

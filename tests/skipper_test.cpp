@@ -169,6 +169,38 @@ TEST(SkipperStringEnd, UnterminatedThrows)
     EXPECT_THROW(f.skip.stringEnd(0), ParseError);
 }
 
+TEST(SkipperStringEnd, BackslashParityAtBlock63)
+{
+    // Regression: a backslash run ending at byte 63 carries its parity
+    // into the next block.  Odd run => the quote at byte 64 is escaped
+    // and the string ends at the later real quote; even run => it ends
+    // exactly at byte 64.
+    for (size_t run = 1; run <= 8; ++run) {
+        std::string json = "\"";
+        json += std::string(64 - run - 1, 'y');
+        json += std::string(run, '\\');
+        ASSERT_EQ(json.size(), 64u);
+        json += "\"z\" rest";
+        Fixture f(json);
+        // stringEnd() returns the position just past the real closing
+        // quote, which is byte 64 when the run is even, byte 66 when
+        // odd.
+        EXPECT_EQ(f.skip.stringEnd(0), run % 2 ? 67u : 65u)
+            << "run of " << run;
+    }
+}
+
+TEST(SkipperStringEnd, QuoteExactlyAtBlockBoundary)
+{
+    // String whose closing quote is the first byte of a block, with no
+    // escapes involved: the cross-block in-string carry alone decides.
+    for (size_t len : {62u, 63u, 64u, 126u, 127u, 128u}) {
+        std::string json = "\"" + std::string(len, 'x') + "\" rest";
+        Fixture f(json);
+        EXPECT_EQ(f.skip.stringEnd(0), len + 2) << "len " << len;
+    }
+}
+
 // --- G1: toAttr -----------------------------------------------------------
 
 TEST(SkipperToAttr, AnyStopsAtFirstAttribute)
