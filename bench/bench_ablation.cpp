@@ -46,6 +46,9 @@ main(int argc, char** argv)
         {"scalar-classify", {.scalar_classifier = true}},
     };
 
+    BenchReport report("ablation", "contribution of each design choice");
+    report.inputBytes(bytes);
+
     std::vector<std::string> header = {"Query"};
     std::vector<int> widths = {6};
     for (const Variant& v : variants) {
@@ -71,12 +74,17 @@ main(int argc, char** argv)
                 std::printf("!! %s: variant %s disagrees\n",
                             std::string(spec.id).c_str(), v.name);
             row.push_back(fmtSeconds(t.seconds));
+            report.beginRow(spec.id, v.name);
+            report.timing(t, json.size());
         }
         jpstream::Engine jp(q);
         Timing t = timeBest([&] { return jp.run(json); }, 2);
         row.push_back(fmtSeconds(t.seconds));
+        report.beginRow(spec.id, "jpstream");
+        report.timing(t, json.size());
         printTableRow(row, widths);
     }
+    report.write();
     std::printf("\nreading guide: the scalar-classify gap is the SIMD "
                 "contribution (largest, uniform).  no-G1-filter and "
                 "no-batching matter exactly on the queries whose Table 6 "

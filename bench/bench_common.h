@@ -10,7 +10,10 @@
 #include <cstdio>
 #include <thread>
 
+#include "harness/engines.h"
+#include "harness/report.h"
 #include "intervals/classifier.h"
+#include "telemetry/telemetry.h"
 
 namespace jsonski::bench {
 
@@ -25,6 +28,26 @@ banner(const char* artifact, const char* description, size_t bytes)
     std::printf("hardware threads: %u; SIMD classifier: %s\n\n",
                 std::thread::hardware_concurrency(),
                 intervals::classifierUsesSimd() ? "AVX2" : "scalar");
+}
+
+/**
+ * Attach fast-forward + telemetry detail for one JSONSki evaluation to
+ * the report's current row (one extra untimed run with a telemetry
+ * scope installed; in telemetry-off builds the registry stays zero and
+ * only the ff stats carry data).
+ */
+inline void
+addJsonSkiDetail(harness::BenchReport& report, std::string_view json,
+                 const path::PathQuery& query)
+{
+    telemetry::Registry reg;
+    ski::FastForwardStats stats;
+    {
+        telemetry::Scope scope(reg);
+        harness::runJsonSkiWithStats(json, query, stats);
+    }
+    report.ffStats(stats, json.size());
+    report.telemetry(reg);
 }
 
 } // namespace jsonski::bench

@@ -43,6 +43,9 @@ main(int argc, char** argv)
         {"GMDd", gen::DatasetId::GMD, "$[*].rt[*]..tx"},
     };
 
+    BenchReport report("ext_descendant", "terminal '..' queries");
+    report.inputBytes(bytes);
+
     printTableHeader({"Query", "JPStream", "RapidJSON-like",
                       "simdjson-like", "JSONSki", "matches", "ff-ratio"},
                      {6, 12, 14, 14, 12, 9, 9});
@@ -74,7 +77,17 @@ main(int argc, char** argv)
                        std::to_string(ts.matches),
                        fmtPercent(stats.overallRatio(json.size()))},
                       {6, 12, 14, 14, 12, 9, 9});
+        report.beginRow(c.id, "JPStream");
+        report.timing(tj, json.size());
+        report.beginRow(c.id, "RapidJSON-like");
+        report.timing(td, json.size());
+        report.beginRow(c.id, "simdjson-like");
+        report.timing(tt, json.size());
+        report.beginRow(c.id, "JSONSki");
+        report.timing(ts, json.size());
+        report.ffStats(stats, json.size());
     }
+    report.write();
     std::printf("\n(Pison-class omitted: leveled bitmaps cannot express "
                 "any-depth steps.)\n");
     return 0;

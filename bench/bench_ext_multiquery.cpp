@@ -39,6 +39,10 @@ main(int argc, char** argv)
         {gen::DatasetId::WM, {"$.it[*].nm", "$.it[*].bmrpr.pr"}},
     };
 
+    BenchReport report("ext_multiquery",
+                       "k queries in one pass vs k passes");
+    report.inputBytes(bytes);
+
     printTableHeader({"Data", "k", "k passes (s)", "one pass (s)",
                       "speedup", "matches"},
                      {6, 3, 14, 14, 8, 12});
@@ -80,7 +84,13 @@ main(int argc, char** argv)
                        fmtSeconds(combined.seconds), speedup,
                        std::to_string(combined.matches)},
                       {6, 3, 14, 14, 8, 12});
+        report.beginRow(gen::datasetName(w.dataset), "k-passes");
+        report.timing(separate, json.size() * qs.size());
+        report.beginRow(gen::datasetName(w.dataset), "one-pass");
+        report.timing(combined, json.size());
+        report.metric("k", static_cast<uint64_t>(qs.size()));
     }
+    report.write();
     std::printf("\nexpected: the one-pass time approaches the slowest "
                 "single query's time, not the sum — shared scan, shared "
                 "skips.\n");

@@ -32,6 +32,11 @@ main(int argc, char** argv)
                   "single large record, serial vs element-parallel",
                   bytes);
 
+    BenchReport report("ext_parallel",
+                       "single large record, serial vs element-parallel");
+    report.inputBytes(bytes);
+    report.threads(threads);
+
     ThreadPool pool(threads);
     printTableHeader({"Query", "serial (s)",
                       "parallel(" + std::to_string(threads) + ") (s)",
@@ -57,7 +62,12 @@ main(int argc, char** argv)
                        fmtSeconds(tp.seconds), speedup,
                        std::to_string(ts.matches)},
                       {6, 12, 16, 8, 10});
+        report.beginRow(spec.id, "JSONSki");
+        report.timing(ts, json.size());
+        report.beginRow(spec.id, "JSONSki(par)");
+        report.timing(tp, json.size());
     }
+    report.write();
     std::printf("\nnote: needs a multicore host for real speedups; "
                 "counts are verified against the serial engine either "
                 "way.\n");

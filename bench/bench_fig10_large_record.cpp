@@ -30,6 +30,10 @@ main(int argc, char** argv)
     size_t threads = benchThreads();
     bench::banner("Figure 10", "single large record, total time (s)",
                   bytes);
+    BenchReport report("fig10_large_record",
+                       "single large record, total time");
+    report.inputBytes(bytes);
+    report.threads(threads);
 
     auto engines = makeAllEngines();
     ThreadPool pool(threads);
@@ -59,10 +63,14 @@ main(int argc, char** argv)
         for (const auto& e : engines) {
             Timing t = timeBest([&] { return e->run(json, q); }, 2);
             row.push_back(fmtSeconds(t.seconds));
+            report.beginRow(spec.id, e->name());
+            report.timing(t, json.size());
             if (e->name() == "JPStream")
                 jpstream_s = t.seconds;
-            if (e->name() == "JSONSki")
+            if (e->name() == "JSONSki") {
                 jsonski_s = t.seconds;
+                bench::addJsonSkiDetail(report, json, q);
+            }
         }
         for (const auto& e : engines) {
             if (!e->supportsParallelLarge())
@@ -70,6 +78,9 @@ main(int argc, char** argv)
             Timing t = timeBest(
                 [&] { return e->runParallelLarge(json, q, pool); }, 2);
             row.push_back(fmtSeconds(t.seconds));
+            report.beginRow(spec.id,
+                            std::string(e->name()) + "(T)");
+            report.timing(t, json.size());
         }
         double speedup = jpstream_s / jsonski_s;
         char buf[16];
@@ -84,5 +95,6 @@ main(int argc, char** argv)
                 std::exp(geo_sum / geo_n));
     std::printf("note: parallel columns are shape-only on few-core "
                 "hosts; the paper used 16 cores.\n");
+    report.write();
     return 0;
 }

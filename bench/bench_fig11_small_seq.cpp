@@ -27,6 +27,10 @@ main(int argc, char** argv)
     bench::banner("Figure 11",
                   "sequence of small records, 1 thread, time (s)", bytes);
 
+    BenchReport report("fig11_small_seq",
+                       "sequence of small records, 1 thread");
+    report.inputBytes(bytes);
+
     auto engines = makeAllEngines();
     std::vector<std::string> header = {"Query"};
     std::vector<int> widths = {6};
@@ -53,6 +57,8 @@ main(int argc, char** argv)
             Timing t = timeBest(
                 [&] { return runSmallSerial(*e, data, q); }, 2);
             row.push_back(fmtSeconds(t.seconds));
+            report.beginRow(spec.id, e->name());
+            report.timing(t, data.buffer.size());
             if (t.matches != reference)
                 std::printf("!! %s disagrees on %s\n",
                             std::string(e->name()).c_str(),
@@ -72,5 +78,6 @@ main(int argc, char** argv)
     }
     std::printf("\n*speedup = JPStream / JSONSki. geomean: %.1fx\n",
                 std::exp(geo_sum / geo_n));
+    report.write();
     return 0;
 }

@@ -27,6 +27,11 @@ main(int argc, char** argv)
     bench::banner("Figure 12",
                   "sequence of small records, parallel, time (s)", bytes);
 
+    BenchReport report("fig12_small_par",
+                       "sequence of small records, record-parallel");
+    report.inputBytes(bytes);
+    report.threads(max_threads);
+
     auto engines = makeAllEngines();
     std::vector<size_t> sweep;
     for (size_t t = 1; t <= max_threads; t *= 2)
@@ -57,6 +62,9 @@ main(int argc, char** argv)
                     [&] { return runSmallParallel(*e, data, q, pool); },
                     2);
                 row.push_back(fmtSeconds(timing.seconds));
+                report.beginRow(spec.id, std::string(e->name()) + "/T=" +
+                                             std::to_string(t));
+                report.timing(timing, data.buffer.size());
             }
             printTableRow(row, widths);
         }
@@ -64,5 +72,6 @@ main(int argc, char** argv)
     }
     std::printf("paper @16 cores: JPStream 11.9x, Pison 11.8x, JSONSki "
                 "10.3x self-scaling; JSONSki 9.5x over JPStream(16).\n");
+    report.write();
     return 0;
 }

@@ -31,6 +31,10 @@ main(int argc, char** argv)
                   "peak extra heap while querying one large record",
                   bytes);
 
+    BenchReport report("fig13_memory",
+                       "peak extra heap while querying one large record");
+    report.inputBytes(bytes);
+
     auto engines = makeAllEngines();
     std::vector<std::string> header = {"Query", "input"};
     std::vector<int> widths = {6, 10};
@@ -51,9 +55,13 @@ main(int argc, char** argv)
             (void)e->run(json, q);
             size_t extra = mem::peak() - before;
             row.push_back(fmtMb(extra));
+            report.beginRow(spec.id, e->name());
+            report.metric("extra_heap_bytes",
+                          static_cast<uint64_t>(extra));
         }
         printTableRow(row, widths);
     }
+    report.write();
     std::printf("\npaper @1GB: JPStream/JSONSki ~1 GB total (the input "
                 "buffer); simdjson/RapidJSON/Pison 2-3 GB.  Here the "
                 "input column is the buffer; method columns show heap "

@@ -31,6 +31,10 @@ main(int argc, char** argv)
     bench::banner("Figure 14", "input-size scalability, query BB1",
                   max_bytes);
 
+    BenchReport report("fig14_scalability",
+                       "input-size scalability, query BB1");
+    report.inputBytes(max_bytes);
+
     auto engines = makeAllEngines();
     auto q = path::parse("$.pd[*].cp[1:3].id");
 
@@ -52,10 +56,18 @@ main(int argc, char** argv)
             size_t before = mem::current();
             Timing t = timeBest([&] { return e->run(json, q); }, 1);
             row.push_back(fmtSeconds(t.seconds));
-            row.push_back(fmtMb(mem::peak() - before));
+            size_t extra = mem::peak() - before;
+            row.push_back(fmtMb(extra));
+            report.beginRow("BB1/" + std::to_string(json.size() >> 20) +
+                                "MB",
+                            e->name());
+            report.timing(t, json.size());
+            report.metric("extra_heap_bytes",
+                          static_cast<uint64_t>(extra));
         }
         printTableRow(row, widths);
     }
+    report.write();
     std::printf("\npaper: all methods linear 250 MB - 72 GB; RapidJSON "
                 "and Pison OOM at 72 GB on a 128 GB box; simdjson caps "
                 "at 4 GB records.  The mem columns show the same "

@@ -9,8 +9,9 @@
 #include <cstdio>
 
 #include "harness/engines.h"
-#include "intervals/classifier.h"
+#include "harness/report.h"
 #include "harness/runner.h"
+#include "intervals/classifier.h"
 
 using namespace jsonski;
 using namespace jsonski::harness;
@@ -41,6 +42,7 @@ main()
                       "BitwiseParallel", "Fast-forward"},
                      {16, 14, 18, 16, 12});
     auto engines = makeAllEngines();
+    BenchReport report("table23_methods", "method feature matrix");
     const char* strategy[] = {"Streaming", "Preprocessing",
                               "Preprocessing", "Preprocessing",
                               "Streaming"};
@@ -51,7 +53,17 @@ main()
                        engines[i]->supportsParallelLarge() ? "yes" : "-",
                        bitwise[i], ff[i]},
                       {16, 14, 18, 16, 12});
+        report.beginRow("features", engines[i]->name());
+        report.text("strategy", strategy[i]);
+        report.metric("parallel_single_record",
+                      static_cast<uint64_t>(
+                          engines[i]->supportsParallelLarge()));
+        report.metric("bitwise_parallel",
+                      static_cast<uint64_t>(bitwise[i][0] == 'y'));
+        report.metric("fast_forward",
+                      static_cast<uint64_t>(ff[i][0] == 'y'));
     }
+    report.write();
     std::printf(
         "\nvs paper: identical, except this reproduction adds an\n"
         "element-parallel JSONSki mode (the paper's future work; see\n"

@@ -21,6 +21,9 @@ main(int argc, char** argv)
     size_t bytes = benchBytes(argc, argv, 32);
     bench::banner("Table 4", "dataset structural statistics", bytes);
 
+    BenchReport report("table4_datasets", "dataset structural statistics");
+    report.inputBytes(bytes);
+
     printTableHeader({"Data", "#objects", "#arrays", "#attr", "#prim.",
                       "#sub", "depth"},
                      {6, 10, 10, 10, 10, 9, 6});
@@ -35,7 +38,15 @@ main(int argc, char** argv)
                        std::to_string(small.count()),
                        std::to_string(s.max_depth)},
                       {6, 10, 10, 10, 10, 9, 6});
+        report.beginRow(gen::datasetName(id), "stats");
+        report.metric("objects", static_cast<uint64_t>(s.objects));
+        report.metric("arrays", static_cast<uint64_t>(s.arrays));
+        report.metric("attributes", static_cast<uint64_t>(s.attributes));
+        report.metric("primitives", static_cast<uint64_t>(s.primitives));
+        report.metric("records", static_cast<uint64_t>(small.count()));
+        report.metric("max_depth", static_cast<uint64_t>(s.max_depth));
     }
+    report.write();
     std::printf("\npaper (1 GB): TT 2.39M/2.29M objects/arrays deep=11; "
                 "NSPL 613 objects vs 3.5M arrays; WM object-heavy; "
                 "the relative shapes above should match.\n");

@@ -45,6 +45,10 @@ main(int argc, char** argv)
     size_t bytes = benchBytes(argc, argv, 32);
     bench::banner("Table 5", "JSONPath queries and match counts", bytes);
 
+    BenchReport report("table5_queries",
+                       "JSONPath queries and match counts");
+    report.inputBytes(bytes);
+
     auto engines = makeAllEngines();
     printTableHeader({"ID", "Query structure", "#matches", "agree",
                       "paper@1GB"},
@@ -60,8 +64,14 @@ main(int argc, char** argv)
                        std::to_string(reference), agree ? "yes" : "NO",
                        std::to_string(paperMatches(spec.id))},
                       {6, 30, 10, 6, 10});
+        report.beginRow(spec.id, "JSONSki");
+        report.text("path", spec.large_query);
+        report.metric("matches", static_cast<uint64_t>(reference));
+        report.metric("engines_agree", static_cast<uint64_t>(agree));
+        bench::addJsonSkiDetail(report, json, q);
     }
     std::printf("\ncounts scale with input size; selectivity shape "
                 "(rare vs per-record queries) is the comparison target.\n");
+    report.write();
     return 0;
 }

@@ -29,6 +29,10 @@ main(int argc, char** argv)
     bench::banner("Table 6", "fast-forward ratios by function group",
                   bytes);
 
+    BenchReport report("table6_ff_ratio",
+                       "fast-forward ratios by function group");
+    report.inputBytes(bytes);
+
     printTableHeader({"Query", "G1", "G2", "G3", "G4", "G5", "Overall",
                       "paper overall"},
                      {6, 8, 8, 8, 8, 8, 8, 13});
@@ -49,8 +53,11 @@ main(int argc, char** argv)
         row.push_back(fmtPercent(stats.overallRatio(json.size())));
         row.push_back(paper_overall[qi++]);
         printTableRow(row, {6, 8, 8, 8, 8, 8, 8, 13});
+        report.beginRow(spec.id, "JSONSki");
+        bench::addJsonSkiDetail(report, json, q);
     }
     std::printf("\nnon-fast-forwarded residue is attribute names and "
                 "metacharacters the matcher must examine (paper: <5%%).\n");
+    report.write();
     return 0;
 }

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Zero-overhead guard for the telemetry hooks (DESIGN.md §8 contract):
+ * times the JSONSki streamer on a large record twice in-process — once
+ * with no telemetry scope installed, once recording into a Registry —
+ * and compares best-of-N throughput.
+ *
+ * In the default build (JSONSKI_TELEMETRY=OFF) the hooks compile to
+ * nothing, so the two runs must be identical up to timer noise: a
+ * relative delta beyond JSONSKI_GUARD_TOLERANCE (default 5%; CI smoke
+ * uses a looser bound on shared runners) fails the binary with exit 1.
+ * In telemetry-on builds the delta is reported but never fatal —
+ * recording overhead is the price of that configuration, and the run
+ * instead sanity-checks that the recorded skipped-byte totals equal
+ * the FastForwardStats accounting.
+ */
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_common.h"
+#include "gen/datasets.h"
+#include "harness/engines.h"
+#include "harness/runner.h"
+#include "path/parser.h"
+#include "ski/streamer.h"
+
+using namespace jsonski;
+using namespace jsonski::harness;
+
+int
+main(int argc, char** argv)
+{
+    size_t bytes = benchBytes(argc, argv, 32);
+    bench::banner("Telemetry guard",
+                  "hook overhead with scope vs without", bytes);
+    std::printf("telemetry hooks compiled: %s\n\n",
+                telemetry::kEnabled ? "ON" : "OFF (must be free)");
+
+    double tolerance = 0.05;
+    if (const char* env = std::getenv("JSONSKI_GUARD_TOLERANCE"))
+        tolerance = std::strtod(env, nullptr);
+
+    BenchReport report("telemetry_guard",
+                       "hook overhead with scope vs without");
+    report.inputBytes(bytes);
+
+    // BB1 exercises every hook class: G1/G5 scans, pairing, emits.
+    std::string json = gen::generateLarge(gen::DatasetId::BB, bytes);
+    auto q = path::parse("$.pd[*].cp[1:3].id");
+    ski::Streamer streamer(q);
+
+    Timing plain = timeBest([&] { return streamer.run(json).matches; }, 3);
+
+    telemetry::Registry reg;
+    Timing scoped = timeBest(
+        [&] {
+            reg.reset();
+            telemetry::Scope scope(reg);
+            return streamer.run(json).matches;
+        },
+        3);
+
+    double delta =
+        (scoped.seconds - plain.seconds) / plain.seconds;
+    printTableHeader({"Mode", "best (s)", "median (s)", "rel stddev"},
+                     {10, 12, 12, 11});
+    printTableRow({"no scope", fmtSeconds(plain.seconds),
+                   fmtSeconds(plain.median),
+                   fmtPercent(plain.rel_stddev)},
+                  {10, 12, 12, 11});
+    printTableRow({"scoped", fmtSeconds(scoped.seconds),
+                   fmtSeconds(scoped.median),
+                   fmtPercent(scoped.rel_stddev)},
+                  {10, 12, 12, 11});
+    std::printf("\nscope overhead: %+.2f%% (tolerance %.0f%%)\n",
+                delta * 100.0, tolerance * 100.0);
+
+    report.beginRow("BB1", "no-scope");
+    report.timing(plain, json.size());
+    report.beginRow("BB1", "scoped");
+    report.timing(scoped, json.size());
+    report.metric("overhead_delta", delta);
+    report.metric("tolerance", tolerance);
+
+    int rc = 0;
+    if (!telemetry::kEnabled) {
+        if (std::fabs(delta) > tolerance) {
+            std::printf("FAIL: telemetry-off build shows measurable "
+                        "hook overhead — the zero-cost contract is "
+                        "broken.\n");
+            rc = 1;
+        } else {
+            std::printf("OK: hooks are free when compiled out.\n");
+        }
+    } else {
+        // Differential check: the registry's per-group bytes must equal
+        // the FastForwardStats accounting for the same run.
+        ski::FastForwardStats stats;
+        reg.reset();
+        {
+            telemetry::Scope scope(reg);
+            (void)runJsonSkiWithStats(json, q, stats);
+        }
+        bool ok = true;
+        for (size_t g = 0; g < ski::kGroupCount; ++g)
+            ok = ok && reg.skipped[g] ==
+                           stats.get(static_cast<ski::Group>(g));
+        std::printf("%s: telemetry skipped-byte totals %s "
+                    "FastForwardStats.\n",
+                    ok ? "OK" : "FAIL", ok ? "match" : "DIVERGE from");
+        if (!ok)
+            rc = 1;
+    }
+    report.metric("guard_ok", static_cast<uint64_t>(rc == 0));
+    report.write();
+    return rc;
+}

@@ -9,6 +9,14 @@
  *   jsq -r <query> [file]      treat input as a stream of records
  *   jsq -s <query> [file]      print the fast-forward statistics
  *   jsq -e <query>             print the evaluation plan and exit
+ *   jsq -p <query> [file]      profile: suppress matches, print a JSON
+ *                              report (matches, fast-forward bytes and
+ *                              ratios per group, telemetry counters) on
+ *                              stdout and the plan plus a human-readable
+ *                              telemetry report on stderr.  --profile is
+ *                              a synonym.  In default builds
+ *                              (JSONSKI_TELEMETRY=OFF) the telemetry
+ *                              section is present but zeroed.
  *
  * Reads from stdin when no file is given.  Multiple queries may be
  * passed separated by commas; they are evaluated in ONE pass with the
@@ -22,8 +30,11 @@
 #include <string>
 #include <vector>
 
+#include "json/writer.h"
 #include "path/parser.h"
 #include "ski/explain.h"
+#include "telemetry/export.h"
+#include "telemetry/telemetry.h"
 #include "ski/record_reader.h"
 #include "ski/multi.h"
 #include "ski/record_scanner.h"
@@ -40,6 +51,7 @@ struct Options
     bool records = false;
     bool stats = false;
     bool explain_only = false;
+    bool profile = false;
     size_t limit = 0; // 0 = unlimited
     std::vector<std::string> queries;
     std::string file;
@@ -49,8 +61,8 @@ struct Options
 usage()
 {
     std::fprintf(stderr,
-                 "usage: jsq [-c] [-r] [-s] [-n K] <query>[,<query>...] "
-                 "[file]\n");
+                 "usage: jsq [-c] [-r] [-s] [-p] [-n K] "
+                 "<query>[,<query>...] [file]\n");
     std::exit(2);
 }
 
@@ -68,6 +80,9 @@ parseArgs(int argc, char** argv)
             opt.stats = true;
         } else if (std::strcmp(argv[i], "-e") == 0) {
             opt.explain_only = true;
+        } else if (std::strcmp(argv[i], "-p") == 0 ||
+                   std::strcmp(argv[i], "--profile") == 0) {
+            opt.profile = true;
         } else if (std::strcmp(argv[i], "-n") == 0 && i + 1 < argc) {
             opt.limit = std::strtoul(argv[++i], nullptr, 10);
         } else {
@@ -161,6 +176,53 @@ class PrintMultiSink : public ski::MultiSink
     bool quiet_;
 };
 
+/**
+ * Emit the --profile report: a single machine-readable JSON object on
+ * stdout plus the human-readable telemetry breakdown on stderr.  The
+ * ff section is omitted for multi-query runs, which do not track
+ * per-group FastForwardStats.
+ */
+void
+printProfile(const std::string& query, size_t input_bytes, size_t matches,
+             const ski::FastForwardStats* stats,
+             const telemetry::Registry& reg)
+{
+    json::Writer w;
+    w.beginObject();
+    w.key("schema");
+    w.string("jsonski-profile-v1");
+    w.key("query");
+    w.string(query);
+    w.key("input_bytes");
+    w.number(static_cast<int64_t>(input_bytes));
+    w.key("matches");
+    w.number(static_cast<int64_t>(matches));
+    w.key("telemetry_compiled");
+    w.boolean(telemetry::kEnabled);
+    if (stats != nullptr) {
+        w.key("ff");
+        w.beginObject();
+        for (size_t g = 0; g < ski::kGroupCount; ++g) {
+            auto grp = static_cast<ski::Group>(g);
+            char key[16];
+            std::snprintf(key, sizeof key, "G%zu", g + 1);
+            w.key(key);
+            w.number(static_cast<int64_t>(stats->get(grp)));
+            std::snprintf(key, sizeof key, "G%zu_ratio", g + 1);
+            w.key(key);
+            w.number(stats->ratio(grp, input_bytes));
+        }
+        w.key("overall_ratio");
+        w.number(stats->overallRatio(input_bytes));
+        w.endObject();
+    }
+    w.key("telemetry");
+    w.raw(telemetry::toJson(reg));
+    w.endObject();
+    std::printf("%s\n", w.take().c_str());
+    std::fprintf(stderr, "%s", telemetry::renderReport(reg).c_str());
+}
+
 } // namespace
 
 int
@@ -192,17 +254,27 @@ main(int argc, char** argv)
                 in = &file;
             }
             ski::RecordReader reader(*in, 1 << 20);
-            ski::Streamer streamer(path::parse(opt.queries[0]));
-            PrintSink sink(opt.count_only, opt.limit);
+            path::PathQuery query = path::parse(opt.queries[0]);
+            if (opt.profile)
+                std::fprintf(stderr, "%s", ski::explain(query).c_str());
+            ski::Streamer streamer(query);
+            PrintSink sink(opt.count_only || opt.profile, opt.limit);
             ski::FastForwardStats stats;
-            std::string_view record;
-            while (reader.next(record)) {
-                stats.merge(streamer.run(record, &sink).stats);
-                if (opt.limit != 0 && sink.count >= opt.limit)
-                    break;
+            telemetry::Registry reg;
+            {
+                telemetry::Scope scope(reg);
+                std::string_view record;
+                while (reader.next(record)) {
+                    stats.merge(streamer.run(record, &sink).stats);
+                    if (opt.limit != 0 && sink.count >= opt.limit)
+                        break;
+                }
             }
             if (opt.count_only)
                 std::printf("%zu\n", sink.count);
+            if (opt.profile)
+                printProfile(opt.queries[0], reader.bytesRead(),
+                             sink.count, &stats, reg);
             if (opt.stats) {
                 std::fprintf(stderr,
                              "fast-forwarded %.2f%% of %zu record "
@@ -222,18 +294,28 @@ main(int argc, char** argv)
             spans.emplace_back(0, input.size());
 
         if (opt.queries.size() == 1) {
-            ski::Streamer streamer(path::parse(opt.queries[0]));
-            PrintSink sink(opt.count_only, opt.limit);
+            path::PathQuery query = path::parse(opt.queries[0]);
+            if (opt.profile)
+                std::fprintf(stderr, "%s", ski::explain(query).c_str());
+            ski::Streamer streamer(query);
+            PrintSink sink(opt.count_only || opt.profile, opt.limit);
             ski::FastForwardStats stats;
-            for (auto [off, len] : spans) {
-                ski::StreamResult r = streamer.run(
-                    std::string_view(input).substr(off, len), &sink);
-                stats.merge(r.stats);
-                if (opt.limit != 0 && sink.count >= opt.limit)
-                    break;
+            telemetry::Registry reg;
+            {
+                telemetry::Scope scope(reg);
+                for (auto [off, len] : spans) {
+                    ski::StreamResult r = streamer.run(
+                        std::string_view(input).substr(off, len), &sink);
+                    stats.merge(r.stats);
+                    if (opt.limit != 0 && sink.count >= opt.limit)
+                        break;
+                }
             }
             if (opt.count_only)
                 std::printf("%zu\n", sink.count);
+            if (opt.profile)
+                printProfile(opt.queries[0], input.size(), sink.count,
+                             &stats, reg);
             if (opt.stats) {
                 std::fprintf(stderr,
                              "fast-forwarded %.2f%% of %zu bytes "
@@ -251,19 +333,35 @@ main(int argc, char** argv)
             std::vector<path::PathQuery> queries;
             for (const std::string& q : opt.queries)
                 queries.push_back(path::parse(q));
+            if (opt.profile)
+                for (const path::PathQuery& q : queries)
+                    std::fprintf(stderr, "%s", ski::explain(q).c_str());
             ski::MultiStreamer streamer(std::move(queries));
-            PrintMultiSink sink(opt.count_only);
+            PrintMultiSink sink(opt.count_only || opt.profile);
             std::vector<size_t> totals(opt.queries.size(), 0);
-            for (auto [off, len] : spans) {
-                auto r = streamer.run(
-                    std::string_view(input).substr(off, len), &sink);
-                for (size_t qi = 0; qi < totals.size(); ++qi)
-                    totals[qi] += r.matches[qi];
+            telemetry::Registry reg;
+            {
+                telemetry::Scope scope(reg);
+                for (auto [off, len] : spans) {
+                    auto r = streamer.run(
+                        std::string_view(input).substr(off, len), &sink);
+                    for (size_t qi = 0; qi < totals.size(); ++qi)
+                        totals[qi] += r.matches[qi];
+                }
             }
             if (opt.count_only) {
                 for (size_t qi = 0; qi < totals.size(); ++qi)
                     std::printf("q%zu %s: %zu\n", qi,
                                 opt.queries[qi].c_str(), totals[qi]);
+            }
+            if (opt.profile) {
+                size_t total = 0;
+                for (size_t m : totals)
+                    total += m;
+                std::string all = opt.queries[0];
+                for (size_t qi = 1; qi < opt.queries.size(); ++qi)
+                    all += "," + opt.queries[qi];
+                printProfile(all, input.size(), total, nullptr, reg);
             }
         }
     } catch (const std::exception& e) {

@@ -1,8 +1,11 @@
 #include "harness/runner.h"
 
+#include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
 
 #include "baseline/jpstream/tokenizer.h"
 #include "util/stopwatch.h"
@@ -26,17 +29,42 @@ timeBest(const std::function<size_t()>& fn, int repeats)
     constexpr double kBudget = 0.2;
     constexpr int kMaxReps = 9;
     double spent = 0;
+    std::vector<double> samples;
+    samples.reserve(kMaxReps);
     for (int i = 0; i < kMaxReps && (i < repeats || spent < kBudget);
          ++i) {
         Stopwatch sw;
         size_t matches = fn();
         double s = sw.seconds();
         spent += s;
-        if (s < best.seconds) {
-            best.seconds = s;
+        if (i == 0) {
             best.matches = matches;
+        } else if (matches != best.matches) {
+            // A benchmark that cannot agree with itself on the answer
+            // is measuring a bug, not performance.
+            throw std::runtime_error(
+                "timeBest: match count varies across repeats (" +
+                std::to_string(best.matches) + " vs " +
+                std::to_string(matches) + ")");
         }
+        samples.push_back(s);
+        best.seconds = std::min(best.seconds, s);
     }
+    best.runs = static_cast<int>(samples.size());
+    std::sort(samples.begin(), samples.end());
+    size_t n = samples.size();
+    best.median = n % 2 == 1
+                      ? samples[n / 2]
+                      : 0.5 * (samples[n / 2 - 1] + samples[n / 2]);
+    double mean = 0;
+    for (double s : samples)
+        mean += s;
+    mean /= static_cast<double>(n);
+    double var = 0;
+    for (double s : samples)
+        var += (s - mean) * (s - mean);
+    var /= static_cast<double>(n);
+    best.rel_stddev = mean > 0 ? std::sqrt(var) / mean : 0;
     return best;
 }
 

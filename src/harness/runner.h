@@ -23,14 +23,23 @@ namespace jsonski::harness {
 /** Result of one timed evaluation. */
 struct Timing
 {
-    double seconds = 0;
+    double seconds = 0;    ///< best (minimum) wall-clock time
+    double median = 0;     ///< median over all timed runs
+    double rel_stddev = 0; ///< stddev / mean over all timed runs
     size_t matches = 0;
+    int runs = 0;          ///< timed runs taken (warm-up excluded)
 };
 
 /**
  * Run @p fn (returning a match count) @p repeats times and keep the
  * best wall-clock time — the paper-standard way to suppress timer and
- * scheduler noise for single-digit-second runs.
+ * scheduler noise for single-digit-second runs.  Median and relative
+ * stddev over the same runs are reported so noisy hosts are visible in
+ * BENCH_*.json trend data.
+ *
+ * @throws std::runtime_error if the match count differs between runs:
+ *         a nondeterministic engine invalidates the whole measurement
+ *         and must fail loudly, not silently report one of the counts.
  */
 Timing timeBest(const std::function<size_t()>& fn, int repeats = 3);
 

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "telemetry/telemetry.h"
 #include "util/bits.h"
 
 #if defined(__AVX2__)
@@ -225,6 +226,7 @@ classifyStringsBlock(const char* data, ClassifierCarry& carry)
     uint64_t backslash = rawEqBits(data, '\\');
     uint64_t quote_raw = rawEqBits(data, '"');
 #endif
+    telemetry::count(telemetry::Counter::StringMaskBuilds);
     StringBits out;
     uint64_t escaped = findEscaped(backslash, carry.prev_escaped);
     out.quote = quote_raw & ~escaped;

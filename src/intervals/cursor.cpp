@@ -25,6 +25,8 @@ StreamCursor::classifyThrough(size_t idx)
 {
     assert(idx + 1 >= classified_blocks_ &&
            "cursor cannot rewind to an earlier block");
+    telemetry::PhaseScope phase(telemetry::Phase::Classify);
+    size_t first = classified_blocks_;
     while (classified_blocks_ <= idx) {
         size_t start = classified_blocks_ * kBlockSize;
         if (start + kBlockSize > len_) // overflow-free form of the
@@ -42,6 +44,10 @@ StreamCursor::classifyThrough(size_t idx)
         }
         ++classified_blocks_;
     }
+    telemetry::count(telemetry::Counter::BlocksClassified,
+                     classified_blocks_ - first);
+    telemetry::count(telemetry::Counter::BytesScanned,
+                     (classified_blocks_ - first) * kBlockSize);
 }
 
 BlockBits

@@ -32,6 +32,7 @@
 
 #include "intervals/block.h"
 #include "intervals/classifier.h"
+#include "telemetry/telemetry.h"
 #include "util/bits.h"
 
 namespace jsonski::intervals {
@@ -102,6 +103,11 @@ class StreamCursor
     setPos(size_t p)
     {
         assert(p / kBlockSize + 1 >= classified_blocks_);
+        if constexpr (telemetry::kEnabled) {
+            // A backward move is a scan overshoot being corrected.
+            if (p < pos_)
+                telemetry::count(telemetry::Counter::CursorReseeks);
+        }
         pos_ = p;
     }
 

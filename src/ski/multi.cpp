@@ -95,6 +95,7 @@ class MultiDriver
     void
     emitTo(const NodeSet& active, size_t begin, size_t end)
     {
+        telemetry::PhaseScope phase(telemetry::Phase::Emit);
         while (end > begin && json::isWhitespace(cur_.at(end - 1)))
             --end;
         for (int n : active) {
@@ -120,6 +121,8 @@ class MultiDriver
     void
     runValue(const NodeSet& active)
     {
+        // Trace tag: representative trie node of the active set.
+        skip_.setTraceState(static_cast<uint16_t>(active[0]));
         bool want_obj = false;
         bool want_ary = false;
         for (int n : active) {
@@ -194,6 +197,7 @@ class MultiDriver
                 continue;
             }
             runValue(targets);
+            skip_.setTraceState(static_cast<uint16_t>(active[0]));
             // Generalized G4: abandon the object once every candidate
             // name has been seen (names are unique per object).
             if (--remaining == 0) {
@@ -248,10 +252,12 @@ class MultiDriver
                 if (step->coversIndex(idx))
                     covering.push_back(child);
             }
-            if (covering.empty())
+            if (covering.empty()) {
                 skip_.overValue(Group::G5); // a gap between ranges
-            else
+            } else {
                 runValue(covering);
+                skip_.setTraceState(static_cast<uint16_t>(active[0]));
+            }
             c = cur_.skipWhitespace();
             if (c == ',') {
                 cur_.advance(1);

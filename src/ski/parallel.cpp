@@ -1,11 +1,13 @@
 #include "ski/parallel.h"
 
 #include <atomic>
+#include <optional>
 
 #include "intervals/cursor.h"
 #include "json/text.h"
 #include "ski/skipper.h"
 #include "ski/streamer.h"
+#include "telemetry/telemetry.h"
 #include "util/error.h"
 
 namespace jsonski::ski {
@@ -135,8 +137,18 @@ ParallelStreamer::run(std::string_view json, ThreadPool& pool,
                             spans[i].second - spans[i].first));
         }
     } else {
+        // Cross-thread telemetry: each span records into its own
+        // registry (worker threads do not inherit the caller's TLS
+        // scope), merged below in span order so the result is
+        // deterministic under the pool's dynamic scheduling.
+        telemetry::Registry* parent = telemetry::current();
+        std::vector<telemetry::Registry> span_regs(
+            parent != nullptr ? spans.size() : 0);
         Streamer tail(remaining);
         pool.parallelFor(spans.size(), [&](size_t i) {
+            std::optional<telemetry::Scope> scope;
+            if (parent != nullptr)
+                scope.emplace(span_regs[i]);
             std::string_view elem = json.substr(
                 spans[i].first, spans[i].second - spans[i].first);
             // Primitive elements cannot satisfy further steps.
@@ -147,6 +159,8 @@ ParallelStreamer::run(std::string_view json, ThreadPool& pool,
             tail.run(elem, &local);
             results[i] = std::move(local.values);
         });
+        for (const telemetry::Registry& r : span_regs)
+            parent->merge(r);
     }
 
     // --- Merge in document order. ---

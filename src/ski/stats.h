@@ -10,6 +10,7 @@
 #ifndef JSONSKI_SKI_STATS_H
 #define JSONSKI_SKI_STATS_H
 
+#include <algorithm>
 #include <array>
 #include <cstddef>
 #include <cstdint>
@@ -55,24 +56,37 @@ struct FastForwardStats
         return t;
     }
 
-    /** Per-group ratio against an input of @p input_len bytes. */
+    /**
+     * Per-group ratio against an input of @p input_len bytes.
+     *
+     * Denominator contract: @p input_len must be the total number of
+     * bytes the engine was handed, including any bytes *outside* the
+     * records it parsed.  Record-stream runs that pass only the sum of
+     * record payloads undercount the denominator (newline delimiters,
+     * and stats accumulated across repeated runs over the same buffer)
+     * and the raw quotient can exceed 1.0; since a ratio above 1 is
+     * meaningless ("skipped more bytes than exist"), the result is
+     * clamped to [0, 1].  Callers that repeat runs must divide by
+     * repeats or reset the stats between runs.
+     */
     double
     ratio(Group g, size_t input_len) const
     {
         return input_len == 0
                    ? 0.0
-                   : static_cast<double>(get(g)) /
-                         static_cast<double>(input_len);
+                   : std::min(1.0, static_cast<double>(get(g)) /
+                                       static_cast<double>(input_len));
     }
 
-    /** Overall fast-forward ratio. */
+    /** Overall fast-forward ratio; same denominator contract (and
+     *  clamp) as ratio(). */
     double
     overallRatio(size_t input_len) const
     {
         return input_len == 0
                    ? 0.0
-                   : static_cast<double>(total()) /
-                         static_cast<double>(input_len);
+                   : std::min(1.0, static_cast<double>(total()) /
+                                       static_cast<double>(input_len));
     }
 
     void

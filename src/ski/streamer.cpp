@@ -67,6 +67,7 @@ class Driver
     void
     emitValue()
     {
+        telemetry::PhaseScope phase(telemetry::Phase::Emit);
         size_t start = cur_.pos();
         skip_.overValue(Group::G3);
         size_t end = cur_.pos();
@@ -86,6 +87,7 @@ class Driver
     void
     runObject(size_t state)
     {
+        skip_.setTraceState(static_cast<uint16_t>(state));
         const PathStep& st = q_[state];
         bool accept_child = (state + 1 == q_.size());
         bool desc_child =
@@ -132,6 +134,7 @@ class Driver
                     runObject(state + 1);
                 else
                     runArray(state + 1);
+                skip_.setTraceState(static_cast<uint16_t>(state));
             }
             // G4: attribute names are unique per object — nothing else
             // in this object can match; fast-forward past its '}'.
@@ -147,6 +150,7 @@ class Driver
     void
     runArray(size_t state)
     {
+        skip_.setTraceState(static_cast<uint16_t>(state));
         const PathStep& st = q_[state];
         bool accept_child = (state + 1 == q_.size());
         size_t idx = 0;
@@ -213,6 +217,7 @@ class Driver
                     runObject(state + 1);
                 else
                     runArray(state + 1);
+                skip_.setTraceState(static_cast<uint16_t>(state));
             }
             c = cur_.skipWhitespace();
             if (c == ',') {
@@ -243,6 +248,8 @@ class Driver
     void
     runDescObject()
     {
+        // Descendant traversal belongs to the terminal `..name` step.
+        skip_.setTraceState(static_cast<uint16_t>(q_.size() - 1));
         if (++desc_depth_ > kMaxDescDepth)
             throw ParseError(ErrorCode::DepthExceeded,
                              "nesting too deep for descendant traversal",

@@ -1,0 +1,187 @@
+#include "telemetry/telemetry.h"
+
+#include <chrono>
+
+namespace jsonski::telemetry {
+
+const char*
+counterName(Counter c)
+{
+    switch (c) {
+      case Counter::BlocksClassified: return "blocks_classified";
+      case Counter::StringMaskBuilds: return "string_mask_builds";
+      case Counter::PairingProbeWords: return "pairing_probe_words";
+      case Counter::PairingFallbackParses:
+        return "pairing_fallback_parses";
+      case Counter::CursorReseeks: return "cursor_reseeks";
+      case Counter::BytesScanned: return "bytes_scanned";
+      case Counter::kCount: break;
+    }
+    return "unknown";
+}
+
+const char*
+phaseName(Phase p)
+{
+    switch (p) {
+      case Phase::Classify: return "classify";
+      case Phase::Pair: return "pair";
+      case Phase::Skip: return "skip";
+      case Phase::Emit: return "emit";
+      case Phase::Other: return "other";
+      case Phase::kCount: break;
+    }
+    return "unknown";
+}
+
+void
+TraceRing::push(const TraceEntry& e)
+{
+    ++total_;
+    if (capacity_ == 0)
+        return;
+    if (ring_.size() < capacity_) {
+        ring_.push_back(e);
+        return;
+    }
+    ring_[head_] = e;
+    head_ = (head_ + 1) % capacity_;
+}
+
+size_t
+TraceRing::size() const
+{
+    return ring_.size();
+}
+
+std::vector<TraceEntry>
+TraceRing::snapshot() const
+{
+    std::vector<TraceEntry> out;
+    out.reserve(ring_.size());
+    // Once full, head_ is the oldest retained entry.
+    for (size_t i = 0; i < ring_.size(); ++i)
+        out.push_back(ring_[(head_ + i) % ring_.size()]);
+    return out;
+}
+
+void
+TraceRing::merge(const TraceRing& other)
+{
+    for (const TraceEntry& e : other.snapshot())
+        push(e);
+    // Entries the other ring had already dropped stay dropped; account
+    // for them so total() remains the true decision count.
+    total_ += other.dropped();
+}
+
+void
+TraceRing::clear()
+{
+    ring_.clear();
+    head_ = 0;
+    total_ = 0;
+}
+
+void
+Registry::merge(const Registry& other)
+{
+    for (size_t i = 0; i < kCounterCount; ++i)
+        counters[i] += other.counters[i];
+    for (size_t i = 0; i < kSkipGroupCount; ++i) {
+        skipped[i] += other.skipped[i];
+        skip_hist[i].merge(other.skip_hist[i]);
+    }
+    for (size_t i = 0; i < kPhaseCount; ++i)
+        phase_ns[i] += other.phase_ns[i];
+    trace.merge(other.trace);
+}
+
+void
+Registry::reset()
+{
+    counters.fill(0);
+    skipped.fill(0);
+    for (SkipHistogram& h : skip_hist)
+        h.buckets.fill(0);
+    phase_ns.fill(0);
+    trace.clear();
+}
+
+namespace {
+
+thread_local Registry* tls_registry = nullptr;
+
+#if JSONSKI_TELEMETRY_ENABLED
+
+using PhaseClock = std::chrono::steady_clock;
+
+thread_local Phase tls_phase = Phase::Other;
+thread_local PhaseClock::time_point tls_mark{};
+
+/** Charge the time since tls_mark to the active phase and re-mark. */
+void
+flushPhase(Registry* r)
+{
+    PhaseClock::time_point now = PhaseClock::now();
+    if (r != nullptr) {
+        r->phase_ns[static_cast<size_t>(tls_phase)] +=
+            static_cast<uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    now - tls_mark)
+                    .count());
+    }
+    tls_mark = now;
+}
+
+#endif // JSONSKI_TELEMETRY_ENABLED
+
+} // namespace
+
+Registry*
+current() noexcept
+{
+    return tls_registry;
+}
+
+Scope::Scope(Registry& r) : prev_(tls_registry)
+{
+    tls_registry = &r;
+#if JSONSKI_TELEMETRY_ENABLED
+    // Start the phase clock so phase_ns sums to the scope's wall time.
+    tls_phase = Phase::Other;
+    tls_mark = PhaseClock::now();
+#endif
+}
+
+Scope::~Scope()
+{
+#if JSONSKI_TELEMETRY_ENABLED
+    flushPhase(tls_registry);
+#endif
+    tls_registry = prev_;
+}
+
+#if JSONSKI_TELEMETRY_ENABLED
+
+PhaseScope::PhaseScope(Phase p) : prev_(tls_phase), active_(false)
+{
+    Registry* r = tls_registry;
+    if (r == nullptr)
+        return;
+    active_ = true;
+    flushPhase(r); // charge the elapsed slice to the outer phase
+    tls_phase = p;
+}
+
+PhaseScope::~PhaseScope()
+{
+    if (!active_)
+        return;
+    flushPhase(tls_registry); // charge this scope's slice to its phase
+    tls_phase = prev_;
+}
+
+#endif // JSONSKI_TELEMETRY_ENABLED
+
+} // namespace jsonski::telemetry

@@ -4,6 +4,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <stdexcept>
+
+#include "harness/report.h"
+#include "json/validate.h"
 #include "path/parser.h"
 
 using namespace jsonski::harness;
@@ -91,6 +96,66 @@ TEST(Runner, TimeBestReturnsMatches)
     EXPECT_EQ(t.matches, 42u);
     EXPECT_GE(t.seconds, 0.0);
     EXPECT_LT(t.seconds, 1.0);
+}
+
+TEST(Runner, TimeBestReportsSpread)
+{
+    Timing t = timeBest([] { return size_t{1}; }, 3);
+    EXPECT_GE(t.runs, 3);
+    // best <= median, and the spread statistics are finite and sane.
+    EXPECT_LE(t.seconds, t.median);
+    EXPECT_GE(t.rel_stddev, 0.0);
+    EXPECT_TRUE(std::isfinite(t.rel_stddev));
+}
+
+TEST(Runner, TimeBestThrowsOnMatchDisagreement)
+{
+    // A workload whose result changes between repeats is a broken
+    // benchmark; timeBest must fail loudly instead of reporting a
+    // throughput for it.  The counter survives the warm-up runs, so
+    // the timed repeats each see a distinct value.
+    size_t calls = 0;
+    EXPECT_THROW(timeBest([&] { return ++calls; }, 3),
+                 std::runtime_error);
+}
+
+TEST(Report, EmitsValidJson)
+{
+    BenchReport report("unit_test", "report smoke test");
+    report.inputBytes(1024);
+    report.threads(2);
+    report.beginRow("Q1", "JSONSki");
+    Timing t = timeBest([] { return size_t{5}; }, 2);
+    report.timing(t, 1024);
+    report.metric("extra", static_cast<uint64_t>(7));
+    report.text("note", "quoted \"value\"");
+    report.beginRow("Q1", "other-engine");
+    report.metric("score", 0.5);
+    std::string out = report.toJson();
+    auto v = jsonski::json::validate(out);
+    ASSERT_TRUE(v.ok) << v.message << " at " << v.error_position << "\n"
+                      << out;
+    EXPECT_NE(out.find("\"schema\":\"jsonski-bench-v1\""),
+              std::string::npos);
+    EXPECT_NE(out.find("\"artifact\":\"unit_test\""), std::string::npos);
+    EXPECT_NE(out.find("\"gbps\""), std::string::npos);
+    EXPECT_NE(out.find("\"median_seconds\""), std::string::npos);
+    EXPECT_NE(out.find("quoted \\\"value\\\""), std::string::npos);
+}
+
+TEST(Report, FfStatsSectionMatchesAccounting)
+{
+    jsonski::ski::FastForwardStats stats;
+    stats.add(jsonski::ski::Group::G1, 600);
+    stats.add(jsonski::ski::Group::G4, 100);
+    BenchReport report("unit_test_ff", "ff section");
+    report.beginRow("Q", "JSONSki");
+    report.ffStats(stats, 1000);
+    std::string out = report.toJson();
+    ASSERT_TRUE(jsonski::json::validate(out).ok) << out;
+    EXPECT_NE(out.find("\"G1\":600"), std::string::npos) << out;
+    EXPECT_NE(out.find("\"G4\":100"), std::string::npos);
+    EXPECT_NE(out.find("\"overall_ratio\":0.7"), std::string::npos);
 }
 
 TEST(Runner, ComputeStats)

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Cross-thread telemetry merge determinism: a ParallelStreamer run
+ * gives each element span its own Registry and merges them in span
+ * (document) order after the pool joins, so the merged registry must
+ * be identical run-to-run and across pool sizes, even though the
+ * pool's dynamic scheduling assigns spans to threads differently each
+ * time.  Wall-clock phase timings are the one legitimately
+ * nondeterministic field and are excluded from the comparison.
+ */
+#include "ski/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "gen/datasets.h"
+#include "path/parser.h"
+#include "telemetry/telemetry.h"
+#include "util/thread_pool.h"
+
+using namespace jsonski;
+using namespace jsonski::telemetry;
+
+namespace {
+
+/** Everything except phase_ns, which is wall-clock and may not repeat. */
+void
+expectDeterministicFieldsEqual(const Registry& a, const Registry& b)
+{
+    EXPECT_EQ(a.counters, b.counters);
+    EXPECT_EQ(a.skipped, b.skipped);
+    for (size_t g = 0; g < kSkipGroupCount; ++g)
+        EXPECT_EQ(a.skip_hist[g].buckets, b.skip_hist[g].buckets) << g;
+    EXPECT_EQ(a.trace.total(), b.trace.total());
+    EXPECT_EQ(a.trace.dropped(), b.trace.dropped());
+    EXPECT_EQ(a.trace.snapshot(), b.trace.snapshot());
+}
+
+Registry
+runScoped(ski::ParallelStreamer& streamer, std::string_view json,
+          ThreadPool& pool, size_t& matches)
+{
+    Registry reg;
+    {
+        Scope scope(reg);
+        matches = streamer.run(json, pool);
+    }
+    return reg;
+}
+
+} // namespace
+
+TEST(TelemetryMergeTest, ParallelMergeIsDeterministic)
+{
+    std::string json =
+        gen::generateLarge(gen::DatasetId::TT, 512 * 1024);
+    ski::ParallelStreamer streamer(
+        path::parse("$[*].en.urls[*].url"));
+    ASSERT_TRUE(streamer.parallelizable());
+
+    ThreadPool pool4(4);
+    size_t m1 = 0, m2 = 0;
+    Registry r1 = runScoped(streamer, json, pool4, m1);
+    Registry r2 = runScoped(streamer, json, pool4, m2);
+    EXPECT_EQ(m1, m2);
+    EXPECT_GT(m1, 0u);
+    expectDeterministicFieldsEqual(r1, r2);
+
+    // The merged result is also independent of the pool size: merging
+    // happens in span order, not completion order.
+    ThreadPool pool2(2);
+    size_t m3 = 0;
+    Registry r3 = runScoped(streamer, json, pool2, m3);
+    EXPECT_EQ(m1, m3);
+    expectDeterministicFieldsEqual(r1, r3);
+
+    if (kEnabled) {
+        EXPECT_GT(r1.skippedTotal(), 0u);
+        EXPECT_GT(r1.trace.total(), 0u);
+    } else {
+        EXPECT_EQ(r1.skippedTotal(), 0u);
+        EXPECT_EQ(r1.trace.total(), 0u);
+    }
+}
+
+TEST(TelemetryMergeTest, ParallelRunWithoutScopeIsSafe)
+{
+    // No registry installed in the caller: the per-span registries are
+    // skipped entirely and nothing crashes.
+    ASSERT_EQ(current(), nullptr);
+    std::string json =
+        gen::generateLarge(gen::DatasetId::BB, 128 * 1024);
+    ski::ParallelStreamer streamer(path::parse("$.pd[*].cp[1:3].id"));
+    ThreadPool pool(4);
+    size_t parallel = streamer.run(json, pool);
+    EXPECT_GT(parallel, 0u);
+}
+
+TEST(TelemetryMergeTest, WorkerRecordsDoNotLeakIntoCallerDirectly)
+{
+    // The caller's registry must see worker activity only through the
+    // ordered merge; a second run with a *different* registry installed
+    // must leave the first untouched.
+    std::string json =
+        gen::generateLarge(gen::DatasetId::TT, 128 * 1024);
+    ski::ParallelStreamer streamer(
+        path::parse("$[*].en.urls[*].url"));
+    ThreadPool pool(4);
+    size_t m = 0;
+    Registry first = runScoped(streamer, json, pool, m);
+    Registry snapshot = first; // copy
+    Registry second;
+    {
+        Scope scope(second);
+        (void)streamer.run(json, pool);
+    }
+    expectDeterministicFieldsEqual(first, snapshot);
+    expectDeterministicFieldsEqual(first, second);
+}
