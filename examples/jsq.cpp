@@ -21,15 +21,23 @@
  * Reads from stdin when no file is given.  Multiple queries may be
  * passed separated by commas; they are evaluated in ONE pass with the
  * multi-query streamer.
+ *
+ * --chunk-bytes N switches to bounded-memory ingestion: the input —
+ * file, pipe, or stdin — is pulled through the engine in N-byte chunks
+ * and is never materialized as a whole; resident memory is bounded by
+ * the chunk size plus the largest value span still being emitted
+ * (DESIGN.md §9).  With -r, N becomes the record reader's buffer size.
  */
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "intervals/chunk_source.h"
 #include "json/writer.h"
 #include "path/parser.h"
 #include "ski/explain.h"
@@ -52,7 +60,8 @@ struct Options
     bool stats = false;
     bool explain_only = false;
     bool profile = false;
-    size_t limit = 0; // 0 = unlimited
+    size_t limit = 0;       // 0 = unlimited
+    size_t chunk_bytes = 0; // 0 = materialize the input (legacy path)
     std::vector<std::string> queries;
     std::string file;
 };
@@ -62,7 +71,7 @@ usage()
 {
     std::fprintf(stderr,
                  "usage: jsq [-c] [-r] [-s] [-p] [-n K] "
-                 "<query>[,<query>...] [file]\n");
+                 "[--chunk-bytes N] <query>[,<query>...] [file]\n");
     std::exit(2);
 }
 
@@ -85,6 +94,11 @@ parseArgs(int argc, char** argv)
             opt.profile = true;
         } else if (std::strcmp(argv[i], "-n") == 0 && i + 1 < argc) {
             opt.limit = std::strtoul(argv[++i], nullptr, 10);
+        } else if (std::strcmp(argv[i], "--chunk-bytes") == 0 &&
+                   i + 1 < argc) {
+            opt.chunk_bytes = std::strtoul(argv[++i], nullptr, 10);
+            if (opt.chunk_bytes == 0)
+                usage();
         } else {
             usage();
         }
@@ -253,7 +267,8 @@ main(int argc, char** argv)
                 }
                 in = &file;
             }
-            ski::RecordReader reader(*in, 1 << 20);
+            ski::RecordReader reader(
+                *in, opt.chunk_bytes != 0 ? opt.chunk_bytes : 1 << 20);
             path::PathQuery query = path::parse(opt.queries[0]);
             if (opt.profile)
                 std::fprintf(stderr, "%s", ski::explain(query).c_str());
@@ -283,6 +298,95 @@ main(int argc, char** argv)
                                  100,
                              reader.bytesRead(), reader.recordsRead());
             }
+            return 0;
+        }
+
+        if (!opt.records && opt.chunk_bytes != 0) {
+            // Bounded-memory ingestion: pull the input through the
+            // engine chunk by chunk, never materializing the document.
+            std::FILE* f = nullptr;
+            std::optional<intervals::FileSource> file_src;
+            std::optional<intervals::IstreamSource> cin_src;
+            intervals::ChunkSource* src = nullptr;
+            if (!opt.file.empty()) {
+                f = std::fopen(opt.file.c_str(), "rb");
+                if (f == nullptr) {
+                    std::fprintf(stderr, "jsq: cannot open %s\n",
+                                 opt.file.c_str());
+                    return 1;
+                }
+                file_src.emplace(f);
+                src = &*file_src;
+            } else {
+                cin_src.emplace(std::cin);
+                src = &*cin_src;
+            }
+
+            if (opt.queries.size() == 1) {
+                path::PathQuery query = path::parse(opt.queries[0]);
+                if (opt.profile)
+                    std::fprintf(stderr, "%s",
+                                 ski::explain(query).c_str());
+                ski::Streamer streamer(query);
+                PrintSink sink(opt.count_only || opt.profile, opt.limit);
+                ski::StreamResult r;
+                telemetry::Registry reg;
+                {
+                    telemetry::Scope scope(reg);
+                    r = streamer.run(*src, &sink, opt.chunk_bytes);
+                }
+                if (opt.count_only)
+                    std::printf("%zu\n", sink.count);
+                if (opt.profile)
+                    printProfile(opt.queries[0], r.input_bytes,
+                                 sink.count, &r.stats, reg);
+                if (opt.stats) {
+                    std::fprintf(
+                        stderr,
+                        "fast-forwarded %.2f%% of %zu bytes; chunked "
+                        "ingestion: %llu refills, %llu spill bytes, "
+                        "window peak %zu bytes\n",
+                        r.stats.overallRatio(r.input_bytes) * 100,
+                        r.input_bytes,
+                        static_cast<unsigned long long>(r.ingest.refills),
+                        static_cast<unsigned long long>(
+                            r.ingest.spill_bytes),
+                        r.ingest.window_peak);
+                }
+            } else {
+                std::vector<path::PathQuery> queries;
+                for (const std::string& q : opt.queries)
+                    queries.push_back(path::parse(q));
+                if (opt.profile)
+                    for (const path::PathQuery& q : queries)
+                        std::fprintf(stderr, "%s",
+                                     ski::explain(q).c_str());
+                ski::MultiStreamer streamer(std::move(queries));
+                PrintMultiSink sink(opt.count_only || opt.profile);
+                ski::MultiStreamer::Result r;
+                telemetry::Registry reg;
+                {
+                    telemetry::Scope scope(reg);
+                    r = streamer.run(*src, &sink, opt.chunk_bytes);
+                }
+                if (opt.count_only) {
+                    for (size_t qi = 0; qi < r.matches.size(); ++qi)
+                        std::printf("q%zu %s: %zu\n", qi,
+                                    opt.queries[qi].c_str(),
+                                    r.matches[qi]);
+                }
+                if (opt.profile) {
+                    size_t total = 0;
+                    for (size_t m : r.matches)
+                        total += m;
+                    std::string all = opt.queries[0];
+                    for (size_t qi = 1; qi < opt.queries.size(); ++qi)
+                        all += "," + opt.queries[qi];
+                    printProfile(all, r.input_bytes, total, nullptr, reg);
+                }
+            }
+            if (f != nullptr)
+                std::fclose(f);
             return 0;
         }
 

@@ -1,0 +1,70 @@
+#include "intervals/chunk_source.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace jsonski::intervals {
+
+size_t
+ViewSource::read(char* dst, size_t cap)
+{
+    assert(cap > 0);
+    size_t n = std::min(cap, remaining());
+    if (chunk_hint_ != 0)
+        n = std::min(n, chunk_hint_);
+    std::memcpy(dst, data_.data() + off_, n);
+    off_ += n;
+    return n;
+}
+
+size_t
+FileSource::read(char* dst, size_t cap)
+{
+    assert(cap > 0);
+    return std::fread(dst, 1, cap, f_);
+}
+
+size_t
+IstreamSource::read(char* dst, size_t cap)
+{
+    assert(cap > 0);
+    in_.read(dst, static_cast<std::streamsize>(cap));
+    return static_cast<size_t>(in_.gcount());
+}
+
+SplitSource::SplitSource(std::string_view data, std::vector<size_t> schedule)
+    : data_(data), schedule_(std::move(schedule))
+{
+    assert(!schedule_.empty());
+    left_in_chunk_ = nextScheduled();
+}
+
+size_t
+SplitSource::nextScheduled()
+{
+    size_t s = schedule_[sched_next_];
+    sched_next_ = (sched_next_ + 1) % schedule_.size();
+    return s == 0 ? 1 : s; // zero-size chunks cannot make progress
+}
+
+size_t
+SplitSource::read(char* dst, size_t cap)
+{
+    assert(cap > 0);
+    size_t remaining = data_.size() - off_;
+    if (remaining == 0)
+        return 0;
+    size_t n = std::min({cap, left_in_chunk_, remaining});
+    std::memcpy(dst, data_.data() + off_, n);
+    off_ += n;
+    left_in_chunk_ -= n;
+    if (left_in_chunk_ == 0) {
+        left_in_chunk_ = nextScheduled();
+        if (off_ < data_.size())
+            ++seams_;
+    }
+    return n;
+}
+
+} // namespace jsonski::intervals

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Bounded-memory ingestion sources for the chunked stream cursor.
+ *
+ * A ChunkSource delivers the input as a sequence of byte chunks into a
+ * caller-provided buffer; the cursor (intervals/cursor.h) assembles
+ * them into a sliding window of 64-byte-aligned blocks and threads the
+ * classifier carries (trailing-backslash run, in-string parity) across
+ * every chunk seam.  This is what turns the *logically* streaming
+ * engine into a *physically* streaming one: memory consumption is
+ * bounded by the chunk size plus whatever spans a consumer is still
+ * holding (DESIGN.md §9), not by the document size.
+ *
+ * Three production sources (memory view, FILE*, std::istream) plus the
+ * test-only adversarial SplitSource, which places chunk seams at
+ * caller-chosen byte offsets so every seam-sensitive code path can be
+ * forced deliberately (seam rig, seam-hunting fuzz mode).
+ */
+#ifndef JSONSKI_INTERVALS_CHUNK_SOURCE_H
+#define JSONSKI_INTERVALS_CHUNK_SOURCE_H
+
+#include <cstddef>
+#include <cstdio>
+#include <istream>
+#include <string_view>
+#include <vector>
+
+namespace jsonski::intervals {
+
+/** Pull-based byte source; see file comment. */
+class ChunkSource
+{
+  public:
+    virtual ~ChunkSource() = default;
+
+    /**
+     * Deliver up to @p cap bytes into @p dst.
+     *
+     * @return Bytes written; 0 means end of input (a source must keep
+     *         returning 0 once exhausted).  A source may return fewer
+     *         than @p cap bytes for any reason (its own chunk
+     *         granularity, a short read); only 0 is terminal.
+     * @pre cap > 0
+     */
+    virtual size_t read(char* dst, size_t cap) = 0;
+};
+
+/**
+ * Serves an in-memory buffer.  With the default chunk hint the whole
+ * view is delivered in one read (the 1-chunk special case); a nonzero
+ * hint caps each delivery, which makes refill behaviour observable in
+ * tests without involving I/O.
+ */
+class ViewSource : public ChunkSource
+{
+  public:
+    explicit ViewSource(std::string_view data, size_t chunk_hint = 0)
+        : data_(data), chunk_hint_(chunk_hint)
+    {}
+
+    size_t read(char* dst, size_t cap) override;
+
+    /** Bytes not yet delivered. */
+    size_t remaining() const { return data_.size() - off_; }
+
+  private:
+    std::string_view data_;
+    size_t off_ = 0;
+    size_t chunk_hint_;
+};
+
+/** Reads a C stdio stream (does not own or close it). */
+class FileSource : public ChunkSource
+{
+  public:
+    explicit FileSource(std::FILE* f) : f_(f) {}
+
+    size_t read(char* dst, size_t cap) override;
+
+  private:
+    std::FILE* f_;
+};
+
+/** Reads a std::istream (does not own it); covers stdin and pipes. */
+class IstreamSource : public ChunkSource
+{
+  public:
+    explicit IstreamSource(std::istream& in) : in_(in) {}
+
+    size_t read(char* dst, size_t cap) override;
+
+  private:
+    std::istream& in_;
+};
+
+/**
+ * Test-only adversarial splitter: yields an in-memory document in
+ * chunks whose sizes follow a caller-chosen schedule (cycled when
+ * exhausted), so a seam can be forced at any byte offset — inside a
+ * string escape, between UTF-8 continuation bytes, mid-number.  A
+ * delivery never crosses a scheduled seam even when the caller's @p cap
+ * is larger; a smaller @p cap merely adds extra seams.
+ */
+class SplitSource : public ChunkSource
+{
+  public:
+    /** Every chunk has size @p chunk_bytes (the last may be short). */
+    SplitSource(std::string_view data, size_t chunk_bytes)
+        : SplitSource(data, std::vector<size_t>{chunk_bytes})
+    {}
+
+    /** Chunk sizes follow @p schedule, cycling; 0 entries count as 1. */
+    SplitSource(std::string_view data, std::vector<size_t> schedule);
+
+    size_t read(char* dst, size_t cap) override;
+
+    /** Seams delivered so far (boundaries between returned chunks). */
+    size_t seams() const { return seams_; }
+
+  private:
+    size_t nextScheduled();
+
+    std::string_view data_;
+    size_t off_ = 0;
+    std::vector<size_t> schedule_;
+    size_t sched_next_ = 0;
+    size_t left_in_chunk_ = 0; ///< bytes until the next scheduled seam
+    size_t seams_ = 0;
+};
+
+} // namespace jsonski::intervals
+
+#endif // JSONSKI_INTERVALS_CHUNK_SOURCE_H

@@ -15,22 +15,47 @@
  * these bitmaps; everything else (attribute-name extraction, primitive
  * peeks) uses short scalar reads through the same cursor.
  *
+ * Two ingestion modes share every algorithm above:
+ *
+ *  - Whole-buffer: attach to a resident std::string_view (the 1-chunk
+ *    special case; zero-copy).
+ *  - Chunked: attach to a ChunkSource.  The cursor then assembles the
+ *    input incrementally into a sliding window of 64-byte-aligned
+ *    storage; the classifier carries (trailing-backslash run, CLMUL
+ *    in-string parity) thread across chunk seams exactly as they do
+ *    across block boundaries, so classification is seam-oblivious.
+ *    Bytes below the discard floor — min(position block, consumer
+ *    hold, scan hold) — are recycled at refill time, which bounds
+ *    resident memory by the chunk size plus whatever token or value
+ *    span a consumer is still holding (DESIGN.md §9 is the carry-state
+ *    and hold contract).
+ *
+ * Positions are always *absolute* stream offsets in both modes, so
+ * skipper arithmetic, error positions, and FastForwardStats are
+ * byte-identical between modes (the chunk-seam differential rig pins
+ * this down).
+ *
  * Bounds guarantee: the cursor never dereferences a byte at or past
- * size().  The final partial block is served from an internal
- * space-padded copy (prepareTail), and the padding classifies as pure
- * whitespace, so it can never be mistaken for structure; block-pointer
- * selection is written overflow-free so even a position past the end
- * (legal transiently, e.g. after a block-skip) resolves to that padded
- * buffer rather than out-of-bounds input memory.
+ * size(), nor below the discard floor.  The final partial block is
+ * served from an internal space-padded copy (prepareTail), and the
+ * padding classifies as pure whitespace, so it can never be mistaken
+ * for structure; block-pointer selection is written overflow-free so
+ * even a position past the end (legal transiently, e.g. after a
+ * block-skip) resolves to that padded buffer rather than out-of-bounds
+ * input memory.
  */
 #ifndef JSONSKI_INTERVALS_CURSOR_H
 #define JSONSKI_INTERVALS_CURSOR_H
 
 #include <cassert>
+#include <cstdio>
 #include <cstddef>
+#include <cstdint>
 #include <string_view>
+#include <vector>
 
 #include "intervals/block.h"
+#include "intervals/chunk_source.h"
 #include "intervals/classifier.h"
 #include "telemetry/telemetry.h"
 #include "util/bits.h"
@@ -41,8 +66,24 @@ namespace jsonski::intervals {
 class StreamCursor
 {
   public:
+    /** Sentinel for "no hold": nothing below the position is pinned. */
+    static constexpr size_t kNoHold = static_cast<size_t>(-1);
+
+    /** Ingestion accounting, maintained in every build (the refill
+     *  path is cold, so these do not need the telemetry gate). */
+    struct IngestStats
+    {
+        uint64_t refills = 0;        ///< ChunkSource::read calls that returned data
+        uint64_t spill_bytes = 0;    ///< bytes memmoved by window compaction
+        uint64_t seam_straddles = 0; ///< compactions where a held token
+                                     ///< forced retention across the seam
+        size_t window_peak = 0;      ///< high-water window capacity, bytes
+        uint64_t bytes_ingested = 0; ///< total bytes pulled from the source
+    };
+
     /**
-     * Attach to a JSON buffer; the buffer must outlive the cursor.
+     * Attach to a resident JSON buffer; the buffer must outlive the
+     * cursor.
      *
      * @param scalar_classifier Use the character-level reference
      *        classifier instead of the SIMD one (ablation studies).
@@ -54,43 +95,82 @@ class StreamCursor
           scalar_classifier_(scalar_classifier)
     {}
 
+    /**
+     * Attach to a ChunkSource; the source must outlive the cursor.
+     * Bytes are pulled on demand in chunks of at most @p chunk_bytes
+     * and retired once the position and the holds have moved past them.
+     *
+     * @param chunk_bytes Refill granularity (clamped to >= 1).  The
+     *        steady-state resident window is one block-rounded chunk
+     *        plus one block of slack.
+     */
+    StreamCursor(ChunkSource& source, size_t chunk_bytes,
+                 bool scalar_classifier = false);
+
     /** Current absolute byte position. */
     size_t pos() const { return pos_; }
 
-    /** Total input length. */
+    /**
+     * Total input length.  In chunked mode this is the byte count
+     * ingested *so far* and becomes the document length only once the
+     * source is exhausted; atEnd()/ensureBlock() are the refill-aware
+     * way to test for end of input.
+     */
     size_t size() const { return len_; }
 
-    /** True once the position has reached the end of input. */
-    bool atEnd() const { return pos_ >= len_; }
+    /** True once the source is exhausted (always true whole-buffer). */
+    bool exhausted() const { return eof_; }
+
+    /** True when attached to a ChunkSource. */
+    bool chunked() const { return src_ != nullptr; }
+
+    /**
+     * True once the position has reached the end of input.  In chunked
+     * mode a position at the ingestion frontier triggers a refill, so
+     * the answer accounts for bytes the source has not delivered yet.
+     */
+    bool
+    atEnd() const
+    {
+        if (pos_ < len_)
+            return false;
+        if (eof_)
+            return true;
+        // Refilling mutates only ingestion state, never the logical
+        // stream; the const facade matches the whole-buffer mode.
+        return const_cast<StreamCursor*>(this)->atEndSlow();
+    }
 
     /** Byte at the current position. @pre !atEnd() */
     char
     current() const
     {
         assert(!atEnd());
-        return data_[pos_];
+        return *mem(pos_);
     }
 
-    /** Byte at absolute position @p p. @pre p < size() */
+    /** Byte at absolute position @p p. @pre p < size() and resident. */
     char
     at(size_t p) const
     {
         assert(p < len_);
-        return data_[p];
+        return *mem(p);
     }
 
-    /** View of bytes [begin, end). */
+    /** View of resident bytes [begin, end). */
     std::string_view
     slice(size_t begin, size_t end) const
     {
         assert(begin <= end && end <= len_);
-        return std::string_view(data_ + begin, end - begin);
+        return std::string_view(mem(begin), end - begin);
     }
 
-    /** Underlying buffer. */
+    /** Underlying buffer. @pre whole-buffer mode. */
     std::string_view
     input() const
     {
+        assert(src_ == nullptr &&
+               "chunked input is never resident as a whole");
         return std::string_view(data_, len_);
     }
 
@@ -122,6 +202,22 @@ class StreamCursor
     offsetInBlock() const
     {
         return static_cast<int>(pos_ % kBlockSize);
+    }
+
+    /**
+     * Make block @p idx addressable, refilling from the source when it
+     * lies past the ingestion frontier.  @return false when the input
+     * ends before that block's first byte.
+     */
+    bool
+    ensureBlock(size_t idx)
+    {
+        size_t start = idx * kBlockSize;
+        if (start < len_)
+            return true;
+        if (eof_)
+            return false;
+        return refillTo(start + 1);
     }
 
     /**
@@ -217,8 +313,73 @@ class StreamCursor
     /** Total number of blocks that have been classified so far. */
     size_t classifiedBlocks() const { return classified_blocks_; }
 
+    /// @name Retention holds (chunked-mode discard floor)
+    /// Bytes at or above min(hold, scanHold, position block) stay
+    /// resident across refills.  The *consumer hold* is owned by the
+    /// driver (value spans being emitted, pending descendant matches)
+    /// with save/restore discipline; the *scan hold* is owned by the
+    /// skipper (key bytes a batched scan may re-read).  Both are
+    /// harmless no-ops in whole-buffer mode.
+    /// @{
+
+    /** Current consumer hold (kNoHold when nothing is pinned). */
+    size_t hold() const { return hold_; }
+
+    /** Set the consumer hold; callers save and restore the old value. */
+    void setHold(size_t p) { hold_ = p; }
+
+    /** Current skipper scan hold. */
+    size_t scanHold() const { return scan_hold_; }
+
+    /** Pin bytes from @p p for scalar re-reads (skipper internal). */
+    void setScanHold(size_t p) { scan_hold_ = p; }
+
+    /** Drop the scan hold. */
+    void clearScanHold() { scan_hold_ = kNoHold; }
+
+    /** Absolute offset of the first resident byte. */
+    size_t windowBase() const { return base_; }
+
+    /** Current window capacity in bytes (0 in whole-buffer mode). */
+    size_t windowCapacity() const { return window_.size(); }
+
+    /** Refill / spill / peak accounting; zeros in whole-buffer mode. */
+    const IngestStats& ingestStats() const { return ingest_; }
+
+    /// @}
+
   private:
     void classifyThrough(size_t idx);
+
+    bool atEndSlow();
+
+    /**
+     * Pull from the source until @p target bytes are ingested or the
+     * source is exhausted; recycles window space below the discard
+     * floor first.  @return len_ >= target.
+     */
+    bool refillTo(size_t target);
+
+    /**
+     * Address of absolute position @p p.  Whole-buffer mode: base_ is
+     * 0 and data_ is the caller's buffer.  Chunked mode: data_ is the
+     * window and base_ its absolute offset; p must be resident.
+     */
+    const char*
+    mem(size_t p) const
+    {
+#ifndef NDEBUG
+        if (p < base_) {
+            std::fprintf(stderr,
+                         "mem breach: p=%zu base=%zu pos=%zu hold=%zd "
+                         "scan_hold=%zd classified=%zu len=%zu\n",
+                         p, base_, pos_, (ssize_t)hold_, (ssize_t)scan_hold_,
+                         classified_blocks_, len_);
+        }
+#endif
+        assert(p >= base_ && "byte was discarded (hold contract breach)");
+        return data_ + (p - base_);
+    }
 
     /**
      * 64 readable bytes for the block holding the current position
@@ -238,7 +399,7 @@ class StreamCursor
     blockDataAt(size_t idx) const
     {
         size_t base = idx * kBlockSize;
-        return base + kBlockSize <= len_ ? data_ + base : tail_;
+        return base + kBlockSize <= len_ ? mem(base) : tail_;
     }
 
     void prepareTail(size_t base);
@@ -258,6 +419,16 @@ class StreamCursor
 
     char tail_[kBlockSize] = {}; ///< padded copy of the final partial block
     bool tail_ready_ = false;
+
+    // --- chunked-mode state (inert in whole-buffer mode) -------------
+    ChunkSource* src_ = nullptr;
+    bool eof_ = true;           ///< no more source bytes (true = final len_)
+    size_t chunk_bytes_ = 0;    ///< refill granularity
+    std::vector<char> window_;  ///< resident bytes [base_, len_)
+    size_t base_ = 0;           ///< absolute offset of window_[0], block-aligned
+    size_t hold_ = kNoHold;      ///< consumer retention mark
+    size_t scan_hold_ = kNoHold; ///< skipper retention mark
+    IngestStats ingest_;
 };
 
 } // namespace jsonski::intervals

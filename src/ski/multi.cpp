@@ -4,6 +4,7 @@
 
 #include "intervals/cursor.h"
 #include "json/text.h"
+#include "ski/chunk_override.h"
 #include "ski/sinks.h"
 #include "ski/skipper.h"
 #include "util/error.h"
@@ -79,6 +80,26 @@ class MultiDriver
           result_(result)
     {}
 
+    MultiDriver(const MultiStreamer& ms,
+                const std::vector<MultiStreamer::Node>& trie,
+                intervals::ChunkSource& source, size_t chunk_bytes,
+                MultiSink* sink, MultiStreamer::Result& result)
+        : ms_(ms),
+          trie_(trie),
+          cur_(source, chunk_bytes),
+          skip_(cur_, &result.stats),
+          sink_(sink),
+          result_(result)
+    {}
+
+    /** Record ingestion totals once the pass is over. */
+    void
+    finish()
+    {
+        result_.input_bytes = cur_.size();
+        result_.ingest = cur_.ingestStats();
+    }
+
     void
     run()
     {
@@ -135,6 +156,13 @@ class MultiDriver
         if (c == '\0')
             throw ParseError(ErrorCode::BadValue, "missing value", cur_.pos());
         size_t start = cur_.pos();
+        size_t saved = intervals::StreamCursor::kNoHold;
+        if (accepts) {
+            // The value is reported whole once consumed: keep its span
+            // resident across any chunk seams it straddles.
+            saved = cur_.hold();
+            cur_.setHold(std::min(saved, start));
+        }
         if (c == '{' && want_obj) {
             cur_.advance(1);
             runObject(active);
@@ -145,8 +173,10 @@ class MultiDriver
             // Nothing deeper can match: fast-forward the whole value.
             skip_.overValue(accepts ? Group::G3 : Group::G2);
         }
-        if (accepts)
+        if (accepts) {
             emitTo(active, start, cur_.pos());
+            cur_.setHold(saved);
+        }
     }
 
     /** Count of distinct attribute names the active set can match. */
@@ -311,13 +341,34 @@ class MultiDriver
 MultiStreamer::Result
 MultiStreamer::run(std::string_view json, MultiSink* sink) const
 {
+    if (size_t chunk = testChunkBytesOverride()) {
+        intervals::ViewSource source(json);
+        return run(source, sink, chunk);
+    }
     Result result;
     result.matches.assign(queries_.size(), 0);
+    MultiDriver driver(*this, trie_, json, sink, result);
     try {
-        MultiDriver(*this, trie_, json, sink, result).run();
+        driver.run();
     } catch (const StopStreaming&) {
         // Early termination requested by the sink; partial result.
     }
+    driver.finish();
+    return result;
+}
+
+MultiStreamer::Result
+MultiStreamer::run(intervals::ChunkSource& source, MultiSink* sink,
+                   size_t chunk_bytes) const
+{
+    Result result;
+    result.matches.assign(queries_.size(), 0);
+    MultiDriver driver(*this, trie_, source, chunk_bytes, sink, result);
+    try {
+        driver.run();
+    } catch (const StopStreaming&) {
+    }
+    driver.finish();
     return result;
 }
 

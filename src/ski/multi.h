@@ -20,6 +20,8 @@
 #include <string_view>
 #include <vector>
 
+#include "intervals/chunk_source.h"
+#include "intervals/cursor.h"
 #include "path/ast.h"
 #include "ski/stats.h"
 
@@ -69,10 +71,31 @@ class MultiStreamer
         /** Match count per query, same order as the constructor. */
         std::vector<size_t> matches;
         FastForwardStats stats;
+
+        /** Bytes of the record ingested (== record size on success). */
+        size_t input_bytes = 0;
+
+        /** Chunked-ingestion accounting; zeros for whole-buffer runs. */
+        intervals::StreamCursor::IngestStats ingest;
     };
 
-    /** Evaluate all queries over one record in a single pass. */
+    /** Default refill granularity for chunked runs (64 KiB). */
+    static constexpr size_t kDefaultChunkBytes = size_t{1} << 16;
+
+    /**
+     * Evaluate all queries over one record in a single pass.
+     * JSONSKI_TEST_CHUNK_BYTES=N reroutes through the chunked path
+     * with N-byte chunks (see Streamer::run).
+     */
     Result run(std::string_view json, MultiSink* sink = nullptr) const;
+
+    /**
+     * Single-pass evaluation over a record delivered by a ChunkSource;
+     * resident memory is bounded by @p chunk_bytes plus the largest
+     * matched value span (DESIGN.md §9).
+     */
+    Result run(intervals::ChunkSource& source, MultiSink* sink = nullptr,
+               size_t chunk_bytes = kDefaultChunkBytes) const;
 
     /** The compiled queries. */
     const std::vector<path::PathQuery>& queries() const { return queries_; }

@@ -57,7 +57,10 @@ ParallelStreamer::run(std::string_view json, ThreadPool& pool,
     if (split == std::string_view::npos) {
         // Key-only query: nothing to fan out over.
         Streamer serial(query_);
-        return serial.run(json, sink).matches;
+        // runResident: the parallel entry point requires random access
+        // to the (already materialized) buffer, so the chunked test
+        // override must not apply to its internal passes.
+        return serial.runResident(json, sink).matches;
     }
 
     // --- Phase 0 (serial): walk the key prefix to the split array. ---
@@ -156,7 +159,9 @@ ParallelStreamer::run(std::string_view json, ThreadPool& pool,
             if (first != '{' && first != '[')
                 return;
             SpanSink local;
-            tail.run(elem, &local);
+            // runResident: SpanSink keeps views of `json` until the
+            // document-order merge below.
+            tail.runResident(elem, &local);
             results[i] = std::move(local.values);
         });
         for (const telemetry::Registry& r : span_regs)

@@ -10,7 +10,13 @@
 namespace jsonski::ski {
 
 RecordReader::RecordReader(std::istream& in, size_t buffer_size)
-    : in_(in), buffer_(std::max<size_t>(buffer_size, 256))
+    : owned_(in), src_(&*owned_),
+      buffer_(std::max<size_t>(buffer_size, 256))
+{}
+
+RecordReader::RecordReader(intervals::ChunkSource& source,
+                           size_t buffer_size)
+    : src_(&source), buffer_(std::max<size_t>(buffer_size, 256))
 {}
 
 void
@@ -27,9 +33,7 @@ RecordReader::refill()
         // The tail record does not fit: grow so progress is possible.
         buffer_.resize(buffer_.size() * 2);
     }
-    in_.read(buffer_.data() + end_,
-             static_cast<std::streamsize>(buffer_.size() - end_));
-    size_t got = static_cast<size_t>(in_.gcount());
+    size_t got = src_->read(buffer_.data() + end_, buffer_.size() - end_);
     end_ += got;
     if (got == 0)
         eof_ = true;

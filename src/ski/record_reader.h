@@ -15,9 +15,12 @@
 
 #include <cstddef>
 #include <istream>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "intervals/chunk_source.h"
 
 namespace jsonski::ski {
 
@@ -30,6 +33,13 @@ class RecordReader
      * @param buffer_size Working buffer capacity in bytes.
      */
     explicit RecordReader(std::istream& in, size_t buffer_size = 1 << 20);
+
+    /**
+     * Read records from any ChunkSource (must outlive the reader);
+     * @p buffer_size doubles as the refill granularity.
+     */
+    explicit RecordReader(intervals::ChunkSource& source,
+                          size_t buffer_size = 1 << 20);
 
     /**
      * Fetch the next record.
@@ -54,7 +64,8 @@ class RecordReader
     /** Slide leftover bytes to the front and refill from the stream. */
     void refill();
 
-    std::istream& in_;
+    std::optional<intervals::IstreamSource> owned_; ///< istream adapter
+    intervals::ChunkSource* src_;
     std::vector<char> buffer_;
     size_t begin_ = 0; ///< first unconsumed byte
     size_t end_ = 0;   ///< one past the last valid byte

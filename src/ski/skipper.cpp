@@ -155,7 +155,10 @@ Skipper::stringEnd(size_t open_pos)
     uint64_t q = cur_.stringsAt(block).quote & ~bits::maskBelow(off + 1);
     while (q == 0) {
         ++block;
-        if (block * kBlockSize >= cur_.size())
+        // ensureBlock refills from the chunk source when the string
+        // runs past the ingestion frontier; only a false return (the
+        // input truly ends inside the string) is an error.
+        if (!cur_.ensureBlock(block))
             throw ParseError(ErrorCode::UnterminatedString,
                              "unterminated string", open_pos);
         q = cur_.stringsAt(block).quote;
@@ -191,6 +194,15 @@ Skipper::scanPrimitives(bool closer_is_brace, size_t max_seps, size_t& seps,
             return ScanStop::SepBudget;
         }
         seps += n;
+        if (n != 0) {
+            // Release attribute names already scanned past: retain
+            // only from after the last consumed separator, so the
+            // keyBefore forward reparse (object mode) always reads
+            // resident bytes while retention stays bounded by one
+            // key, not by the length of the primitive run.
+            int last = 63 - bits::leadingZeros(commas_before);
+            cur_.setScanHold(base + static_cast<size_t>(last) + 1);
+        }
         if (stops != 0) {
             cur_.setPos(base +
                         static_cast<size_t>(bits::trailingZeros(stops)));
@@ -222,11 +234,17 @@ Skipper::toAttr(TypeFilter filter, Group g)
         }
         if (c == '}') {
             cur_.advance(1);
+            cur_.clearScanHold();
             return {};
         }
         if (c != '"')
             throw ParseError(ErrorCode::BadAttributeName,
                              "expected attribute name", cur_.pos());
+        // Pin the key: the cursor position moves past it (':', value
+        // lookahead) before the caller slices it, and in batch mode
+        // keyBefore re-parses forward from this hold.  Cleared on
+        // every exit so retention never outlives the attribute.
+        cur_.setScanHold(cur_.pos());
         size_t key_begin = cur_.pos() + 1;
         size_t key_close = stringEnd(cur_.pos()); // one past closing quote
         cur_.setPos(key_close);
@@ -238,19 +256,26 @@ Skipper::toAttr(TypeFilter filter, Group g)
 
         switch (filter) {
           case TypeFilter::Any:
+            cur_.clearScanHold();
             return {true, key_begin, key_close - 1};
           case TypeFilter::Object:
-            if (c == '{')
+            if (c == '{') {
+                cur_.clearScanHold();
                 return {true, key_begin, key_close - 1};
+            }
             if (c == '[') {
+                cur_.clearScanHold();
                 overAry(g);
                 continue;
             }
             break;
           case TypeFilter::Array:
-            if (c == '[')
+            if (c == '[') {
+                cur_.clearScanHold();
                 return {true, key_begin, key_close - 1};
+            }
             if (c == '{') {
+                cur_.clearScanHold();
                 overObj(g);
                 continue;
             }
@@ -258,6 +283,7 @@ Skipper::toAttr(TypeFilter filter, Group g)
         }
 
         if (!batch_primitives_) {
+            cur_.clearScanHold();
             overPrimitive(g); // one attribute at a time (ablation mode)
             continue;
         }
@@ -269,15 +295,18 @@ Skipper::toAttr(TypeFilter filter, Group g)
                                        /*max_seps=*/SIZE_MAX, seps, g);
         if (stop == ScanStop::Closer) {
             cur_.advance(1); // consume '}'
+            cur_.clearScanHold();
             return {};
         }
         bool is_object_value = (stop == ScanStop::OpenBrace);
         if (is_object_value == (filter == TypeFilter::Object)) {
             AttrResult r = keyBefore(cur_.pos());
             r.found = true;
+            cur_.clearScanHold();
             return r;
         }
         // Wrong container type: skip the value and keep scanning.
+        cur_.clearScanHold();
         if (is_object_value)
             overObj(g);
         else
@@ -292,39 +321,51 @@ Skipper::keyBefore(size_t value_pos) const
     auto is_ws = [](char c) {
         return c == ' ' || c == '\t' || c == '\n' || c == '\r';
     };
-    size_t i = value_pos;
-    while (i > 0 && is_ws(cur_.at(i - 1)))
-        --i;
-    if (i == 0 || cur_.at(i - 1) != ':')
-        throw ParseError(ErrorCode::ExpectedPunctuation,
-                         "expected ':' before attribute value", i);
-    --i;
-    while (i > 0 && is_ws(cur_.at(i - 1)))
-        --i;
-    if (i == 0 || cur_.at(i - 1) != '"')
+    // Re-parse the attribute name FORWARD from the scan hold rather
+    // than scanning backward from the value.  The batched scan retains
+    // every byte from just after the last consumed separator (or from
+    // the first key of the run), so all of [scanHold, value_pos) is
+    // resident in chunked mode.  A backward scan has no such floor: on
+    // malformed input its quote/escape search can walk below the
+    // retention window into discarded bytes.
+    size_t i = cur_.scanHold();
+    assert(i != intervals::StreamCursor::kNoHold && i <= value_pos);
+    while (i < value_pos && is_ws(cur_.at(i)))
+        ++i;
+    if (i == value_pos || cur_.at(i) != '"')
         throw ParseError(ErrorCode::BadAttributeName,
                          "expected attribute name before ':'", i);
-    size_t key_end = i - 1; // index of the closing quote
-    size_t j = key_end;
-    for (;;) {
-        if (j == 0)
-            throw ParseError(ErrorCode::BadAttributeName,
-                             "unterminated attribute name", key_end);
-        --j;
-        if (cur_.at(j) == '"') {
-            // Unescaped iff preceded by an even-length backslash run.
-            size_t k = j;
-            size_t backslashes = 0;
-            while (k > 0 && cur_.at(k - 1) == '\\') {
-                ++backslashes;
-                --k;
-            }
-            if (backslashes % 2 == 0)
-                break;
-        }
+    size_t key_begin = i + 1;
+    size_t j = key_begin;
+    bool escaped = false;
+    while (j < value_pos) {
+        char c = cur_.at(j);
+        if (escaped)
+            escaped = false;
+        else if (c == '\\')
+            escaped = true;
+        else if (c == '"')
+            break;
+        ++j;
     }
+    if (j == value_pos)
+        throw ParseError(ErrorCode::BadAttributeName,
+                         "unterminated attribute name", key_begin - 1);
+    size_t key_end = j; // index of the closing quote
+    size_t k = j + 1;
+    while (k < value_pos && is_ws(cur_.at(k)))
+        ++k;
+    if (k == value_pos || cur_.at(k) != ':')
+        throw ParseError(ErrorCode::ExpectedPunctuation,
+                         "expected ':' before attribute value", k);
+    ++k;
+    while (k < value_pos && is_ws(cur_.at(k)))
+        ++k;
+    if (k != value_pos)
+        throw ParseError(ErrorCode::ExpectedPunctuation,
+                         "expected ':' before attribute value", k);
     AttrResult r;
-    r.key_begin = j + 1;
+    r.key_begin = key_begin;
     r.key_end = key_end;
     return r;
 }
@@ -334,21 +375,29 @@ Skipper::toTypedElem(char open_char, size_t& idx, size_t limit, Group g)
 {
     assert(open_char == '{' || open_char == '[');
     for (;;) {
-        if (idx >= limit)
+        if (idx >= limit) {
+            cur_.clearScanHold();
             return ElemStop::Found; // budget reached; caller re-checks idx
+        }
         char c = cur_.skipWhitespace();
         if (c == ']') {
             cur_.advance(1);
+            cur_.clearScanHold();
             return ElemStop::End;
         }
         if (c == '\0')
             throw ParseError(ErrorCode::UnterminatedArray,
                              "unterminated array", cur_.pos());
-        if (c == open_char)
+        if (c == open_char) {
+            cur_.clearScanHold();
             return ElemStop::Found;
+        }
         if (c == '{' || c == '[' || !batch_primitives_) {
             // Wrong-typed element (or per-element ablation mode): skip
-            // it whole, then its separator.
+            // it whole, then its separator.  Any scan hold left by a
+            // batched run would pin the window open across the whole
+            // skipped container, so drop it first.
+            cur_.clearScanHold();
             if (c == '{')
                 overObj(g);
             else if (c == '[')
@@ -375,6 +424,7 @@ Skipper::toTypedElem(char open_char, size_t& idx, size_t limit, Group g)
         idx += seps;
         if (stop == ScanStop::Closer) {
             cur_.advance(1); // consume ']'
+            cur_.clearScanHold();
             return ElemStop::End;
         }
         // SepBudget / OpenBrace / OpenBracket: loop re-examines.
@@ -388,18 +438,22 @@ Skipper::toContainerElem(Group g)
         char c = cur_.skipWhitespace();
         if (c == ']') {
             cur_.advance(1);
+            cur_.clearScanHold();
             return ElemStop::End;
         }
         if (c == '\0')
             throw ParseError(ErrorCode::UnterminatedArray,
                              "unterminated array", cur_.pos());
-        if (c == '{' || c == '[')
+        if (c == '{' || c == '[') {
+            cur_.clearScanHold();
             return ElemStop::Found;
+        }
         size_t seps = 0;
         ScanStop stop =
             scanPrimitives(/*closer_is_brace=*/false, SIZE_MAX, seps, g);
         if (stop == ScanStop::Closer) {
             cur_.advance(1);
+            cur_.clearScanHold();
             return ElemStop::End;
         }
         // OpenBrace / OpenBracket: re-examined at the loop top.
@@ -411,17 +465,21 @@ Skipper::overElems(size_t count, size_t& idx, Group g)
 {
     size_t target = idx + count;
     for (;;) {
-        if (idx >= target)
+        if (idx >= target) {
+            cur_.clearScanHold();
             return ElemStop::Found;
+        }
         char c = cur_.skipWhitespace();
         if (c == ']') {
             cur_.advance(1);
+            cur_.clearScanHold();
             return ElemStop::End;
         }
         if (c == '\0')
             throw ParseError(ErrorCode::UnterminatedArray,
                              "unterminated array", cur_.pos());
         if (c == '{' || c == '[' || !batch_primitives_) {
+            cur_.clearScanHold();
             if (c == '{')
                 overObj(g);
             else if (c == '[')
@@ -447,6 +505,7 @@ Skipper::overElems(size_t count, size_t& idx, Group g)
         idx += seps;
         if (stop == ScanStop::Closer) {
             cur_.advance(1);
+            cur_.clearScanHold();
             return ElemStop::End;
         }
         // SepBudget: pos is at the next element; loop exits at the top.

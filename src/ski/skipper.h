@@ -218,7 +218,9 @@ class Skipper
     /**
      * Recover the attribute name that precedes the container value at
      * @p value_pos (used when a batched primitive scan stops at a
-     * container-typed value whose key was skimmed past).
+     * container-typed value whose key was skimmed past).  Parses
+     * forward from the scan hold so every byte read is resident in
+     * chunked mode.
      */
     AttrResult keyBefore(size_t value_pos) const;
 

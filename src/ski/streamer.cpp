@@ -1,8 +1,12 @@
 #include "ski/streamer.h"
 
+#include <algorithm>
+#include <cassert>
+
 #include "intervals/cursor.h"
 #include "json/text.h"
 #include "path/parser.h"
+#include "ski/chunk_override.h"
 #include "ski/sinks.h"
 #include "util/error.h"
 
@@ -27,6 +31,27 @@ class Driver
           result_(result)
     {
         skip_.setBatchPrimitives(options.batch_primitives);
+    }
+
+    Driver(const PathQuery& query, const StreamerOptions& options,
+           intervals::ChunkSource& source, size_t chunk_bytes,
+           MatchSink* sink, StreamResult& result)
+        : q_(query),
+          options_(options),
+          cur_(source, chunk_bytes, options.scalar_classifier),
+          skip_(cur_, &result.stats),
+          sink_(sink),
+          result_(result)
+    {
+        skip_.setBatchPrimitives(options.batch_primitives);
+    }
+
+    /** Record ingestion totals once the pass is over. */
+    void
+    finish()
+    {
+        result_.input_bytes = cur_.size();
+        result_.ingest = cur_.ingestStats();
     }
 
     void
@@ -69,6 +94,10 @@ class Driver
     {
         telemetry::PhaseScope phase(telemetry::Phase::Emit);
         size_t start = cur_.pos();
+        // The whole value span must stay resident until it is handed
+        // to the sink, however many chunk seams it crosses.
+        size_t saved = cur_.hold();
+        cur_.setHold(std::min(saved, start));
         skip_.overValue(Group::G3);
         size_t end = cur_.pos();
         // Trim trailing whitespace a primitive skip may have crossed.
@@ -77,6 +106,7 @@ class Driver
         ++result_.matches;
         if (sink_)
             sink_->onMatch(cur_.slice(start, end));
+        cur_.setHold(saved);
     }
 
     /**
@@ -238,10 +268,13 @@ class Driver
      * Descendant traversal (terminal `..name` step, an extension over
      * the paper): every attribute at any depth whose name matches is
      * a result.  Matches may nest, so container spans are recorded as
-     * placeholder slots patched once their end is known; slot order is
-     * document pre-order, flushed after the pass (flushDescendant-
-     * Matches).  Only primitive runs can still be fast-forwarded —
-     * the type-inference limitation the paper predicts for `..`.
+     * placeholder slots (end = kInFlight) patched once their end is
+     * known; slot order is document pre-order.  Completed slots are
+     * flushed to the sink as soon as no earlier slot is still open
+     * (maybeFlushDesc), so chunked-mode retention is bounded by the
+     * deepest *nested-match* chain, not by the document.  Only
+     * primitive runs can still be fast-forwarded — the type-inference
+     * limitation the paper predicts for `..`.
      *
      * Entry: position just past '{'.  Exit: just past the '}'.
      */
@@ -269,23 +302,30 @@ class Driver
                 size_t slot = SIZE_MAX;
                 if (matched) {
                     slot = desc_pending_.size();
-                    desc_pending_.emplace_back(cur_.pos(), cur_.pos());
+                    desc_pending_.emplace_back(cur_.pos(), kInFlight);
+                    maybeFlushDesc(); // pins the span before any refill
                 }
                 cur_.advance(1);
                 if (c == '{')
                     runDescObject();
                 else
                     runDescArray();
-                if (matched)
+                if (matched) {
                     desc_pending_[slot].second = cur_.pos();
+                    maybeFlushDesc();
+                }
             } else if (matched) {
                 size_t start = cur_.pos();
+                size_t saved = cur_.hold();
+                cur_.setHold(std::min(saved, start));
                 skip_.overPrimitive(Group::G3);
                 size_t end = cur_.pos();
                 while (end > start &&
                        json::isWhitespace(cur_.at(end - 1)))
                     --end;
+                cur_.setHold(saved);
                 desc_pending_.emplace_back(start, end);
+                maybeFlushDesc();
             } else {
                 skip_.overPrimitive(Group::G2);
             }
@@ -328,19 +368,44 @@ class Driver
         }
     }
 
-    /** Report the collected descendant matches, in document order. */
+    /**
+     * Deliver every completed slot not blocked by an earlier in-flight
+     * one (pre-order is preserved because slots are recorded in
+     * pre-order), then retarget the consumer hold at the earliest slot
+     * still unflushed — or drop it when none remain.
+     */
     void
-    flushDescendantMatches()
+    maybeFlushDesc()
     {
-        for (auto [start, end] : desc_pending_) {
+        while (desc_flushed_ < desc_pending_.size() &&
+               desc_pending_[desc_flushed_].second != kInFlight) {
+            auto [start, end] = desc_pending_[desc_flushed_];
             ++result_.matches;
             if (sink_)
                 sink_->onMatch(cur_.slice(start, end));
+            ++desc_flushed_;
         }
-        desc_pending_.clear();
+        if (desc_flushed_ == desc_pending_.size()) {
+            // Fully drained: indices held on the stack are only live
+            // while their slot is in-flight, so resetting is safe.
+            desc_pending_.clear();
+            desc_flushed_ = 0;
+            cur_.setHold(StreamCursor::kNoHold);
+        } else {
+            cur_.setHold(desc_pending_[desc_flushed_].first);
+        }
+    }
+
+    /** End-of-pass safety net; incremental flushing empties the list. */
+    void
+    flushDescendantMatches()
+    {
+        maybeFlushDesc();
+        assert(desc_pending_.empty() && "descendant slot left in flight");
     }
 
     static constexpr int kMaxDescDepth = 20000;
+    static constexpr size_t kInFlight = SIZE_MAX;
 
     const PathQuery& q_;
     const StreamerOptions& options_;
@@ -349,6 +414,7 @@ class Driver
     MatchSink* sink_;
     StreamResult& result_;
     std::vector<std::pair<size_t, size_t>> desc_pending_;
+    size_t desc_flushed_ = 0; ///< slots already delivered to the sink
     int desc_depth_ = 0;
 };
 
@@ -357,13 +423,39 @@ class Driver
 StreamResult
 Streamer::run(std::string_view json, MatchSink* sink) const
 {
+    if (size_t chunk = testChunkBytesOverride()) {
+        intervals::ViewSource source(json);
+        return run(source, sink, chunk);
+    }
+    return runResident(json, sink);
+}
+
+StreamResult
+Streamer::runResident(std::string_view json, MatchSink* sink) const
+{
     StreamResult result;
+    Driver driver(query_, options_, json, sink, result);
     try {
-        Driver(query_, options_, json, sink, result).run();
+        driver.run();
     } catch (const StopStreaming&) {
         // A sink requested early termination; the partial result
         // (matches delivered so far) is valid.
     }
+    driver.finish();
+    return result;
+}
+
+StreamResult
+Streamer::run(intervals::ChunkSource& source, MatchSink* sink,
+              size_t chunk_bytes) const
+{
+    StreamResult result;
+    Driver driver(query_, options_, source, chunk_bytes, sink, result);
+    try {
+        driver.run();
+    } catch (const StopStreaming&) {
+    }
+    driver.finish();
     return result;
 }
 

@@ -16,6 +16,8 @@
 #include <string_view>
 #include <vector>
 
+#include "intervals/chunk_source.h"
+#include "intervals/cursor.h"
 #include "path/automaton.h"
 #include "path/matches.h"
 #include "ski/skipper.h"
@@ -31,6 +33,12 @@ struct StreamResult
 {
     size_t matches = 0;
     FastForwardStats stats;
+
+    /** Bytes of the record ingested (== record size on success). */
+    size_t input_bytes = 0;
+
+    /** Chunked-ingestion accounting; zeros for whole-buffer runs. */
+    intervals::StreamCursor::IngestStats ingest;
 };
 
 /**
@@ -63,14 +71,42 @@ class Streamer
     /** The compiled query. */
     const path::PathQuery& query() const { return query_; }
 
+    /** Default refill granularity for chunked runs (64 KiB). */
+    static constexpr size_t kDefaultChunkBytes = size_t{1} << 16;
+
     /**
      * Evaluate the query over one JSON record.
      *
      * @param json  The record text.
      * @param sink  Optional match receiver (null = count only).
      * @throws ParseError on malformed input along the traversed path.
+     *
+     * Setting JSONSKI_TEST_CHUNK_BYTES=N in the environment reroutes
+     * this overload through the chunked path with N-byte chunks, which
+     * turns every whole-buffer caller into a chunk-seam test.
      */
     StreamResult run(std::string_view json, MatchSink* sink = nullptr) const;
+
+    /**
+     * Evaluate the query over a record delivered incrementally by a
+     * ChunkSource, without ever materializing the document: resident
+     * memory is bounded by @p chunk_bytes plus the largest span still
+     * held for a sink (DESIGN.md §9).  Matches, error positions, and
+     * FastForwardStats are byte-identical to the whole-buffer overload.
+     */
+    StreamResult run(intervals::ChunkSource& source,
+                     MatchSink* sink = nullptr,
+                     size_t chunk_bytes = kDefaultChunkBytes) const;
+
+    /**
+     * Whole-buffer evaluation that is never rerouted by
+     * JSONSKI_TEST_CHUNK_BYTES.  Reserved for callers that require the
+     * input to stay resident — the parallel splitter keeps zero-copy
+     * views of @p json across its fan-out/merge phases.  Everything
+     * else should call run().
+     */
+    StreamResult runResident(std::string_view json,
+                             MatchSink* sink = nullptr) const;
 
   private:
     path::PathQuery query_;

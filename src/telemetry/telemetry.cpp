@@ -15,6 +15,9 @@ counterName(Counter c)
         return "pairing_fallback_parses";
       case Counter::CursorReseeks: return "cursor_reseeks";
       case Counter::BytesScanned: return "bytes_scanned";
+      case Counter::ChunkRefills: return "chunk_refills";
+      case Counter::ChunkSpillBytes: return "chunk_spill_bytes";
+      case Counter::SeamStraddleTokens: return "seam_straddle_tokens";
       case Counter::kCount: break;
     }
     return "unknown";

@@ -47,6 +47,9 @@ enum class Counter : uint8_t {
     PairingFallbackParses, ///< scalar key recoveries after a batched scan
     CursorReseeks,         ///< backward setPos() within a block (overshoot)
     BytesScanned,          ///< bytes covered by string classification
+    ChunkRefills,          ///< ChunkSource reads that delivered data
+    ChunkSpillBytes,       ///< bytes memmoved by window compaction
+    SeamStraddleTokens,    ///< compactions where a hold crossed the seam
     kCount,
 };
 

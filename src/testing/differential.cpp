@@ -11,6 +11,7 @@
 #include "ski/record_scanner.h"
 #include "ski/streamer.h"
 #include "testing/mutator.h"
+#include "testing/seam.h"
 #include "util/error.h"
 
 namespace jsonski::testing {
@@ -45,6 +46,50 @@ runStreamer(const std::string& json, const path::PathQuery& q)
     return r;
 }
 
+/**
+ * Seam offsets worth forcing for this document: one byte past the
+ * first backslash (backslash = last byte of a chunk), between the
+ * first two adjacent digits (mid-number), one byte past the first
+ * UTF-8 lead byte (between lead and continuation), and three bytes
+ * into the first \uXXXX escape (mid-hex) — the carry bugs Lemire's
+ * classifier work singles out.
+ */
+std::vector<size_t>
+seamOffsets(const std::string& doc)
+{
+    std::vector<size_t> seams;
+    auto push = [&](size_t s) {
+        if (s > 0 && s < doc.size())
+            seams.push_back(s);
+    };
+    for (size_t i = 0; i < doc.size(); ++i) {
+        if (doc[i] == '\\') {
+            push(i + 1);
+            break;
+        }
+    }
+    for (size_t i = 0; i + 1 < doc.size(); ++i) {
+        if (doc[i] >= '0' && doc[i] <= '9' && doc[i + 1] >= '0' &&
+            doc[i + 1] <= '9') {
+            push(i + 1);
+            break;
+        }
+    }
+    for (size_t i = 0; i < doc.size(); ++i) {
+        if ((static_cast<unsigned char>(doc[i]) & 0xC0) == 0xC0) {
+            push(i + 1);
+            break;
+        }
+    }
+    for (size_t i = 0; i + 1 < doc.size(); ++i) {
+        if (doc[i] == '\\' && doc[i + 1] == 'u') {
+            push(i + 3);
+            break;
+        }
+    }
+    return seams;
+}
+
 /** Clip a mutant for inclusion in a failure message. */
 std::string
 excerpt(const std::string& doc)
@@ -74,8 +119,10 @@ FuzzReport
 runDifferentialFuzz(const FuzzConfig& config)
 {
     assert(!config.corpus.empty());
-    for (const std::string& doc : config.corpus)
+    for (const std::string& doc : config.corpus) {
+        (void)doc;
         assert(json::validate(doc) && "corpus documents must be valid");
+    }
 
     std::vector<path::PathQuery> queries;
     queries.reserve(config.queries.size());
@@ -108,9 +155,15 @@ runDifferentialFuzz(const FuzzConfig& config)
         // Evaluate a rotating window of queries so runtime stays
         // proportional to the mutant count, not mutants x queries.
         size_t nq = queries.size() < 4 ? queries.size() : 4;
+        EngineRun first_run;
+        bool first_usable = false;
         for (size_t k = 0; k < nq; ++k) {
             size_t qi = (iter + k) % queries.size();
             EngineRun ski = runStreamer(mutant, queries[qi]);
+            if (k == 0) {
+                first_run = ski;
+                first_usable = !ski.threw_other;
+            }
             if (ski.threw_other) {
                 ++report.escapes;
                 recordFailure("non-ParseError escape: " + ski.error_what +
@@ -157,6 +210,52 @@ runDifferentialFuzz(const FuzzConfig& config)
                 }
             } else if (ski.threw_parse_error) {
                 ++report.parse_errors;
+            }
+        }
+
+        // Seam-hunting replay: rerun the first query chunked, with a
+        // seam forced at each token-sensitive offset.  The whole-buffer
+        // run of the same mutant is the oracle — observable behaviour
+        // must not depend on where the input was cut.
+        if (first_usable) {
+            size_t qi0 = iter % queries.size();
+            for (size_t seam : seamOffsets(mutant)) {
+                SeamRun chunked = runStreamerChunked(
+                    mutant, queries[qi0], {seam, mutant.size() + 1},
+                    /*chunk_bytes=*/64);
+                ++report.seam_replays;
+                std::string seam_ctx = " seam=" + std::to_string(seam) +
+                                       " query=" + config.queries[qi0] +
+                                       " " + context;
+                if (chunked.threw_other) {
+                    ++report.escapes;
+                    recordFailure("chunked replay escape: " +
+                                  chunked.error_what + seam_ctx);
+                } else if (chunked.threw_parse_error !=
+                           first_run.threw_parse_error) {
+                    ++report.divergences;
+                    recordFailure(
+                        std::string("seam error divergence: whole ") +
+                        (first_run.threw_parse_error ? "threw"
+                                                     : "succeeded") +
+                        ", chunked " +
+                        (chunked.threw_parse_error ? "threw ("
+                             + chunked.error_what + ")" : "succeeded") +
+                        seam_ctx);
+                } else if (chunked.threw_parse_error &&
+                           chunked.error_position !=
+                               first_run.error_position) {
+                    ++report.divergences;
+                    recordFailure("seam error position divergence: whole " +
+                                  std::to_string(first_run.error_position) +
+                                  " vs chunked " +
+                                  std::to_string(chunked.error_position) +
+                                  seam_ctx);
+                } else if (!chunked.threw_parse_error &&
+                           chunked.values != first_run.values) {
+                    ++report.divergences;
+                    recordFailure("seam value divergence" + seam_ctx);
+                }
             }
         }
 

@@ -15,6 +15,14 @@
  * Everything is deterministic under (seed, config), so the ctest smoke
  * run and a long local soak explore exactly reproducible mutant
  * streams.
+ *
+ * Seam-hunting mode: every mutant is additionally replayed through the
+ * adversarial chunk splitter with a seam forced at token-sensitive
+ * offsets (right after a backslash, between two digits, after a UTF-8
+ * lead byte, inside a \uXXXX escape).  The oracle for these replays is
+ * the whole-buffer run of the *same* mutant — which is exactly the
+ * contract, and works for invalid mutants too: error class and
+ * position must not depend on where the chunks were cut.
  */
 #ifndef JSONSKI_TESTING_DIFFERENTIAL_H
 #define JSONSKI_TESTING_DIFFERENTIAL_H
@@ -50,6 +58,7 @@ struct FuzzReport
     size_t parse_errors = 0;   ///< ParseErrors thrown (invalid mutants)
     size_t divergences = 0;    ///< result mismatch or throw on valid input
     size_t escapes = 0;        ///< non-ParseError exception / bad position
+    size_t seam_replays = 0;   ///< chunked replays with a forced seam
 
     /** Reproducible descriptions of every recorded failure. */
     std::vector<std::string> failures;

@@ -1,0 +1,154 @@
+#include "testing/seam.h"
+
+#include <exception>
+
+#include "intervals/chunk_source.h"
+#include "path/matches.h"
+#include "path/parser.h"
+#include "ski/streamer.h"
+#include "util/error.h"
+
+namespace jsonski::testing {
+namespace {
+
+/** Clip a document for inclusion in a failure message. */
+std::string
+excerpt(std::string_view doc)
+{
+    constexpr size_t kMax = 120;
+    if (doc.size() <= kMax)
+        return std::string(doc);
+    return std::string(doc.substr(0, kMax)) + "...<" +
+           std::to_string(doc.size()) + " bytes>";
+}
+
+SeamRun
+capture(const ski::Streamer& streamer, std::string_view json,
+        intervals::ChunkSource* source, size_t chunk_bytes)
+{
+    SeamRun r;
+    try {
+        path::CollectSink sink;
+        ski::StreamResult res = source != nullptr
+                                    ? streamer.run(*source, &sink, chunk_bytes)
+                                    : streamer.run(json, &sink);
+        r.values = std::move(sink.values);
+        r.stats = res.stats;
+        r.ingest = res.ingest;
+    } catch (const ParseError& e) {
+        r.threw_parse_error = true;
+        r.error_position = e.position();
+        r.error_what = e.what();
+    } catch (const std::exception& e) {
+        r.threw_other = true;
+        r.error_what = e.what();
+    }
+    return r;
+}
+
+} // namespace
+
+SeamRun
+runStreamerWhole(std::string_view json, const path::PathQuery& q)
+{
+    return capture(ski::Streamer(q), json, nullptr, 0);
+}
+
+SeamRun
+runStreamerChunked(std::string_view json, const path::PathQuery& q,
+                   const std::vector<size_t>& schedule, size_t chunk_bytes)
+{
+    std::vector<size_t> sched =
+        schedule.empty() ? std::vector<size_t>{chunk_bytes} : schedule;
+    intervals::SplitSource source(json, std::move(sched));
+    return capture(ski::Streamer(q), json, &source, chunk_bytes);
+}
+
+SeamReport
+runSeamDifferential(const std::vector<std::string>& corpus,
+                    const std::vector<std::string>& queries,
+                    const std::vector<size_t>& chunk_sizes,
+                    size_t max_failures)
+{
+    std::vector<path::PathQuery> parsed;
+    parsed.reserve(queries.size());
+    for (const std::string& text : queries)
+        parsed.push_back(path::parse(text));
+
+    SeamReport report;
+    auto fail = [&](const std::string& what) {
+        if (report.failures.size() < max_failures)
+            report.failures.push_back(what);
+    };
+
+    for (const std::string& doc : corpus) {
+        for (size_t qi = 0; qi < parsed.size(); ++qi) {
+            SeamRun whole = runStreamerWhole(doc, parsed[qi]);
+            for (size_t chunk : chunk_sizes) {
+                if (report.failures.size() >= max_failures)
+                    return report;
+                size_t effective = chunk == 0 ? doc.size() + 1 : chunk;
+                SeamRun chunked =
+                    runStreamerChunked(doc, parsed[qi], {}, effective);
+                ++report.comparisons;
+
+                std::string context =
+                    " query=" + queries[qi] + " chunk=" +
+                    std::to_string(chunk) + " json: " + excerpt(doc);
+                if (chunked.threw_other) {
+                    fail("chunked run escaped with non-ParseError: " +
+                         chunked.error_what + context);
+                    continue;
+                }
+                if (whole.threw_parse_error !=
+                    chunked.threw_parse_error) {
+                    fail(std::string("error divergence: whole ") +
+                         (whole.threw_parse_error ? "threw (" +
+                              whole.error_what + ")" : "succeeded") +
+                         ", chunked " +
+                         (chunked.threw_parse_error ? "threw (" +
+                              chunked.error_what + ")" : "succeeded") +
+                         context);
+                    continue;
+                }
+                if (whole.threw_parse_error) {
+                    if (whole.error_position != chunked.error_position)
+                        fail("error position divergence: whole " +
+                             std::to_string(whole.error_position) +
+                             " vs chunked " +
+                             std::to_string(chunked.error_position) +
+                             context);
+                    continue;
+                }
+                if (whole.values != chunked.values) {
+                    fail("value divergence: whole " +
+                         std::to_string(whole.values.size()) +
+                         " vs chunked " +
+                         std::to_string(chunked.values.size()) +
+                         " values" + context);
+                    continue;
+                }
+                if (whole.stats.skipped != chunked.stats.skipped) {
+                    std::string detail;
+                    for (size_t g = 0; g < ski::kGroupCount; ++g) {
+                        detail += (g ? "," : " G1..G5 whole=");
+                        detail +=
+                            std::to_string(whole.stats.skipped[g]);
+                    }
+                    detail += " chunked=";
+                    for (size_t g = 0; g < ski::kGroupCount; ++g) {
+                        if (g)
+                            detail += ",";
+                        detail +=
+                            std::to_string(chunked.stats.skipped[g]);
+                    }
+                    fail("fast-forward stats divergence:" + detail +
+                         context);
+                }
+            }
+        }
+    }
+    return report;
+}
+
+} // namespace jsonski::testing

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Chunk-seam differential rig: the chunked ingestion path must be
+ * *observationally identical* to the whole-buffer path — same match
+ * values byte for byte, same error class and position on malformed
+ * input, and the same FastForwardStats totals (positions are absolute
+ * in both modes, so even the skip accounting has no excuse to drift).
+ *
+ * The rig replays (document, query) pairs at a ladder of chunk sizes
+ * through the adversarial SplitSource and compares every observable
+ * against the whole-buffer reference.  tests/chunked_differential_test
+ * runs it over the default fuzz corpus and query mix as a tier-1 test;
+ * the seam-hunting fuzz mode (differential.h) reuses runStreamer-
+ * Chunked per mutant with seams forced at token-sensitive offsets.
+ */
+#ifndef JSONSKI_TESTING_SEAM_H
+#define JSONSKI_TESTING_SEAM_H
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "intervals/cursor.h"
+#include "path/ast.h"
+#include "ski/stats.h"
+
+namespace jsonski::testing {
+
+/** Everything observable from one streaming pass. */
+struct SeamRun
+{
+    bool threw_parse_error = false;
+    bool threw_other = false;
+    size_t error_position = 0;
+    std::string error_what;
+    std::vector<std::string> values;
+    ski::FastForwardStats stats;
+    intervals::StreamCursor::IngestStats ingest;
+};
+
+/** Whole-buffer reference pass. */
+SeamRun runStreamerWhole(std::string_view json, const path::PathQuery& q);
+
+/**
+ * Chunked pass through a SplitSource.
+ *
+ * @param schedule    Chunk-size schedule handed to SplitSource (cycled;
+ *                    empty means {chunk_bytes}).
+ * @param chunk_bytes Cursor refill granularity.
+ */
+SeamRun runStreamerChunked(std::string_view json, const path::PathQuery& q,
+                           const std::vector<size_t>& schedule,
+                           size_t chunk_bytes);
+
+/** Outcome of a rig sweep. */
+struct SeamReport
+{
+    size_t comparisons = 0; ///< (doc, query, chunk size) triples compared
+    std::vector<std::string> failures;
+
+    bool ok() const { return failures.empty(); }
+};
+
+/**
+ * Compare chunked vs whole-buffer over corpus x queries x chunk sizes.
+ * A chunk size of 0 means "whole document in one chunk".
+ *
+ * @param max_failures Failure descriptions recorded before stopping.
+ */
+SeamReport runSeamDifferential(const std::vector<std::string>& corpus,
+                               const std::vector<std::string>& queries,
+                               const std::vector<size_t>& chunk_sizes,
+                               size_t max_failures = 16);
+
+} // namespace jsonski::testing
+
+#endif // JSONSKI_TESTING_SEAM_H

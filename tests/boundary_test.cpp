@@ -8,8 +8,10 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <vector>
 
 #include "baseline/dom/query.h"
+#include "intervals/chunk_source.h"
 #include "intervals/cursor.h"
 #include "json/validate.h"
 #include "path/parser.h"
@@ -210,4 +212,94 @@ TEST(TailPadding, CloseScanIntoPaddedTail)
         skip.overAry(ski::Group::G2);
         EXPECT_EQ(cur.pos(), doc.size()) << "inner=" << inner;
     }
+}
+
+namespace {
+
+/**
+ * Run @p qtext over @p doc with chunk seams at the offsets in
+ * @p schedule (SplitSource cycles it) and return the collected values;
+ * the whole-buffer run of the same pair is the expected value.
+ */
+std::vector<std::string>
+chunkedValues(const std::string& doc, const char* qtext,
+              std::vector<size_t> schedule, size_t chunk_bytes = 64)
+{
+    intervals::SplitSource src(doc, std::move(schedule));
+    path::CollectSink sink;
+    ski::Streamer(parse(qtext)).run(src, &sink, chunk_bytes);
+    return sink.values;
+}
+
+std::vector<std::string>
+wholeValues(const std::string& doc, const char* qtext)
+{
+    path::CollectSink sink;
+    ski::Streamer(parse(qtext)).runResident(doc, &sink);
+    return sink.values;
+}
+
+} // namespace
+
+TEST(ChunkSeam, BackslashAsLastByteOfChunk)
+{
+    // The escape's backslash is the final byte a chunk delivers; the
+    // escaped character arrives in the next chunk.  The classifier's
+    // trailing-backslash carry must survive the seam or the quote after
+    // it flips the in-string parity.
+    const std::string doc = R"({"k": "a\"b", "m": 1})";
+    size_t bs = doc.find('\\');
+    ASSERT_NE(bs, std::string::npos);
+    for (const char* q : {"$.k", "$.m"}) {
+        std::vector<std::string> expect = wholeValues(doc, q);
+        // One seam right after the backslash, then the rest in one go.
+        EXPECT_EQ(chunkedValues(doc, q, {bs + 1, doc.size() + 1}), expect)
+            << "q=" << q;
+        // Degenerate: every byte its own chunk (a seam after the
+        // backslash and everywhere else).
+        EXPECT_EQ(chunkedValues(doc, q, {1}), expect) << "q=" << q;
+    }
+}
+
+TEST(ChunkSeam, QuoteAsFirstByteOfNextChunk)
+{
+    // A string-opening and a string-closing quote each arriving as the
+    // first byte of a fresh chunk: the in-string parity carried from
+    // the previous chunk decides their meaning.
+    const std::string doc = R"({"key": "value", "n": [1, 2]})";
+    size_t open = doc.find("\"value\"");
+    size_t close = open + 6; // the closing quote of "value"
+    ASSERT_EQ(doc[open], '"');
+    ASSERT_EQ(doc[close], '"');
+    for (const char* q : {"$.key", "$.n[1]"}) {
+        std::vector<std::string> expect = wholeValues(doc, q);
+        EXPECT_EQ(chunkedValues(doc, q, {open, doc.size() + 1}), expect)
+            << "open-quote seam, q=" << q;
+        EXPECT_EQ(chunkedValues(doc, q, {close, doc.size() + 1}), expect)
+            << "close-quote seam, q=" << q;
+    }
+}
+
+TEST(ChunkSeam, KeySpanningThreeChunks)
+{
+    // The matched attribute name itself is cut twice: the scan hold
+    // must keep the key's first chunk resident until the comparison
+    // runs, and the comparison must see the reassembled bytes.
+    const std::string doc =
+        R"({"unrelated": 0, "spanning_key_name": {"x": 42}, "z": null})";
+    size_t key = doc.find("spanning_key_name");
+    ASSERT_NE(key, std::string::npos);
+    std::vector<std::string> expect = wholeValues(doc, "$.spanning_key_name.x");
+    ASSERT_EQ(expect, (std::vector<std::string>{"42"}));
+    // Seams after the first 4 and first 11 bytes of the key, cutting it
+    // into three chunks, at several refill granularities.
+    std::vector<size_t> schedule = {key + 4, 7, doc.size() + 1};
+    for (size_t chunk : {size_t{16}, size_t{64}, size_t{4096}}) {
+        EXPECT_EQ(chunkedValues(doc, "$.spanning_key_name.x", schedule,
+                                chunk),
+                  expect)
+            << "chunk=" << chunk;
+    }
+    // And with every byte of the document its own chunk.
+    EXPECT_EQ(chunkedValues(doc, "$.spanning_key_name.x", {1}), expect);
 }

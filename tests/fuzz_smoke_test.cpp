@@ -83,6 +83,9 @@ TEST(FuzzSmoke, TenThousandMutantsNoDivergenceNoEscape)
     EXPECT_GT(report.invalid_mutants, 0u);
     // Damage must actually be detected sometimes, not just skipped.
     EXPECT_GT(report.parse_errors, 0u);
+    // The seam-hunting mode must have replayed mutants through the
+    // chunked path with forced seams (several per mutant on average).
+    EXPECT_GT(report.seam_replays, report.executed);
     std::string details;
     for (const std::string& f : report.failures)
         details += "\n  " + f;
