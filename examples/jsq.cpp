@@ -40,7 +40,10 @@
 #include "intervals/chunk_source.h"
 #include "json/writer.h"
 #include "path/parser.h"
+#include "service/plan_cache.h"
+#include "service/protocol.h"
 #include "ski/explain.h"
+#include "util/parse.h"
 #include "telemetry/export.h"
 #include "telemetry/telemetry.h"
 #include "ski/record_reader.h"
@@ -93,35 +96,28 @@ parseArgs(int argc, char** argv)
                    std::strcmp(argv[i], "--profile") == 0) {
             opt.profile = true;
         } else if (std::strcmp(argv[i], "-n") == 0 && i + 1 < argc) {
-            opt.limit = std::strtoul(argv[++i], nullptr, 10);
+            // Strict parse: '-n 5x' and '-n -1' are usage errors, not
+            // silently-accepted garbage ('-n 0' stays "unlimited").
+            if (!parseSize(argv[++i], opt.limit)) {
+                std::fprintf(stderr, "jsq: bad -n value '%s'\n", argv[i]);
+                usage();
+            }
         } else if (std::strcmp(argv[i], "--chunk-bytes") == 0 &&
                    i + 1 < argc) {
-            opt.chunk_bytes = std::strtoul(argv[++i], nullptr, 10);
-            if (opt.chunk_bytes == 0)
+            if (!parsePositiveSize(argv[++i], opt.chunk_bytes)) {
+                std::fprintf(stderr,
+                             "jsq: bad --chunk-bytes value '%s'\n",
+                             argv[i]);
                 usage();
+            }
         } else {
             usage();
         }
     }
     if (i >= argc)
         usage();
-    // Split the query list on commas outside brackets.
-    std::string all = argv[i++];
-    std::string cur;
-    int bracket = 0;
-    for (char c : all) {
-        if (c == '[')
-            ++bracket;
-        if (c == ']')
-            --bracket;
-        if (c == ',' && bracket == 0) {
-            opt.queries.push_back(cur);
-            cur.clear();
-        } else {
-            cur += c;
-        }
-    }
-    opt.queries.push_back(cur);
+    // Same top-level-comma splitting the jsqd wire protocol uses.
+    opt.queries = service::splitQueries(argv[i++]);
     if (i < argc)
         opt.file = argv[i++];
     if (i != argc)
@@ -354,20 +350,20 @@ main(int argc, char** argv)
                         r.ingest.window_peak);
                 }
             } else {
-                std::vector<path::PathQuery> queries;
-                for (const std::string& q : opt.queries)
-                    queries.push_back(path::parse(q));
+                // The same plan construction the jsqd service caches.
+                auto plan = service::compilePlan(
+                    service::joinQueries(opt.queries));
                 if (opt.profile)
-                    for (const path::PathQuery& q : queries)
+                    for (const path::PathQuery& q :
+                         plan->multi->queries())
                         std::fprintf(stderr, "%s",
                                      ski::explain(q).c_str());
-                ski::MultiStreamer streamer(std::move(queries));
                 PrintMultiSink sink(opt.count_only || opt.profile);
                 ski::MultiStreamer::Result r;
                 telemetry::Registry reg;
                 {
                     telemetry::Scope scope(reg);
-                    r = streamer.run(*src, &sink, opt.chunk_bytes);
+                    r = plan->multi->run(*src, &sink, opt.chunk_bytes);
                 }
                 if (opt.count_only) {
                     for (size_t qi = 0; qi < r.matches.size(); ++qi)
@@ -434,20 +430,19 @@ main(int argc, char** argv)
                              stats.ratio(ski::Group::G5, input.size()) * 100);
             }
         } else {
-            std::vector<path::PathQuery> queries;
-            for (const std::string& q : opt.queries)
-                queries.push_back(path::parse(q));
+            // The same plan construction the jsqd service caches.
+            auto plan =
+                service::compilePlan(service::joinQueries(opt.queries));
             if (opt.profile)
-                for (const path::PathQuery& q : queries)
+                for (const path::PathQuery& q : plan->multi->queries())
                     std::fprintf(stderr, "%s", ski::explain(q).c_str());
-            ski::MultiStreamer streamer(std::move(queries));
             PrintMultiSink sink(opt.count_only || opt.profile);
             std::vector<size_t> totals(opt.queries.size(), 0);
             telemetry::Registry reg;
             {
                 telemetry::Scope scope(reg);
                 for (auto [off, len] : spans) {
-                    auto r = streamer.run(
+                    auto r = plan->multi->run(
                         std::string_view(input).substr(off, len), &sink);
                     for (size_t qi = 0; qi < totals.size(); ++qi)
                         totals[qi] += r.matches[qi];

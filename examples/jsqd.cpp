@@ -1,0 +1,148 @@
+/**
+ * @file
+ * jsqd — the streaming JSONPath query daemon (service/server.h).
+ *
+ * Usage:
+ *   jsqd [-p PORT] [--host ADDR] [--workers N] [--chunk-bytes N]
+ *        [--max-header N] [--max-body N] [--max-matches N]
+ *        [--read-deadline-ms N] [--write-deadline-ms N]
+ *        [--idle-deadline-ms N] [--plan-cache N] [--poll]
+ *
+ * Prints `jsqd: listening on HOST:PORT` once ready (PORT is ephemeral
+ * when -p is omitted), serves until SIGTERM/SIGINT, then drains
+ * gracefully — in-flight requests finish, a final stats summary goes
+ * to stderr, and the exit status is 0.  Protocol and quickstart:
+ * DESIGN.md §10 / README.
+ */
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "service/server.h"
+#include "util/parse.h"
+
+using namespace jsonski;
+
+namespace {
+
+service::Server* g_server = nullptr;
+
+void
+onSignal(int)
+{
+    if (g_server != nullptr)
+        g_server->requestStop(); // async-signal-safe
+}
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: jsqd [-p PORT] [--host ADDR] [--workers N] "
+        "[--chunk-bytes N]\n"
+        "            [--max-header N] [--max-body N] [--max-matches N]\n"
+        "            [--read-deadline-ms N] [--write-deadline-ms N]\n"
+        "            [--idle-deadline-ms N] [--plan-cache N] [--poll]\n");
+    std::exit(2);
+}
+
+size_t
+sizeArg(int argc, char** argv, int& i, bool positive = false)
+{
+    if (i + 1 >= argc)
+        usage();
+    size_t v = 0;
+    bool ok = positive ? parsePositiveSize(argv[i + 1], v)
+                       : parseSize(argv[i + 1], v);
+    if (!ok) {
+        std::fprintf(stderr, "jsqd: bad value for %s: '%s'\n", argv[i],
+                     argv[i + 1]);
+        usage();
+    }
+    ++i;
+    return v;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    service::ServerConfig cfg;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "-p") == 0 ||
+            std::strcmp(argv[i], "--port") == 0) {
+            size_t p = sizeArg(argc, argv, i);
+            if (p > 65535)
+                usage();
+            cfg.port = static_cast<uint16_t>(p);
+        } else if (std::strcmp(argv[i], "--host") == 0) {
+            if (i + 1 >= argc)
+                usage();
+            cfg.bind_addr = argv[++i];
+        } else if (std::strcmp(argv[i], "--workers") == 0) {
+            cfg.workers = sizeArg(argc, argv, i, /*positive=*/true);
+        } else if (std::strcmp(argv[i], "--chunk-bytes") == 0) {
+            cfg.chunk_bytes = sizeArg(argc, argv, i, /*positive=*/true);
+        } else if (std::strcmp(argv[i], "--max-header") == 0) {
+            cfg.max_header_bytes = sizeArg(argc, argv, i, true);
+        } else if (std::strcmp(argv[i], "--max-body") == 0) {
+            cfg.max_body_bytes = sizeArg(argc, argv, i);
+        } else if (std::strcmp(argv[i], "--max-matches") == 0) {
+            cfg.max_matches = sizeArg(argc, argv, i);
+        } else if (std::strcmp(argv[i], "--read-deadline-ms") == 0) {
+            cfg.read_deadline_ms = static_cast<int>(sizeArg(argc, argv, i));
+        } else if (std::strcmp(argv[i], "--write-deadline-ms") == 0) {
+            cfg.write_deadline_ms =
+                static_cast<int>(sizeArg(argc, argv, i));
+        } else if (std::strcmp(argv[i], "--idle-deadline-ms") == 0) {
+            cfg.idle_deadline_ms =
+                static_cast<int>(sizeArg(argc, argv, i));
+        } else if (std::strcmp(argv[i], "--plan-cache") == 0) {
+            cfg.plan_cache_capacity = sizeArg(argc, argv, i, true);
+        } else if (std::strcmp(argv[i], "--poll") == 0) {
+            cfg.force_poll = true;
+        } else {
+            usage();
+        }
+    }
+
+    service::Server server(cfg);
+    try {
+        server.start();
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "jsqd: %s\n", e.what());
+        return 1;
+    }
+    g_server = &server;
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof sa);
+    sa.sa_handler = onSignal;
+    ::sigaction(SIGTERM, &sa, nullptr);
+    ::sigaction(SIGINT, &sa, nullptr);
+
+    std::printf("jsqd: listening on %s:%u\n", cfg.bind_addr.c_str(),
+                static_cast<unsigned>(server.port()));
+    std::fflush(stdout);
+
+    server.waitStopped();
+    g_server = nullptr;
+
+    service::ServerStats s = server.stats();
+    std::fprintf(stderr,
+                 "jsqd: drained: %llu connections, %llu requests "
+                 "(%llu ok, %llu error), %llu B in, %llu B out, "
+                 "plan cache %llu/%llu hit/miss\n",
+                 static_cast<unsigned long long>(s.connections_total),
+                 static_cast<unsigned long long>(s.requests_total),
+                 static_cast<unsigned long long>(s.responses_ok),
+                 static_cast<unsigned long long>(s.responses_error),
+                 static_cast<unsigned long long>(s.bytes_in_total),
+                 static_cast<unsigned long long>(s.bytes_out_total),
+                 static_cast<unsigned long long>(server.planCache().hits()),
+                 static_cast<unsigned long long>(
+                     server.planCache().misses()));
+    return 0;
+}

@@ -1,0 +1,115 @@
+#!/usr/bin/env bash
+# Black-box smoke of the query service: boot jsqd, drive it with jsqc
+# over a small corpus, and diff every answer against the jsq CLI (the
+# direct, no-wire evaluation of the same engine).  Also checks the
+# typed error path on a malformed body, length-framed + adversarially
+# chunked uploads, the Prometheus stats scrape, and that a SIGTERM
+# drain exits 0.  Run under ASan+UBSan in CI so protocol and shutdown
+# paths execute sanitized end to end.
+#
+# Usage: scripts/service_smoke.sh [build-dir]
+set -euo pipefail
+
+BUILD=${1:-build}
+JSQD="$BUILD/examples/jsqd"
+JSQC="$BUILD/examples/jsqc"
+JSQ="$BUILD/examples/jsq"
+
+for bin in "$JSQD" "$JSQC" "$JSQ"; do
+    [ -x "$bin" ] || { echo "missing binary: $bin" >&2; exit 1; }
+done
+
+tmp=$(mktemp -d)
+pid=""
+cleanup() {
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+port=$(( (RANDOM % 20000) + 20000 ))
+"$JSQD" -p "$port" --workers 2 >"$tmp/jsqd.out" 2>"$tmp/jsqd.err" &
+pid=$!
+for _ in $(seq 100); do
+    grep -q "listening" "$tmp/jsqd.out" 2>/dev/null && break
+    kill -0 "$pid" 2>/dev/null || { cat "$tmp/jsqd.err" >&2; exit 1; }
+    sleep 0.1
+done
+grep -q "listening" "$tmp/jsqd.out"
+echo "jsqd up on port $port"
+
+# --- corpus: every (doc, query) answer must match the jsq CLI -------
+cat >"$tmp/doc1.json" <<'EOF'
+{"products": [{"id": 1, "name": "ski"}, {"id": 2, "name": "jump"}],
+ "total": 2}
+EOF
+cat >"$tmp/doc2.json" <<'EOF'
+{"user": {"entities": {"url": {"urls": [{"url": "u1"}, {"url": "u2"}]}}},
+ "text": "tweet \"quoted\" text\nsecond line", "retweet_count": 3}
+EOF
+cat >"$tmp/doc3.json" <<'EOF'
+[{"k": [1, 2, 3]}, {"k": []}, {"k": [4.5e2, true, null]}]
+EOF
+
+queries1='$.products[*].name $.products[*].id $.total $.missing'
+queries2='$.user.entities.url.urls[*].url $.retweet_count $.text'
+queries3='$[*].k[*] $[1:3].k'
+
+for n in 1 2 3; do
+    doc="$tmp/doc$n.json"
+    eval "queries=\$queries$n"
+    for q in $queries; do
+        "$JSQ" "$q" "$doc" >"$tmp/expected" 2>/dev/null
+        "$JSQC" -p "$port" "$q" "$doc" >"$tmp/got"
+        diff -u "$tmp/expected" "$tmp/got" || {
+            echo "MISMATCH doc$n query $q" >&2; exit 1; }
+    done
+done
+echo "corpus answers match jsq"
+
+# Multi-query counts agree too.
+"$JSQ" -c '$.products[*].name,$.total' "$tmp/doc1.json" >"$tmp/expected"
+"$JSQC" -p "$port" -c '$.products[*].name,$.total' "$tmp/doc1.json" \
+    >"$tmp/got"
+diff -u "$tmp/expected" "$tmp/got"
+echo "multi-query counts match jsq"
+
+# --- protocol edges -------------------------------------------------
+# Length-framed body written 7 bytes at a time.
+"$JSQC" -p "$port" --length --chunk 7 '$.total' "$tmp/doc1.json" \
+    >"$tmp/got"
+[ "$(cat "$tmp/got")" = "2" ]
+echo "length-framed chunked upload ok"
+
+# Malformed body: typed error trailer, client exits nonzero.
+printf '{"a": [1, 2' >"$tmp/bad.json"
+if "$JSQC" -p "$port" '$.a' "$tmp/bad.json" >"$tmp/got" 2>"$tmp/goterr"
+then
+    echo "malformed body unexpectedly accepted" >&2; exit 1
+fi
+grep -q "server error:" "$tmp/goterr"
+echo "malformed body rejected with a typed trailer"
+
+# Bad query: rejected, daemon unharmed.
+if "$JSQC" -p "$port" '$.a[' "$tmp/doc1.json" >/dev/null 2>&1; then
+    echo "malformed query unexpectedly accepted" >&2; exit 1
+fi
+
+# --- stats scrape ---------------------------------------------------
+"$JSQC" -p "$port" --stats >"$tmp/stats"
+grep -q "jsonski_server_requests_total" "$tmp/stats"
+grep -q "jsonski_server_responses_error" "$tmp/stats"
+grep -q "jsonski_server_plan_cache_hits" "$tmp/stats"
+errors=$(awk '/^jsonski_server_responses_error /{print $2}' "$tmp/stats")
+[ "$errors" -ge 2 ] # the two rejections above are accounted for
+echo "stats scrape ok (responses_error=$errors)"
+
+# --- graceful SIGTERM drain ----------------------------------------
+kill -TERM "$pid"
+rc=0
+wait "$pid" || rc=$?
+pid=""
+[ "$rc" -eq 0 ] || { echo "drain exited $rc" >&2; exit 1; }
+grep -q "drained:" "$tmp/jsqd.err"
+echo "SIGTERM drain exited 0"
+echo "service smoke: PASS"

@@ -2,7 +2,13 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cerrno>
 #include <cstring>
+
+#include <poll.h>
+#include <unistd.h>
+
+#include "util/error.h"
 
 namespace jsonski::intervals {
 
@@ -22,7 +28,12 @@ size_t
 FileSource::read(char* dst, size_t cap)
 {
     assert(cap > 0);
-    return std::fread(dst, 1, cap, f_);
+    size_t n = std::fread(dst, 1, cap, f_);
+    if (n < cap && std::ferror(f_))
+        throw ParseError(ErrorCode::IoError, "input read failed",
+                         delivered_ + n);
+    delivered_ += n;
+    return n;
 }
 
 size_t
@@ -30,7 +41,87 @@ IstreamSource::read(char* dst, size_t cap)
 {
     assert(cap > 0);
     in_.read(dst, static_cast<std::streamsize>(cap));
-    return static_cast<size_t>(in_.gcount());
+    auto n = static_cast<size_t>(in_.gcount());
+    // A short read with only eofbit/failbit set is end of input; badbit
+    // is a streambuf-level I/O failure and must not masquerade as EOF.
+    if (in_.bad())
+        throw ParseError(ErrorCode::IoError, "input stream went bad",
+                         delivered_ + n);
+    delivered_ += n;
+    return n;
+}
+
+SocketChunkSource::SocketChunkSource(int fd, int read_deadline_ms,
+                                     size_t max_bytes,
+                                     std::string_view carry)
+    : fd_(fd),
+      read_deadline_ms_(read_deadline_ms),
+      max_bytes_(max_bytes),
+      carry_(carry)
+{}
+
+size_t
+SocketChunkSource::read(char* dst, size_t cap)
+{
+    assert(cap > 0);
+    if (max_bytes_ != 0) {
+        // Allow one probe byte past the cap: a body of exactly
+        // max_bytes must still be able to observe its EOF, while any
+        // byte actually delivered beyond the cap throws below.
+        size_t room = max_bytes_ > delivered_ ? max_bytes_ - delivered_ : 0;
+        cap = std::min(cap, room + 1);
+    }
+    if (carry_off_ < carry_.size()) {
+        size_t n = std::min(cap, carry_.size() - carry_off_);
+        std::memcpy(dst, carry_.data() + carry_off_, n);
+        carry_off_ += n;
+        delivered_ += n;
+        if (max_bytes_ != 0 && delivered_ > max_bytes_)
+            throw ParseError(ErrorCode::RecordTooLarge,
+                             "request body exceeds the byte limit",
+                             max_bytes_);
+        return n;
+    }
+    if (eof_)
+        return 0;
+    for (;;) {
+        if (read_deadline_ms_ > 0) {
+            pollfd pfd{fd_, POLLIN, 0};
+            int pr = ::poll(&pfd, 1, read_deadline_ms_);
+            if (pr == 0)
+                throw ParseError(ErrorCode::DeadlineExpired,
+                                 "read deadline expired", delivered_);
+            if (pr < 0) {
+                if (errno == EINTR)
+                    continue;
+                throw ParseError(ErrorCode::IoError, "poll failed",
+                                 delivered_);
+            }
+        }
+        ssize_t n = ::read(fd_, dst, cap);
+        if (n > 0) {
+            delivered_ += static_cast<size_t>(n);
+            if (max_bytes_ != 0 && delivered_ > max_bytes_)
+                throw ParseError(ErrorCode::RecordTooLarge,
+                                 "request body exceeds the byte limit",
+                                 max_bytes_);
+            return static_cast<size_t>(n);
+        }
+        if (n == 0) {
+            eof_ = true;
+            return 0;
+        }
+        if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+            // EAGAIN without a deadline would spin; poll for readiness.
+            if (read_deadline_ms_ <= 0 && errno != EINTR) {
+                pollfd pfd{fd_, POLLIN, 0};
+                ::poll(&pfd, 1, -1);
+            }
+            continue;
+        }
+        throw ParseError(ErrorCode::IoError, "socket read failed",
+                         delivered_);
+    }
 }
 
 SplitSource::SplitSource(std::string_view data, std::vector<size_t> schedule)

@@ -69,7 +69,14 @@ class ViewSource : public ChunkSource
     size_t chunk_hint_;
 };
 
-/** Reads a C stdio stream (does not own or close it). */
+/**
+ * Reads a C stdio stream (does not own or close it).
+ *
+ * A short fread() alone cannot distinguish EOF from a failing disk, so
+ * read() checks std::ferror after every short delivery and throws
+ * ParseError(ErrorCode::IoError) — positioned at the bytes delivered so
+ * far — instead of silently truncating the document.
+ */
 class FileSource : public ChunkSource
 {
   public:
@@ -79,9 +86,16 @@ class FileSource : public ChunkSource
 
   private:
     std::FILE* f_;
+    size_t delivered_ = 0;
 };
 
-/** Reads a std::istream (does not own it); covers stdin and pipes. */
+/**
+ * Reads a std::istream (does not own it); covers stdin and pipes.
+ *
+ * eofbit (with or without failbit) after a short read is normal end of
+ * input; badbit means the underlying streambuf failed mid-read and
+ * throws ParseError(ErrorCode::IoError) like FileSource.
+ */
 class IstreamSource : public ChunkSource
 {
   public:
@@ -91,6 +105,52 @@ class IstreamSource : public ChunkSource
 
   private:
     std::istream& in_;
+    size_t delivered_ = 0;
+};
+
+/**
+ * Reads a connected socket (or any pollable fd; does not own or close
+ * it).  This is what the query service streams request bodies through:
+ * the fd is polled before every read so a per-read deadline bounds how
+ * long a stalled client can pin a worker, and an optional byte cap
+ * bounds how much body a single request may deliver.  Works with both
+ * blocking and O_NONBLOCK descriptors (EAGAIN re-polls).
+ *
+ * Bytes the connection layer read past the request header are pushed
+ * back via @p carry and are delivered first.
+ *
+ * @throws ParseError(ErrorCode::DeadlineExpired) when the deadline
+ *         elapses with no data, (ErrorCode::IoError) on a socket error,
+ *         and (ErrorCode::RecordTooLarge) when the byte cap is hit —
+ *         all positioned at the bytes delivered so far.
+ */
+class SocketChunkSource : public ChunkSource
+{
+  public:
+    /**
+     * @param fd           Connected descriptor to read.
+     * @param read_deadline_ms  Per-read poll timeout; 0 = no deadline.
+     * @param max_bytes    Total delivery cap; 0 = unlimited.
+     * @param carry        Bytes already read from the stream, served
+     *                     before any fd read (copied).
+     */
+    explicit SocketChunkSource(int fd, int read_deadline_ms = 0,
+                               size_t max_bytes = 0,
+                               std::string_view carry = {});
+
+    size_t read(char* dst, size_t cap) override;
+
+    /** Total bytes delivered so far (carry included). */
+    size_t delivered() const { return delivered_; }
+
+  private:
+    int fd_;
+    int read_deadline_ms_;
+    size_t max_bytes_;
+    std::string carry_;
+    size_t carry_off_ = 0;
+    size_t delivered_ = 0;
+    bool eof_ = false;
 };
 
 /**

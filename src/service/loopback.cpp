@@ -1,0 +1,258 @@
+#include "service/loopback.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace jsonski::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using Ms = std::chrono::milliseconds;
+
+void
+setNonBlocking(int fd)
+{
+    int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags >= 0)
+        ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+int
+msUntil(Clock::time_point t)
+{
+    auto left =
+        std::chrono::duration_cast<Ms>(t - Clock::now()).count();
+    return static_cast<int>(std::max<long long>(0, left));
+}
+
+} // namespace
+
+int
+connectTcp(const std::string& host, uint16_t port)
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0)
+        throw std::runtime_error("socket() failed");
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        ::close(fd);
+        throw std::runtime_error("bad address " + host);
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+        0) {
+        int err = errno;
+        ::close(fd);
+        throw std::runtime_error("connect failed: " +
+                                 std::string(std::strerror(err)));
+    }
+    // Deep send buffer: large bodies drain in few writer/reader
+    // alternations, which is what bounds loopback throughput when the
+    // client and a worker share a core.
+    int buf = 1 << 20;
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &buf, sizeof buf);
+    return fd;
+}
+
+ClientResult
+runRequestFd(int fd, const RequestHeader& header, std::string_view body,
+             const ClientOptions& options, ResponseParser::MatchFn on_match)
+{
+    setNonBlocking(fd);
+    ClientResult result;
+    ResponseParser parser(std::move(on_match));
+
+    // Outgoing bytes: header first, then the body, cut at the chunk
+    // schedule.  The header always goes out as its own write.
+    std::string header_bytes = encodeHeader(header);
+    size_t send_cap = std::min(body.size(), options.stall_after);
+    bool stalled = send_cap < body.size();
+
+    size_t header_off = 0;
+    size_t body_off = 0;
+    size_t sched_at = 0;
+    size_t left_in_chunk = options.chunk_schedule.empty()
+                               ? send_cap
+                               : 0; // primed below per chunk
+    bool write_open = true;   // our direction still writable
+    bool half_closed = false;
+
+    Clock::time_point deadline =
+        Clock::now() + Ms(options.overall_timeout_ms);
+    Clock::time_point next_write = Clock::now();
+    Clock::time_point next_read = Clock::now();
+
+    auto nextChunk = [&] {
+        if (options.chunk_schedule.empty())
+            return send_cap - body_off;
+        size_t s = options.chunk_schedule[sched_at %
+                                          options.chunk_schedule.size()];
+        ++sched_at;
+        return s == 0 ? size_t{1} : s;
+    };
+
+    char buf[4096];
+    for (;;) {
+        if (Clock::now() >= deadline) {
+            result.severed = !parser.done();
+            break;
+        }
+        bool body_done = body_off >= send_cap;
+        bool want_write =
+            write_open &&
+            (header_off < header_bytes.size() || !body_done ||
+             (body_done && options.half_close && !stalled && !half_closed));
+        bool want_read = true;
+
+        // Respect pacing: delay gates re-arm the poll timeout.
+        Clock::time_point wake = deadline;
+        if (want_write && next_write > Clock::now()) {
+            wake = std::min(wake, next_write);
+            want_write = false;
+        }
+        if (next_read > Clock::now()) {
+            wake = std::min(wake, next_read);
+            want_read = false;
+        }
+
+        if (want_write && header_off >= header_bytes.size() &&
+            !body_done && left_in_chunk == 0)
+            left_in_chunk = nextChunk();
+
+        // Half-close is not an fd event; do it directly when due.
+        if (want_write && header_off >= header_bytes.size() &&
+            body_done) {
+            ::shutdown(fd, SHUT_WR);
+            half_closed = true;
+            write_open = false;
+            continue;
+        }
+
+        pollfd pfd{fd, 0, 0};
+        if (want_read)
+            pfd.events |= POLLIN;
+        if (want_write)
+            pfd.events |= POLLOUT;
+        if (pfd.events == 0) {
+            // Both directions gated by pacing; sleep until one opens.
+            pollfd none{fd, 0, 0};
+            ::poll(&none, 0, std::min(msUntil(wake), 50));
+            continue;
+        }
+        int pr = ::poll(&pfd, 1, std::min(msUntil(wake),
+                                          msUntil(deadline)));
+        if (pr < 0) {
+            if (errno == EINTR)
+                continue;
+            result.severed = !parser.done();
+            break;
+        }
+        if (pr == 0)
+            continue;
+
+        if ((pfd.revents & POLLOUT) != 0 && want_write) {
+            const char* data;
+            size_t len;
+            if (header_off < header_bytes.size()) {
+                data = header_bytes.data() + header_off;
+                len = header_bytes.size() - header_off;
+            } else {
+                data = body.data() + body_off;
+                len = std::min(left_in_chunk, send_cap - body_off);
+            }
+            ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+            if (n > 0) {
+                if (header_off < header_bytes.size()) {
+                    header_off += static_cast<size_t>(n);
+                } else {
+                    body_off += static_cast<size_t>(n);
+                    left_in_chunk -= static_cast<size_t>(n);
+                    if (left_in_chunk == 0 && options.write_delay_ms > 0)
+                        next_write =
+                            Clock::now() + Ms(options.write_delay_ms);
+                }
+            } else if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+                       errno != EINTR) {
+                // Server ended early (rejection): stop sending, keep
+                // reading whatever response it managed to deliver.
+                write_open = false;
+            }
+        }
+
+        if ((pfd.revents & (POLLIN | POLLHUP | POLLERR)) != 0 &&
+            want_read) {
+            ssize_t n = ::read(fd, buf, sizeof buf);
+            if (n > 0) {
+                if (options.read_delay_ms > 0)
+                    next_read = Clock::now() + Ms(options.read_delay_ms);
+                if (header.stats) {
+                    result.raw.append(buf, static_cast<size_t>(n));
+                } else {
+                    try {
+                        parser.feed(
+                            std::string_view(buf,
+                                             static_cast<size_t>(n)));
+                    } catch (const ParseError&) {
+                        result.severed = true;
+                        break;
+                    }
+                }
+            } else if (n == 0) {
+                // Peer EOF: the response is complete (or was cut off).
+                if (!header.stats && parser.done()) {
+                    result.has_trailer = true;
+                } else if (!header.stats) {
+                    result.severed = true;
+                }
+                break;
+            } else if (errno != EAGAIN && errno != EWOULDBLOCK &&
+                       errno != EINTR) {
+                result.severed = !parser.done();
+                break;
+            }
+        }
+    }
+    ::close(fd);
+    if (!header.stats && parser.done()) {
+        result.has_trailer = true;
+        result.trailer = parser.trailer();
+        result.matches = parser.matches();
+    }
+    return result;
+}
+
+ClientResult
+runRequest(Server& server, const RequestHeader& header,
+           std::string_view body, const ClientOptions& options)
+{
+    int sv[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0)
+        throw std::runtime_error("socketpair failed");
+    if (!server.adoptConnection(sv[0])) {
+        ::close(sv[1]);
+        throw std::runtime_error("server is draining");
+    }
+    return runRequestFd(sv[1], header, body, options);
+}
+
+std::string
+scrapeStats(Server& server)
+{
+    RequestHeader h;
+    h.stats = true;
+    return runRequest(server, h, {}).raw;
+}
+
+} // namespace jsonski::service

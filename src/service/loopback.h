@@ -1,0 +1,103 @@
+/**
+ * @file
+ * In-process client harness for the query service: drives a Server
+ * through a socketpair (bypassing accept(), deterministic) or a real
+ * loopback TCP connection (exercising the listener/event loop), with
+ * adversarial control over how the request body is chunked and paced.
+ *
+ * The pump is full-duplex: it interleaves body writes with response
+ * reads through one poll loop, so a request that produces more match
+ * bytes than the kernel buffers hold cannot deadlock the harness
+ * against the server's bounded write queue.  Pacing knobs exist to
+ * *provoke* the server's limits deliberately — a write stall to trip
+ * the read deadline, a read delay to trip the slow-reader write
+ * deadline — which is exactly what the robustness tests assert.
+ *
+ * jsqc is built on runRequestFd(), so the tests exercise the same
+ * client code path users run.
+ */
+#ifndef JSONSKI_SERVICE_LOOPBACK_H
+#define JSONSKI_SERVICE_LOOPBACK_H
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "service/protocol.h"
+#include "service/server.h"
+
+namespace jsonski::service {
+
+/** Client-side pacing / framing controls. */
+struct ClientOptions
+{
+    /**
+     * Body write sizes, cycled (the adversarial chunking: 1 forces a
+     * socket boundary between every byte).  Empty = one write.
+     */
+    std::vector<size_t> chunk_schedule;
+
+    /** Pause between body chunks, ms. */
+    int write_delay_ms = 0;
+
+    /** Pause before each response read, ms (slow-reader simulation). */
+    int read_delay_ms = 0;
+
+    /**
+     * Stop sending after this many body bytes and keep the connection
+     * open without half-closing — the stalled-client scenario that
+     * must trip the server's read deadline.
+     */
+    size_t stall_after = std::numeric_limits<size_t>::max();
+
+    /** shutdown(SHUT_WR) after the body (EOF body framing). */
+    bool half_close = true;
+
+    /** Hard cap on the whole exchange, ms. */
+    int overall_timeout_ms = 30000;
+};
+
+/** Everything observable from one request. */
+struct ClientResult
+{
+    /** Valid iff has_trailer. */
+    Trailer trailer;
+    bool has_trailer = false;
+
+    /** Decoded match frames, in arrival order. */
+    std::vector<std::pair<size_t, std::string>> matches;
+
+    /** Connection ended without a trailer (hard drop / timeout). */
+    bool severed = false;
+
+    /** Raw response bytes for non-framed responses (!stats). */
+    std::string raw;
+};
+
+/** Connect to @p host:@p port; @return the fd. @throws on failure. */
+int connectTcp(const std::string& host, uint16_t port);
+
+/**
+ * Run one request over a connected descriptor (takes ownership of
+ * @p fd and closes it).  @p on_match, when set, streams decoded
+ * matches as they arrive (jsqc's print path).
+ */
+ClientResult runRequestFd(int fd, const RequestHeader& header,
+                          std::string_view body,
+                          const ClientOptions& options = {},
+                          ResponseParser::MatchFn on_match = {});
+
+/** Socketpair injection: the full request path minus the listener. */
+ClientResult runRequest(Server& server, const RequestHeader& header,
+                        std::string_view body,
+                        const ClientOptions& options = {});
+
+/** Convenience: `!stats` scrape over a socketpair. */
+std::string scrapeStats(Server& server);
+
+} // namespace jsonski::service
+
+#endif // JSONSKI_SERVICE_LOOPBACK_H

@@ -1,0 +1,89 @@
+#include "service/plan_cache.h"
+
+#include <functional>
+
+#include "path/parser.h"
+#include "service/protocol.h"
+
+namespace jsonski::service {
+
+std::shared_ptr<const Plan>
+compilePlan(std::string_view query_list)
+{
+    auto plan = std::make_shared<Plan>();
+    plan->query_texts = splitQueries(query_list);
+    plan->key = joinQueries(plan->query_texts);
+    if (plan->query_texts.size() == 1) {
+        plan->single.emplace(path::parse(plan->query_texts[0]));
+    } else {
+        std::vector<path::PathQuery> queries;
+        queries.reserve(plan->query_texts.size());
+        for (const std::string& q : plan->query_texts)
+            queries.push_back(path::parse(q));
+        plan->multi.emplace(std::move(queries));
+    }
+    return plan;
+}
+
+PlanCache::PlanCache(size_t capacity)
+    : per_shard_capacity_((capacity + kShards - 1) / kShards)
+{
+    if (per_shard_capacity_ == 0)
+        per_shard_capacity_ = 1;
+}
+
+PlanCache::Shard&
+PlanCache::shardFor(std::string_view key)
+{
+    return shards_[std::hash<std::string_view>{}(key) % kShards];
+}
+
+std::shared_ptr<const Plan>
+PlanCache::get(std::string_view query_list, bool* was_hit)
+{
+    // Normalize before hashing so every spelling of the same list maps
+    // to the same shard and entry.
+    std::string key = joinQueries(splitQueries(query_list));
+    Shard& shard = shardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        if (was_hit != nullptr)
+            *was_hit = true;
+        // Move to the front of the LRU list; iterators stay valid.
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+        return *it->second;
+    }
+    // Compiling under the shard lock keeps hit/miss counts exact for
+    // concurrent first requests (see header); a PathError escapes
+    // before anything is inserted.
+    std::shared_ptr<const Plan> plan = compilePlan(key);
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    if (was_hit != nullptr)
+        *was_hit = false;
+    shard.lru.push_front(plan);
+    shard.map.emplace(std::string_view(shard.lru.front()->key),
+                      shard.lru.begin());
+    if (shard.lru.size() > per_shard_capacity_) {
+        const std::shared_ptr<const Plan>& victim = shard.lru.back();
+        shard.map.erase(std::string_view(victim->key));
+        shard.lru.pop_back();
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return plan;
+}
+
+size_t
+PlanCache::size() const
+{
+    size_t n = 0;
+    for (const Shard& s : shards_) {
+        std::lock_guard<std::mutex> lock(
+            const_cast<std::mutex&>(s.mutex));
+        n += s.lru.size();
+    }
+    return n;
+}
+
+} // namespace jsonski::service

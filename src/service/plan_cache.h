@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Shard-locked LRU cache of compiled query plans.
+ *
+ * Parsing a JSONPath list and building the streamer (single-query) or
+ * the multi-query trie is pure per-query-text work; under serving
+ * traffic the same handful of queries arrive over and over from many
+ * connections.  The cache keys on the *normalized* query-list text
+ * (split on top-level commas, whitespace-trimmed, re-joined — the same
+ * splitter jsq's CLI uses), so `$.a, $.b` and `$.a,$.b` share one
+ * entry, and hands out shared_ptr<const Plan> so an entry can be
+ * evicted while requests still run on it.
+ *
+ * Sharding: the key hash picks one of a fixed set of shards, each an
+ * independently locked LRU list + map; hot queries on different shards
+ * never contend.  The compile itself runs under the shard lock, which
+ * serializes concurrent first-misses of the *same* query into one
+ * compile (the counters stay deterministic: N concurrent requests for
+ * a fresh query are exactly 1 miss + N-1 hits).
+ */
+#ifndef JSONSKI_SERVICE_PLAN_CACHE_H
+#define JSONSKI_SERVICE_PLAN_CACHE_H
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "ski/multi.h"
+#include "ski/streamer.h"
+
+namespace jsonski::service {
+
+/**
+ * A compiled, immutable, shareable evaluation plan for one query list.
+ * Single-query lists carry a Streamer; longer lists a MultiStreamer
+ * (both are stateless across run() calls, so one plan serves any
+ * number of concurrent requests).
+ */
+struct Plan
+{
+    /** Normalized query-list text this plan was compiled from. */
+    std::string key;
+
+    /** The split query texts, same order as the trailer's per_query. */
+    std::vector<std::string> query_texts;
+
+    /** Exactly one of these is set. */
+    std::optional<ski::Streamer> single;
+    std::optional<ski::MultiStreamer> multi;
+
+    size_t queryCount() const { return query_texts.size(); }
+};
+
+/**
+ * Compile @p query_list into a Plan (no cache involved).  This is the
+ * one plan-construction path shared by the cache, jsq, and jsqc, so
+ * the CLI and the service always agree on query-list syntax.
+ *
+ * @throws PathError on a malformed query.
+ */
+std::shared_ptr<const Plan> compilePlan(std::string_view query_list);
+
+/** See file comment. */
+class PlanCache
+{
+  public:
+    static constexpr size_t kShards = 8;
+
+    /**
+     * @param capacity Total cached plans across all shards (rounded up
+     *                 to at least one per shard).
+     */
+    explicit PlanCache(size_t capacity = 64);
+
+    /**
+     * Look up @p query_list, compiling and inserting on a miss.
+     *
+     * @param was_hit Out: true when the plan came from the cache.
+     * @throws PathError on a malformed query (nothing is inserted).
+     */
+    std::shared_ptr<const Plan> get(std::string_view query_list,
+                                    bool* was_hit = nullptr);
+
+    uint64_t hits() const { return hits_.load(); }
+    uint64_t misses() const { return misses_.load(); }
+    uint64_t evictions() const { return evictions_.load(); }
+
+    /** Plans currently resident across all shards. */
+    size_t size() const;
+
+  private:
+    struct Shard
+    {
+        std::mutex mutex;
+        /** Most-recently-used first. */
+        std::list<std::shared_ptr<const Plan>> lru;
+        /** Key view aliases the Plan's own key string. */
+        std::unordered_map<std::string_view,
+                           std::list<std::shared_ptr<const Plan>>::iterator>
+            map;
+    };
+
+    Shard& shardFor(std::string_view key);
+
+    size_t per_shard_capacity_;
+    std::array<Shard, kShards> shards_;
+    std::atomic<uint64_t> hits_{0};
+    std::atomic<uint64_t> misses_{0};
+    std::atomic<uint64_t> evictions_{0};
+};
+
+} // namespace jsonski::service
+
+#endif // JSONSKI_SERVICE_PLAN_CACHE_H

@@ -1,0 +1,310 @@
+#include "service/protocol.h"
+
+#include "util/parse.h"
+
+namespace jsonski::service {
+
+namespace {
+
+std::string_view
+trim(std::string_view s)
+{
+    while (!s.empty() && (s.front() == ' ' || s.front() == '\t'))
+        s.remove_prefix(1);
+    while (!s.empty() && (s.back() == ' ' || s.back() == '\t'))
+        s.remove_suffix(1);
+    return s;
+}
+
+[[noreturn]] void
+badRequest(const std::string& what)
+{
+    throw ParseError(ErrorCode::BadRequest, "bad request: " + what, 0);
+}
+
+/** key=value pairs of a trailer line, after the status token. */
+std::string_view
+fieldValue(std::string_view line, std::string_view key)
+{
+    std::string pat = " " + std::string(key) + "=";
+    size_t at = line.find(pat);
+    if (at == std::string_view::npos)
+        return {};
+    size_t begin = at + pat.size();
+    size_t end = line.find(' ', begin);
+    if (end == std::string_view::npos)
+        end = line.size();
+    return line.substr(begin, end - begin);
+}
+
+size_t
+parseSizeField(std::string_view line, std::string_view key)
+{
+    std::string_view v = fieldValue(line, key);
+    size_t out = 0;
+    if (v.empty() || !parseSize(v, out))
+        badRequest("trailer field " + std::string(key));
+    return out;
+}
+
+} // namespace
+
+std::vector<std::string>
+splitQueries(std::string_view text)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    int bracket = 0;
+    for (char c : text) {
+        if (c == '[')
+            ++bracket;
+        if (c == ']')
+            --bracket;
+        if (c == ',' && bracket == 0) {
+            out.emplace_back(trim(cur));
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    out.emplace_back(trim(cur));
+    return out;
+}
+
+std::string
+joinQueries(const std::vector<std::string>& queries)
+{
+    std::string out;
+    for (size_t i = 0; i < queries.size(); ++i) {
+        if (i != 0)
+            out += ',';
+        out += queries[i];
+    }
+    return out;
+}
+
+RequestHeader
+parseHeader(std::string_view line)
+{
+    if (line.substr(0, kMagic.size()) != kMagic)
+        badRequest("magic is not jsq/1");
+    line.remove_prefix(kMagic.size());
+    if (line.empty() || line.front() != ' ')
+        badRequest("missing query list");
+    line.remove_prefix(1);
+
+    // The query list runs to the first space outside brackets; flags
+    // follow space-separated.  JSONPath never contains a space in our
+    // dialect, but be explicit about bracket depth anyway.
+    size_t split = line.size();
+    int bracket = 0;
+    for (size_t i = 0; i < line.size(); ++i) {
+        if (line[i] == '[')
+            ++bracket;
+        if (line[i] == ']')
+            --bracket;
+        if (line[i] == ' ' && bracket == 0) {
+            split = i;
+            break;
+        }
+    }
+    std::string_view qtext = line.substr(0, split);
+    RequestHeader h;
+    if (qtext == "!stats") {
+        h.stats = true;
+    } else {
+        h.queries = splitQueries(qtext);
+        for (const std::string& q : h.queries)
+            if (q.empty())
+                badRequest("empty query in list");
+    }
+
+    std::string_view rest = line.substr(split);
+    while (!rest.empty()) {
+        rest.remove_prefix(1); // the separating space
+        size_t end = rest.find(' ');
+        std::string_view flag = rest.substr(0, end);
+        rest = end == std::string_view::npos ? std::string_view{}
+                                             : rest.substr(end);
+        if (flag.empty())
+            continue;
+        if (flag == "records") {
+            h.records = true;
+        } else if (flag == "count") {
+            h.count_only = true;
+        } else if (flag.substr(0, 6) == "limit=") {
+            if (!parseSize(flag.substr(6), h.limit))
+                badRequest("limit flag");
+        } else if (flag.substr(0, 7) == "length=") {
+            if (!parseSize(flag.substr(7), h.length))
+                badRequest("length flag");
+            h.has_length = true;
+        } else {
+            badRequest("unknown flag '" + std::string(flag) + "'");
+        }
+    }
+    if (h.stats && (h.records || h.count_only || h.limit != 0 ||
+                    h.has_length))
+        badRequest("!stats takes no flags");
+    return h;
+}
+
+std::string
+encodeHeader(const RequestHeader& h)
+{
+    std::string out(kMagic);
+    out += ' ';
+    out += h.stats ? "!stats" : joinQueries(h.queries);
+    if (h.records)
+        out += " records";
+    if (h.count_only)
+        out += " count";
+    if (h.limit != 0)
+        out += " limit=" + std::to_string(h.limit);
+    if (h.has_length)
+        out += " length=" + std::to_string(h.length);
+    out += '\n';
+    return out;
+}
+
+std::string
+encodeTrailer(const Trailer& t)
+{
+    std::string out = "end status=";
+    out += t.ok ? "ok" : "error";
+    if (!t.ok) {
+        out += " code=";
+        out += errorCodeName(t.code);
+        out += " pos=" + std::to_string(t.error_pos);
+    }
+    out += " matches=" + std::to_string(t.matches);
+    out += " bytes_in=" + std::to_string(t.bytes_in);
+    out += " ff=";
+    for (size_t g = 0; g < t.ff.size(); ++g) {
+        if (g != 0)
+            out += ',';
+        out += std::to_string(t.ff[g]);
+    }
+    out += " plan=" + t.plan;
+    if (!t.per_query.empty()) {
+        out += " per_query=";
+        for (size_t i = 0; i < t.per_query.size(); ++i) {
+            if (i != 0)
+                out += ',';
+            out += std::to_string(t.per_query[i]);
+        }
+    }
+    out += '\n';
+    return out;
+}
+
+Trailer
+parseTrailer(std::string_view line)
+{
+    Trailer t;
+    std::string_view status = fieldValue(line, "status");
+    if (line.substr(0, 4) != "end " ||
+        (status != "ok" && status != "error"))
+        badRequest("not a trailer line");
+    t.ok = status == "ok";
+    if (!t.ok) {
+        std::string_view code = fieldValue(line, "code");
+        if (code.empty())
+            badRequest("error trailer without code");
+        t.code = errorCodeFromName(code);
+        t.error_pos = parseSizeField(line, "pos");
+    }
+    t.matches = parseSizeField(line, "matches");
+    t.bytes_in = parseSizeField(line, "bytes_in");
+    std::string_view ff = fieldValue(line, "ff");
+    for (size_t g = 0; g < t.ff.size(); ++g) {
+        size_t comma = ff.find(',');
+        std::string_view part = ff.substr(0, comma);
+        size_t v = 0;
+        if (!parseSize(part, v))
+            badRequest("trailer ff field");
+        t.ff[g] = v;
+        if (comma == std::string_view::npos) {
+            if (g + 1 != t.ff.size())
+                badRequest("trailer ff field");
+            break;
+        }
+        ff.remove_prefix(comma + 1);
+    }
+    std::string_view plan = fieldValue(line, "plan");
+    if (plan.empty())
+        badRequest("trailer plan field");
+    t.plan = std::string(plan);
+    std::string_view per = fieldValue(line, "per_query");
+    while (!per.empty()) {
+        size_t comma = per.find(',');
+        size_t v = 0;
+        if (!parseSize(per.substr(0, comma), v))
+            badRequest("trailer per_query field");
+        t.per_query.push_back(v);
+        if (comma == std::string_view::npos)
+            break;
+        per.remove_prefix(comma + 1);
+    }
+    return t;
+}
+
+std::string
+encodeMatch(size_t query_index, std::string_view value)
+{
+    std::string out = "m " + std::to_string(query_index) + " " +
+                      std::to_string(value.size()) + "\n";
+    out += value;
+    out += '\n';
+    return out;
+}
+
+void
+ResponseParser::feed(std::string_view bytes)
+{
+    if (done_ && !bytes.empty())
+        badRequest("bytes after trailer");
+    buf_.append(bytes);
+    decode();
+}
+
+void
+ResponseParser::decode()
+{
+    for (;;) {
+        size_t nl = buf_.find('\n');
+        if (nl == std::string::npos)
+            return;
+        std::string_view line(buf_.data(), nl);
+        if (line.substr(0, 2) == "m ") {
+            size_t sp = line.find(' ', 2);
+            if (sp == std::string_view::npos)
+                badRequest("match frame header");
+            size_t qi = 0, len = 0;
+            if (!parseSize(line.substr(2, sp - 2), qi) ||
+                !parseSize(line.substr(sp + 1), len))
+                badRequest("match frame header");
+            // Value plus its trailing newline must be complete.
+            if (buf_.size() < nl + 1 + len + 1)
+                return;
+            std::string_view value(buf_.data() + nl + 1, len);
+            if (buf_[nl + 1 + len] != '\n')
+                badRequest("match frame not newline-terminated");
+            if (on_match_)
+                on_match_(qi, value);
+            matches_.emplace_back(qi, std::string(value));
+            buf_.erase(0, nl + 1 + len + 1);
+        } else if (line.substr(0, 4) == "end ") {
+            trailer_ = parseTrailer(line);
+            done_ = true;
+            if (buf_.size() != nl + 1)
+                badRequest("bytes after trailer");
+            buf_.clear();
+            return;
+        } else {
+            badRequest("unknown response frame");
+        }
+    }
+}
+
+} // namespace jsonski::service

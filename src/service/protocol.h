@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Wire protocol of the jsqd streaming query service, shared by the
+ * server, the jsqc client, the loopback test harness, and jsq (which
+ * reuses the query-list splitter so the CLI and the service accept the
+ * same syntax).
+ *
+ * The protocol is line-framed for control and length-framed for data
+ * (DESIGN.md §10 has the full grammar):
+ *
+ *   request  := header-line body
+ *   header   := "jsq/1 " query-list (" " flag)* "\n"
+ *   query-list := JSONPath (',' JSONPath)*  |  "!stats"
+ *   flag     := "records" | "count" | "limit=N" | "length=N"
+ *   body     := raw JSON bytes, until EOF (client half-close) or
+ *               exactly N bytes when length=N was given
+ *
+ *   response := match-frame* trailer-line          (query requests)
+ *             | Prometheus text until close        ("!stats")
+ *   match    := "m " query-index " " byte-len "\n" value "\n"
+ *   trailer  := "end status=ok|error [code= pos=] matches= bytes_in="
+ *               " ff=g1,g2,g3,g4,g5 plan=hit|miss|none"
+ *               " [per_query=n0,n1,...]" "\n"
+ *
+ * Matched values are length-prefixed, so values containing newlines
+ * round-trip; the trailer carries the machine-checkable ErrorCode
+ * taxonomy (util/error.h) plus the per-request FastForwardStats, which
+ * lets the differential tests assert byte-identity against a direct
+ * Streamer::run.
+ */
+#ifndef JSONSKI_SERVICE_PROTOCOL_H
+#define JSONSKI_SERVICE_PROTOCOL_H
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/error.h"
+
+namespace jsonski::service {
+
+/** Protocol magic carried by every request header. */
+inline constexpr std::string_view kMagic = "jsq/1";
+
+/** Default cap on the request header line, bytes. */
+inline constexpr size_t kDefaultMaxHeaderBytes = 4096;
+
+/**
+ * Split a comma-separated query list on commas *outside* brackets
+ * (`$.a[1:3],$.b` is two queries; the slice comma is literal) and trim
+ * surrounding whitespace.  Shared by jsq's CLI and the service header.
+ */
+std::vector<std::string> splitQueries(std::string_view text);
+
+/** Canonical comma-joined form of a split query list (cache key). */
+std::string joinQueries(const std::vector<std::string>& queries);
+
+/** Decoded request header. */
+struct RequestHeader
+{
+    /** Query texts, split and trimmed; empty iff stats. */
+    std::vector<std::string> queries;
+
+    bool stats = false;      ///< "!stats": metrics scrape request
+    bool records = false;    ///< body is an NDJSON record stream
+    bool count_only = false; ///< suppress match frames, count only
+    size_t limit = 0;        ///< stop after N matches; 0 = unlimited
+    size_t length = 0;       ///< declared body length (has_length)
+    bool has_length = false; ///< body is length-prefixed, not EOF-framed
+};
+
+/**
+ * Parse one header line (without the trailing newline).
+ * @throws ParseError(ErrorCode::BadRequest) on bad magic, an empty
+ *         query list, an unknown flag, or a malformed flag value.
+ */
+RequestHeader parseHeader(std::string_view line);
+
+/** Render @p h as a header line, trailing newline included. */
+std::string encodeHeader(const RequestHeader& h);
+
+/** End-of-response status frame. */
+struct Trailer
+{
+    bool ok = true;
+    ErrorCode code = ErrorCode::Unspecified; ///< error runs only
+    size_t error_pos = 0;                    ///< error runs only
+    size_t matches = 0;                      ///< total across queries
+    size_t bytes_in = 0;                     ///< body bytes consumed
+    std::array<uint64_t, 5> ff{};            ///< G1..G5 skipped bytes
+    std::string plan = "none";               ///< plan-cache verdict
+    std::vector<size_t> per_query;           ///< multi-query counts
+};
+
+/** Render @p t as a trailer line, trailing newline included. */
+std::string encodeTrailer(const Trailer& t);
+
+/**
+ * Parse a trailer line (without the newline).
+ * @throws ParseError(ErrorCode::BadRequest) if it is not a trailer.
+ */
+Trailer parseTrailer(std::string_view line);
+
+/** Render one match frame (header line + value + newline). */
+std::string encodeMatch(size_t query_index, std::string_view value);
+
+/**
+ * Incremental client-side decoder: feed() it raw response bytes as
+ * they arrive; it invokes the match callback per decoded frame and
+ * stores the trailer.  Also used by the differential tests to check
+ * the server's output framing byte by byte.
+ */
+class ResponseParser
+{
+  public:
+    using MatchFn = std::function<void(size_t, std::string_view)>;
+
+    /** @param on_match Optional streaming callback (may be empty). */
+    explicit ResponseParser(MatchFn on_match = {})
+        : on_match_(std::move(on_match))
+    {}
+
+    /**
+     * Consume @p bytes.
+     * @throws ParseError(ErrorCode::BadRequest) on a framing violation.
+     */
+    void feed(std::string_view bytes);
+
+    /** True once the trailer has been decoded. */
+    bool done() const { return done_; }
+
+    /** @pre done() */
+    const Trailer& trailer() const { return trailer_; }
+
+    /** Matches decoded so far (kept even when a callback is set). */
+    const std::vector<std::pair<size_t, std::string>>& matches() const
+    {
+        return matches_;
+    }
+
+  private:
+    void decode();
+
+    MatchFn on_match_;
+    std::string buf_;
+    std::vector<std::pair<size_t, std::string>> matches_;
+    Trailer trailer_;
+    bool done_ = false;
+};
+
+} // namespace jsonski::service
+
+#endif // JSONSKI_SERVICE_PROTOCOL_H

@@ -1,0 +1,811 @@
+#include "service/server.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#ifdef __linux__
+#include <sys/epoll.h>
+#endif
+
+#include "intervals/chunk_source.h"
+#include "service/protocol.h"
+#include "ski/record_reader.h"
+#include "ski/sinks.h"
+#include "telemetry/export.h"
+
+namespace jsonski::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+void
+setNonBlocking(int fd)
+{
+    int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags >= 0)
+        ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+/**
+ * Close @p fd without losing the response: when the server ends a
+ * request early (rejection, malformed body) the client may still be
+ * sending, and a plain close() with unread bytes in the receive queue
+ * RSTs the connection — destroying the already-sent trailer on the
+ * client side.  Half-close the write side first and drain incoming
+ * bytes until the peer's EOF or a short deadline.
+ */
+void
+lingeringClose(int fd, int deadline_ms)
+{
+    ::shutdown(fd, SHUT_WR);
+    char buf[4096];
+    Clock::time_point end =
+        Clock::now() + std::chrono::milliseconds(deadline_ms);
+    for (;;) {
+        auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        end - Clock::now())
+                        .count();
+        if (left <= 0)
+            break;
+        pollfd pfd{fd, POLLIN, 0};
+        int pr = ::poll(&pfd, 1, static_cast<int>(left));
+        if (pr <= 0)
+            break;
+        ssize_t n = ::read(fd, buf, sizeof buf);
+        if (n == 0)
+            break;
+        if (n < 0 && errno != EINTR && errno != EAGAIN &&
+            errno != EWOULDBLOCK)
+            break;
+    }
+    ::close(fd);
+}
+
+/**
+ * Readiness multiplexer for the event loop: epoll on Linux, poll()
+ * everywhere else.  The poll variant stays compiled (and runtime-
+ * selectable via ServerConfig::force_poll) on Linux too, so the
+ * fallback is continuously exercised by the test suite.
+ */
+class Poller
+{
+  public:
+    virtual ~Poller() = default;
+    virtual void add(int fd) = 0;
+    virtual void remove(int fd) = 0;
+
+    /** Wait up to @p timeout_ms (-1 = forever); fds ready to read. */
+    virtual void wait(int timeout_ms, std::vector<int>& ready) = 0;
+};
+
+class PollPoller final : public Poller
+{
+  public:
+    void
+    add(int fd) override
+    {
+        fds_.push_back(pollfd{fd, POLLIN, 0});
+    }
+
+    void
+    remove(int fd) override
+    {
+        fds_.erase(std::remove_if(fds_.begin(), fds_.end(),
+                                  [fd](const pollfd& p) {
+                                      return p.fd == fd;
+                                  }),
+                   fds_.end());
+    }
+
+    void
+    wait(int timeout_ms, std::vector<int>& ready) override
+    {
+        ready.clear();
+        int n = ::poll(fds_.data(), fds_.size(), timeout_ms);
+        if (n <= 0)
+            return;
+        for (const pollfd& p : fds_)
+            if ((p.revents & (POLLIN | POLLHUP | POLLERR)) != 0)
+                ready.push_back(p.fd);
+    }
+
+  private:
+    std::vector<pollfd> fds_;
+};
+
+#ifdef __linux__
+class EpollPoller final : public Poller
+{
+  public:
+    EpollPoller() : epfd_(::epoll_create1(EPOLL_CLOEXEC))
+    {
+        if (epfd_ < 0)
+            throw std::runtime_error("epoll_create1 failed");
+    }
+
+    ~EpollPoller() override { ::close(epfd_); }
+
+    void
+    add(int fd) override
+    {
+        epoll_event ev{};
+        ev.events = EPOLLIN;
+        ev.data.fd = fd;
+        ::epoll_ctl(epfd_, EPOLL_CTL_ADD, fd, &ev);
+    }
+
+    void
+    remove(int fd) override
+    {
+        ::epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, nullptr);
+    }
+
+    void
+    wait(int timeout_ms, std::vector<int>& ready) override
+    {
+        ready.clear();
+        epoll_event events[64];
+        int n = ::epoll_wait(epfd_, events, 64, timeout_ms);
+        for (int i = 0; i < n; ++i)
+            ready.push_back(events[i].data.fd);
+    }
+
+  private:
+    int epfd_;
+};
+#endif
+
+std::unique_ptr<Poller>
+makePoller(bool force_poll)
+{
+#ifdef __linux__
+    if (!force_poll)
+        return std::make_unique<EpollPoller>();
+#else
+    (void)force_poll;
+#endif
+    return std::make_unique<PollPoller>();
+}
+
+/**
+ * Thrown internally when the connection itself is unusable (write
+ * deadline to a slow reader, socket error): no trailer can be
+ * delivered, the connection is just torn down and counted.
+ */
+struct WriterDead
+{
+    ErrorCode code;
+};
+
+/**
+ * Bounded outgoing queue: append() buffers up to the flush threshold,
+ * then pushes to the socket under the write deadline.  This is the
+ * slow-reader backpressure contract — buffering is capped, and a
+ * client that stops reading for longer than the deadline gets the
+ * connection dropped instead of growing the queue without bound.
+ */
+class ConnWriter
+{
+  public:
+    ConnWriter(int fd, size_t flush_threshold, int deadline_ms)
+        : fd_(fd), threshold_(flush_threshold), deadline_ms_(deadline_ms)
+    {}
+
+    void
+    append(std::string_view data)
+    {
+        buf_.append(data);
+        if (buf_.size() >= threshold_)
+            flush();
+    }
+
+    void
+    flush()
+    {
+        size_t off = 0;
+        while (off < buf_.size()) {
+            ssize_t n = ::send(fd_, buf_.data() + off, buf_.size() - off,
+                               MSG_NOSIGNAL);
+            if (n > 0) {
+                off += static_cast<size_t>(n);
+                total_ += static_cast<uint64_t>(n);
+                continue;
+            }
+            if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+                pollfd pfd{fd_, POLLOUT, 0};
+                int pr = ::poll(&pfd, 1,
+                                deadline_ms_ > 0 ? deadline_ms_ : -1);
+                if (pr == 0)
+                    throw WriterDead{ErrorCode::DeadlineExpired};
+                if (pr < 0 && errno != EINTR)
+                    throw WriterDead{ErrorCode::IoError};
+                continue;
+            }
+            if (n < 0 && errno == EINTR)
+                continue;
+            throw WriterDead{ErrorCode::IoError};
+        }
+        buf_.clear();
+    }
+
+    uint64_t total() const { return total_; }
+
+  private:
+    int fd_;
+    std::string buf_;
+    size_t threshold_;
+    int deadline_ms_;
+    uint64_t total_ = 0;
+};
+
+/** Serves exactly @p length bytes of @p inner, then reports EOF (the
+ *  length-prefixed body framing). */
+class BoundedSource final : public intervals::ChunkSource
+{
+  public:
+    BoundedSource(intervals::ChunkSource& inner, size_t length)
+        : inner_(inner), remaining_(length)
+    {}
+
+    size_t
+    read(char* dst, size_t cap) override
+    {
+        if (remaining_ == 0)
+            return 0;
+        size_t n = inner_.read(dst, std::min(cap, remaining_));
+        remaining_ -= n;
+        return n;
+    }
+
+  private:
+    intervals::ChunkSource& inner_;
+    size_t remaining_;
+};
+
+/**
+ * Match receiver shared by the single- and multi-query paths: frames
+ * every match onto the wire (unless count-only), enforces the client's
+ * `limit=` via StopStreaming (a successful early end) and the server's
+ * max_matches cap via ParseError(MatchLimitExceeded) (a typed
+ * rejection).
+ */
+class WireSink final : public path::MatchSink, public ski::MultiSink
+{
+  public:
+    WireSink(ConnWriter& writer, bool count_only, size_t client_limit,
+             size_t server_cap)
+        : writer_(writer),
+          count_only_(count_only),
+          client_limit_(client_limit),
+          server_cap_(server_cap)
+    {}
+
+    void
+    onMatch(std::string_view value) override
+    {
+        deliver(0, value);
+    }
+
+    void
+    onMatch(size_t query_index, std::string_view value) override
+    {
+        deliver(query_index, value);
+    }
+
+    size_t count = 0;
+
+    /** True once the client-requested limit ended the pass. */
+    bool clientLimitReached() const
+    {
+        return client_limit_ != 0 && count >= client_limit_;
+    }
+
+  private:
+    void
+    deliver(size_t qi, std::string_view value)
+    {
+        if (server_cap_ != 0 && count >= server_cap_)
+            throw ParseError(ErrorCode::MatchLimitExceeded,
+                             "server match cap reached", 0);
+        ++count;
+        if (!count_only_)
+            writer_.append(encodeMatch(qi, value));
+        if (client_limit_ != 0 && count >= client_limit_)
+            throw ski::StopStreaming{};
+    }
+
+    ConnWriter& writer_;
+    bool count_only_;
+    size_t client_limit_;
+    size_t server_cap_;
+};
+
+/**
+ * Read the request header line through @p fd (already known readable),
+ * up to @p max_bytes.  Bytes past the newline were read from the body
+ * and are returned in @p carry.
+ */
+std::string
+readHeaderLine(int fd, size_t max_bytes, int deadline_ms,
+               std::string& carry)
+{
+    std::string buf;
+    char tmp[1024];
+    for (;;) {
+        size_t nl = buf.find('\n');
+        if (nl != std::string::npos) {
+            if (nl > max_bytes)
+                throw ParseError(ErrorCode::HeaderTooLarge,
+                                 "request header exceeds the byte limit",
+                                 nl);
+            carry = buf.substr(nl + 1);
+            return buf.substr(0, nl);
+        }
+        if (buf.size() > max_bytes)
+            throw ParseError(ErrorCode::HeaderTooLarge,
+                             "request header exceeds the byte limit",
+                             buf.size());
+        pollfd pfd{fd, POLLIN, 0};
+        int pr = ::poll(&pfd, 1, deadline_ms > 0 ? deadline_ms : -1);
+        if (pr == 0)
+            throw ParseError(ErrorCode::DeadlineExpired,
+                             "header read deadline expired", buf.size());
+        if (pr < 0) {
+            if (errno == EINTR)
+                continue;
+            throw ParseError(ErrorCode::IoError, "poll failed",
+                             buf.size());
+        }
+        ssize_t n = ::read(fd, tmp, sizeof tmp);
+        if (n > 0) {
+            buf.append(tmp, static_cast<size_t>(n));
+            continue;
+        }
+        if (n == 0)
+            throw ParseError(ErrorCode::UnexpectedEnd,
+                             "connection closed mid-header", buf.size());
+        if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)
+            continue;
+        throw ParseError(ErrorCode::IoError, "socket read failed",
+                         buf.size());
+    }
+}
+
+} // namespace
+
+Server::Server(ServerConfig config)
+    : config_(std::move(config)),
+      plan_cache_(config_.plan_cache_capacity)
+{}
+
+Server::~Server()
+{
+    if (started_.load())
+        stop();
+    if (wake_read_fd_ >= 0)
+        ::close(wake_read_fd_);
+    if (wake_write_fd_ >= 0)
+        ::close(wake_write_fd_);
+}
+
+void
+Server::start()
+{
+    assert(!started_.load());
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (listen_fd_ < 0)
+        throw std::runtime_error("socket() failed");
+    int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(config_.port);
+    if (::inet_pton(AF_INET, config_.bind_addr.c_str(), &addr.sin_addr) !=
+        1)
+        throw std::runtime_error("bad bind address " + config_.bind_addr);
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof addr) != 0)
+        throw std::runtime_error("bind failed: " +
+                                 std::string(std::strerror(errno)));
+    if (::listen(listen_fd_, 128) != 0)
+        throw std::runtime_error("listen failed");
+    socklen_t len = sizeof addr;
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+    port_ = ntohs(addr.sin_port);
+    setNonBlocking(listen_fd_);
+
+    int pipefd[2];
+    if (::pipe(pipefd) != 0)
+        throw std::runtime_error("pipe failed");
+    wake_read_fd_ = pipefd[0];
+    wake_write_fd_ = pipefd[1];
+    setNonBlocking(wake_read_fd_);
+    setNonBlocking(wake_write_fd_);
+
+    pool_ = std::make_unique<ThreadPool>(std::max<size_t>(1,
+                                                          config_.workers));
+    started_.store(true);
+    loop_thread_ = std::thread([this] { eventLoop(); });
+}
+
+void
+Server::requestStop() noexcept
+{
+    stopping_.store(true);
+    if (wake_write_fd_ >= 0) {
+        char b = 's';
+        // Best-effort wake; the pipe being full already wakes the loop.
+        [[maybe_unused]] ssize_t n = ::write(wake_write_fd_, &b, 1);
+    }
+}
+
+void
+Server::waitStopped()
+{
+    if (loop_thread_.joinable())
+        loop_thread_.join();
+    if (pool_) {
+        pool_->waitIdle(); // let in-flight requests finish
+        pool_.reset();     // drains the queue and joins the workers
+    }
+    started_.store(false);
+}
+
+void
+Server::stop()
+{
+    requestStop();
+    waitStopped();
+}
+
+bool
+Server::adoptConnection(int fd)
+{
+    if (stopping_.load() || !started_.load()) {
+        ::close(fd);
+        return false;
+    }
+    setNonBlocking(fd);
+    {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.connections_total;
+    }
+    pool_->submit([this, fd] { handleConnection(fd); });
+    return true;
+}
+
+void
+Server::eventLoop()
+{
+    std::unique_ptr<Poller> poller = makePoller(config_.force_poll);
+    poller->add(listen_fd_);
+    poller->add(wake_read_fd_);
+
+    std::unordered_map<int, Clock::time_point> pending;
+    std::vector<int> ready;
+    while (!stopping_.load()) {
+        int timeout_ms = -1;
+        if (!pending.empty() && config_.idle_deadline_ms > 0) {
+            Clock::time_point first = Clock::time_point::max();
+            for (const auto& [fd, dl] : pending)
+                first = std::min(first, dl);
+            auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            first - Clock::now())
+                            .count();
+            timeout_ms = static_cast<int>(std::max<long long>(0, left));
+        }
+        poller->wait(timeout_ms, ready);
+        for (int fd : ready) {
+            if (fd == wake_read_fd_) {
+                char drain[64];
+                while (::read(wake_read_fd_, drain, sizeof drain) > 0) {
+                }
+            } else if (fd == listen_fd_) {
+                for (;;) {
+                    int conn = ::accept(listen_fd_, nullptr, nullptr);
+                    if (conn < 0)
+                        break;
+                    setNonBlocking(conn);
+                    {
+                        std::lock_guard<std::mutex> lock(stats_mutex_);
+                        ++stats_.connections_total;
+                    }
+                    pending.emplace(
+                        conn,
+                        Clock::now() + std::chrono::milliseconds(
+                                           config_.idle_deadline_ms));
+                    poller->add(conn);
+                }
+            } else {
+                // First request byte arrived: the worker owns the fd
+                // from here.
+                poller->remove(fd);
+                pending.erase(fd);
+                pool_->submit([this, fd] { handleConnection(fd); });
+            }
+        }
+        if (config_.idle_deadline_ms > 0) {
+            Clock::time_point now = Clock::now();
+            for (auto it = pending.begin(); it != pending.end();) {
+                if (it->second <= now) {
+                    poller->remove(it->first);
+                    ::close(it->first);
+                    {
+                        std::lock_guard<std::mutex> lock(stats_mutex_);
+                        ++stats_.idle_closed;
+                    }
+                    it = pending.erase(it);
+                } else {
+                    ++it;
+                }
+            }
+        }
+    }
+    // Drain: stop accepting, drop connections that never sent a byte.
+    poller->remove(listen_fd_);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    for (const auto& [fd, dl] : pending) {
+        poller->remove(fd);
+        ::close(fd);
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.idle_closed;
+    }
+}
+
+void
+Server::bumpOk(uint64_t bytes_in, uint64_t bytes_out,
+               const telemetry::Registry& reg)
+{
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.responses_ok;
+    stats_.bytes_in_total += bytes_in;
+    stats_.bytes_out_total += bytes_out;
+    merged_telemetry_.merge(reg);
+}
+
+void
+Server::bumpError(uint64_t bytes_in, uint64_t bytes_out,
+                  const telemetry::Registry& reg, ErrorCode code)
+{
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.responses_error;
+    stats_.bytes_in_total += bytes_in;
+    stats_.bytes_out_total += bytes_out;
+    merged_telemetry_.merge(reg);
+    switch (code) {
+      case ErrorCode::BadRequest:
+        ++stats_.rejected_bad_request;
+        break;
+      case ErrorCode::HeaderTooLarge:
+        ++stats_.rejected_header_too_large;
+        break;
+      case ErrorCode::DeadlineExpired:
+        ++stats_.rejected_deadline;
+        break;
+      case ErrorCode::RecordTooLarge:
+        ++stats_.rejected_too_large;
+        break;
+      default:
+        break;
+    }
+}
+
+void
+Server::handleConnection(int fd)
+{
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    // Deep receive buffer: body ingestion alternates with the sender
+    // far less often (matters most when both share a core).
+    int buf = 1 << 20;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &buf, sizeof buf);
+    ConnWriter writer(fd, config_.write_queue_bytes,
+                      config_.write_deadline_ms);
+    // Early-exit paths linger briefly so the trailer survives a client
+    // that is still sending body bytes (see lingeringClose).
+    const int linger_ms =
+        config_.read_deadline_ms > 0
+            ? std::min(config_.read_deadline_ms, 1000)
+            : 1000;
+    telemetry::Registry reg;
+    Trailer trailer;
+    trailer.ok = false;
+    uint64_t bytes_in = 0;
+    try {
+        std::string carry;
+        std::string header_line;
+        RequestHeader header;
+        try {
+            header_line =
+                readHeaderLine(fd, config_.max_header_bytes,
+                               config_.read_deadline_ms, carry);
+            header = parseHeader(header_line);
+        } catch (const ParseError& e) {
+            trailer.code = e.code();
+            trailer.error_pos = e.position();
+            writer.append(encodeTrailer(trailer));
+            writer.flush();
+            bumpError(0, writer.total(), reg, e.code());
+            lingeringClose(fd, linger_ms);
+            return;
+        }
+        {
+            std::lock_guard<std::mutex> lock(stats_mutex_);
+            ++stats_.requests_total;
+        }
+
+        if (header.stats) {
+            {
+                std::lock_guard<std::mutex> lock(stats_mutex_);
+                ++stats_.stats_requests;
+            }
+            writer.append(metricsText());
+            writer.flush();
+            bumpOk(0, writer.total(), reg);
+            ::close(fd);
+            return;
+        }
+
+        bool plan_hit = false;
+        std::shared_ptr<const Plan> plan;
+        try {
+            plan = plan_cache_.get(joinQueries(header.queries),
+                                   &plan_hit);
+        } catch (const PathError&) {
+            trailer.code = ErrorCode::BadRequest;
+            trailer.error_pos = 0;
+            writer.append(encodeTrailer(trailer));
+            writer.flush();
+            bumpError(0, writer.total(), reg, ErrorCode::BadRequest);
+            lingeringClose(fd, linger_ms);
+            return;
+        }
+        trailer.plan = plan_hit ? "hit" : "miss";
+
+        intervals::SocketChunkSource socket_src(
+            fd, config_.read_deadline_ms, config_.max_body_bytes, carry);
+        BoundedSource bounded_src(socket_src, header.length);
+        intervals::ChunkSource& src =
+            header.has_length
+                ? static_cast<intervals::ChunkSource&>(bounded_src)
+                : socket_src;
+
+        WireSink sink(writer, header.count_only, header.limit,
+                      config_.max_matches);
+        ski::FastForwardStats stats;
+        std::vector<size_t> per_query(plan->queryCount(), 0);
+        try {
+            telemetry::Scope scope(reg);
+            if (header.records) {
+                ski::RecordReader reader(src, config_.chunk_bytes);
+                std::string_view record;
+                while (reader.next(record)) {
+                    if (plan->single) {
+                        ski::StreamResult r =
+                            plan->single->run(record, &sink);
+                        stats.merge(r.stats);
+                        per_query[0] = sink.count;
+                    } else {
+                        ski::MultiStreamer::Result r =
+                            plan->multi->run(record, &sink);
+                        stats.merge(r.stats);
+                        for (size_t qi = 0; qi < r.matches.size(); ++qi)
+                            per_query[qi] += r.matches[qi];
+                    }
+                    if (sink.clientLimitReached())
+                        break;
+                }
+            } else if (plan->single) {
+                ski::StreamResult r =
+                    plan->single->run(src, &sink, config_.chunk_bytes);
+                stats.merge(r.stats);
+                per_query[0] = sink.count;
+            } else {
+                ski::MultiStreamer::Result r =
+                    plan->multi->run(src, &sink, config_.chunk_bytes);
+                stats.merge(r.stats);
+                per_query = r.matches;
+            }
+            bytes_in = socket_src.delivered();
+        } catch (const ParseError& e) {
+            bytes_in = socket_src.delivered();
+            trailer.code = e.code();
+            trailer.error_pos = e.position();
+            trailer.matches = sink.count;
+            trailer.bytes_in = bytes_in;
+            trailer.ff = stats.skipped;
+            if (plan->queryCount() > 1)
+                trailer.per_query = per_query;
+            writer.append(encodeTrailer(trailer));
+            writer.flush();
+            bumpError(bytes_in, writer.total(), reg, e.code());
+            lingeringClose(fd, linger_ms);
+            return;
+        }
+
+        trailer.ok = true;
+        trailer.matches = sink.count;
+        trailer.bytes_in = bytes_in;
+        trailer.ff = stats.skipped;
+        if (plan->queryCount() > 1)
+            trailer.per_query = per_query;
+        writer.append(encodeTrailer(trailer));
+        writer.flush();
+        bumpOk(bytes_in, writer.total(), reg);
+        lingeringClose(fd, linger_ms);
+    } catch (const WriterDead& dead) {
+        // The connection itself failed (slow reader, socket error);
+        // nothing more can be delivered.
+        bumpError(bytes_in, writer.total(), reg, dead.code);
+        ::close(fd);
+    } catch (...) {
+        // Unexpected escape: never take the worker down; sever the
+        // connection so the client sees a hard close, not a trailer.
+        bumpError(bytes_in, writer.total(), reg, ErrorCode::Unspecified);
+        ::close(fd);
+    }
+}
+
+ServerStats
+Server::stats() const
+{
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    return stats_;
+}
+
+std::string
+Server::metricsText() const
+{
+    ServerStats s;
+    std::string telemetry_page;
+    {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        s = stats_;
+        telemetry_page = telemetry::toPrometheus(merged_telemetry_);
+    }
+    std::string out;
+    auto gauge = [&out](const char* name, uint64_t v) {
+        out += "# TYPE jsonski_server_";
+        out += name;
+        out += " counter\njsonski_server_";
+        out += name;
+        out += ' ';
+        out += std::to_string(v);
+        out += '\n';
+    };
+    gauge("connections_total", s.connections_total);
+    gauge("requests_total", s.requests_total);
+    gauge("responses_ok", s.responses_ok);
+    gauge("responses_error", s.responses_error);
+    gauge("rejected_bad_request", s.rejected_bad_request);
+    gauge("rejected_header_too_large", s.rejected_header_too_large);
+    gauge("rejected_deadline", s.rejected_deadline);
+    gauge("rejected_too_large", s.rejected_too_large);
+    gauge("stats_requests", s.stats_requests);
+    gauge("idle_closed", s.idle_closed);
+    gauge("bytes_in_total", s.bytes_in_total);
+    gauge("bytes_out_total", s.bytes_out_total);
+    gauge("plan_cache_hits", plan_cache_.hits());
+    gauge("plan_cache_misses", plan_cache_.misses());
+    gauge("plan_cache_evictions", plan_cache_.evictions());
+    gauge("plan_cache_size", plan_cache_.size());
+    out += telemetry_page;
+    return out;
+}
+
+} // namespace jsonski::service

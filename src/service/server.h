@@ -1,0 +1,199 @@
+/**
+ * @file
+ * jsqd — the streaming JSONPath query daemon (DESIGN.md §10).
+ *
+ * Topology: one event-loop thread multiplexes the listening socket and
+ * every accepted-but-idle connection through epoll (Linux) or poll
+ * (fallback, also selectable at runtime for testing).  The moment a
+ * connection shows its first request byte it is handed to a fixed
+ * worker pool (util/thread_pool); the worker runs the whole request —
+ * bounded header read, plan-cache lookup, chunked streaming evaluation
+ * directly over a SocketChunkSource (the body is never materialized),
+ * incremental match frames, status trailer — and closes the
+ * connection.  One request per connection keeps the protocol EOF-
+ * framable (the client half-closes to end the body) and the state
+ * machine worker-local.
+ *
+ * Robustness envelope, all per connection: the header line is capped
+ * (max_header_bytes); the body read polls under a deadline so a
+ * stalled client cannot pin a worker; writes go through a bounded
+ * queue that flushes under its own deadline, so a slow *reader* is
+ * back-pressured and eventually rejected instead of ballooning server
+ * memory; the body size and match count are capped.  Every rejection
+ * is a typed trailer carrying an ErrorCode (util/error.h).
+ *
+ * Observability: per-request telemetry registries merge into one
+ * server-wide registry, and a `jsq/1 !stats` request answers with a
+ * Prometheus text page (telemetry/export) plus server counters; the
+ * plan cache contributes hit/miss/eviction gauges.
+ *
+ * Shutdown: requestStop() is async-signal-safe (it writes one byte to
+ * a wake pipe); the event loop then stops accepting, closes idle
+ * connections, lets in-flight requests finish, and joins the workers —
+ * the graceful SIGTERM drain the CI smoke leg asserts.
+ */
+#ifndef JSONSKI_SERVICE_SERVER_H
+#define JSONSKI_SERVICE_SERVER_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "service/plan_cache.h"
+#include "telemetry/telemetry.h"
+#include "util/error.h"
+#include "util/thread_pool.h"
+
+namespace jsonski::service {
+
+/** Tunables; the defaults serve tests and small deployments. */
+struct ServerConfig
+{
+    /** TCP port to listen on; 0 picks an ephemeral port. */
+    uint16_t port = 0;
+
+    /** Listen address. */
+    std::string bind_addr = "127.0.0.1";
+
+    /** Worker threads evaluating requests. */
+    size_t workers = 4;
+
+    /** Request header line cap, bytes. */
+    size_t max_header_bytes = 4096;
+
+    /** Request body cap, bytes; 0 = unlimited. */
+    size_t max_body_bytes = 0;
+
+    /** Server-imposed cap on matches per request; 0 = unlimited. */
+    size_t max_matches = 0;
+
+    /** Poll timeout for each body read; 0 = wait forever. */
+    int read_deadline_ms = 10000;
+
+    /** Poll timeout for draining the write queue to a slow reader. */
+    int write_deadline_ms = 10000;
+
+    /** Accepted connection must show its first byte within this. */
+    int idle_deadline_ms = 10000;
+
+    /** Cursor refill granularity for body streaming. */
+    size_t chunk_bytes = size_t{64} << 10;
+
+    /** Compiled plans retained across all plan-cache shards. */
+    size_t plan_cache_capacity = 64;
+
+    /** Write-queue flush threshold (bounds per-connection buffering). */
+    size_t write_queue_bytes = size_t{256} << 10;
+
+    /** Use the poll() event loop even where epoll is available. */
+    bool force_poll = false;
+};
+
+/** Monotonic server-wide counters (snapshot). */
+struct ServerStats
+{
+    uint64_t connections_total = 0;
+    uint64_t requests_total = 0;   ///< header successfully parsed
+    uint64_t responses_ok = 0;
+    uint64_t responses_error = 0;  ///< error trailer sent
+    uint64_t rejected_bad_request = 0;
+    uint64_t rejected_header_too_large = 0;
+    uint64_t rejected_deadline = 0;    ///< read/write/idle deadline
+    uint64_t rejected_too_large = 0;   ///< body byte cap
+    uint64_t stats_requests = 0;
+    uint64_t idle_closed = 0;      ///< closed with no request byte
+    uint64_t bytes_in_total = 0;   ///< request body bytes consumed
+    uint64_t bytes_out_total = 0;  ///< response bytes written
+};
+
+/** See file comment. */
+class Server
+{
+  public:
+    explicit Server(ServerConfig config = {});
+    ~Server();
+
+    Server(const Server&) = delete;
+    Server& operator=(const Server&) = delete;
+
+    /**
+     * Bind, listen, and spawn the event loop + workers.
+     * @throws std::runtime_error when the socket cannot be set up.
+     */
+    void start();
+
+    /** Bound port (after start()); useful with config.port == 0. */
+    uint16_t port() const { return port_; }
+
+    /**
+     * Request a graceful drain.  Async-signal-safe: may be called from
+     * a SIGTERM handler.  Returns immediately; pair with waitStopped().
+     */
+    void requestStop() noexcept;
+
+    /** Block until the drain completes and all threads are joined. */
+    void waitStopped();
+
+    /** requestStop() + waitStopped(). */
+    void stop();
+
+    /**
+     * Hand an already-connected descriptor (e.g. one end of a
+     * socketpair) straight to a worker, bypassing accept().  The
+     * server takes ownership of @p fd.  This is the loopback test
+     * harness's injection point — the full request path runs without
+     * any listening socket involved.
+     *
+     * @return false (fd closed) when the server is draining.
+     */
+    bool adoptConnection(int fd);
+
+    /** Counter snapshot. */
+    ServerStats stats() const;
+
+    /** The shared plan cache (for counter assertions in tests). */
+    const PlanCache& planCache() const { return plan_cache_; }
+
+    /**
+     * The Prometheus text page a `!stats` request answers with:
+     * server counters + plan-cache gauges + the merged telemetry
+     * registry of every completed request.
+     */
+    std::string metricsText() const;
+
+  private:
+    class Impl;
+
+    void eventLoop();
+    void handleConnection(int fd);
+
+    ServerConfig config_;
+    PlanCache plan_cache_;
+
+    int listen_fd_ = -1;
+    int wake_read_fd_ = -1;
+    int wake_write_fd_ = -1;
+    uint16_t port_ = 0;
+
+    std::atomic<bool> stopping_{false};
+    std::atomic<bool> started_{false};
+    std::thread loop_thread_;
+    std::unique_ptr<ThreadPool> pool_;
+
+    mutable std::mutex stats_mutex_;
+    ServerStats stats_;
+    telemetry::Registry merged_telemetry_;
+
+    void bumpOk(uint64_t bytes_in, uint64_t bytes_out,
+                const telemetry::Registry& reg);
+    void bumpError(uint64_t bytes_in, uint64_t bytes_out,
+                   const telemetry::Registry& reg, ErrorCode code);
+};
+
+} // namespace jsonski::service
+
+#endif // JSONSKI_SERVICE_SERVER_H

@@ -44,6 +44,11 @@ enum class ErrorCode {
     DepthExceeded,      ///< nesting beyond an engine's recursion bound
     StrayByte,          ///< garbage between top-level records
     RecordTooLarge,     ///< record exceeds an engine's size limit
+    IoError,            ///< read failed mid-stream (disk/socket error)
+    DeadlineExpired,    ///< a read or write deadline elapsed (service)
+    HeaderTooLarge,     ///< request header exceeds the byte limit
+    BadRequest,         ///< malformed service request header
+    MatchLimitExceeded, ///< per-request match cap reached (service)
 };
 
 /** Short stable name for an ErrorCode ("unterminated-string", ...). */
@@ -65,8 +70,26 @@ errorCodeName(ErrorCode code)
       case ErrorCode::DepthExceeded: return "depth-exceeded";
       case ErrorCode::StrayByte: return "stray-byte";
       case ErrorCode::RecordTooLarge: return "record-too-large";
+      case ErrorCode::IoError: return "io-error";
+      case ErrorCode::DeadlineExpired: return "deadline-expired";
+      case ErrorCode::HeaderTooLarge: return "header-too-large";
+      case ErrorCode::BadRequest: return "bad-request";
+      case ErrorCode::MatchLimitExceeded: return "match-limit-exceeded";
     }
     return "unknown";
+}
+
+/** Inverse of errorCodeName(); Unspecified for unknown names. */
+inline ErrorCode
+errorCodeFromName(std::string_view name)
+{
+    for (int i = 0; i <= static_cast<int>(ErrorCode::MatchLimitExceeded);
+         ++i) {
+        auto code = static_cast<ErrorCode>(i);
+        if (errorCodeName(code) == name)
+            return code;
+    }
+    return ErrorCode::Unspecified;
 }
 
 /** Malformed JSON input detected during parsing or streaming. */

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Strict command-line number parsing shared by the CLI tools (jsq,
+ * jsqd, jsqc) and the service flag decoder.
+ *
+ * `strtoul(arg, nullptr, 10)` silently accepts trailing garbage
+ * ("4096x"), empty strings, negative wrap-around, and out-of-range
+ * values; every tool that takes a byte count or a limit must reject
+ * those with a usage error instead.  These helpers return false on
+ * anything but a complete, in-range, base-10 literal.
+ */
+#ifndef JSONSKI_UTIL_PARSE_H
+#define JSONSKI_UTIL_PARSE_H
+
+#include <cerrno>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+#include <string_view>
+
+namespace jsonski {
+
+/**
+ * Parse @p text as a base-10 size_t.
+ *
+ * @return false on empty input, any non-digit character (including
+ *         sign characters and trailing garbage), or overflow.
+ */
+inline bool
+parseSize(std::string_view text, size_t& out)
+{
+    if (text.empty())
+        return false;
+    // strtoull accepts leading whitespace and a sign; a byte count or
+    // limit flag is digits only.
+    for (char c : text)
+        if (c < '0' || c > '9')
+            return false;
+    // NUL-terminate for strtoull without assuming text is terminated.
+    char buf[32];
+    if (text.size() >= sizeof buf)
+        return false; // longer than any representable 64-bit decimal
+    text.copy(buf, text.size());
+    buf[text.size()] = '\0';
+    errno = 0;
+    char* end = nullptr;
+    unsigned long long v = std::strtoull(buf, &end, 10);
+    if (errno == ERANGE || end != buf + text.size())
+        return false;
+    if (v > std::numeric_limits<size_t>::max())
+        return false;
+    out = static_cast<size_t>(v);
+    return true;
+}
+
+/** parseSize() that additionally rejects zero (sizes, chunk bytes). */
+inline bool
+parsePositiveSize(std::string_view text, size_t& out)
+{
+    return parseSize(text, out) && out != 0;
+}
+
+} // namespace jsonski
+
+#endif // JSONSKI_UTIL_PARSE_H

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Wire-protocol unit tests: query-list splitting, header and trailer
+ * round trips, match framing, and the incremental ResponseParser —
+ * including feeding it one byte at a time, which is what arbitrary
+ * socket chunking degenerates to.
+ */
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "service/protocol.h"
+#include "util/error.h"
+#include "util/parse.h"
+
+using namespace jsonski;
+using namespace jsonski::service;
+
+namespace {
+
+TEST(SplitQueries, TopLevelCommasOnly)
+{
+    auto q = splitQueries("$.a[1:3],$.b");
+    ASSERT_EQ(q.size(), 2u);
+    EXPECT_EQ(q[0], "$.a[1:3]");
+    EXPECT_EQ(q[1], "$.b");
+}
+
+TEST(SplitQueries, TrimsWhitespace)
+{
+    auto q = splitQueries("  $.a , $.b  ");
+    ASSERT_EQ(q.size(), 2u);
+    EXPECT_EQ(q[0], "$.a");
+    EXPECT_EQ(q[1], "$.b");
+}
+
+TEST(SplitQueries, NormalizedJoinIsStable)
+{
+    // The plan-cache key: both spellings normalize to one string.
+    EXPECT_EQ(joinQueries(splitQueries("$.a, $.b")),
+              joinQueries(splitQueries("$.a,$.b")));
+}
+
+TEST(SplitQueries, SliceCommaStaysLiteral)
+{
+    auto q = splitQueries("$.a[1,3]");
+    ASSERT_EQ(q.size(), 1u);
+    EXPECT_EQ(q[0], "$.a[1,3]");
+}
+
+TEST(Header, RoundTrip)
+{
+    RequestHeader h;
+    h.queries = {"$.a[*].b", "$..c"};
+    h.records = true;
+    h.count_only = true;
+    h.limit = 7;
+    h.length = 1234;
+    h.has_length = true;
+
+    RequestHeader back = parseHeader(
+        encodeHeader(h).substr(0, encodeHeader(h).size() - 1));
+    EXPECT_EQ(back.queries, h.queries);
+    EXPECT_TRUE(back.records);
+    EXPECT_TRUE(back.count_only);
+    EXPECT_EQ(back.limit, 7u);
+    EXPECT_TRUE(back.has_length);
+    EXPECT_EQ(back.length, 1234u);
+    EXPECT_FALSE(back.stats);
+}
+
+TEST(Header, StatsRequest)
+{
+    RequestHeader h = parseHeader("jsq/1 !stats");
+    EXPECT_TRUE(h.stats);
+    EXPECT_TRUE(h.queries.empty());
+}
+
+TEST(Header, RejectionsAreTypedBadRequest)
+{
+    const char* bad[] = {
+        "",                      // empty line
+        "jsq/2 $.a",             // wrong magic
+        "jsq/1",                 // missing query list
+        "jsq/1  ",               // empty query list
+        "jsq/1 $.a frobnicate",  // unknown flag
+        "jsq/1 $.a limit=",      // empty flag value
+        "jsq/1 $.a limit=x",     // non-numeric flag value
+        "jsq/1 $.a length=-1",   // sign is not a digit
+        "http/1.1 GET /",        // something else entirely
+    };
+    for (const char* line : bad) {
+        try {
+            parseHeader(line);
+            ADD_FAILURE() << "accepted: " << line;
+        } catch (const ParseError& e) {
+            EXPECT_EQ(e.code(), ErrorCode::BadRequest) << line;
+        }
+    }
+}
+
+TEST(Trailer, OkRoundTrip)
+{
+    Trailer t;
+    t.ok = true;
+    t.matches = 42;
+    t.bytes_in = 4096;
+    t.ff = {1, 2, 3, 4, 5};
+    t.plan = "hit";
+    t.per_query = {40, 2};
+
+    std::string line = encodeTrailer(t);
+    ASSERT_FALSE(line.empty());
+    ASSERT_EQ(line.back(), '\n');
+    Trailer back = parseTrailer(
+        std::string_view(line).substr(0, line.size() - 1));
+    EXPECT_TRUE(back.ok);
+    EXPECT_EQ(back.matches, 42u);
+    EXPECT_EQ(back.bytes_in, 4096u);
+    EXPECT_EQ(back.ff, t.ff);
+    EXPECT_EQ(back.plan, "hit");
+    EXPECT_EQ(back.per_query, t.per_query);
+}
+
+TEST(Trailer, ErrorRoundTrip)
+{
+    Trailer t;
+    t.ok = false;
+    t.code = ErrorCode::DeadlineExpired;
+    t.error_pos = 99;
+    t.bytes_in = 100;
+
+    std::string line = encodeTrailer(t);
+    Trailer back = parseTrailer(
+        std::string_view(line).substr(0, line.size() - 1));
+    EXPECT_FALSE(back.ok);
+    EXPECT_EQ(back.code, ErrorCode::DeadlineExpired);
+    EXPECT_EQ(back.error_pos, 99u);
+}
+
+TEST(Trailer, EveryErrorCodeNameRoundTrips)
+{
+    // The trailer carries codes by name; every enum value must survive.
+    for (int c = 0; c <= static_cast<int>(ErrorCode::MatchLimitExceeded);
+         ++c) {
+        auto code = static_cast<ErrorCode>(c);
+        EXPECT_EQ(errorCodeFromName(errorCodeName(code)), code);
+    }
+}
+
+TEST(ResponseParser, MatchValueWithNewlineRoundTrips)
+{
+    // Length-prefixed framing: embedded newlines must not split frames.
+    std::string wire = encodeMatch(0, "line1\nline2");
+    Trailer t;
+    t.matches = 1;
+    wire += encodeTrailer(t);
+
+    ResponseParser p;
+    p.feed(wire);
+    ASSERT_TRUE(p.done());
+    ASSERT_EQ(p.matches().size(), 1u);
+    EXPECT_EQ(p.matches()[0].second, "line1\nline2");
+}
+
+TEST(ResponseParser, ByteAtATime)
+{
+    std::string wire = encodeMatch(0, R"({"k": [1, 2]})");
+    wire += encodeMatch(1, "\"v\"");
+    Trailer t;
+    t.matches = 2;
+    t.per_query = {1, 1};
+    wire += encodeTrailer(t);
+
+    std::vector<std::pair<size_t, std::string>> streamed;
+    ResponseParser p([&](size_t qi, std::string_view v) {
+        streamed.emplace_back(qi, std::string(v));
+    });
+    for (char c : wire)
+        p.feed(std::string_view(&c, 1));
+    ASSERT_TRUE(p.done());
+    ASSERT_EQ(streamed.size(), 2u);
+    EXPECT_EQ(streamed[0].first, 0u);
+    EXPECT_EQ(streamed[0].second, R"({"k": [1, 2]})");
+    EXPECT_EQ(streamed[1].first, 1u);
+    EXPECT_EQ(streamed[1].second, "\"v\"");
+    EXPECT_EQ(p.trailer().matches, 2u);
+}
+
+TEST(ResponseParser, FramingViolationThrows)
+{
+    ResponseParser p;
+    EXPECT_THROW(p.feed("garbage that is neither match nor trailer\n"),
+                 ParseError);
+}
+
+TEST(ParseSize, StrictValidation)
+{
+    size_t v = 0;
+    EXPECT_TRUE(parseSize("0", v));
+    EXPECT_EQ(v, 0u);
+    EXPECT_TRUE(parseSize("65536", v));
+    EXPECT_EQ(v, 65536u);
+
+    // The jsq bug class this replaces: strtoul accepted all of these.
+    EXPECT_FALSE(parseSize("", v));
+    EXPECT_FALSE(parseSize("12abc", v));
+    EXPECT_FALSE(parseSize("-1", v));
+    EXPECT_FALSE(parseSize("+1", v));
+    EXPECT_FALSE(parseSize(" 1", v));
+    EXPECT_FALSE(parseSize("0x10", v));
+    EXPECT_FALSE(parseSize("99999999999999999999999999", v)); // overflow
+
+    EXPECT_TRUE(parsePositiveSize("1", v));
+    EXPECT_FALSE(parsePositiveSize("0", v));
+}
+
+} // namespace
