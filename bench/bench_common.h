@@ -12,7 +12,7 @@
 
 #include "harness/engines.h"
 #include "harness/report.h"
-#include "intervals/classifier.h"
+#include "kernels/kernel.h"
 #include "telemetry/telemetry.h"
 
 namespace jsonski::bench {
@@ -25,9 +25,10 @@ banner(const char* artifact, const char* description, size_t bytes)
     std::printf("input scale: %.1f MB per dataset "
                 "(paper: 1 GB; pass MB as argv[1] or JSONSKI_BENCH_MB)\n",
                 static_cast<double>(bytes) / (1024.0 * 1024.0));
-    std::printf("hardware threads: %u; SIMD classifier: %s\n\n",
+    std::printf("hardware threads: %u; SIMD kernel: %s "
+                "(runtime-dispatched; JSONSKI_KERNEL overrides)\n\n",
                 std::thread::hardware_concurrency(),
-                intervals::classifierUsesSimd() ? "AVX2" : "scalar");
+                std::string(kernels::activeName()).c_str());
 }
 
 /**

@@ -12,6 +12,7 @@
 #include "harness/report.h"
 #include "harness/runner.h"
 #include "intervals/classifier.h"
+#include "kernels/kernel.h"
 
 using namespace jsonski;
 using namespace jsonski::harness;
@@ -68,8 +69,8 @@ main()
         "\nvs paper: identical, except this reproduction adds an\n"
         "element-parallel JSONSki mode (the paper's future work; see\n"
         "bench_ext_parallel) and substitutes two-phase chunking for\n"
-        "JPStream/Pison speculation (DESIGN.md #3).  SIMD classifier\n"
-        "active in this build: %s.\n",
-        intervals::classifierUsesSimd() ? "yes (AVX2)" : "no (scalar)");
+        "JPStream/Pison speculation (DESIGN.md #3).  SIMD kernel\n"
+        "active at runtime: %s.\n",
+        std::string(kernels::activeName()).c_str());
     return 0;
 }

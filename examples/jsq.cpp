@@ -39,6 +39,7 @@
 
 #include "intervals/chunk_source.h"
 #include "json/writer.h"
+#include "kernels/kernel.h"
 #include "path/parser.h"
 #include "service/plan_cache.h"
 #include "service/protocol.h"
@@ -201,6 +202,8 @@ printProfile(const std::string& query, size_t input_bytes, size_t matches,
     w.beginObject();
     w.key("schema");
     w.string("jsonski-profile-v1");
+    w.key("kernel");
+    w.string(kernels::activeName());
     w.key("query");
     w.string(query);
     w.key("input_bytes");

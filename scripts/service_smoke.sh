@@ -97,6 +97,17 @@ fi
 
 # --- stats scrape ---------------------------------------------------
 "$JSQC" -p "$port" --stats >"$tmp/stats"
+# The daemon must report which runtime SIMD kernel it dispatched to;
+# when JSONSKI_KERNEL is set in the smoke environment the scrape must
+# agree with it.
+kernel=$(sed -n 's/^jsonski_server_kernel_info{kernel="\([^"]*\)"} 1$/\1/p' \
+    "$tmp/stats")
+[ -n "$kernel" ] || { echo "no kernel_info in stats scrape" >&2; exit 1; }
+if [ -n "${JSONSKI_KERNEL:-}" ] && [ "$kernel" != "$JSONSKI_KERNEL" ]; then
+    echo "kernel mismatch: stats say $kernel, env wants $JSONSKI_KERNEL" >&2
+    exit 1
+fi
+echo "active kernel: $kernel"
 grep -q "jsonski_server_requests_total" "$tmp/stats"
 grep -q "jsonski_server_responses_error" "$tmp/stats"
 grep -q "jsonski_server_plan_cache_hits" "$tmp/stats"

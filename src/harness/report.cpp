@@ -6,6 +6,7 @@
 #include <cstdlib>
 
 #include "json/writer.h"
+#include "kernels/kernel.h"
 #include "telemetry/export.h"
 
 namespace jsonski::harness {
@@ -132,6 +133,8 @@ BenchReport::toJson() const
     w.number(static_cast<int64_t>(threads_));
     w.key("telemetry_compiled");
     w.boolean(telemetry::kEnabled);
+    w.key("kernel");
+    w.string(kernels::activeName());
     w.key("rows");
     w.beginArray();
     for (const Row& row : rows_) {

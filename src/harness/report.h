@@ -11,7 +11,7 @@
  *   {"schema": "jsonski-bench-v1",
  *    "artifact": "fig10_large_record",
  *    "description": "...", "input_bytes": N, "threads": N,
- *    "telemetry_compiled": bool,
+ *    "telemetry_compiled": bool, "kernel": "avx2",
  *    "rows": [{"query": "BB1", "engine": "JSONSki",
  *              "seconds": s, "gbps": g, ...,
  *              "ff": {"G1": bytes, ..., "overall_ratio": r},

@@ -2,15 +2,8 @@
 
 #include <cstring>
 
+#include "kernels/kernel.h"
 #include "telemetry/telemetry.h"
-#include "util/bits.h"
-
-#if defined(__AVX2__)
-#include <immintrin.h>
-#define JSONSKI_HAVE_AVX2 1
-#else
-#define JSONSKI_HAVE_AVX2 0
-#endif
 
 namespace jsonski::intervals {
 namespace {
@@ -19,7 +12,8 @@ namespace {
  * Mark characters escaped by a backslash, handling runs of backslashes
  * that straddle block boundaries (odd-length run => next char escaped).
  * This is the classic odd/even backslash-sequence computation used by
- * simdjson and Pison.
+ * simdjson and Pison.  Pure word arithmetic — identical for every
+ * kernel, so it lives here rather than in the dispatch layer.
  *
  * @param backslash     Bitmap of '\\' bytes in this block.
  * @param prev_escaped  In/out carry: 1 if bit 0 of this block is escaped.
@@ -44,84 +38,14 @@ findEscaped(uint64_t backslash, uint64_t& prev_escaped)
     return (even_bits ^ invert_mask) & follows_escape;
 }
 
-/** Raw equality bitmaps for the characters the classifier cares about. */
-struct RawBits
-{
-    uint64_t backslash, quote;
-    uint64_t open_brace, close_brace, open_bracket, close_bracket;
-    uint64_t colon, comma, whitespace;
-};
-
-#if JSONSKI_HAVE_AVX2
-
-uint64_t
-eqMask(__m256i lo, __m256i hi, char c)
-{
-    __m256i needle = _mm256_set1_epi8(c);
-    uint32_t m_lo = static_cast<uint32_t>(
-        _mm256_movemask_epi8(_mm256_cmpeq_epi8(lo, needle)));
-    uint32_t m_hi = static_cast<uint32_t>(
-        _mm256_movemask_epi8(_mm256_cmpeq_epi8(hi, needle)));
-    return (static_cast<uint64_t>(m_hi) << 32) | m_lo;
-}
-
-RawBits
-rawBits(const char* data)
-{
-    __m256i lo = _mm256_loadu_si256(
-        reinterpret_cast<const __m256i*>(data));
-    __m256i hi = _mm256_loadu_si256(
-        reinterpret_cast<const __m256i*>(data + 32));
-    RawBits r;
-    r.backslash = eqMask(lo, hi, '\\');
-    r.quote = eqMask(lo, hi, '"');
-    r.open_brace = eqMask(lo, hi, '{');
-    r.close_brace = eqMask(lo, hi, '}');
-    r.open_bracket = eqMask(lo, hi, '[');
-    r.close_bracket = eqMask(lo, hi, ']');
-    r.colon = eqMask(lo, hi, ':');
-    r.comma = eqMask(lo, hi, ',');
-    r.whitespace = eqMask(lo, hi, ' ') | eqMask(lo, hi, '\t') |
-                   eqMask(lo, hi, '\n') | eqMask(lo, hi, '\r');
-    return r;
-}
-
-#else // !JSONSKI_HAVE_AVX2
-
-RawBits
-rawBits(const char* data)
-{
-    RawBits r{};
-    for (size_t i = 0; i < kBlockSize; ++i) {
-        uint64_t bit = uint64_t{1} << i;
-        switch (data[i]) {
-          case '\\': r.backslash |= bit; break;
-          case '"': r.quote |= bit; break;
-          case '{': r.open_brace |= bit; break;
-          case '}': r.close_brace |= bit; break;
-          case '[': r.open_bracket |= bit; break;
-          case ']': r.close_bracket |= bit; break;
-          case ':': r.colon |= bit; break;
-          case ',': r.comma |= bit; break;
-          case ' ':
-          case '\t':
-          case '\n':
-          case '\r': r.whitespace |= bit; break;
-          default: break;
-        }
-    }
-    return r;
-}
-
-#endif // JSONSKI_HAVE_AVX2
-
 BlockBits
-finishClassification(const RawBits& raw, ClassifierCarry& carry)
+finishClassification(const kernels::Kernel& k, const kernels::RawBits64& raw,
+                     ClassifierCarry& carry)
 {
     BlockBits out;
     uint64_t escaped = findEscaped(raw.backslash, carry.prev_escaped);
     out.quote = raw.quote & ~escaped;
-    out.in_string = bits::prefixXor(out.quote) ^ carry.prev_in_string;
+    out.in_string = k.prefix_xor(out.quote) ^ carry.prev_in_string;
     // Carry: all-ones if the block ends inside a string.
     carry.prev_in_string =
         static_cast<uint64_t>(static_cast<int64_t>(out.in_string) >> 63);
@@ -141,7 +65,8 @@ finishClassification(const RawBits& raw, ClassifierCarry& carry)
 BlockBits
 classifyBlock(const char* data, ClassifierCarry& carry)
 {
-    return finishClassification(rawBits(data), carry);
+    const kernels::Kernel& k = kernels::active();
+    return finishClassification(k, k.raw_bits(data), carry);
 }
 
 BlockBits
@@ -210,27 +135,19 @@ classifyBlockReference(const char* data, size_t len, ClassifierCarry& carry)
 bool
 classifierUsesSimd()
 {
-    return JSONSKI_HAVE_AVX2 != 0;
+    return kernels::activeName() != "scalar";
 }
 
 StringBits
 classifyStringsBlock(const char* data, ClassifierCarry& carry)
 {
-#if JSONSKI_HAVE_AVX2
-    __m256i lo = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data));
-    __m256i hi =
-        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data + 32));
-    uint64_t backslash = eqMask(lo, hi, '\\');
-    uint64_t quote_raw = eqMask(lo, hi, '"');
-#else
-    uint64_t backslash = rawEqBits(data, '\\');
-    uint64_t quote_raw = rawEqBits(data, '"');
-#endif
+    const kernels::Kernel& k = kernels::active();
+    kernels::StringRaw raw = k.string_raw(data);
     telemetry::count(telemetry::Counter::StringMaskBuilds);
     StringBits out;
-    uint64_t escaped = findEscaped(backslash, carry.prev_escaped);
-    out.quote = quote_raw & ~escaped;
-    out.in_string = bits::prefixXor(out.quote) ^ carry.prev_in_string;
+    uint64_t escaped = findEscaped(raw.backslash, carry.prev_escaped);
+    out.quote = raw.quote & ~escaped;
+    out.in_string = k.prefix_xor(out.quote) ^ carry.prev_in_string;
     carry.prev_in_string =
         static_cast<uint64_t>(static_cast<int64_t>(out.in_string) >> 63);
     return out;
@@ -239,43 +156,13 @@ classifyStringsBlock(const char* data, ClassifierCarry& carry)
 uint64_t
 rawEqBits(const char* data, char c)
 {
-#if JSONSKI_HAVE_AVX2
-    __m256i lo = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data));
-    __m256i hi =
-        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data + 32));
-    return eqMask(lo, hi, c);
-#else
-    uint64_t out = 0;
-    for (size_t i = 0; i < kBlockSize; ++i) {
-        if (data[i] == c)
-            out |= uint64_t{1} << i;
-    }
-    return out;
-#endif
+    return kernels::active().eq_bits(data, c);
 }
 
 uint64_t
 rawWhitespaceBits(const char* data)
 {
-#if JSONSKI_HAVE_AVX2
-    __m256i limit = _mm256_set1_epi8(0x20);
-    __m256i lo = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data));
-    __m256i hi =
-        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data + 32));
-    // bytes <= 0x20  <=>  max(byte, 0x20) == 0x20 (unsigned)
-    uint32_t m_lo = static_cast<uint32_t>(_mm256_movemask_epi8(
-        _mm256_cmpeq_epi8(_mm256_max_epu8(lo, limit), limit)));
-    uint32_t m_hi = static_cast<uint32_t>(_mm256_movemask_epi8(
-        _mm256_cmpeq_epi8(_mm256_max_epu8(hi, limit), limit)));
-    return (static_cast<uint64_t>(m_hi) << 32) | m_lo;
-#else
-    uint64_t out = 0;
-    for (size_t i = 0; i < kBlockSize; ++i) {
-        if (static_cast<unsigned char>(data[i]) <= 0x20)
-            out |= uint64_t{1} << i;
-    }
-    return out;
-#endif
+    return kernels::active().whitespace_bits(data);
 }
 
 } // namespace jsonski::intervals

@@ -2,12 +2,15 @@
  * @file
  * Word-at-a-time block classifier.
  *
- * Converts 64 input bytes into the BlockBits bitmaps using SIMD
- * compares (AVX2) or a portable SWAR fallback.  The string-interior
- * mask uses the standard odd-backslash-sequence algorithm plus a
- * prefix-XOR over unescaped quotes, with carries threaded between
- * blocks so classification can run strictly left to right — exactly the
- * streaming discipline the paper's interval construction assumes.
+ * Converts 64 input bytes into the BlockBits bitmaps.  The raw
+ * equality bitmaps come from the runtime-dispatched SIMD kernel
+ * (src/kernels/: AVX2, Westmere/SSE, or portable scalar — selected by
+ * cpuid at first use, overridable with JSONSKI_KERNEL).  The
+ * string-interior mask uses the standard odd-backslash-sequence
+ * algorithm plus a prefix-XOR over unescaped quotes, with carries
+ * threaded between blocks so classification can run strictly left to
+ * right — exactly the streaming discipline the paper's interval
+ * construction assumes.
  */
 #ifndef JSONSKI_INTERVALS_CLASSIFIER_H
 #define JSONSKI_INTERVALS_CLASSIFIER_H
@@ -45,7 +48,8 @@ BlockBits classifyPartialBlock(const char* data, size_t len,
 BlockBits classifyBlockReference(const char* data, size_t len,
                                  ClassifierCarry& carry);
 
-/** True when the build is using the AVX2 path. */
+/** True when the active runtime kernel is a SIMD one (not "scalar").
+ *  See kernels::activeName() for the exact kernel. */
 bool classifierUsesSimd();
 
 /**

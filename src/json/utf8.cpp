@@ -2,32 +2,10 @@
 
 #include <cstdint>
 
-#if defined(__AVX2__)
-#include <immintrin.h>
-#endif
+#include "kernels/kernel.h"
 
 namespace jsonski::json {
 namespace {
-
-/** True when all 64 bytes at @p p are ASCII (< 0x80). */
-bool
-asciiBlock(const char* p)
-{
-#if defined(__AVX2__)
-    __m256i lo = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
-    __m256i hi =
-        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + 32));
-    return (_mm256_movemask_epi8(lo) | _mm256_movemask_epi8(hi)) == 0;
-#else
-    uint64_t acc = 0;
-    for (int i = 0; i < 8; ++i) {
-        uint64_t w;
-        __builtin_memcpy(&w, p + i * 8, 8);
-        acc |= w;
-    }
-    return (acc & 0x8080808080808080ULL) == 0;
-#endif
-}
 
 /**
  * Validate one multi-byte sequence starting at @p i.
@@ -77,11 +55,14 @@ sequenceLength(std::string_view s, size_t i)
 Utf8Result
 validateUtf8(std::string_view data)
 {
+    // Hoist the kernel lookup out of the loop: one dispatched
+    // ascii_block call per 64 bytes, resolved once.
+    const kernels::Kernel& k = kernels::active();
     size_t i = 0;
     const size_t n = data.size();
     while (i < n) {
         // Vector fast path over aligned-ish full blocks.
-        while (i + 64 <= n && asciiBlock(data.data() + i))
+        while (i + 64 <= n && k.ascii_block(data.data() + i))
             i += 64;
         if (i >= n)
             break;

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Kernel registry and one-time runtime selection (DESIGN.md §11).
+ *
+ * Resolution order at first use:
+ *   1. JSONSKI_KERNEL=<name> in the environment — strict token parse,
+ *      then exact lookup ("sse2" aliases "westmere"); malformed,
+ *      unknown, or unsupported names throw jsonski::ConfigError rather
+ *      than silently falling back, so a misconfigured deployment fails
+ *      loudly at the first classified block.
+ *   2. Otherwise the highest-priority kernel whose cpuid probe passes.
+ *
+ * The winner is published through an acquire/release atomic; concurrent
+ * first uses may race to resolve but deterministically agree on the
+ * result, so the publish is idempotent.
+ */
+#include "kernels/kernels_internal.h"
+
+#include <cstdlib>
+#include <string>
+
+#include "util/error.h"
+#include "util/parse.h"
+
+namespace jsonski::kernels {
+
+namespace detail {
+std::atomic<const Kernel*> g_active{nullptr};
+} // namespace detail
+
+const std::vector<const Kernel*>&
+all()
+{
+    static const std::vector<const Kernel*> kernels = {
+#if JSONSKI_KERNELS_X86
+        &kAvx2Kernel,
+        &kWestmereKernel,
+#endif
+        &kScalarKernel,
+    };
+    return kernels;
+}
+
+std::vector<const Kernel*>
+runnable()
+{
+    std::vector<const Kernel*> out;
+    for (const Kernel* k : all()) {
+        if (k->supported())
+            out.push_back(k);
+    }
+    return out;
+}
+
+const Kernel*
+find(std::string_view name)
+{
+    if (name == "sse2")
+        name = "westmere";
+    for (const Kernel* k : all()) {
+        if (name == k->name)
+            return k;
+    }
+    return nullptr;
+}
+
+namespace {
+
+std::string
+compiledNames()
+{
+    std::string names;
+    for (const Kernel* k : all()) {
+        if (!names.empty())
+            names += ", ";
+        names += k->name;
+    }
+    return names;
+}
+
+} // namespace
+
+const Kernel&
+select(std::string_view name)
+{
+    if (!parseIdent(name))
+        throw ConfigError("JSONSKI_KERNEL is not a valid kernel name "
+                          "(want one of: " +
+                          compiledNames() + ")");
+    const Kernel* k = find(name);
+    if (k == nullptr)
+        throw ConfigError("unknown kernel \"" + std::string(name) +
+                          "\" (compiled kernels: " + compiledNames() +
+                          ")");
+    if (!k->supported())
+        throw ConfigError("kernel \"" + std::string(k->name) +
+                          "\" is not supported on this host (cpuid "
+                          "probe failed)");
+    return *k;
+}
+
+namespace detail {
+
+const Kernel&
+resolveActive()
+{
+    const Kernel* chosen = nullptr;
+    const char* env = std::getenv("JSONSKI_KERNEL");
+    if (env != nullptr && *env != '\0') {
+        chosen = &select(env);
+    } else {
+        for (const Kernel* k : all()) {
+            if (k->supported()) {
+                chosen = k;
+                break;
+            }
+        }
+    }
+    // all() is best-first and scalar always probes true.
+    g_active.store(chosen, std::memory_order_release);
+    return *chosen;
+}
+
+} // namespace detail
+
+} // namespace jsonski::kernels

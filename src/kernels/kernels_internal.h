@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Internal registry glue for the kernel translation units.  Each kernel
+ * TU defines exactly one `const Kernel` object; dispatch.cpp collects
+ * them.  The x86 kernels compile to empty TUs on other architectures
+ * (their CMake per-source -m flags are likewise x86-gated).
+ */
+#ifndef JSONSKI_KERNELS_KERNELS_INTERNAL_H
+#define JSONSKI_KERNELS_KERNELS_INTERNAL_H
+
+#include "kernels/kernel.h"
+
+#if defined(__x86_64__) || defined(__i386__) || defined(_M_X64)
+#define JSONSKI_KERNELS_X86 1
+#else
+#define JSONSKI_KERNELS_X86 0
+#endif
+
+namespace jsonski::kernels {
+
+extern const Kernel kScalarKernel;
+#if JSONSKI_KERNELS_X86
+extern const Kernel kWestmereKernel;
+extern const Kernel kAvx2Kernel;
+#endif
+
+} // namespace jsonski::kernels
+
+#endif // JSONSKI_KERNELS_KERNELS_INTERNAL_H

@@ -21,6 +21,7 @@
 #endif
 
 #include "intervals/chunk_source.h"
+#include "kernels/kernel.h"
 #include "service/protocol.h"
 #include "ski/record_reader.h"
 #include "ski/sinks.h"
@@ -788,6 +789,12 @@ Server::metricsText() const
         out += std::to_string(v);
         out += '\n';
     };
+    // Which SIMD kernel this daemon is running on — the service-smoke
+    // script scrapes this to confirm the dispatch decision end to end.
+    out += "# TYPE jsonski_server_kernel_info gauge\n"
+           "jsonski_server_kernel_info{kernel=\"";
+    out += kernels::activeName();
+    out += "\"} 1\n";
     gauge("connections_total", s.connections_total);
     gauge("requests_total", s.requests_total);
     gauge("responses_ok", s.responses_ok);

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "kernels/kernel.h"
 #include "util/error.h"
 
 namespace jsonski::ski {
@@ -95,7 +96,7 @@ Skipper::closeContainer(bool object, uint64_t depth, Group g,
                 uint64_t n = static_cast<uint64_t>(bits::popcount(closes));
                 if (n >= depth) {
                     int off =
-                        bits::selectBit(closes, static_cast<int>(depth));
+                        kernels::selectBit(closes, static_cast<int>(depth));
                     cur_.setPos(base + static_cast<size_t>(off) + 1);
                     account(g, start, cur_.pos());
                     return;
@@ -108,7 +109,7 @@ Skipper::closeContainer(bool object, uint64_t depth, Group g,
             uint64_t n = static_cast<uint64_t>(bits::popcount(closes_before));
             if (n >= depth) {
                 int off =
-                    bits::selectBit(closes_before, static_cast<int>(depth));
+                    kernels::selectBit(closes_before, static_cast<int>(depth));
                 cur_.setPos(base + static_cast<size_t>(off) + 1);
                 account(g, start, cur_.pos());
                 return;
@@ -187,7 +188,7 @@ Skipper::scanPrimitives(bool closer_is_brace, size_t max_seps, size_t& seps,
         size_t budget = max_seps - seps;
         if (n >= budget) {
             int off =
-                bits::selectBit(commas_before, static_cast<int>(budget));
+                kernels::selectBit(commas_before, static_cast<int>(budget));
             seps = max_seps;
             cur_.setPos(base + static_cast<size_t>(off) + 1);
             account(g, start, cur_.pos());

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <string>
 
+#include "kernels/kernel.h"
+
 namespace jsonski::telemetry {
 
 namespace {
@@ -54,6 +56,12 @@ toJson(const Registry& r)
     out.reserve(1024);
     out += "{\"enabled\":";
     out += kEnabled ? "true" : "false";
+
+    // Which SIMD kernel produced the counted work (DESIGN.md §11);
+    // kernel names are [a-z0-9_-] so no JSON escaping is needed.
+    out += ",\"kernel\":\"";
+    out += kernels::activeName();
+    out += '"';
 
     out += ",\"counters\":{";
     for (size_t i = 0; i < kCounterCount; ++i) {
@@ -146,6 +154,14 @@ toPrometheus(const Registry& r, std::string_view labels)
         out += '\n';
     };
 
+    out += "# TYPE jsonski_kernel_info gauge\n";
+    {
+        std::string extra = "kernel=\"";
+        extra += kernels::activeName();
+        extra += '"';
+        sample("kernel_info", extra, 1);
+    }
+
     out += "# TYPE jsonski_counter_total counter\n";
     for (size_t i = 0; i < kCounterCount; ++i) {
         std::string extra = "name=\"";
@@ -217,6 +233,10 @@ renderReport(const Registry& r)
     out += "telemetry report";
     if (!kEnabled)
         out += " (hooks compiled out: JSONSKI_TELEMETRY=OFF — all zeros)";
+    out += '\n';
+
+    out += "  kernel: ";
+    out += kernels::activeName();
     out += '\n';
 
     out += "  counters:\n";

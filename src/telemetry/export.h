@@ -20,7 +20,8 @@ namespace jsonski::telemetry {
 /**
  * Serialize @p r as one JSON object:
  *
- *   {"enabled":bool, "counters":{...}, "skipped_bytes":{"G1":n,...},
+ *   {"enabled":bool, "kernel":"avx2",
+ *    "counters":{...}, "skipped_bytes":{"G1":n,...},
  *    "skip_histograms":{"G1":[{"le":2,"count":n},...],...},
  *    "phase_ns":{...},
  *    "trace":{"total":n,"dropped":n,"entries":[{...},...]}}

@@ -1,11 +1,13 @@
 #include "testing/differential.h"
 
 #include <cassert>
+#include <cstdlib>
 #include <exception>
 
 #include "baseline/dom/query.h"
 #include "gen/datasets.h"
 #include "json/validate.h"
+#include "kernels/kernel.h"
 #include "path/matches.h"
 #include "path/parser.h"
 #include "ski/record_scanner.h"
@@ -90,6 +92,36 @@ seamOffsets(const std::string& doc)
     return seams;
 }
 
+/**
+ * Kernels every mutant is replayed under: JSONSKI_TEST_KERNELS=a,b
+ * when set (strictly validated — a typo must not silently shrink
+ * coverage), otherwise every runnable kernel other than the active
+ * one.  Single-kernel hosts replay nothing.
+ */
+std::vector<const kernels::Kernel*>
+replayKernels()
+{
+    std::vector<const kernels::Kernel*> out;
+    const char* env = std::getenv("JSONSKI_TEST_KERNELS");
+    if (env != nullptr && *env != '\0') {
+        std::string_view list(env);
+        while (!list.empty()) {
+            size_t comma = list.find(',');
+            out.push_back(&kernels::select(list.substr(0, comma)));
+            list = comma == std::string_view::npos
+                       ? std::string_view{}
+                       : list.substr(comma + 1);
+        }
+        return out;
+    }
+    const kernels::Kernel& active = kernels::active();
+    for (const kernels::Kernel* k : kernels::runnable()) {
+        if (k != &active)
+            out.push_back(k);
+    }
+    return out;
+}
+
 /** Clip a mutant for inclusion in a failure message. */
 std::string
 excerpt(const std::string& doc)
@@ -132,6 +164,8 @@ runDifferentialFuzz(const FuzzConfig& config)
     StructuredMutator mutator(config.seed);
     FuzzReport report;
     std::vector<Mutation> edits;
+    const std::vector<const kernels::Kernel*> replay_kernels =
+        replayKernels();
 
     auto recordFailure = [&](const std::string& what) {
         if (report.failures.size() < config.max_failures)
@@ -255,6 +289,71 @@ runDifferentialFuzz(const FuzzConfig& config)
                            chunked.values != first_run.values) {
                     ++report.divergences;
                     recordFailure("seam value divergence" + seam_ctx);
+                }
+            }
+        }
+
+        // Cross-ISA replay: rerun the first query whole-buffer under
+        // every other runnable SIMD kernel.  The run under the active
+        // kernel is the oracle — values, ErrorCode, error position,
+        // and the fast-forward skip accounting must not depend on
+        // which ISA the dispatcher picked.
+        if (first_usable && !replay_kernels.empty()) {
+            size_t qi0 = iter % queries.size();
+            SeamRun oracle = runStreamerWhole(mutant, queries[qi0]);
+            for (const kernels::Kernel* kern : replay_kernels) {
+                SeamRun alt;
+                {
+                    kernels::Override guard(*kern);
+                    alt = runStreamerWhole(mutant, queries[qi0]);
+                }
+                ++report.kernel_replays;
+                std::string kctx = std::string(" kernel=") + kern->name +
+                                   " query=" + config.queries[qi0] +
+                                   " " + context;
+                if (alt.threw_other) {
+                    ++report.escapes;
+                    recordFailure("kernel replay escape: " +
+                                  alt.error_what + kctx);
+                } else if (alt.threw_parse_error !=
+                           oracle.threw_parse_error) {
+                    ++report.divergences;
+                    recordFailure(
+                        std::string("kernel error divergence: oracle ") +
+                        (oracle.threw_parse_error ? "threw ("
+                             + oracle.error_what + ")" : "succeeded") +
+                        ", replay " +
+                        (alt.threw_parse_error ? "threw ("
+                             + alt.error_what + ")" : "succeeded") +
+                        kctx);
+                } else if (alt.threw_parse_error &&
+                           (alt.error_position != oracle.error_position ||
+                            alt.error_code != oracle.error_code)) {
+                    ++report.divergences;
+                    recordFailure(
+                        "kernel error detail divergence: oracle " +
+                        std::string(errorCodeName(oracle.error_code)) +
+                        "@" + std::to_string(oracle.error_position) +
+                        " vs replay " +
+                        std::string(errorCodeName(alt.error_code)) + "@" +
+                        std::to_string(alt.error_position) + kctx);
+                } else if (!alt.threw_parse_error &&
+                           alt.values != oracle.values) {
+                    ++report.divergences;
+                    recordFailure("kernel value divergence (oracle " +
+                                  std::to_string(oracle.values.size()) +
+                                  " vs replay " +
+                                  std::to_string(alt.values.size()) +
+                                  " values)" + kctx);
+                } else if (!alt.threw_parse_error &&
+                           alt.stats.skipped != oracle.stats.skipped) {
+                    ++report.divergences;
+                    recordFailure("kernel fast-forward stats divergence "
+                                  "(oracle total " +
+                                  std::to_string(oracle.stats.total()) +
+                                  " vs replay " +
+                                  std::to_string(alt.stats.total()) +
+                                  ")" + kctx);
                 }
             }
         }

@@ -23,6 +23,15 @@
  * the whole-buffer run of the *same* mutant — which is exactly the
  * contract, and works for invalid mutants too: error class and
  * position must not depend on where the chunks were cut.
+ *
+ * Kernel-replay mode: every mutant is also replayed under each other
+ * runnable SIMD kernel (src/kernels/) with the whole-buffer run under
+ * the active kernel as oracle — values, ErrorCode, error position, and
+ * FastForwardStats must all be independent of the dispatched ISA.
+ * JSONSKI_TEST_KERNELS=a,b in the environment restricts the replay set
+ * (same spirit as JSONSKI_TEST_CHUNK_BYTES); each name must pass
+ * kernels::select(), so a typo or an unsupported kernel fails fast
+ * with ConfigError instead of silently shrinking coverage.
  */
 #ifndef JSONSKI_TESTING_DIFFERENTIAL_H
 #define JSONSKI_TESTING_DIFFERENTIAL_H
@@ -59,6 +68,7 @@ struct FuzzReport
     size_t divergences = 0;    ///< result mismatch or throw on valid input
     size_t escapes = 0;        ///< non-ParseError exception / bad position
     size_t seam_replays = 0;   ///< chunked replays with a forced seam
+    size_t kernel_replays = 0; ///< whole-buffer replays under other kernels
 
     /** Reproducible descriptions of every recorded failure. */
     std::vector<std::string> failures;

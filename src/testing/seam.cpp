@@ -37,6 +37,7 @@ capture(const ski::Streamer& streamer, std::string_view json,
         r.ingest = res.ingest;
     } catch (const ParseError& e) {
         r.threw_parse_error = true;
+        r.error_code = e.code();
         r.error_position = e.position();
         r.error_what = e.what();
     } catch (const std::exception& e) {
@@ -117,6 +118,12 @@ runSeamDifferential(const std::vector<std::string>& corpus,
                              std::to_string(whole.error_position) +
                              " vs chunked " +
                              std::to_string(chunked.error_position) +
+                             context);
+                    else if (whole.error_code != chunked.error_code)
+                        fail("error code divergence: whole " +
+                             std::string(errorCodeName(whole.error_code)) +
+                             " vs chunked " +
+                             std::string(errorCodeName(chunked.error_code)) +
                              context);
                     continue;
                 }

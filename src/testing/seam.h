@@ -24,6 +24,7 @@
 #include "intervals/cursor.h"
 #include "path/ast.h"
 #include "ski/stats.h"
+#include "util/error.h"
 
 namespace jsonski::testing {
 
@@ -32,6 +33,7 @@ struct SeamRun
 {
     bool threw_parse_error = false;
     bool threw_other = false;
+    ErrorCode error_code = ErrorCode::Unspecified;
     size_t error_position = 0;
     std::string error_what;
     std::vector<std::string> values;

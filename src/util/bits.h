@@ -8,16 +8,18 @@
  * corresponds to byte i of the 64-byte block, so the *lowest* set bit is
  * the *earliest* character.  Consequently "next" scans use
  * count-trailing-zeros and interval ends are found at the lowest bit.
+ *
+ * Everything here is strictly portable: the ISA-accelerated variants of
+ * selectBit (PDEP) and prefixXor (CLMUL) live in the runtime-dispatched
+ * kernels (src/kernels/) — hot paths call kernels::selectBit /
+ * kernels::prefixXor instead, and these functions double as the scalar
+ * kernel's implementation and the differential-test reference.
  */
 #ifndef JSONSKI_UTIL_BITS_H
 #define JSONSKI_UTIL_BITS_H
 
 #include <cstdint>
 #include <cstddef>
-
-#if defined(__BMI2__)
-#include <immintrin.h>
-#endif
 
 namespace jsonski::bits {
 
@@ -76,21 +78,17 @@ maskBelow(int i)
  *
  * Used by the counting-based pairing strategy (Theorem 4.3): once we
  * know the object ends at the depth-th "}" inside an interval, select
- * finds that close brace in O(1) with PDEP, or via a short loop on
- * machines without BMI2.
+ * finds that close brace.  This is the portable clear-lowest loop; the
+ * AVX2 kernel replaces it with one PDEP.
  *
  * @pre 1 <= k <= popcount(x)
  */
 inline int
 selectBit(uint64_t x, int k)
 {
-#if defined(__BMI2__)
-    return trailingZeros(_pdep_u64(uint64_t{1} << (k - 1), x));
-#else
     for (int i = 1; i < k; ++i)
         x = clearLowest(x);
     return trailingZeros(x);
-#endif
 }
 
 /**
@@ -98,18 +96,13 @@ selectBit(uint64_t x, int k)
  *
  * This turns an (unescaped) quote bitmap into an in-string mask: bits
  * between an opening quote (inclusive) and the matching closing quote
- * (exclusive) read 1.  Uses carry-less multiplication by all-ones when
- * PCLMUL is available, otherwise a log-step shift cascade.
+ * (exclusive) read 1.  This is the portable log-step shift cascade;
+ * the SIMD kernels replace it with one carry-less multiplication by
+ * all-ones.
  */
 inline uint64_t
 prefixXor(uint64_t x)
 {
-#if defined(__PCLMUL__)
-    __m128i v = _mm_set_epi64x(0, static_cast<int64_t>(x));
-    __m128i ones = _mm_set1_epi8(static_cast<char>(0xFF));
-    __m128i r = _mm_clmulepi64_si128(v, ones, 0);
-    return static_cast<uint64_t>(_mm_cvtsi128_si64(r));
-#else
     x ^= x << 1;
     x ^= x << 2;
     x ^= x << 4;
@@ -117,7 +110,6 @@ prefixXor(uint64_t x)
     x ^= x << 16;
     x ^= x << 32;
     return x;
-#endif
 }
 
 /** Broadcast one byte across a 64-bit word (for SWAR fallbacks). */

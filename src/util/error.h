@@ -118,6 +118,20 @@ class ParseError : public std::runtime_error
     size_t position_;
 };
 
+/**
+ * Invalid process configuration from the environment or flags (e.g. an
+ * unknown JSONSKI_KERNEL name).  Distinct from ParseError: the *input*
+ * is fine, the *deployment* is not, and the caller should fail fast
+ * rather than fall back silently.
+ */
+class ConfigError : public std::runtime_error
+{
+  public:
+    explicit ConfigError(const std::string& what)
+        : std::runtime_error("bad configuration: " + what)
+    {}
+};
+
 /** Malformed JSONPath query expression. */
 class PathError : public std::runtime_error
 {

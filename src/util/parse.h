@@ -61,6 +61,27 @@ parsePositiveSize(std::string_view text, size_t& out)
     return parseSize(text, out) && out != 0;
 }
 
+/**
+ * Strict identifier token, the shape a name-valued environment
+ * variable (JSONSKI_KERNEL=<name>) must have: nonempty, at most 32
+ * characters, lowercase letters / digits / '_' / '-' only.  Rejects
+ * whitespace, uppercase, and any other garbage so a typo'd override
+ * fails loudly instead of matching nothing.
+ */
+inline bool
+parseIdent(std::string_view text)
+{
+    if (text.empty() || text.size() > 32)
+        return false;
+    for (char c : text) {
+        bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                  c == '_' || c == '-';
+        if (!ok)
+            return false;
+    }
+    return true;
+}
+
 } // namespace jsonski
 
 #endif // JSONSKI_UTIL_PARSE_H

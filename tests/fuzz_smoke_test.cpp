@@ -13,6 +13,7 @@
 #include <cstdlib>
 
 #include "json/validate.h"
+#include "kernels/kernel.h"
 #include "testing/mutator.h"
 
 using namespace jsonski;
@@ -86,6 +87,13 @@ TEST(FuzzSmoke, TenThousandMutantsNoDivergenceNoEscape)
     // The seam-hunting mode must have replayed mutants through the
     // chunked path with forced seams (several per mutant on average).
     EXPECT_GT(report.seam_replays, report.executed);
+    // On multi-kernel hosts every mutant must also have been replayed
+    // under each alternate SIMD kernel (unless the environment pinned
+    // the replay set via JSONSKI_TEST_KERNELS).
+    if (kernels::runnable().size() > 1 &&
+        std::getenv("JSONSKI_TEST_KERNELS") == nullptr) {
+        EXPECT_GE(report.kernel_replays, report.executed / 2);
+    }
     std::string details;
     for (const std::string& f : report.failures)
         details += "\n  " + f;

@@ -1,0 +1,349 @@
+/**
+ * @file
+ * Cross-ISA kernel differential: every kernel compiled into this
+ * binary must produce bit-identical quote/backslash/string bitmaps,
+ * metacharacter bitmaps, prefix-XOR/select results, and UTF-8 verdicts
+ * on every input — the contract that makes runtime dispatch safe
+ * (DESIGN.md §11).  The scalar kernel is the reference; each other
+ * runnable kernel is compared against it over:
+ *
+ *   - seeded random blocks (uniform bytes, JSON-flavored bytes, and
+ *     high-bit-heavy bytes),
+ *   - adversarial boundary blocks (backslash at byte 63 carrying into
+ *     byte 64, quote at byte 0, odd- and even-length escape runs
+ *     ending exactly at the block boundary),
+ *   - every 64-byte block of the seam/fuzz corpus documents
+ *     (src/testing), including the padded partial tail.
+ *
+ * On hosts where only the scalar kernel passes its cpuid probe the
+ * cross-kernel tests skip with a note instead of silently passing.
+ */
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "intervals/classifier.h"
+#include "json/utf8.h"
+#include "kernels/kernel.h"
+#include "testing/differential.h"
+#include "util/bits.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+using namespace jsonski;
+namespace jt = jsonski::testing;
+using intervals::BlockBits;
+using intervals::ClassifierCarry;
+using intervals::kBlockSize;
+
+namespace {
+
+/** Runnable kernels other than scalar; empty on scalar-only hosts. */
+std::vector<const kernels::Kernel*>
+alternateKernels()
+{
+    std::vector<const kernels::Kernel*> out;
+    for (const kernels::Kernel* k : kernels::runnable()) {
+        if (std::string_view(k->name) != "scalar")
+            out.push_back(k);
+    }
+    return out;
+}
+
+const kernels::Kernel&
+scalarKernel()
+{
+    const kernels::Kernel* k = kernels::find("scalar");
+    EXPECT_NE(k, nullptr);
+    return *k;
+}
+
+#define SKIP_WITHOUT_SIMD_KERNELS(alts)                                   \
+    do {                                                                  \
+        if ((alts).empty())                                               \
+            GTEST_SKIP() << "only the scalar kernel is runnable on this " \
+                            "host; cross-kernel differential skipped";    \
+    } while (0)
+
+/** 64-byte test blocks: random in three flavors + handcrafted
+ *  boundary adversaries + every block of the fuzz/seam corpus. */
+std::vector<std::string>
+testBlocks()
+{
+    std::vector<std::string> blocks;
+    Rng rng(0xC0FFEE);
+
+    // Uniform random bytes: exercises every comparator including the
+    // signed-compare pitfalls of movemask-based whitespace tests.
+    for (int i = 0; i < 200; ++i) {
+        std::string b(kBlockSize, '\0');
+        for (char& c : b)
+            c = static_cast<char>(rng.below(256));
+        blocks.push_back(b);
+    }
+
+    // JSON-flavored bytes: dense in the nine metacharacters.
+    static constexpr std::string_view flavored =
+        "\"\\{}[],: \t\n\r0123456789abcxyz";
+    for (int i = 0; i < 200; ++i) {
+        std::string b(kBlockSize, '\0');
+        for (char& c : b)
+            c = flavored[rng.below(flavored.size())];
+        blocks.push_back(b);
+    }
+
+    // High-bit-heavy bytes for the ASCII screen.
+    for (int i = 0; i < 100; ++i) {
+        std::string b(kBlockSize, '\0');
+        for (char& c : b)
+            c = static_cast<char>(0x60 + rng.below(0xA0));
+        blocks.push_back(b);
+    }
+
+    // Boundary adversaries.
+    std::string b(kBlockSize, 'x');
+    b[63] = '\\'; // backslash at the last byte: carry into next block
+    blocks.push_back(b);
+    b = std::string(kBlockSize, 'x');
+    b[0] = '"'; // quote at byte 0: carry-in sensitive
+    blocks.push_back(b);
+    for (size_t run = 1; run <= 8; ++run) {
+        // Escape run of odd/even length ending exactly at byte 63.
+        b = std::string(kBlockSize, 'x');
+        for (size_t i = kBlockSize - run; i < kBlockSize; ++i)
+            b[i] = '\\';
+        blocks.push_back(b);
+    }
+    blocks.push_back(std::string(kBlockSize, '\\'));
+    blocks.push_back(std::string(kBlockSize, '"'));
+    b.clear();
+    for (size_t i = 0; i < kBlockSize / 2; ++i)
+        b += "\\\"";
+    blocks.push_back(b);
+
+    // Every full block of the corpus documents (the partial tails are
+    // covered by the end-to-end document test below).
+    for (const std::string& doc : jt::defaultCorpus(2048)) {
+        for (size_t base = 0; base + kBlockSize <= doc.size();
+             base += kBlockSize)
+            blocks.push_back(doc.substr(base, kBlockSize));
+    }
+    return blocks;
+}
+
+bool
+equalBits(const BlockBits& a, const BlockBits& b)
+{
+    return a.in_string == b.in_string && a.quote == b.quote &&
+           a.open_brace == b.open_brace &&
+           a.close_brace == b.close_brace &&
+           a.open_bracket == b.open_bracket &&
+           a.close_bracket == b.close_bracket && a.colon == b.colon &&
+           a.comma == b.comma && a.whitespace == b.whitespace;
+}
+
+std::string
+hexBlock(const std::string& block)
+{
+    std::string out;
+    char buf[4];
+    for (unsigned char c : block) {
+        std::snprintf(buf, sizeof buf, "%02x", c);
+        out += buf;
+    }
+    return out;
+}
+
+} // namespace
+
+TEST(KernelRegistry, ScalarAlwaysCompiledAndRunnable)
+{
+    bool have_scalar = false;
+    for (const kernels::Kernel* k : kernels::all()) {
+        if (std::string_view(k->name) == "scalar") {
+            have_scalar = true;
+            EXPECT_TRUE(k->supported());
+        }
+    }
+    EXPECT_TRUE(have_scalar);
+    EXPECT_FALSE(kernels::runnable().empty());
+    // Best-first ordering: priorities strictly decrease.
+    const auto& all = kernels::all();
+    for (size_t i = 1; i < all.size(); ++i)
+        EXPECT_GT(all[i - 1]->priority, all[i]->priority);
+}
+
+TEST(KernelRegistry, FindKnowsAliases)
+{
+    EXPECT_NE(kernels::find("scalar"), nullptr);
+    EXPECT_EQ(kernels::find("no-such-kernel"), nullptr);
+    const kernels::Kernel* sse2 = kernels::find("sse2");
+    const kernels::Kernel* westmere = kernels::find("westmere");
+    EXPECT_EQ(sse2, westmere); // alias or both absent (non-x86)
+}
+
+TEST(KernelRegistry, SelectRejectsBadNamesTyped)
+{
+    EXPECT_THROW((void)kernels::select("bogus"), ConfigError);
+    EXPECT_THROW((void)kernels::select(""), ConfigError);
+    EXPECT_THROW((void)kernels::select("AVX2"), ConfigError); // case
+    EXPECT_THROW((void)kernels::select("avx2 "), ConfigError); // junk
+    EXPECT_EQ(&kernels::select("scalar"), kernels::find("scalar"));
+}
+
+TEST(KernelRegistry, ActiveIsRunnable)
+{
+    const kernels::Kernel& k = kernels::active();
+    EXPECT_TRUE(k.supported());
+    EXPECT_EQ(kernels::activeName(), std::string_view(k.name));
+}
+
+TEST(KernelEquivalence, RawBitmapsBitIdentical)
+{
+    auto alts = alternateKernels();
+    SKIP_WITHOUT_SIMD_KERNELS(alts);
+    const kernels::Kernel& ref = scalarKernel();
+    static constexpr char probes[] = {'"', '\\', '{', '}', '[', ']',
+                                      ':', ',', ' ', 'x'};
+    for (const std::string& block : testBlocks()) {
+        kernels::RawBits64 want = ref.raw_bits(block.data());
+        for (const kernels::Kernel* k : alts) {
+            kernels::RawBits64 got = k->raw_bits(block.data());
+            EXPECT_EQ(got.backslash, want.backslash)
+                << k->name << " block " << hexBlock(block);
+            EXPECT_EQ(got.quote, want.quote) << k->name;
+            EXPECT_EQ(got.open_brace, want.open_brace) << k->name;
+            EXPECT_EQ(got.close_brace, want.close_brace) << k->name;
+            EXPECT_EQ(got.open_bracket, want.open_bracket) << k->name;
+            EXPECT_EQ(got.close_bracket, want.close_bracket) << k->name;
+            EXPECT_EQ(got.colon, want.colon) << k->name;
+            EXPECT_EQ(got.comma, want.comma) << k->name;
+            EXPECT_EQ(got.whitespace, want.whitespace) << k->name;
+
+            kernels::StringRaw sw = ref.string_raw(block.data());
+            kernels::StringRaw sg = k->string_raw(block.data());
+            EXPECT_EQ(sg.backslash, sw.backslash) << k->name;
+            EXPECT_EQ(sg.quote, sw.quote) << k->name;
+
+            for (char c : probes)
+                EXPECT_EQ(k->eq_bits(block.data(), c),
+                          ref.eq_bits(block.data(), c))
+                    << k->name << " eq '" << c << "'";
+            EXPECT_EQ(k->whitespace_bits(block.data()),
+                      ref.whitespace_bits(block.data()))
+                << k->name << " block " << hexBlock(block);
+            EXPECT_EQ(k->ascii_block(block.data()),
+                      ref.ascii_block(block.data()))
+                << k->name << " block " << hexBlock(block);
+        }
+    }
+}
+
+TEST(KernelEquivalence, WordPrimitivesBitIdentical)
+{
+    auto alts = alternateKernels();
+    SKIP_WITHOUT_SIMD_KERNELS(alts);
+    const kernels::Kernel& ref = scalarKernel();
+    Rng rng(7);
+    std::vector<uint64_t> words = {0,
+                                   1,
+                                   ~uint64_t{0},
+                                   uint64_t{1} << 63,
+                                   0x5555555555555555ULL,
+                                   0xAAAAAAAAAAAAAAAAULL};
+    for (int i = 0; i < 500; ++i)
+        words.push_back(rng.next());
+    for (uint64_t w : words) {
+        for (const kernels::Kernel* k : alts) {
+            EXPECT_EQ(k->prefix_xor(w), ref.prefix_xor(w))
+                << k->name << " word " << w;
+            int pc = bits::popcount(w);
+            for (int kth = 1; kth <= pc; ++kth)
+                EXPECT_EQ(k->select_bit(w, kth), ref.select_bit(w, kth))
+                    << k->name << " word " << w << " k " << kth;
+        }
+    }
+}
+
+TEST(KernelEquivalence, ClassifierChainOverSeamCorpus)
+{
+    auto alts = alternateKernels();
+    SKIP_WITHOUT_SIMD_KERNELS(alts);
+    const kernels::Kernel& ref = scalarKernel();
+
+    // Thread carries across every block of each document under one
+    // kernel, then replay under the others: the full classification
+    // stream (bitmaps AND carries, including the padded tail) must be
+    // bit-identical, exactly what chunked ingestion relies on.
+    for (const std::string& doc : jt::defaultCorpus(2048)) {
+        std::vector<BlockBits> want;
+        ClassifierCarry want_carry;
+        {
+            kernels::Override o(ref);
+            ClassifierCarry carry;
+            size_t base = 0;
+            for (; base + kBlockSize <= doc.size(); base += kBlockSize)
+                want.push_back(
+                    intervals::classifyBlock(doc.data() + base, carry));
+            if (base < doc.size())
+                want.push_back(intervals::classifyPartialBlock(
+                    doc.data() + base, doc.size() - base, carry));
+            want_carry = carry;
+        }
+        for (const kernels::Kernel* k : alts) {
+            kernels::Override o(*k);
+            ClassifierCarry carry;
+            std::vector<BlockBits> got;
+            size_t base = 0;
+            for (; base + kBlockSize <= doc.size(); base += kBlockSize)
+                got.push_back(
+                    intervals::classifyBlock(doc.data() + base, carry));
+            if (base < doc.size())
+                got.push_back(intervals::classifyPartialBlock(
+                    doc.data() + base, doc.size() - base, carry));
+            ASSERT_EQ(got.size(), want.size());
+            for (size_t i = 0; i < got.size(); ++i)
+                EXPECT_TRUE(equalBits(got[i], want[i]))
+                    << k->name << " block " << i << " of doc "
+                    << doc.substr(0, 80);
+            EXPECT_EQ(carry.prev_escaped, want_carry.prev_escaped)
+                << k->name;
+            EXPECT_EQ(carry.prev_in_string, want_carry.prev_in_string)
+                << k->name;
+        }
+    }
+}
+
+TEST(KernelEquivalence, Utf8VerdictsIdentical)
+{
+    auto alts = alternateKernels();
+    SKIP_WITHOUT_SIMD_KERNELS(alts);
+    const kernels::Kernel& ref = scalarKernel();
+
+    std::vector<std::string> samples = jt::defaultCorpus(2048);
+    // Invalid and boundary-placed sequences: the error *position* must
+    // match too, which catches ASCII-screen off-by-one-block bugs.
+    samples.push_back(std::string(64, 'a') + "\xC3");           // truncated
+    samples.push_back(std::string(63, 'a') + "\xC3\xA9" + "b"); // straddle
+    samples.push_back(std::string(64, 'a') + "\xED\xA0\x80");   // surrogate
+    samples.push_back(std::string(100, 'a') + "\xF4\x90\x80\x80"); // >max
+    samples.push_back("\x80 continuation first");
+    samples.push_back(std::string(200, 'a') + "\xE2\x82\xAC" +
+                      std::string(200, 'b'));
+
+    for (const std::string& s : samples) {
+        json::Utf8Result want;
+        {
+            kernels::Override o(ref);
+            want = json::validateUtf8(s);
+        }
+        for (const kernels::Kernel* k : alts) {
+            kernels::Override o(*k);
+            json::Utf8Result got = json::validateUtf8(s);
+            EXPECT_EQ(got.ok, want.ok) << k->name;
+            EXPECT_EQ(got.error_position, want.error_position) << k->name;
+        }
+    }
+}
