@@ -129,16 +129,15 @@ main(int argc, char** argv)
     report.metric("runs", static_cast<uint64_t>(kRuns));
     report.metric("p50_us", p50);
     report.metric("p99_us", p99);
-    report.metric("plan_cache_hits", server.planCache().hits());
-    report.metric("plan_cache_misses", server.planCache().misses());
+    service::PlanCacheStats pc = server.planCacheTotals();
+    report.metric("plan_cache_hits", pc.hits);
+    report.metric("plan_cache_misses", pc.misses);
     std::printf("\nsmall-request latency (%zu B body, %d runs): "
                 "p50 %.0f us, p99 %.0f us; plan cache %llu/%llu "
                 "hit/miss\n",
                 small.size(), kRuns, p50, p99,
-                static_cast<unsigned long long>(
-                    server.planCache().hits()),
-                static_cast<unsigned long long>(
-                    server.planCache().misses()));
+                static_cast<unsigned long long>(pc.hits),
+                static_cast<unsigned long long>(pc.misses));
 
     server.stop();
     report.write();

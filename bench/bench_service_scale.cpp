@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Shard scale-out sweep: closed-loop jsqd throughput and latency
+ * (p50/p99) across shard count x client connections x body size, via
+ * the shared load generator (service/loadgen.h).
+ *
+ * Expected shape: on a multicore host, throughput at 4 shards with
+ * enough connections reaches >= 2x the 1-shard figure for small
+ * bodies (the accept/event-loop path is the bottleneck there); large
+ * bodies scale less, since per-request evaluation already parallelizes
+ * across each shard's workers.  On a single hardware thread the curve
+ * is flat — every shard multiplexes the same core — so the report
+ * records hardware_concurrency and readers judge scaling only where
+ * hw >= shards.
+ */
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "service/loadgen.h"
+#include "service/server.h"
+
+using namespace jsonski;
+using namespace jsonski::harness;
+
+namespace {
+
+/** `{"a": [1, 2, ...]}` of roughly @p target_bytes. */
+std::string
+synthBody(size_t target_bytes)
+{
+    std::string body = "{\"a\": [";
+    uint64_t n = 0;
+    while (body.size() + 16 < target_bytes) {
+        if (n != 0)
+            body += ", ";
+        body += std::to_string(n % 1000000);
+        ++n;
+    }
+    if (n == 0)
+        body += "1";
+    body += "]}";
+    return body;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    // --quick halves the per-config duration (CI smoke).
+    int duration_ms = 600;
+    for (int i = 1; i < argc; ++i)
+        if (std::string(argv[i]) == "--quick")
+            duration_ms = 250;
+
+    unsigned hw = std::thread::hardware_concurrency();
+    std::printf("service shard scale-out sweep "
+                "(hardware_concurrency=%u, closed loop, %d ms per "
+                "config)\n\n",
+                hw, duration_ms);
+
+    BenchReport report("service_scale",
+                       "jsqd throughput/latency vs. shard count");
+    report.threads(hw); // the scaling ceiling readers must judge by
+
+    const std::vector<size_t> kShards = {1, 2, 4};
+    const std::vector<size_t> kConnections = {1, 8};
+    const std::vector<size_t> kBodyBytes = {256, size_t{64} << 10};
+
+    printTableHeader(
+        {"shards", "conns", "body", "req/s", "p50us", "p99us"},
+        {6, 5, 8, 10, 8, 8});
+
+    for (size_t shards : kShards) {
+        service::ServerConfig cfg;
+        cfg.shards = shards;
+        cfg.workers = 2;
+        service::Server server(cfg);
+        server.start();
+        for (size_t conns : kConnections) {
+            for (size_t body_bytes : kBodyBytes) {
+                service::LoadOptions opt;
+                opt.port = server.port();
+                opt.query = "$.a[*]";
+                opt.body = synthBody(body_bytes);
+                opt.connections = conns;
+                opt.duration_ms = duration_ms;
+                service::LoadResult r = service::runLoad(opt);
+
+                std::printf("%-6zu %-5zu %-8zu %-10.0f %-8llu %-8llu\n",
+                            shards, conns, body_bytes, r.throughput_rps,
+                            static_cast<unsigned long long>(
+                                r.latency.percentile(50)),
+                            static_cast<unsigned long long>(
+                                r.latency.percentile(99)));
+
+                report.beginRow("$.a[*] body=" +
+                                    std::to_string(body_bytes) + "B",
+                                "shards=" + std::to_string(shards) +
+                                    " conns=" + std::to_string(conns));
+                report.metric("hardware_concurrency",
+                              static_cast<uint64_t>(hw));
+                report.metric("shards", static_cast<uint64_t>(shards));
+                report.metric("connections",
+                              static_cast<uint64_t>(conns));
+                report.metric("body_bytes",
+                              static_cast<uint64_t>(body_bytes));
+                report.metric("requests_ok", r.ok);
+                report.metric("errors", r.errors);
+                report.metric("throughput_rps", r.throughput_rps);
+                report.metric("p50_us", r.latency.percentile(50));
+                report.metric("p99_us", r.latency.percentile(99));
+            }
+        }
+        server.stop();
+    }
+
+    report.write();
+    return 0;
+}

@@ -3,10 +3,11 @@
  * jsqd — the streaming JSONPath query daemon (service/server.h).
  *
  * Usage:
- *   jsqd [-p PORT] [--host ADDR] [--workers N] [--chunk-bytes N]
- *        [--max-header N] [--max-body N] [--max-matches N]
- *        [--read-deadline-ms N] [--write-deadline-ms N]
- *        [--idle-deadline-ms N] [--plan-cache N] [--poll]
+ *   jsqd [-p PORT] [--host ADDR] [--shards N] [--workers N]
+ *        [--chunk-bytes N] [--max-header N] [--max-body N]
+ *        [--max-matches N] [--read-deadline-ms N]
+ *        [--write-deadline-ms N] [--idle-deadline-ms N]
+ *        [--plan-cache N] [--poll]
  *
  * Prints `jsqd: listening on HOST:PORT` once ready (PORT is ephemeral
  * when -p is omitted), serves until SIGTERM/SIGINT, then drains
@@ -40,11 +41,13 @@ usage()
 {
     std::fprintf(
         stderr,
-        "usage: jsqd [-p PORT] [--host ADDR] [--workers N] "
-        "[--chunk-bytes N]\n"
-        "            [--max-header N] [--max-body N] [--max-matches N]\n"
-        "            [--read-deadline-ms N] [--write-deadline-ms N]\n"
-        "            [--idle-deadline-ms N] [--plan-cache N] [--poll]\n");
+        "usage: jsqd [-p PORT] [--host ADDR] [--shards N] [--workers N]\n"
+        "            [--chunk-bytes N] [--max-header N] [--max-body N]\n"
+        "            [--max-matches N] [--read-deadline-ms N]\n"
+        "            [--write-deadline-ms N] [--idle-deadline-ms N]\n"
+        "            [--plan-cache N] [--poll]\n"
+        "  --shards 0 (default) = one event-loop shard per hardware "
+        "thread\n");
     std::exit(2);
 }
 
@@ -82,6 +85,8 @@ main(int argc, char** argv)
             if (i + 1 >= argc)
                 usage();
             cfg.bind_addr = argv[++i];
+        } else if (std::strcmp(argv[i], "--shards") == 0) {
+            cfg.shards = sizeArg(argc, argv, i);
         } else if (std::strcmp(argv[i], "--workers") == 0) {
             cfg.workers = sizeArg(argc, argv, i, /*positive=*/true);
         } else if (std::strcmp(argv[i], "--chunk-bytes") == 0) {
@@ -123,14 +128,17 @@ main(int argc, char** argv)
     ::sigaction(SIGTERM, &sa, nullptr);
     ::sigaction(SIGINT, &sa, nullptr);
 
-    std::printf("jsqd: listening on %s:%u\n", cfg.bind_addr.c_str(),
-                static_cast<unsigned>(server.port()));
+    std::printf("jsqd: listening on %s:%u (%zu shards)\n",
+                cfg.bind_addr.c_str(),
+                static_cast<unsigned>(server.port()),
+                server.shardCount());
     std::fflush(stdout);
 
     server.waitStopped();
     g_server = nullptr;
 
     service::ServerStats s = server.stats();
+    service::PlanCacheStats pc = server.planCacheTotals();
     std::fprintf(stderr,
                  "jsqd: drained: %llu connections, %llu requests "
                  "(%llu ok, %llu error), %llu B in, %llu B out, "
@@ -141,8 +149,7 @@ main(int argc, char** argv)
                  static_cast<unsigned long long>(s.responses_error),
                  static_cast<unsigned long long>(s.bytes_in_total),
                  static_cast<unsigned long long>(s.bytes_out_total),
-                 static_cast<unsigned long long>(server.planCache().hits()),
-                 static_cast<unsigned long long>(
-                     server.planCache().misses()));
+                 static_cast<unsigned long long>(pc.hits),
+                 static_cast<unsigned long long>(pc.misses));
     return 0;
 }

@@ -14,6 +14,7 @@ BUILD=${1:-build}
 JSQD="$BUILD/examples/jsqd"
 JSQC="$BUILD/examples/jsqc"
 JSQ="$BUILD/examples/jsq"
+JSQLOAD="$BUILD/examples/jsqload" # optional: exercised when built
 
 for bin in "$JSQD" "$JSQC" "$JSQ"; do
     [ -x "$bin" ] || { echo "missing binary: $bin" >&2; exit 1; }
@@ -28,7 +29,7 @@ cleanup() {
 trap cleanup EXIT
 
 port=$(( (RANDOM % 20000) + 20000 ))
-"$JSQD" -p "$port" --workers 2 >"$tmp/jsqd.out" 2>"$tmp/jsqd.err" &
+"$JSQD" -p "$port" --workers 2 --shards 2 >"$tmp/jsqd.out" 2>"$tmp/jsqd.err" &
 pid=$!
 for _ in $(seq 100); do
     grep -q "listening" "$tmp/jsqd.out" 2>/dev/null && break
@@ -114,6 +115,33 @@ grep -q "jsonski_server_plan_cache_hits" "$tmp/stats"
 errors=$(awk '/^jsonski_server_responses_error /{print $2}' "$tmp/stats")
 [ "$errors" -ge 2 ] # the two rejections above are accounted for
 echo "stats scrape ok (responses_error=$errors)"
+
+# --- per-shard series -----------------------------------------------
+# Two shards were requested; the scrape must say so and expose one
+# labelled requests series per shard that sums to the merged total.
+shards=$(awk '/^jsonski_server_shards /{print $2}' "$tmp/stats")
+[ "$shards" = "2" ] || { echo "expected 2 shards, got '$shards'" >&2; exit 1; }
+total=$(awk '/^jsonski_server_requests_total /{print $2}' "$tmp/stats")
+s0=$(sed -n 's/^jsonski_server_shard_requests_total{shard="0"} //p' "$tmp/stats")
+s1=$(sed -n 's/^jsonski_server_shard_requests_total{shard="1"} //p' "$tmp/stats")
+[ -n "$s0" ] && [ -n "$s1" ] || {
+    echo "missing per-shard requests series" >&2; exit 1; }
+[ "$((s0 + s1))" -eq "$total" ] || {
+    echo "shard requests $s0 + $s1 != total $total" >&2; exit 1; }
+echo "per-shard scrape ok (shard0=$s0 shard1=$s1 total=$total)"
+
+# --- load generator (when built) ------------------------------------
+# A short open-loop burst across both shards: every request must
+# succeed, which exercises the accept path, deadline plumbing, and
+# per-shard telemetry under real concurrency.
+if [ -x "$JSQLOAD" ]; then
+    "$JSQLOAD" -p "$port" -q '$.a[*]' --qps 200 --duration-ms 500 \
+        --connections 4 >"$tmp/load.out"
+    grep -q ", 0 errors;" "$tmp/load.out" || {
+        cat "$tmp/load.out" >&2
+        echo "jsqload reported errors" >&2; exit 1; }
+    echo "jsqload open-loop burst ok"
+fi
 
 # --- graceful SIGTERM drain ----------------------------------------
 kill -TERM "$pid"

@@ -54,10 +54,14 @@ IstreamSource::read(char* dst, size_t cap)
 SocketChunkSource::SocketChunkSource(int fd, int read_deadline_ms,
                                      size_t max_bytes,
                                      std::string_view carry)
-    : fd_(fd),
-      read_deadline_ms_(read_deadline_ms),
-      max_bytes_(max_bytes),
-      carry_(carry)
+    : SocketChunkSource(fd, Deadline::after(read_deadline_ms), max_bytes,
+                        carry)
+{}
+
+SocketChunkSource::SocketChunkSource(int fd, Deadline deadline,
+                                     size_t max_bytes,
+                                     std::string_view carry)
+    : fd_(fd), deadline_(deadline), max_bytes_(max_bytes), carry_(carry)
 {}
 
 size_t
@@ -85,9 +89,14 @@ SocketChunkSource::read(char* dst, size_t cap)
     if (eof_)
         return 0;
     for (;;) {
-        if (read_deadline_ms_ > 0) {
+        // The envelope is absolute: progress does not re-arm it, so a
+        // body dripping one byte per window still expires on schedule.
+        if (deadline_.expired())
+            throw ParseError(ErrorCode::DeadlineExpired,
+                             "read deadline expired", delivered_);
+        if (deadline_.armed()) {
             pollfd pfd{fd_, POLLIN, 0};
-            int pr = ::poll(&pfd, 1, read_deadline_ms_);
+            int pr = ::poll(&pfd, 1, deadline_.pollTimeoutMs());
             if (pr == 0)
                 throw ParseError(ErrorCode::DeadlineExpired,
                                  "read deadline expired", delivered_);
@@ -113,7 +122,7 @@ SocketChunkSource::read(char* dst, size_t cap)
         }
         if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
             // EAGAIN without a deadline would spin; poll for readiness.
-            if (read_deadline_ms_ <= 0 && errno != EINTR) {
+            if (!deadline_.armed() && errno != EINTR) {
                 pollfd pfd{fd_, POLLIN, 0};
                 ::poll(&pfd, 1, -1);
             }

@@ -25,6 +25,8 @@
 #include <string_view>
 #include <vector>
 
+#include "util/deadline.h"
+
 namespace jsonski::intervals {
 
 /** Pull-based byte source; see file comment. */
@@ -111,25 +113,31 @@ class IstreamSource : public ChunkSource
 /**
  * Reads a connected socket (or any pollable fd; does not own or close
  * it).  This is what the query service streams request bodies through:
- * the fd is polled before every read so a per-read deadline bounds how
- * long a stalled client can pin a worker, and an optional byte cap
+ * the fd is polled before every read under an *absolute* deadline —
+ * armed once, when the source is constructed — so the entire body must
+ * arrive within the envelope no matter how the bytes are paced.  A
+ * per-poll timeout here would restart on every delivered byte, letting
+ * a client that drips one byte per window pin a worker forever (the
+ * slow-loris bug DESIGN.md §12 documents).  An optional byte cap
  * bounds how much body a single request may deliver.  Works with both
- * blocking and O_NONBLOCK descriptors (EAGAIN re-polls).
+ * blocking and O_NONBLOCK descriptors (EAGAIN re-polls with the
+ * remaining time).
  *
  * Bytes the connection layer read past the request header are pushed
  * back via @p carry and are delivered first.
  *
- * @throws ParseError(ErrorCode::DeadlineExpired) when the deadline
- *         elapses with no data, (ErrorCode::IoError) on a socket error,
- *         and (ErrorCode::RecordTooLarge) when the byte cap is hit —
- *         all positioned at the bytes delivered so far.
+ * @throws ParseError(ErrorCode::DeadlineExpired) when the envelope
+ *         elapses before the body completes, (ErrorCode::IoError) on a
+ *         socket error, and (ErrorCode::RecordTooLarge) when the byte
+ *         cap is hit — all positioned at the bytes delivered so far.
  */
 class SocketChunkSource : public ChunkSource
 {
   public:
     /**
      * @param fd           Connected descriptor to read.
-     * @param read_deadline_ms  Per-read poll timeout; 0 = no deadline.
+     * @param read_deadline_ms  Whole-body envelope, armed now;
+     *                     0 = no deadline.
      * @param max_bytes    Total delivery cap; 0 = unlimited.
      * @param carry        Bytes already read from the stream, served
      *                     before any fd read (copied).
@@ -138,6 +146,10 @@ class SocketChunkSource : public ChunkSource
                                size_t max_bytes = 0,
                                std::string_view carry = {});
 
+    /** Same, sharing an already-armed deadline with the caller. */
+    SocketChunkSource(int fd, Deadline deadline, size_t max_bytes,
+                      std::string_view carry);
+
     size_t read(char* dst, size_t cap) override;
 
     /** Total bytes delivered so far (carry included). */
@@ -145,7 +157,7 @@ class SocketChunkSource : public ChunkSource
 
   private:
     int fd_;
-    int read_deadline_ms_;
+    Deadline deadline_;
     size_t max_bytes_;
     std::string carry_;
     size_t carry_off_ = 0;

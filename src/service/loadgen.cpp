@@ -1,0 +1,186 @@
+#include "service/loadgen.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "service/loopback.h"
+#include "service/protocol.h"
+
+namespace jsonski::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+uint64_t
+usBetween(Clock::time_point a, Clock::time_point b)
+{
+    auto d = std::chrono::duration_cast<std::chrono::microseconds>(b - a)
+                 .count();
+    return d > 0 ? static_cast<uint64_t>(d) : 0;
+}
+
+int
+bitWidth(uint64_t v)
+{
+    int w = 0;
+    while (v != 0) {
+        ++w;
+        v >>= 1;
+    }
+    return w;
+}
+
+} // namespace
+
+size_t
+LatencyHistogram::bucketOf(uint64_t v)
+{
+    if (v < 128)
+        return static_cast<size_t>(v);
+    // Octave = MSB position; the 6 bits below the MSB pick the linear
+    // sub-bucket within the octave [2^o, 2^(o+1)).
+    int o = bitWidth(v) - 1; // >= 7
+    uint64_t sub = (v >> (o - 6)) & 63;
+    return 128 + static_cast<size_t>(o - 7) * kSubBuckets +
+           static_cast<size_t>(sub);
+}
+
+uint64_t
+LatencyHistogram::bucketTop(size_t b)
+{
+    if (b < 128)
+        return b;
+    size_t i = b - 128;
+    int o = 7 + static_cast<int>(i / kSubBuckets);
+    uint64_t sub = 64 + i % kSubBuckets; // [64, 128): top half mantissa
+    uint64_t width = uint64_t{1} << (o - 6);
+    return (sub << (o - 6)) + width - 1;
+}
+
+void
+LatencyHistogram::record(uint64_t us)
+{
+    ++buckets_[bucketOf(us)];
+    ++count_;
+    max_ = std::max(max_, us);
+}
+
+void
+LatencyHistogram::merge(const LatencyHistogram& other)
+{
+    for (size_t i = 0; i < kBucketCount; ++i)
+        buckets_[i] += other.buckets_[i];
+    count_ += other.count_;
+    max_ = std::max(max_, other.max_);
+}
+
+uint64_t
+LatencyHistogram::percentile(double p) const
+{
+    if (count_ == 0)
+        return 0;
+    p = std::min(100.0, std::max(0.0, p));
+    uint64_t target = static_cast<uint64_t>(
+        std::ceil(p / 100.0 * static_cast<double>(count_)));
+    if (target == 0)
+        target = 1;
+    uint64_t seen = 0;
+    for (size_t b = 0; b < kBucketCount; ++b) {
+        seen += buckets_[b];
+        if (seen >= target)
+            return std::min(bucketTop(b), max_);
+    }
+    return max_;
+}
+
+LoadResult
+runLoad(const LoadOptions& options)
+{
+    RequestHeader header;
+    header.queries = {options.query};
+    header.count_only = options.count_only;
+    header.has_length = true;
+    header.length = options.body.size();
+    ClientOptions copt;
+    copt.half_close = false; // length-framed; keep the socket simple
+    copt.overall_timeout_ms = std::max(options.duration_ms * 2, 10000);
+
+    size_t nconn = std::max<size_t>(1, options.connections);
+    struct PerThread
+    {
+        LoadResult r;
+    };
+    std::vector<PerThread> per(nconn);
+    Clock::time_point start = Clock::now();
+    Clock::time_point end =
+        start + std::chrono::milliseconds(options.duration_ms);
+
+    auto oneRequest = [&](PerThread& t, Clock::time_point measured_from) {
+        ++t.r.attempted;
+        try {
+            int fd = connectTcp(options.host, options.port);
+            ClientResult r =
+                runRequestFd(fd, header, options.body, copt);
+            t.r.latency.record(usBetween(measured_from, Clock::now()));
+            if (r.has_trailer && r.trailer.ok) {
+                ++t.r.ok;
+                t.r.matches += r.trailer.matches;
+            } else {
+                ++t.r.errors;
+            }
+        } catch (...) {
+            ++t.r.errors;
+            t.r.latency.record(usBetween(measured_from, Clock::now()));
+        }
+    };
+
+    std::vector<std::thread> threads;
+    threads.reserve(nconn);
+    for (size_t c = 0; c < nconn; ++c) {
+        threads.emplace_back([&, c] {
+            PerThread& t = per[c];
+            if (options.qps > 0) {
+                // Open loop: thread c owns requests c, c+n, c+2n, ...;
+                // request i is scheduled at start + i/qps and its
+                // latency runs from that schedule, so server stalls
+                // show up as queueing delay, not reduced load.
+                for (uint64_t i = c;; i += nconn) {
+                    Clock::time_point scheduled =
+                        start +
+                        std::chrono::microseconds(static_cast<int64_t>(
+                            1e6 * static_cast<double>(i) / options.qps));
+                    if (scheduled >= end)
+                        break;
+                    std::this_thread::sleep_until(scheduled);
+                    oneRequest(t, scheduled);
+                }
+            } else {
+                // Closed loop: back-to-back round trips.
+                while (Clock::now() < end)
+                    oneRequest(t, Clock::now());
+            }
+        });
+    }
+    for (auto& th : threads)
+        th.join();
+
+    LoadResult total;
+    for (PerThread& t : per) {
+        total.attempted += t.r.attempted;
+        total.ok += t.r.ok;
+        total.errors += t.r.errors;
+        total.matches += t.r.matches;
+        total.latency.merge(t.r.latency);
+    }
+    total.elapsed_s =
+        static_cast<double>(usBetween(start, Clock::now())) / 1e6;
+    if (total.elapsed_s > 0)
+        total.throughput_rps =
+            static_cast<double>(total.ok) / total.elapsed_s;
+    return total;
+}
+
+} // namespace jsonski::service

@@ -69,6 +69,28 @@ struct Plan
  */
 std::shared_ptr<const Plan> compilePlan(std::string_view query_list);
 
+/**
+ * Counter snapshot of one PlanCache — summable, so a server holding
+ * one cache partition per event-loop shard can report fleet totals.
+ */
+struct PlanCacheStats
+{
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    size_t size = 0;
+
+    PlanCacheStats&
+    operator+=(const PlanCacheStats& o)
+    {
+        hits += o.hits;
+        misses += o.misses;
+        evictions += o.evictions;
+        size += o.size;
+        return *this;
+    }
+};
+
 /** See file comment. */
 class PlanCache
 {
@@ -96,6 +118,13 @@ class PlanCache
 
     /** Plans currently resident across all shards. */
     size_t size() const;
+
+    /** All four counters in one summable snapshot. */
+    PlanCacheStats
+    statsSnapshot() const
+    {
+        return PlanCacheStats{hits(), misses(), evictions(), size()};
+    }
 
   private:
     struct Shard

@@ -26,6 +26,7 @@
 #include "ski/record_reader.h"
 #include "ski/sinks.h"
 #include "telemetry/export.h"
+#include "util/deadline.h"
 
 namespace jsonski::service {
 
@@ -39,6 +40,34 @@ setNonBlocking(int fd)
     int flags = ::fcntl(fd, F_GETFL, 0);
     if (flags >= 0)
         ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+void
+setCloexec(int fd)
+{
+    int flags = ::fcntl(fd, F_GETFD, 0);
+    if (flags >= 0)
+        ::fcntl(fd, F_SETFD, flags | FD_CLOEXEC);
+}
+
+/**
+ * accept() wrapper: accept4(SOCK_CLOEXEC | SOCK_NONBLOCK) where the
+ * platform has it, the portable two-syscall fallback elsewhere.
+ */
+int
+acceptConn(int listen_fd)
+{
+#ifdef __linux__
+    return ::accept4(listen_fd, nullptr, nullptr,
+                     SOCK_CLOEXEC | SOCK_NONBLOCK);
+#else
+    int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) {
+        setCloexec(fd);
+        setNonBlocking(fd);
+    }
+    return fd;
+#endif
 }
 
 /**
@@ -77,17 +106,25 @@ lingeringClose(int fd, int deadline_ms)
 }
 
 /**
- * Readiness multiplexer for the event loop: epoll on Linux, poll()
+ * Readiness multiplexer for a shard loop: epoll on Linux, poll()
  * everywhere else.  The poll variant stays compiled (and runtime-
  * selectable via ServerConfig::force_poll) on Linux too, so the
  * fallback is continuously exercised by the test suite.
+ *
+ * add() reports failure instead of swallowing it: an EPOLL_CTL_ADD
+ * that fails (ENOSPC, ENOMEM) would otherwise leave the connection
+ * silently untracked — the fd leaks and the client hangs forever.
  */
 class Poller
 {
   public:
     virtual ~Poller() = default;
-    virtual void add(int fd) = 0;
-    virtual void remove(int fd) = 0;
+
+    /** @return false when the fd could not be registered. */
+    [[nodiscard]] virtual bool add(int fd) = 0;
+
+    /** @return false when the fd was not deregistered (already gone). */
+    virtual bool remove(int fd) = 0;
 
     /** Wait up to @p timeout_ms (-1 = forever); fds ready to read. */
     virtual void wait(int timeout_ms, std::vector<int>& ready) = 0;
@@ -96,20 +133,23 @@ class Poller
 class PollPoller final : public Poller
 {
   public:
-    void
+    bool
     add(int fd) override
     {
         fds_.push_back(pollfd{fd, POLLIN, 0});
+        return true;
     }
 
-    void
+    bool
     remove(int fd) override
     {
+        size_t before = fds_.size();
         fds_.erase(std::remove_if(fds_.begin(), fds_.end(),
                                   [fd](const pollfd& p) {
                                       return p.fd == fd;
                                   }),
                    fds_.end());
+        return fds_.size() != before;
     }
 
     void
@@ -140,19 +180,19 @@ class EpollPoller final : public Poller
 
     ~EpollPoller() override { ::close(epfd_); }
 
-    void
+    bool
     add(int fd) override
     {
         epoll_event ev{};
         ev.events = EPOLLIN;
         ev.data.fd = fd;
-        ::epoll_ctl(epfd_, EPOLL_CTL_ADD, fd, &ev);
+        return ::epoll_ctl(epfd_, EPOLL_CTL_ADD, fd, &ev) == 0;
     }
 
-    void
+    bool
     remove(int fd) override
     {
-        ::epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, nullptr);
+        return ::epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, nullptr) == 0;
     }
 
     void
@@ -174,12 +214,83 @@ std::unique_ptr<Poller>
 makePoller(bool force_poll)
 {
 #ifdef __linux__
-    if (!force_poll)
-        return std::make_unique<EpollPoller>();
+    if (!force_poll) {
+        try {
+            return std::make_unique<EpollPoller>();
+        } catch (const std::runtime_error&) {
+            // epoll_create1 can fail under fd exhaustion; the poll()
+            // variant needs no descriptor of its own, so degrade
+            // rather than losing the shard.
+        }
+    }
 #else
     (void)force_poll;
 #endif
     return std::make_unique<PollPoller>();
+}
+
+/** SO_REUSEPORT accept sharding, or the round-robin handoff fallback?
+ *  force_poll selects the fallback even on Linux so both accept paths
+ *  stay continuously exercised by the same CI. */
+bool
+useReusePortAccept(const ServerConfig& config)
+{
+#ifdef __linux__
+    return !config.force_poll;
+#else
+    (void)config;
+    return false;
+#endif
+}
+
+int
+makeListener(const std::string& bind_addr, uint16_t port, bool reuseport)
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0)
+        throw std::runtime_error("socket() failed");
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+#ifdef SO_REUSEPORT
+    if (reuseport &&
+        ::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof one) !=
+            0) {
+        int err = errno;
+        ::close(fd);
+        throw std::runtime_error("SO_REUSEPORT failed: " +
+                                 std::string(std::strerror(err)));
+    }
+#else
+    (void)reuseport;
+#endif
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, bind_addr.c_str(), &addr.sin_addr) != 1) {
+        ::close(fd);
+        throw std::runtime_error("bad bind address " + bind_addr);
+    }
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+        int err = errno;
+        ::close(fd);
+        throw std::runtime_error("bind failed: " +
+                                 std::string(std::strerror(err)));
+    }
+    if (::listen(fd, 128) != 0) {
+        ::close(fd);
+        throw std::runtime_error("listen failed");
+    }
+    setNonBlocking(fd);
+    return fd;
+}
+
+uint16_t
+boundPort(int listen_fd)
+{
+    sockaddr_in addr{};
+    socklen_t len = sizeof addr;
+    ::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &len);
+    return ntohs(addr.sin_port);
 }
 
 /**
@@ -194,10 +305,14 @@ struct WriterDead
 
 /**
  * Bounded outgoing queue: append() buffers up to the flush threshold,
- * then pushes to the socket under the write deadline.  This is the
- * slow-reader backpressure contract — buffering is capped, and a
- * client that stops reading for longer than the deadline gets the
- * connection dropped instead of growing the queue without bound.
+ * then pushes to the socket.  Each flush() runs under an *absolute*
+ * deadline armed when the flush starts: a reader draining one byte per
+ * poll window makes progress but never resets the clock, so the flush
+ * still expires on schedule (the write-side slow-loris fix — the old
+ * per-poll timeout restarted on every drained byte).  This is the
+ * slow-reader backpressure contract: buffering is capped, and a client
+ * that cannot drain a flush within the deadline gets the connection
+ * dropped instead of growing the queue without bound.
  */
 class ConnWriter
 {
@@ -217,6 +332,7 @@ class ConnWriter
     void
     flush()
     {
+        Deadline deadline = Deadline::after(deadline_ms_);
         size_t off = 0;
         while (off < buf_.size()) {
             ssize_t n = ::send(fd_, buf_.data() + off, buf_.size() - off,
@@ -227,9 +343,10 @@ class ConnWriter
                 continue;
             }
             if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+                if (deadline.expired())
+                    throw WriterDead{ErrorCode::DeadlineExpired};
                 pollfd pfd{fd_, POLLOUT, 0};
-                int pr = ::poll(&pfd, 1,
-                                deadline_ms_ > 0 ? deadline_ms_ : -1);
+                int pr = ::poll(&pfd, 1, deadline.pollTimeoutMs());
                 if (pr == 0)
                     throw WriterDead{ErrorCode::DeadlineExpired};
                 if (pr < 0 && errno != EINTR)
@@ -337,11 +454,14 @@ class WireSink final : public path::MatchSink, public ski::MultiSink
 
 /**
  * Read the request header line through @p fd (already known readable),
- * up to @p max_bytes.  Bytes past the newline were read from the body
- * and are returned in @p carry.
+ * up to @p max_bytes, under an absolute deadline: a client dripping
+ * one header byte per poll window cannot hold the slot past the
+ * envelope (the old per-poll timeout restarted on every byte).  Bytes
+ * past the newline were read from the body and are returned in
+ * @p carry.
  */
 std::string
-readHeaderLine(int fd, size_t max_bytes, int deadline_ms,
+readHeaderLine(int fd, size_t max_bytes, const Deadline& deadline,
                std::string& carry)
 {
     std::string buf;
@@ -360,8 +480,11 @@ readHeaderLine(int fd, size_t max_bytes, int deadline_ms,
             throw ParseError(ErrorCode::HeaderTooLarge,
                              "request header exceeds the byte limit",
                              buf.size());
+        if (deadline.expired())
+            throw ParseError(ErrorCode::DeadlineExpired,
+                             "header read deadline expired", buf.size());
         pollfd pfd{fd, POLLIN, 0};
-        int pr = ::poll(&pfd, 1, deadline_ms > 0 ? deadline_ms : -1);
+        int pr = ::poll(&pfd, 1, deadline.pollTimeoutMs());
         if (pr == 0)
             throw ParseError(ErrorCode::DeadlineExpired,
                              "header read deadline expired", buf.size());
@@ -388,80 +511,178 @@ readHeaderLine(int fd, size_t max_bytes, int deadline_ms,
 
 } // namespace
 
-Server::Server(ServerConfig config)
-    : config_(std::move(config)),
-      plan_cache_(config_.plan_cache_capacity)
-{}
+ServerStats&
+ServerStats::operator+=(const ServerStats& o)
+{
+    connections_total += o.connections_total;
+    requests_total += o.requests_total;
+    responses_ok += o.responses_ok;
+    responses_error += o.responses_error;
+    rejected_bad_request += o.rejected_bad_request;
+    rejected_header_too_large += o.rejected_header_too_large;
+    rejected_deadline += o.rejected_deadline;
+    rejected_too_large += o.rejected_too_large;
+    stats_requests += o.stats_requests;
+    idle_closed += o.idle_closed;
+    accept_errors += o.accept_errors;
+    accept_backoffs += o.accept_backoffs;
+    bytes_in_total += o.bytes_in_total;
+    bytes_out_total += o.bytes_out_total;
+    return *this;
+}
+
+/** Everything one event-loop shard owns; see the file comment in
+ *  server.h for the topology. */
+struct Server::Shard
+{
+    size_t index;
+
+    /** Own SO_REUSEPORT listener, or -1 (handoff fallback, non-0). */
+    int listen_fd = -1;
+    int wake_read_fd = -1;
+    int wake_write_fd = -1;
+
+    std::thread loop;
+    std::unique_ptr<ThreadPool> pool;
+
+    /** Shard-local plan-cache partition: no cross-shard contention. */
+    PlanCache plan_cache;
+
+    mutable std::mutex stats_mutex;
+    ServerStats stats;
+    telemetry::Registry telemetry;
+
+    /** Fds handed to this shard (adoptConnection / accept fallback);
+     *  the shard loop drains it after every wake. */
+    std::mutex handoff_mutex;
+    std::vector<int> handoff;
+
+    Shard(size_t idx, size_t plan_capacity)
+        : index(idx), plan_cache(plan_capacity)
+    {}
+};
+
+Server::Server(ServerConfig config) : config_(std::move(config))
+{
+    size_t n = config_.shards;
+    if (n == 0) {
+        unsigned hw = std::thread::hardware_concurrency();
+        n = hw > 0 ? hw : 1;
+    }
+    // The configured capacity is the fleet total; each shard gets an
+    // equal partition (rounded up, at least one plan).
+    size_t per_shard = (config_.plan_cache_capacity + n - 1) / n;
+    if (per_shard == 0)
+        per_shard = 1;
+    shards_.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        shards_.push_back(std::make_unique<Shard>(i, per_shard));
+}
 
 Server::~Server()
 {
     if (started_.load())
         stop();
-    if (wake_read_fd_ >= 0)
-        ::close(wake_read_fd_);
-    if (wake_write_fd_ >= 0)
-        ::close(wake_write_fd_);
+    for (auto& sh : shards_) {
+        if (sh->wake_read_fd >= 0)
+            ::close(sh->wake_read_fd);
+        if (sh->wake_write_fd >= 0)
+            ::close(sh->wake_write_fd);
+        if (sh->listen_fd >= 0)
+            ::close(sh->listen_fd);
+    }
 }
 
 void
 Server::start()
 {
     assert(!started_.load());
-    listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
-    if (listen_fd_ < 0)
-        throw std::runtime_error("socket() failed");
-    int one = 1;
-    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_port = htons(config_.port);
-    if (::inet_pton(AF_INET, config_.bind_addr.c_str(), &addr.sin_addr) !=
-        1)
-        throw std::runtime_error("bad bind address " + config_.bind_addr);
-    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
-               sizeof addr) != 0)
-        throw std::runtime_error("bind failed: " +
-                                 std::string(std::strerror(errno)));
-    if (::listen(listen_fd_, 128) != 0)
-        throw std::runtime_error("listen failed");
-    socklen_t len = sizeof addr;
-    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
-    port_ = ntohs(addr.sin_port);
-    setNonBlocking(listen_fd_);
+    try {
+        if (useReusePortAccept(config_)) {
+            // Every shard binds its own listener to one shared port;
+            // the kernel spreads incoming connections across them.
+            uint16_t bind_port = config_.port;
+            for (auto& sh : shards_) {
+                sh->listen_fd =
+                    makeListener(config_.bind_addr, bind_port, true);
+                if (bind_port == 0) {
+                    port_ = boundPort(sh->listen_fd);
+                    bind_port = port_;
+                }
+            }
+            port_ = boundPort(shards_.front()->listen_fd);
+        } else {
+            // Single listener on shard 0; accepted fds are handed to
+            // the shards round-robin through their wake pipes.
+            shards_.front()->listen_fd =
+                makeListener(config_.bind_addr, config_.port, false);
+            port_ = boundPort(shards_.front()->listen_fd);
+        }
 
-    int pipefd[2];
-    if (::pipe(pipefd) != 0)
-        throw std::runtime_error("pipe failed");
-    wake_read_fd_ = pipefd[0];
-    wake_write_fd_ = pipefd[1];
-    setNonBlocking(wake_read_fd_);
-    setNonBlocking(wake_write_fd_);
+        for (auto& sh : shards_) {
+            int pipefd[2];
+            if (::pipe(pipefd) != 0)
+                throw std::runtime_error("pipe failed");
+            sh->wake_read_fd = pipefd[0];
+            sh->wake_write_fd = pipefd[1];
+            setNonBlocking(sh->wake_read_fd);
+            setNonBlocking(sh->wake_write_fd);
+            setCloexec(sh->wake_read_fd);
+            setCloexec(sh->wake_write_fd);
+        }
+    } catch (...) {
+        for (auto& sh : shards_) {
+            if (sh->listen_fd >= 0) {
+                ::close(sh->listen_fd);
+                sh->listen_fd = -1;
+            }
+            if (sh->wake_read_fd >= 0) {
+                ::close(sh->wake_read_fd);
+                sh->wake_read_fd = -1;
+            }
+            if (sh->wake_write_fd >= 0) {
+                ::close(sh->wake_write_fd);
+                sh->wake_write_fd = -1;
+            }
+        }
+        throw;
+    }
 
-    pool_ = std::make_unique<ThreadPool>(std::max<size_t>(1,
-                                                          config_.workers));
+    for (auto& sh : shards_)
+        sh->pool = std::make_unique<ThreadPool>(
+            std::max<size_t>(1, config_.workers));
+    stopping_.store(false);
     started_.store(true);
-    loop_thread_ = std::thread([this] { eventLoop(); });
+    for (auto& sh : shards_)
+        sh->loop = std::thread([this, s = sh.get()] { shardLoop(*s); });
 }
 
 void
 Server::requestStop() noexcept
 {
     stopping_.store(true);
-    if (wake_write_fd_ >= 0) {
-        char b = 's';
-        // Best-effort wake; the pipe being full already wakes the loop.
-        [[maybe_unused]] ssize_t n = ::write(wake_write_fd_, &b, 1);
+    // Async-signal-safe: the shard vector is immutable after the
+    // constructor and write(2) is on the safe list.
+    for (auto& sh : shards_) {
+        if (sh->wake_write_fd >= 0) {
+            char b = 's';
+            [[maybe_unused]] ssize_t n =
+                ::write(sh->wake_write_fd, &b, 1);
+        }
     }
 }
 
 void
 Server::waitStopped()
 {
-    if (loop_thread_.joinable())
-        loop_thread_.join();
-    if (pool_) {
-        pool_->waitIdle(); // let in-flight requests finish
-        pool_.reset();     // drains the queue and joins the workers
+    for (auto& sh : shards_)
+        if (sh->loop.joinable())
+            sh->loop.join();
+    for (auto& sh : shards_) {
+        if (sh->pool) {
+            sh->pool->waitIdle(); // let in-flight requests finish
+            sh->pool.reset();     // drains the queue, joins the workers
+        }
     }
     started_.store(false);
 }
@@ -481,125 +702,247 @@ Server::adoptConnection(int fd)
         return false;
     }
     setNonBlocking(fd);
+    Shard& sh = *shards_[next_adopt_.fetch_add(1) % shards_.size()];
     {
-        std::lock_guard<std::mutex> lock(stats_mutex_);
-        ++stats_.connections_total;
+        std::lock_guard<std::mutex> lock(sh.handoff_mutex);
+        sh.handoff.push_back(fd);
     }
-    pool_->submit([this, fd] { handleConnection(fd); });
+    char b = 'c';
+    [[maybe_unused]] ssize_t n = ::write(sh.wake_write_fd, &b, 1);
     return true;
 }
 
 void
-Server::eventLoop()
+Server::shardLoop(Shard& sh)
 {
     std::unique_ptr<Poller> poller = makePoller(config_.force_poll);
-    poller->add(listen_fd_);
-    poller->add(wake_read_fd_);
+    bool listener_registered =
+        sh.listen_fd >= 0 && poller->add(sh.listen_fd);
+    if (!poller->add(sh.wake_read_fd)) {
+        // Without the wake pipe the shard can neither receive handoffs
+        // nor stop promptly; bail out rather than serve half-alive.
+        std::lock_guard<std::mutex> lock(sh.stats_mutex);
+        ++sh.stats.accept_errors;
+        return;
+    }
 
+    const bool reuseport = useReusePortAccept(config_);
+    uint64_t accept_rr = 0; // round-robin cursor (handoff fallback)
     std::unordered_map<int, Clock::time_point> pending;
     std::vector<int> ready;
+    bool accept_paused = false;
+    Clock::time_point accept_resume{};
+
+    auto bump = [&sh](uint64_t ServerStats::*field) {
+        std::lock_guard<std::mutex> lock(sh.stats_mutex);
+        ++(sh.stats.*field);
+    };
+
+    auto idleDeadline = [this] {
+        return config_.idle_deadline_ms > 0
+                   ? Clock::now() + std::chrono::milliseconds(
+                                        config_.idle_deadline_ms)
+                   : Clock::time_point::max();
+    };
+
+    // Take ownership of an incoming connection on *this* shard.
+    auto registerConn = [&](int fd) {
+        bump(&ServerStats::connections_total);
+        if (!poller->add(fd)) {
+            // A failed EPOLL_CTL_ADD would leave the connection
+            // silently untracked: the fd would leak and the client
+            // would hang forever.  Surface it as an accept error and
+            // close the fd instead.
+            ::close(fd);
+            bump(&ServerStats::accept_errors);
+            return;
+        }
+        pending.emplace(fd, idleDeadline());
+    };
+
+    // Reap every idle connection now (fd pressure or drain).
+    auto reapAllIdle = [&] {
+        for (const auto& [fd, dl] : pending) {
+            poller->remove(fd);
+            ::close(fd);
+            bump(&ServerStats::idle_closed);
+        }
+        pending.clear();
+    };
+
+    auto acceptSome = [&] {
+        for (;;) {
+            int conn = acceptConn(sh.listen_fd);
+            if (conn >= 0) {
+                if (reuseport) {
+                    registerConn(conn);
+                } else {
+                    // Fallback: this shard owns the only listener;
+                    // spread connections round-robin.
+                    Shard& target =
+                        *shards_[accept_rr++ % shards_.size()];
+                    if (&target == &sh) {
+                        registerConn(conn);
+                    } else {
+                        {
+                            std::lock_guard<std::mutex> lock(
+                                target.handoff_mutex);
+                            target.handoff.push_back(conn);
+                        }
+                        char b = 'c';
+                        [[maybe_unused]] ssize_t n =
+                            ::write(target.wake_write_fd, &b, 1);
+                    }
+                }
+                continue;
+            }
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                break;
+            if (errno == EINTR || errno == ECONNABORTED)
+                continue;
+            if (errno == EMFILE || errno == ENFILE ||
+                errno == ENOBUFS || errno == ENOMEM) {
+                // Fd exhaustion.  The listener is level-triggered, so
+                // retrying immediately would spin at 100% CPU; free
+                // what we can (idle connections) and pause accepting
+                // briefly.  Connections queue in the kernel backlog
+                // meanwhile.
+                bump(&ServerStats::accept_backoffs);
+                reapAllIdle();
+                if (listener_registered) {
+                    poller->remove(sh.listen_fd);
+                    listener_registered = false;
+                }
+                accept_paused = true;
+                accept_resume =
+                    Clock::now() +
+                    std::chrono::milliseconds(
+                        std::max(1, config_.accept_backoff_ms));
+                break;
+            }
+            bump(&ServerStats::accept_errors);
+            break;
+        }
+    };
+
+    auto drainHandoff = [&] {
+        std::vector<int> fds;
+        {
+            std::lock_guard<std::mutex> lock(sh.handoff_mutex);
+            fds.swap(sh.handoff);
+        }
+        for (int fd : fds)
+            registerConn(fd);
+    };
+
     while (!stopping_.load()) {
+        Clock::time_point wake_at = Clock::time_point::max();
+        for (const auto& [fd, dl] : pending)
+            wake_at = std::min(wake_at, dl);
+        if (accept_paused)
+            wake_at = std::min(wake_at, accept_resume);
         int timeout_ms = -1;
-        if (!pending.empty() && config_.idle_deadline_ms > 0) {
-            Clock::time_point first = Clock::time_point::max();
-            for (const auto& [fd, dl] : pending)
-                first = std::min(first, dl);
-            auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
-                            first - Clock::now())
-                            .count();
-            timeout_ms = static_cast<int>(std::max<long long>(0, left));
+        if (wake_at != Clock::time_point::max()) {
+            auto left =
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    wake_at - Clock::now())
+                    .count();
+            timeout_ms =
+                static_cast<int>(std::max<long long>(0, left));
         }
         poller->wait(timeout_ms, ready);
         for (int fd : ready) {
-            if (fd == wake_read_fd_) {
+            if (fd == sh.wake_read_fd) {
                 char drain[64];
-                while (::read(wake_read_fd_, drain, sizeof drain) > 0) {
+                while (::read(sh.wake_read_fd, drain, sizeof drain) >
+                       0) {
                 }
-            } else if (fd == listen_fd_) {
-                for (;;) {
-                    int conn = ::accept(listen_fd_, nullptr, nullptr);
-                    if (conn < 0)
-                        break;
-                    setNonBlocking(conn);
-                    {
-                        std::lock_guard<std::mutex> lock(stats_mutex_);
-                        ++stats_.connections_total;
-                    }
-                    pending.emplace(
-                        conn,
-                        Clock::now() + std::chrono::milliseconds(
-                                           config_.idle_deadline_ms));
-                    poller->add(conn);
-                }
+            } else if (fd == sh.listen_fd) {
+                acceptSome();
             } else {
                 // First request byte arrived: the worker owns the fd
-                // from here.
+                // from here.  Skip fds already reaped this round (the
+                // EMFILE path may have closed them while they sat in
+                // the ready list).
+                auto it = pending.find(fd);
+                if (it == pending.end())
+                    continue;
+                pending.erase(it);
                 poller->remove(fd);
-                pending.erase(fd);
-                pool_->submit([this, fd] { handleConnection(fd); });
+                sh.pool->submit(
+                    [this, &sh, fd] { handleConnection(sh, fd); });
             }
         }
-        if (config_.idle_deadline_ms > 0) {
-            Clock::time_point now = Clock::now();
-            for (auto it = pending.begin(); it != pending.end();) {
-                if (it->second <= now) {
-                    poller->remove(it->first);
-                    ::close(it->first);
-                    {
-                        std::lock_guard<std::mutex> lock(stats_mutex_);
-                        ++stats_.idle_closed;
-                    }
-                    it = pending.erase(it);
-                } else {
-                    ++it;
-                }
+        drainHandoff();
+        if (accept_paused && Clock::now() >= accept_resume) {
+            accept_paused = false;
+            listener_registered =
+                sh.listen_fd >= 0 && poller->add(sh.listen_fd);
+            if (sh.listen_fd >= 0 && !listener_registered)
+                bump(&ServerStats::accept_errors);
+        }
+        Clock::time_point now = Clock::now();
+        for (auto it = pending.begin(); it != pending.end();) {
+            if (it->second <= now) {
+                poller->remove(it->first);
+                ::close(it->first);
+                bump(&ServerStats::idle_closed);
+                it = pending.erase(it);
+            } else {
+                ++it;
             }
         }
     }
-    // Drain: stop accepting, drop connections that never sent a byte.
-    poller->remove(listen_fd_);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    for (const auto& [fd, dl] : pending) {
-        poller->remove(fd);
-        ::close(fd);
-        std::lock_guard<std::mutex> lock(stats_mutex_);
-        ++stats_.idle_closed;
+
+    // Drain: stop accepting, drop connections that never sent a byte,
+    // close fds still queued for handoff.
+    if (sh.listen_fd >= 0) {
+        if (listener_registered)
+            poller->remove(sh.listen_fd);
+        ::close(sh.listen_fd);
+        sh.listen_fd = -1;
+    }
+    reapAllIdle();
+    {
+        std::lock_guard<std::mutex> lock(sh.handoff_mutex);
+        for (int fd : sh.handoff)
+            ::close(fd);
+        sh.handoff.clear();
     }
 }
 
 void
-Server::bumpOk(uint64_t bytes_in, uint64_t bytes_out,
+Server::bumpOk(Shard& sh, uint64_t bytes_in, uint64_t bytes_out,
                const telemetry::Registry& reg)
 {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    ++stats_.responses_ok;
-    stats_.bytes_in_total += bytes_in;
-    stats_.bytes_out_total += bytes_out;
-    merged_telemetry_.merge(reg);
+    std::lock_guard<std::mutex> lock(sh.stats_mutex);
+    ++sh.stats.responses_ok;
+    sh.stats.bytes_in_total += bytes_in;
+    sh.stats.bytes_out_total += bytes_out;
+    sh.telemetry.merge(reg);
 }
 
 void
-Server::bumpError(uint64_t bytes_in, uint64_t bytes_out,
+Server::bumpError(Shard& sh, uint64_t bytes_in, uint64_t bytes_out,
                   const telemetry::Registry& reg, ErrorCode code)
 {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    ++stats_.responses_error;
-    stats_.bytes_in_total += bytes_in;
-    stats_.bytes_out_total += bytes_out;
-    merged_telemetry_.merge(reg);
+    std::lock_guard<std::mutex> lock(sh.stats_mutex);
+    ++sh.stats.responses_error;
+    sh.stats.bytes_in_total += bytes_in;
+    sh.stats.bytes_out_total += bytes_out;
+    sh.telemetry.merge(reg);
     switch (code) {
       case ErrorCode::BadRequest:
-        ++stats_.rejected_bad_request;
+        ++sh.stats.rejected_bad_request;
         break;
       case ErrorCode::HeaderTooLarge:
-        ++stats_.rejected_header_too_large;
+        ++sh.stats.rejected_header_too_large;
         break;
       case ErrorCode::DeadlineExpired:
-        ++stats_.rejected_deadline;
+        ++sh.stats.rejected_deadline;
         break;
       case ErrorCode::RecordTooLarge:
-        ++stats_.rejected_too_large;
+        ++sh.stats.rejected_too_large;
         break;
       default:
         break;
@@ -607,7 +950,7 @@ Server::bumpError(uint64_t bytes_in, uint64_t bytes_out,
 }
 
 void
-Server::handleConnection(int fd)
+Server::handleConnection(Shard& sh, int fd)
 {
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
@@ -632,32 +975,36 @@ Server::handleConnection(int fd)
         std::string header_line;
         RequestHeader header;
         try {
+            // Absolute envelope: the whole header must arrive within
+            // the deadline, no matter how slowly it drips.
+            Deadline header_deadline =
+                Deadline::after(config_.read_deadline_ms);
             header_line =
                 readHeaderLine(fd, config_.max_header_bytes,
-                               config_.read_deadline_ms, carry);
+                               header_deadline, carry);
             header = parseHeader(header_line);
         } catch (const ParseError& e) {
             trailer.code = e.code();
             trailer.error_pos = e.position();
             writer.append(encodeTrailer(trailer));
             writer.flush();
-            bumpError(0, writer.total(), reg, e.code());
+            bumpError(sh, 0, writer.total(), reg, e.code());
             lingeringClose(fd, linger_ms);
             return;
         }
         {
-            std::lock_guard<std::mutex> lock(stats_mutex_);
-            ++stats_.requests_total;
+            std::lock_guard<std::mutex> lock(sh.stats_mutex);
+            ++sh.stats.requests_total;
         }
 
         if (header.stats) {
             {
-                std::lock_guard<std::mutex> lock(stats_mutex_);
-                ++stats_.stats_requests;
+                std::lock_guard<std::mutex> lock(sh.stats_mutex);
+                ++sh.stats.stats_requests;
             }
             writer.append(metricsText());
             writer.flush();
-            bumpOk(0, writer.total(), reg);
+            bumpOk(sh, 0, writer.total(), reg);
             ::close(fd);
             return;
         }
@@ -665,21 +1012,25 @@ Server::handleConnection(int fd)
         bool plan_hit = false;
         std::shared_ptr<const Plan> plan;
         try {
-            plan = plan_cache_.get(joinQueries(header.queries),
-                                   &plan_hit);
+            plan = sh.plan_cache.get(joinQueries(header.queries),
+                                     &plan_hit);
         } catch (const PathError&) {
             trailer.code = ErrorCode::BadRequest;
             trailer.error_pos = 0;
             writer.append(encodeTrailer(trailer));
             writer.flush();
-            bumpError(0, writer.total(), reg, ErrorCode::BadRequest);
+            bumpError(sh, 0, writer.total(), reg,
+                      ErrorCode::BadRequest);
             lingeringClose(fd, linger_ms);
             return;
         }
         trailer.plan = plan_hit ? "hit" : "miss";
 
+        // The body gets its own absolute envelope, re-armed now: the
+        // entire stream must complete within read_deadline_ms.
         intervals::SocketChunkSource socket_src(
-            fd, config_.read_deadline_ms, config_.max_body_bytes, carry);
+            fd, Deadline::after(config_.read_deadline_ms),
+            config_.max_body_bytes, carry);
         BoundedSource bounded_src(socket_src, header.length);
         intervals::ChunkSource& src =
             header.has_length
@@ -734,7 +1085,7 @@ Server::handleConnection(int fd)
                 trailer.per_query = per_query;
             writer.append(encodeTrailer(trailer));
             writer.flush();
-            bumpError(bytes_in, writer.total(), reg, e.code());
+            bumpError(sh, bytes_in, writer.total(), reg, e.code());
             lingeringClose(fd, linger_ms);
             return;
         }
@@ -747,17 +1098,18 @@ Server::handleConnection(int fd)
             trailer.per_query = per_query;
         writer.append(encodeTrailer(trailer));
         writer.flush();
-        bumpOk(bytes_in, writer.total(), reg);
+        bumpOk(sh, bytes_in, writer.total(), reg);
         lingeringClose(fd, linger_ms);
     } catch (const WriterDead& dead) {
         // The connection itself failed (slow reader, socket error);
         // nothing more can be delivered.
-        bumpError(bytes_in, writer.total(), reg, dead.code);
+        bumpError(sh, bytes_in, writer.total(), reg, dead.code);
         ::close(fd);
     } catch (...) {
         // Unexpected escape: never take the worker down; sever the
         // connection so the client sees a hard close, not a trailer.
-        bumpError(bytes_in, writer.total(), reg, ErrorCode::Unspecified);
+        bumpError(sh, bytes_in, writer.total(), reg,
+                  ErrorCode::Unspecified);
         ::close(fd);
     }
 }
@@ -765,20 +1117,44 @@ Server::handleConnection(int fd)
 ServerStats
 Server::stats() const
 {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    return stats_;
+    ServerStats total;
+    for (const auto& sh : shards_) {
+        std::lock_guard<std::mutex> lock(sh->stats_mutex);
+        total += sh->stats;
+    }
+    return total;
+}
+
+const PlanCache&
+Server::planCache() const
+{
+    return shards_.front()->plan_cache;
+}
+
+PlanCacheStats
+Server::planCacheTotals() const
+{
+    PlanCacheStats total;
+    for (const auto& sh : shards_)
+        total += sh->plan_cache.statsSnapshot();
+    return total;
 }
 
 std::string
 Server::metricsText() const
 {
-    ServerStats s;
-    std::string telemetry_page;
-    {
-        std::lock_guard<std::mutex> lock(stats_mutex_);
-        s = stats_;
-        telemetry_page = telemetry::toPrometheus(merged_telemetry_);
+    ServerStats total;
+    std::vector<ServerStats> per_shard;
+    per_shard.reserve(shards_.size());
+    telemetry::Registry merged;
+    for (const auto& sh : shards_) {
+        std::lock_guard<std::mutex> lock(sh->stats_mutex);
+        per_shard.push_back(sh->stats);
+        total += sh->stats;
+        merged.merge(sh->telemetry);
     }
+    PlanCacheStats pc = planCacheTotals();
+
     std::string out;
     auto gauge = [&out](const char* name, uint64_t v) {
         out += "# TYPE jsonski_server_";
@@ -789,29 +1165,56 @@ Server::metricsText() const
         out += std::to_string(v);
         out += '\n';
     };
+    // One series per shard: `name{shard="i"}` for the counters that
+    // show whether traffic is actually spreading across the shards.
+    auto shardGauge = [&](const char* name,
+                          uint64_t ServerStats::*field) {
+        out += "# TYPE jsonski_server_shard_";
+        out += name;
+        out += " counter\n";
+        for (size_t i = 0; i < per_shard.size(); ++i) {
+            out += "jsonski_server_shard_";
+            out += name;
+            out += "{shard=\"";
+            out += std::to_string(i);
+            out += "\"} ";
+            out += std::to_string(per_shard[i].*field);
+            out += '\n';
+        }
+    };
     // Which SIMD kernel this daemon is running on — the service-smoke
     // script scrapes this to confirm the dispatch decision end to end.
     out += "# TYPE jsonski_server_kernel_info gauge\n"
            "jsonski_server_kernel_info{kernel=\"";
     out += kernels::activeName();
     out += "\"} 1\n";
-    gauge("connections_total", s.connections_total);
-    gauge("requests_total", s.requests_total);
-    gauge("responses_ok", s.responses_ok);
-    gauge("responses_error", s.responses_error);
-    gauge("rejected_bad_request", s.rejected_bad_request);
-    gauge("rejected_header_too_large", s.rejected_header_too_large);
-    gauge("rejected_deadline", s.rejected_deadline);
-    gauge("rejected_too_large", s.rejected_too_large);
-    gauge("stats_requests", s.stats_requests);
-    gauge("idle_closed", s.idle_closed);
-    gauge("bytes_in_total", s.bytes_in_total);
-    gauge("bytes_out_total", s.bytes_out_total);
-    gauge("plan_cache_hits", plan_cache_.hits());
-    gauge("plan_cache_misses", plan_cache_.misses());
-    gauge("plan_cache_evictions", plan_cache_.evictions());
-    gauge("plan_cache_size", plan_cache_.size());
-    out += telemetry_page;
+    out += "# TYPE jsonski_server_shards gauge\n"
+           "jsonski_server_shards ";
+    out += std::to_string(shards_.size());
+    out += '\n';
+    gauge("connections_total", total.connections_total);
+    gauge("requests_total", total.requests_total);
+    gauge("responses_ok", total.responses_ok);
+    gauge("responses_error", total.responses_error);
+    gauge("rejected_bad_request", total.rejected_bad_request);
+    gauge("rejected_header_too_large", total.rejected_header_too_large);
+    gauge("rejected_deadline", total.rejected_deadline);
+    gauge("rejected_too_large", total.rejected_too_large);
+    gauge("stats_requests", total.stats_requests);
+    gauge("idle_closed", total.idle_closed);
+    gauge("accept_errors", total.accept_errors);
+    gauge("accept_backoffs", total.accept_backoffs);
+    gauge("bytes_in_total", total.bytes_in_total);
+    gauge("bytes_out_total", total.bytes_out_total);
+    gauge("plan_cache_hits", pc.hits);
+    gauge("plan_cache_misses", pc.misses);
+    gauge("plan_cache_evictions", pc.evictions);
+    gauge("plan_cache_size", pc.size);
+    shardGauge("connections_total", &ServerStats::connections_total);
+    shardGauge("requests_total", &ServerStats::requests_total);
+    shardGauge("responses_ok", &ServerStats::responses_ok);
+    shardGauge("responses_error", &ServerStats::responses_error);
+    out += telemetry::toPrometheus(merged);
     return out;
 }
 

@@ -1,36 +1,53 @@
 /**
  * @file
- * jsqd — the streaming JSONPath query daemon (DESIGN.md §10).
+ * jsqd — the streaming JSONPath query daemon (DESIGN.md §10, §12).
  *
- * Topology: one event-loop thread multiplexes the listening socket and
- * every accepted-but-idle connection through epoll (Linux) or poll
- * (fallback, also selectable at runtime for testing).  The moment a
- * connection shows its first request byte it is handed to a fixed
- * worker pool (util/thread_pool); the worker runs the whole request —
+ * Topology: N event-loop *shards* (ServerConfig::shards; 1 preserves
+ * the original single-loop topology).  Each shard owns its own
+ * readiness multiplexer (epoll on Linux, poll fallback), its own
+ * accept path, its own worker pool, its own plan-cache partition, and
+ * its own telemetry registry + counters — a connection is pinned to
+ * one shard for its whole life, so hot sockets never bounce between
+ * cores and the per-request hot path takes no cross-shard lock.
+ *
+ * Accept strategy (DESIGN.md §12): on Linux every shard binds its own
+ * SO_REUSEPORT listener and the kernel spreads incoming connections;
+ * elsewhere — and under force_poll, so the path stays tested on Linux
+ * CI — shard 0 owns the single listener and hands accepted fds to the
+ * shards round-robin through their wake pipes.  adoptConnection()
+ * round-robins injected fds the same way.
+ *
+ * The moment a connection shows its first request byte its shard hands
+ * it to the shard's worker pool; the worker runs the whole request —
  * bounded header read, plan-cache lookup, chunked streaming evaluation
  * directly over a SocketChunkSource (the body is never materialized),
  * incremental match frames, status trailer — and closes the
  * connection.  One request per connection keeps the protocol EOF-
- * framable (the client half-closes to end the body) and the state
- * machine worker-local.
+ * framable and the state machine worker-local.
  *
- * Robustness envelope, all per connection: the header line is capped
- * (max_header_bytes); the body read polls under a deadline so a
- * stalled client cannot pin a worker; writes go through a bounded
- * queue that flushes under its own deadline, so a slow *reader* is
- * back-pressured and eventually rejected instead of ballooning server
- * memory; the body size and match count are capped.  Every rejection
- * is a typed trailer carrying an ErrorCode (util/error.h).
+ * Robustness envelope, all per connection and all *absolute* deadlines
+ * (util/deadline.h — progress never re-arms a window, so slow-loris
+ * drip-feeding expires on schedule): the header line is capped
+ * (max_header_bytes) and must arrive within read_deadline_ms; the
+ * whole body must stream within its own read_deadline_ms envelope;
+ * each write-queue flush must complete within write_deadline_ms, so a
+ * slow *reader* is back-pressured and eventually rejected instead of
+ * ballooning server memory; the body size and match count are capped.
+ * Every rejection is a typed trailer carrying an ErrorCode
+ * (util/error.h).  The accept path uses accept4(SOCK_CLOEXEC) where
+ * available and answers fd exhaustion (EMFILE/ENFILE) by reaping idle
+ * connections and pausing the listener briefly instead of busy-
+ * spinning the level-triggered fd.
  *
- * Observability: per-request telemetry registries merge into one
- * server-wide registry, and a `jsq/1 !stats` request answers with a
- * Prometheus text page (telemetry/export) plus server counters; the
- * plan cache contributes hit/miss/eviction gauges.
+ * Observability: per-request telemetry registries merge into their
+ * shard's registry; a `jsq/1 !stats` request merges *across* shards at
+ * scrape time and answers with a Prometheus text page (server totals,
+ * per-shard gauges, plan-cache totals, merged engine telemetry).
  *
  * Shutdown: requestStop() is async-signal-safe (it writes one byte to
- * a wake pipe); the event loop then stops accepting, closes idle
- * connections, lets in-flight requests finish, and joins the workers —
- * the graceful SIGTERM drain the CI smoke leg asserts.
+ * every shard's wake pipe); each shard then stops accepting, closes
+ * idle connections, lets in-flight requests finish, and joins its
+ * workers — the graceful SIGTERM drain the CI smoke leg asserts.
  */
 #ifndef JSONSKI_SERVICE_SERVER_H
 #define JSONSKI_SERVICE_SERVER_H
@@ -42,6 +59,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "service/plan_cache.h"
 #include "telemetry/telemetry.h"
@@ -59,7 +77,14 @@ struct ServerConfig
     /** Listen address. */
     std::string bind_addr = "127.0.0.1";
 
-    /** Worker threads evaluating requests. */
+    /**
+     * Event-loop shards; 0 = one per hardware thread.  1 preserves the
+     * single-loop topology (and exact plan-cache counter determinism,
+     * since all requests share one partition).
+     */
+    size_t shards = 0;
+
+    /** Worker threads evaluating requests, per shard. */
     size_t workers = 4;
 
     /** Request header line cap, bytes. */
@@ -71,29 +96,39 @@ struct ServerConfig
     /** Server-imposed cap on matches per request; 0 = unlimited. */
     size_t max_matches = 0;
 
-    /** Poll timeout for each body read; 0 = wait forever. */
+    /**
+     * Absolute envelope for the header read and (separately re-armed)
+     * for the whole body stream; 0 = no deadline.
+     */
     int read_deadline_ms = 10000;
 
-    /** Poll timeout for draining the write queue to a slow reader. */
+    /** Absolute envelope for each write-queue flush to a slow reader. */
     int write_deadline_ms = 10000;
 
     /** Accepted connection must show its first byte within this. */
     int idle_deadline_ms = 10000;
 
+    /** Listener pause after EMFILE/ENFILE before re-accepting. */
+    int accept_backoff_ms = 100;
+
     /** Cursor refill granularity for body streaming. */
     size_t chunk_bytes = size_t{64} << 10;
 
-    /** Compiled plans retained across all plan-cache shards. */
+    /** Compiled plans retained across all shards' partitions. */
     size_t plan_cache_capacity = 64;
 
     /** Write-queue flush threshold (bounds per-connection buffering). */
     size_t write_queue_bytes = size_t{256} << 10;
 
-    /** Use the poll() event loop even where epoll is available. */
+    /**
+     * Use the poll() event loop even where epoll is available.  Also
+     * selects the round-robin fd-handoff accept path instead of
+     * SO_REUSEPORT, so both fallbacks stay exercised on Linux.
+     */
     bool force_poll = false;
 };
 
-/** Monotonic server-wide counters (snapshot). */
+/** Monotonic server-wide counters (snapshot; summed across shards). */
 struct ServerStats
 {
     uint64_t connections_total = 0;
@@ -106,8 +141,12 @@ struct ServerStats
     uint64_t rejected_too_large = 0;   ///< body byte cap
     uint64_t stats_requests = 0;
     uint64_t idle_closed = 0;      ///< closed with no request byte
+    uint64_t accept_errors = 0;    ///< accept()/poller-add failures
+    uint64_t accept_backoffs = 0;  ///< EMFILE/ENFILE pauses taken
     uint64_t bytes_in_total = 0;   ///< request body bytes consumed
     uint64_t bytes_out_total = 0;  ///< response bytes written
+
+    ServerStats& operator+=(const ServerStats& o);
 };
 
 /** See file comment. */
@@ -121,13 +160,16 @@ class Server
     Server& operator=(const Server&) = delete;
 
     /**
-     * Bind, listen, and spawn the event loop + workers.
-     * @throws std::runtime_error when the socket cannot be set up.
+     * Bind, listen, and spawn the shard loops + workers.
+     * @throws std::runtime_error when the sockets cannot be set up.
      */
     void start();
 
     /** Bound port (after start()); useful with config.port == 0. */
     uint16_t port() const { return port_; }
+
+    /** Resolved shard count (config.shards, or the auto default). */
+    size_t shardCount() const { return shards_.size(); }
 
     /**
      * Request a graceful drain.  Async-signal-safe: may be called from
@@ -143,55 +185,52 @@ class Server
 
     /**
      * Hand an already-connected descriptor (e.g. one end of a
-     * socketpair) straight to a worker, bypassing accept().  The
+     * socketpair) to a shard (round-robin), bypassing accept().  The
      * server takes ownership of @p fd.  This is the loopback test
-     * harness's injection point — the full request path runs without
-     * any listening socket involved.
+     * harness's injection point — the full request path, shard loop
+     * included, runs without any listening socket involved.
      *
      * @return false (fd closed) when the server is draining.
      */
     bool adoptConnection(int fd);
 
-    /** Counter snapshot. */
+    /** Counter snapshot, summed across shards. */
     ServerStats stats() const;
 
-    /** The shared plan cache (for counter assertions in tests). */
-    const PlanCache& planCache() const { return plan_cache_; }
+    /**
+     * Shard 0's plan-cache partition.  Exact totals for shards == 1
+     * (the deterministic-counter tests pin that); use
+     * planCacheTotals() for the cross-shard sums.
+     */
+    const PlanCache& planCache() const;
+
+    /** Plan-cache counters summed across every shard's partition. */
+    PlanCacheStats planCacheTotals() const;
 
     /**
      * The Prometheus text page a `!stats` request answers with:
-     * server counters + plan-cache gauges + the merged telemetry
-     * registry of every completed request.
+     * summed server counters, per-shard gauges, plan-cache totals, and
+     * the merged telemetry registry of every completed request.
      */
     std::string metricsText() const;
 
   private:
-    class Impl;
+    struct Shard;
 
-    void eventLoop();
-    void handleConnection(int fd);
+    void shardLoop(Shard& shard);
+    void handleConnection(Shard& shard, int fd);
+    void bumpOk(Shard& shard, uint64_t bytes_in, uint64_t bytes_out,
+                const telemetry::Registry& reg);
+    void bumpError(Shard& shard, uint64_t bytes_in, uint64_t bytes_out,
+                   const telemetry::Registry& reg, ErrorCode code);
 
     ServerConfig config_;
-    PlanCache plan_cache_;
-
-    int listen_fd_ = -1;
-    int wake_read_fd_ = -1;
-    int wake_write_fd_ = -1;
+    std::vector<std::unique_ptr<Shard>> shards_;
     uint16_t port_ = 0;
 
     std::atomic<bool> stopping_{false};
     std::atomic<bool> started_{false};
-    std::thread loop_thread_;
-    std::unique_ptr<ThreadPool> pool_;
-
-    mutable std::mutex stats_mutex_;
-    ServerStats stats_;
-    telemetry::Registry merged_telemetry_;
-
-    void bumpOk(uint64_t bytes_in, uint64_t bytes_out,
-                const telemetry::Registry& reg);
-    void bumpError(uint64_t bytes_in, uint64_t bytes_out,
-                   const telemetry::Registry& reg, ErrorCode code);
+    std::atomic<uint64_t> next_adopt_{0};
 };
 
 } // namespace jsonski::service

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Absolute deadline for poll()-driven I/O loops.
+ *
+ * Every deadline in the service layer used to be a *per-poll* timeout:
+ * each `poll(fd, deadline_ms)` restarted the full window, so a peer
+ * making one byte of progress per window could hold a connection (and
+ * its worker-pool slot) forever — the classic slow-loris shape.  A
+ * Deadline is armed once, at the start of the operation it bounds, and
+ * every subsequent poll() gets only the *remaining* time; progress
+ * never resets the clock.  DESIGN.md §12 states which envelope each
+ * server operation runs under.
+ *
+ * An unarmed (default-constructed, or after(ms<=0)) Deadline never
+ * expires and yields the poll() "wait forever" timeout of -1, which
+ * preserves the `0 = no deadline` convention of the config knobs.
+ */
+#ifndef JSONSKI_UTIL_DEADLINE_H
+#define JSONSKI_UTIL_DEADLINE_H
+
+#include <algorithm>
+#include <chrono>
+#include <climits>
+
+namespace jsonski {
+
+/** See file comment. */
+class Deadline
+{
+    using Clock = std::chrono::steady_clock;
+
+  public:
+    /** Unarmed: never expires, polls wait forever. */
+    Deadline() = default;
+
+    /** Armed @p ms from now; @p ms <= 0 yields an unarmed deadline. */
+    static Deadline
+    after(int ms)
+    {
+        Deadline d;
+        if (ms > 0) {
+            d.armed_ = true;
+            d.at_ = Clock::now() + std::chrono::milliseconds(ms);
+        }
+        return d;
+    }
+
+    bool armed() const { return armed_; }
+
+    bool expired() const { return armed_ && Clock::now() >= at_; }
+
+    /**
+     * Timeout for the next poll(): remaining whole milliseconds
+     * (clamped to >= 0 so an expired deadline polls without blocking),
+     * or -1 (wait forever) when unarmed.
+     */
+    int
+    pollTimeoutMs() const
+    {
+        if (!armed_)
+            return -1;
+        auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        at_ - Clock::now())
+                        .count();
+        if (left <= 0)
+            return 0;
+        return static_cast<int>(
+            std::min<long long>(left, INT_MAX));
+    }
+
+  private:
+    bool armed_ = false;
+    Clock::time_point at_{};
+};
+
+} // namespace jsonski
+
+#endif // JSONSKI_UTIL_DEADLINE_H

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Load-generator tests (service/loadgen.h): the log-linear latency
+ * histogram's bucketing contract (exactness below 128 µs, bounded
+ * relative error above, conservative percentiles, lossless merge) and
+ * runLoad() end to end against an in-process sharded server in both
+ * closed- and open-loop modes.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "service/loadgen.h"
+#include "service/server.h"
+
+using namespace jsonski;
+using namespace jsonski::service;
+
+namespace {
+
+TEST(LatencyHistogram, SmallValuesAreExact)
+{
+    LatencyHistogram h;
+    for (uint64_t v = 0; v < 128; ++v)
+        h.record(v);
+    EXPECT_EQ(h.count(), 128u);
+    EXPECT_EQ(h.maxValue(), 127u);
+    // Each recorded value is its own bucket: the p covering exactly
+    // the first k samples reports k-1.
+    EXPECT_EQ(h.percentile(100.0 * 1 / 128), 0u);
+    EXPECT_EQ(h.percentile(100.0 * 64 / 128), 63u);
+    EXPECT_EQ(h.percentile(100), 127u);
+}
+
+TEST(LatencyHistogram, RelativeErrorIsBoundedAtEveryMagnitude)
+{
+    // One sample per magnitude: the reported p100 upper bound may
+    // round up, but never by more than one sub-bucket (1/64 ≈ 1.6%).
+    const std::vector<uint64_t> magnitudes = {
+        129, 1000, 4096, 123456, 9999999, uint64_t{1} << 40};
+    for (uint64_t v : magnitudes) {
+        LatencyHistogram h;
+        h.record(v);
+        uint64_t p = h.percentile(100);
+        EXPECT_GE(p, v - v / 64);
+        EXPECT_LE(p, v); // clamped to the observed max
+    }
+}
+
+TEST(LatencyHistogram, PercentilesAreMonotonicAndMergeIsLossless)
+{
+    LatencyHistogram a, b;
+    for (uint64_t v = 1; v <= 1000; ++v)
+        (v % 2 == 0 ? a : b).record(v * 100);
+    LatencyHistogram merged;
+    merged.merge(a);
+    merged.merge(b);
+    EXPECT_EQ(merged.count(), 1000u);
+    EXPECT_EQ(merged.maxValue(), 100000u);
+    uint64_t prev = 0;
+    for (double p : {10.0, 50.0, 90.0, 99.0, 99.9, 100.0}) {
+        uint64_t v = merged.percentile(p);
+        EXPECT_GE(v, prev) << "p" << p;
+        prev = v;
+    }
+    // p50 of a uniform 100..100000 grid lands near 50000 (± bucket).
+    EXPECT_NEAR(static_cast<double>(merged.percentile(50)), 50000.0,
+                50000.0 / 32);
+}
+
+TEST(LatencyHistogram, EmptyReportsZero)
+{
+    LatencyHistogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.percentile(50), 0u);
+}
+
+TEST(LoadGen, ClosedLoopDrivesShardedServer)
+{
+    ServerConfig cfg;
+    cfg.shards = 2;
+    cfg.workers = 1;
+    Server server(cfg);
+    server.start();
+
+    LoadOptions opt;
+    opt.port = server.port();
+    opt.query = "$.a[*]";
+    opt.body = R"({"a": [1, 2, 3]})";
+    opt.connections = 2;
+    opt.duration_ms = 300;
+    LoadResult r = runLoad(opt);
+
+    EXPECT_GT(r.attempted, 0u);
+    EXPECT_EQ(r.errors, 0u);
+    EXPECT_EQ(r.ok, r.attempted);
+    EXPECT_EQ(r.matches, r.ok * 3);
+    EXPECT_EQ(r.latency.count(), r.attempted);
+    EXPECT_GT(r.throughput_rps, 0.0);
+    EXPECT_EQ(server.stats().responses_ok, r.ok);
+    server.stop();
+}
+
+TEST(LoadGen, OpenLoopRunsTheFullSchedule)
+{
+    ServerConfig cfg;
+    cfg.shards = 1;
+    Server server(cfg);
+    server.start();
+
+    LoadOptions opt;
+    opt.port = server.port();
+    opt.query = "$.a";
+    opt.body = R"({"a": 1})";
+    opt.connections = 2;
+    opt.qps = 100;
+    opt.duration_ms = 300;
+    LoadResult r = runLoad(opt);
+
+    // Open loop: every scheduled request before the end mark is
+    // attempted even if the server lags — that is the point.
+    uint64_t scheduled = static_cast<uint64_t>(opt.qps * 0.3);
+    EXPECT_EQ(r.attempted, scheduled);
+    EXPECT_EQ(r.errors, 0u);
+    EXPECT_EQ(r.latency.count(), r.attempted);
+    server.stop();
+}
+
+} // namespace

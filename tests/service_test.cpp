@@ -462,6 +462,7 @@ TEST(Service, PlanCacheCountersAcrossConcurrentConnections)
 {
     ServerConfig cfg;
     cfg.workers = 4;
+    cfg.shards = 1; // one plan-cache partition → exact counters
     Server server(cfg);
     server.start();
 
@@ -506,6 +507,7 @@ TEST(Service, PlanCacheCountersAcrossConcurrentConnections)
 TEST(Service, PlanCacheEvictionCounterMovesUnderPressure)
 {
     ServerConfig cfg;
+    cfg.shards = 1; // one partition, so the capacity is not split
     cfg.plan_cache_capacity = PlanCache::kShards; // one per shard
     Server server(cfg);
     server.start();
