@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Extension experiment: filter predicates under fast-forwarding.
+ *
+ * A filter's cost model is selectivity-driven: every candidate object
+ * pays a G1 scan to the predicate field, then either a G3 emit (match)
+ * or a G2 skip of its entire remainder (reject).  The sweep runs the
+ * same candidate array at 0.1% / 10% / 90% selectivity so the
+ * BENCH_filter.json rows show the G2-skipped bytes collapsing into G3
+ * as selectivity rises — the evidence that rejected candidates are
+ * fast-forwarded, not parsed.
+ */
+#include <cstdio>
+#include <string>
+
+#include "baseline/dom/query.h"
+#include "bench_common.h"
+#include "harness/runner.h"
+#include "path/parser.h"
+#include "ski/streamer.h"
+#include "util/rng.h"
+
+using namespace jsonski;
+using namespace jsonski::harness;
+
+namespace {
+
+/**
+ * An array of candidate objects: a small predicate field up front,
+ * then a fat payload the verdict decides the fate of.  `sel` is
+ * uniform in [0, 1000), so `$[?(@.sel<K)]` has selectivity K/1000.
+ */
+std::string
+makeCandidates(size_t target_bytes, Rng& rng)
+{
+    std::string doc = "[";
+    while (doc.size() < target_bytes) {
+        if (doc.size() > 1)
+            doc += ",";
+        doc += "{\"sel\": " + std::to_string(rng.below(1000)) +
+               ", \"pad\": \"" + std::string(96, 'x') +
+               "\", \"tags\": [1, 2, 3], \"nested\": {\"deep\": \"" +
+               std::string(64, 'y') + "\"}}";
+    }
+    doc += "]";
+    return doc;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    size_t bytes = benchBytes(argc, argv, 32);
+    bench::banner("Extension: filter predicates",
+                  "selectivity sweep, total time (s)", bytes);
+
+    Rng rng(20260808);
+    std::string json = makeCandidates(bytes, rng);
+
+    struct Case
+    {
+        const char* id;
+        const char* query;
+    };
+    const Case cases[] = {
+        {"0.1%", "$[?(@.sel<1)]"},
+        {"10%", "$[?(@.sel<100)]"},
+        {"90%", "$[?(@.sel<900)]"},
+    };
+
+    BenchReport report("filter", "filter predicate selectivity sweep");
+    report.inputBytes(json.size());
+
+    printTableHeader({"Selectivity", "RapidJSON-like", "JSONSki",
+                      "matches", "G2-skip", "G3-skip"},
+                     {11, 14, 12, 9, 9, 9});
+    for (const Case& c : cases) {
+        auto q = path::parse(c.query);
+        Timing td =
+            timeBest([&] { return dom::parseAndQuery(json, q); }, 2);
+        ski::Streamer streamer(q);
+        ski::FastForwardStats stats;
+        Timing ts = timeBest(
+            [&] {
+                auto r = streamer.run(json);
+                stats = r.stats;
+                return r.matches;
+            },
+            2);
+        if (td.matches != ts.matches)
+            std::printf("!! engines disagree on %s\n", c.id);
+        printTableRow(
+            {c.id, fmtSeconds(td.seconds), fmtSeconds(ts.seconds),
+             std::to_string(ts.matches),
+             fmtPercent(stats.ratio(ski::Group::G2, json.size())),
+             fmtPercent(stats.ratio(ski::Group::G3, json.size()))},
+            {11, 14, 12, 9, 9, 9});
+        report.beginRow(c.id, "RapidJSON-like");
+        report.timing(td, json.size());
+        report.beginRow(c.id, "JSONSki");
+        report.timing(ts, json.size());
+        report.ffStats(stats, json.size());
+        report.metric("g2_skipped_bytes", stats.get(ski::Group::G2));
+        report.metric("g3_skipped_bytes", stats.get(ski::Group::G3));
+    }
+    report.write();
+    std::printf("\n(G2 bytes are rejected candidates fast-forwarded "
+                "after a failed verdict; they shift to G3 as "
+                "selectivity rises.)\n");
+    return 0;
+}

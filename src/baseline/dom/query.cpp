@@ -1,61 +1,72 @@
 #include "baseline/dom/query.h"
 
 #include "baseline/dom/parser.h"
+#include "path/automaton.h"
+#include "path/filter.h"
 
 namespace jsonski::dom {
 namespace {
 
-size_t walk(const Node* node, const path::PathQuery& q, size_t step,
-            path::MatchSink* sink);
+using path::NfaSet;
+using path::PathQuery;
+using path::PathStep;
 
 /**
- * Descendant search: every attribute named @p key at any depth, in
- * document pre-order (a matching attribute is reported before matches
- * nested inside its value).
+ * Verdict of filter step @p step on array element @p elem, from the
+ * node's raw text — the same lexemes the streaming engine sees, so
+ * both engines call the same path::evalPredicate.
  */
-size_t
-walkDescendant(const Node* node, const path::PathQuery& q, size_t step,
-               path::MatchSink* sink)
+bool
+filterVerdict(const PathStep& step, const Node* elem)
 {
-    size_t matches = 0;
-    const std::string& key = q[step].key;
-    if (node->isObject()) {
-        for (const auto& [name, child] : node->members) {
-            if (name == key)
-                matches += walk(child, q, step + 1, sink);
-            matches += walkDescendant(child, q, step, sink);
-        }
-    } else if (node->isArray()) {
-        for (const Node* child : node->elements)
-            matches += walkDescendant(child, q, step, sink);
-    }
-    return matches;
+    if (!elem->isObject())
+        return false; // `@.field` requires an object element
+    const Node* field = elem->find(step.key);
+    if (field == nullptr)
+        return path::evalPredicate(step, false, {});
+    return path::evalPredicate(step, true, field->text);
 }
 
+/**
+ * NFA-multiset walk shared with the streaming engine's semantics
+ * (DESIGN.md §13): emit the node once per accepting path, then recurse
+ * in document order — pre-order overall, duplicates consecutive.  For
+ * the deterministic surface (no interior descendant, no filter) this
+ * reduces exactly to the old path-at-a-time recursion.
+ */
 size_t
-walk(const Node* node, const path::PathQuery& q, size_t step,
-     path::MatchSink* sink)
+walkNfa(const Node* node, const PathQuery& q, const NfaSet& set,
+        path::MatchSink* sink)
 {
-    if (step == q.size()) {
+    size_t matches = 0;
+    uint64_t accept = set.acceptCount(q);
+    for (uint64_t i = 0; i < accept; ++i) {
+        ++matches;
         if (sink)
             sink->onMatch(node->text);
-        return 1;
     }
-    const path::PathStep& s = q[step];
-    if (s.kind == path::PathStep::Kind::Descendant)
-        return walkDescendant(node, q, step, sink);
-    size_t matches = 0;
-    if (s.kind == path::PathStep::Kind::Key) {
-        if (!node->isObject())
-            return 0;
-        if (const Node* child = node->find(s.key))
-            matches += walk(child, q, step + 1, sink);
-    } else {
-        if (!node->isArray())
-            return 0;
-        size_t hi = std::min(s.hi, node->elements.size());
-        for (size_t i = s.lo; i < hi; ++i)
-            matches += walk(node->elements[i], q, step + 1, sink);
+    if (node->isObject() && path::nfaWantsObject(q, set)) {
+        // One consumed mask per object: Key states bind to the first
+        // member with their name only (duplicate-key contract).
+        std::vector<char> consumed(set.states.size(), 0);
+        for (const auto& [name, child] : node->members) {
+            NfaSet next = path::nfaOnKey(q, set, name, &consumed);
+            if (!next.empty())
+                matches += walkNfa(child, q, next, sink);
+        }
+    } else if (node->isArray() && path::nfaWantsArray(q, set)) {
+        std::vector<std::pair<size_t, uint64_t>> filters;
+        for (size_t idx = 0; idx < node->elements.size(); ++idx) {
+            filters.clear();
+            NfaSet next =
+                path::nfaOnElement(q, set, idx, &filters);
+            for (const auto& [s, c] : filters) {
+                if (filterVerdict(q[s], node->elements[idx]))
+                    next.add(s + 1, c);
+            }
+            if (!next.empty())
+                matches += walkNfa(node->elements[idx], q, next, sink);
+        }
     }
     return matches;
 }
@@ -68,7 +79,9 @@ evaluate(const Node* root, const path::PathQuery& query,
 {
     if (!root)
         return 0;
-    return walk(root, query, 0, sink);
+    NfaSet start;
+    start.add(0, 1);
+    return walkNfa(root, query, start, sink);
 }
 
 size_t

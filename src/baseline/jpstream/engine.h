@@ -22,6 +22,7 @@
 #include "path/ast.h"
 #include "path/automaton.h"
 #include "path/matches.h"
+#include "util/error.h"
 #include "util/thread_pool.h"
 
 namespace jsonski::jpstream {
@@ -49,7 +50,18 @@ struct Token
 class Engine
 {
   public:
-    explicit Engine(path::PathQuery query) : qa_(std::move(query)) {}
+    explicit Engine(path::PathQuery query) : qa_(std::move(query))
+    {
+        // The dual-stack PDA tracks ONE deterministic state per level;
+        // the nondeterministic surface (filters, interior descendants)
+        // needs the multiset driver and stays out of this baseline.
+        if (qa_.query().hasFilter())
+            throw PathError(
+                "the JPStream baseline does not support filters");
+        if (qa_.query().hasInteriorDescendant())
+            throw PathError("the JPStream baseline only supports a "
+                            "terminal '..' step");
+    }
 
     /** Evaluate over one record, character by character. */
     size_t run(std::string_view json, path::MatchSink* sink = nullptr) const;

@@ -133,6 +133,12 @@ evaluate(const LeveledIndex& index, std::string_view input,
         throw PathError(
             "the leveled-bitmap index does not support '..'");
     }
+    if (query.hasFilter()) {
+        // A filter's verdict needs the candidate's *content*, which
+        // the separator bitmaps deliberately do not index.
+        throw PathError(
+            "the leveled-bitmap index does not support filters");
+    }
     return Evaluator(index, input, query, sink).run();
 }
 

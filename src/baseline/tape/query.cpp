@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/error.h"
+
 namespace jsonski::tape {
 namespace {
 
@@ -115,6 +117,16 @@ size_t
 evaluate(const Tape& tape, std::string_view input,
          const path::PathQuery& query, path::MatchSink* sink)
 {
+    if (query.hasFilter())
+        throw PathError("the tape evaluator does not support filters");
+    if (query.hasInteriorDescendant()) {
+        // The path-at-a-time recursion explores a matched child twice
+        // (continuation first, then the deeper search), which breaks
+        // the document-order emission contract interior descendants
+        // pin down (DESIGN.md §13).
+        throw PathError("the tape evaluator only supports a terminal "
+                        "'..' step");
+    }
     return Evaluator(tape, input, query, sink).run();
 }
 

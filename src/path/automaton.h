@@ -14,7 +14,10 @@
 #ifndef JSONSKI_PATH_AUTOMATON_H
 #define JSONSKI_PATH_AUTOMATON_H
 
+#include <cstdint>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "path/ast.h"
 
@@ -55,7 +58,7 @@ class QueryAutomaton
             // terminal descendant step, which keeps searching: a
             // matching name re-accepts, anything else resumes the
             // search state.
-            if (query_.hasDescendant()) {
+            if (query_.hasTerminalDescendant()) {
                 const PathStep& d = query_[query_.size() - 1];
                 return d.key == key ? state : state - 1;
             }
@@ -81,7 +84,8 @@ class QueryAutomaton
         if (isAccept(state)) {
             // Inside an accepted array under a terminal descendant
             // step, elements keep the search alive but never match.
-            return query_.hasDescendant() ? state - 1 : kUnmatched;
+            return query_.hasTerminalDescendant() ? state - 1
+                                                  : kUnmatched;
         }
         const PathStep& s = query_[static_cast<size_t>(state)];
         if (s.isArrayStep() && s.coversIndex(idx))
@@ -123,6 +127,173 @@ class QueryAutomaton
   private:
     PathQuery query_;
 };
+
+/**
+ * Multiset of NFA states for the nondeterministic query surface
+ * (interior descendants and filters; DESIGN.md §13).  State i means
+ * "the first i steps matched along some root-to-here path"; the count
+ * is the number of distinct such paths, and a value is emitted once
+ * per accepting path.  Kept sorted by state; tiny (bounded by query
+ * length), so linear operations are fine.
+ */
+struct NfaSet
+{
+    std::vector<std::pair<size_t, uint64_t>> states;
+
+    bool empty() const { return states.empty(); }
+
+    void
+    add(size_t state, uint64_t count)
+    {
+        for (auto& [s, c] : states) {
+            if (s == state) {
+                c += count;
+                return;
+            }
+        }
+        states.emplace_back(state, count);
+        for (size_t i = states.size(); i > 1; --i) {
+            if (states[i - 1].first < states[i - 2].first)
+                std::swap(states[i - 1], states[i - 2]);
+            else
+                break;
+        }
+    }
+
+    /** Accepting-path multiplicity (state == q.size()). */
+    uint64_t
+    acceptCount(const PathQuery& q) const
+    {
+        for (const auto& [s, c] : states) {
+            if (s == q.size())
+                return c;
+        }
+        return 0;
+    }
+
+    /** Copy without the accepting state. */
+    NfaSet
+    withoutAccept(const PathQuery& q) const
+    {
+        NfaSet out;
+        for (const auto& [s, c] : states) {
+            if (s != q.size())
+                out.states.emplace_back(s, c);
+        }
+        return out;
+    }
+};
+
+/**
+ * [Key] transition over the multiset.  Accepting states are dropped:
+ * whenever state n is produced by a descendant step, the searching
+ * state that produced it stays co-resident in the set, so the
+ * continued search the deterministic automaton emulates with its
+ * "state - 1" trick is already represented.
+ *
+ * @p consumed (parallel to in.states, carried across the members of
+ * ONE object) pins the engines' duplicate-key semantics: a Key step
+ * binds to the first member with its name only — the streamer leaves
+ * the object via G4 after that member — while a Descendant step keeps
+ * examining every member, duplicates included.  Entries are marked
+ * here when a Key state advances.
+ */
+inline NfaSet
+nfaOnKey(const PathQuery& q, const NfaSet& in, std::string_view key,
+         std::vector<char>* consumed = nullptr)
+{
+    NfaSet out;
+    for (size_t i = 0; i < in.states.size(); ++i) {
+        auto [s, c] = in.states[i];
+        if (s >= q.size())
+            continue;
+        const PathStep& step = q[s];
+        if (step.kind == PathStep::Kind::Key) {
+            if (consumed && (*consumed)[i])
+                continue;
+            if (step.key == key) {
+                out.add(s + 1, c);
+                if (consumed)
+                    (*consumed)[i] = 1;
+            }
+        } else if (step.kind == PathStep::Kind::Descendant) {
+            out.add(s, c); // keep searching at any depth
+            if (step.key == key)
+                out.add(s + 1, c);
+        }
+    }
+    return out;
+}
+
+/**
+ * Array-element transition over the multiset.  Filter steps cannot be
+ * resolved from the index alone: their (state, count) pairs are
+ * appended to @p pending_filters and the caller adds (state + 1,
+ * count) for each verdict that comes back true.
+ */
+inline NfaSet
+nfaOnElement(const PathQuery& q, const NfaSet& in, size_t idx,
+             std::vector<std::pair<size_t, uint64_t>>* pending_filters)
+{
+    NfaSet out;
+    for (const auto& [s, c] : in.states) {
+        if (s >= q.size())
+            continue;
+        const PathStep& step = q[s];
+        if (step.kind == PathStep::Kind::Filter) {
+            if (pending_filters)
+                pending_filters->emplace_back(s, c);
+        } else if (step.isArrayStep()) {
+            if (step.coversIndex(idx))
+                out.add(s + 1, c);
+        } else if (step.kind == PathStep::Kind::Descendant) {
+            out.add(s, c);
+        }
+    }
+    return out;
+}
+
+/** Can entering an object make progress from @p set? */
+inline bool
+nfaWantsObject(const PathQuery& q, const NfaSet& set)
+{
+    for (const auto& [s, c] : set.states) {
+        (void)c;
+        if (s >= q.size())
+            continue;
+        if (q[s].kind == PathStep::Kind::Key ||
+            q[s].kind == PathStep::Kind::Descendant)
+            return true;
+    }
+    return false;
+}
+
+/** Can entering an array make progress from @p set? */
+inline bool
+nfaWantsArray(const PathQuery& q, const NfaSet& set)
+{
+    for (const auto& [s, c] : set.states) {
+        (void)c;
+        if (s >= q.size())
+            continue;
+        if (q[s].isArrayStep() ||
+            q[s].kind == PathStep::Kind::Descendant)
+            return true;
+    }
+    return false;
+}
+
+/** Is any live state a descendant search? */
+inline bool
+nfaHasDescendant(const PathQuery& q, const NfaSet& set)
+{
+    for (const auto& [s, c] : set.states) {
+        (void)c;
+        if (s < q.size() && q[s].kind == PathStep::Kind::Descendant)
+            return true;
+    }
+    return false;
+}
 
 } // namespace jsonski::path
 

@@ -1,0 +1,102 @@
+#include "path/filter.h"
+
+#include <cassert>
+
+#include "json/number.h"
+#include "json/text.h"
+#include "util/error.h"
+
+namespace jsonski::path {
+namespace {
+
+/** Three-way-ish comparison outcome for ordered operators. */
+enum class Ordering { Less, Equal, Greater, Incomparable };
+
+Ordering
+compareRaw(std::string_view raw, const FilterLiteral& lit)
+{
+    if (raw.empty())
+        return Ordering::Incomparable;
+    char c = raw.front();
+    switch (lit.kind) {
+      case FilterLiteral::Kind::Null:
+        return raw == "null" ? Ordering::Equal : Ordering::Incomparable;
+      case FilterLiteral::Kind::Bool: {
+        bool value;
+        if (raw == "true")
+            value = true;
+        else if (raw == "false")
+            value = false;
+        else
+            return Ordering::Incomparable;
+        return value == lit.b ? Ordering::Equal : Ordering::Incomparable;
+      }
+      case FilterLiteral::Kind::Number: {
+        if (c == '"' || c == '{' || c == '[' || c == 't' || c == 'f' ||
+            c == 'n')
+            return Ordering::Incomparable;
+        json::Number n = json::parseNumber(raw);
+        if (!n)
+            return Ordering::Incomparable;
+        double v = n.asDouble();
+        if (v < lit.num)
+            return Ordering::Less;
+        if (v > lit.num)
+            return Ordering::Greater;
+        return Ordering::Equal;
+      }
+      case FilterLiteral::Kind::String: {
+        if (c != '"' || raw.size() < 2)
+            return Ordering::Incomparable;
+        std::string_view body = raw.substr(1, raw.size() - 2);
+        // Decode only when escapes are present: "aA" and "aA"
+        // must compare equal, but the common case stays copy-free.
+        if (body.find('\\') == std::string_view::npos) {
+            int cmp = body.compare(lit.str);
+            return cmp < 0   ? Ordering::Less
+                   : cmp > 0 ? Ordering::Greater
+                             : Ordering::Equal;
+        }
+        try {
+            std::string decoded = json::unescapeString(body);
+            int cmp = decoded.compare(lit.str);
+            return cmp < 0   ? Ordering::Less
+                   : cmp > 0 ? Ordering::Greater
+                             : Ordering::Equal;
+        } catch (const ParseError&) {
+            // A malformed escape the lazy engines never validate:
+            // keep the predicate total so both engines agree.
+            return Ordering::Incomparable;
+        }
+      }
+    }
+    return Ordering::Incomparable;
+}
+
+} // namespace
+
+bool
+evalPredicate(const PathStep& step, bool present,
+              std::string_view raw_value)
+{
+    assert(step.kind == PathStep::Kind::Filter);
+    if (step.op == FilterOp::Exists)
+        return present;
+    if (!present)
+        return false; // a missing field satisfies no operator
+    Ordering ord = compareRaw(raw_value, step.literal);
+    switch (step.op) {
+      case FilterOp::Exists: return true; // unreachable; handled above
+      case FilterOp::Eq: return ord == Ordering::Equal;
+      case FilterOp::Ne: return ord != Ordering::Equal;
+      case FilterOp::Lt: return ord == Ordering::Less;
+      case FilterOp::Le:
+        return ord == Ordering::Less || ord == Ordering::Equal;
+      case FilterOp::Gt: return ord == Ordering::Greater;
+      case FilterOp::Ge:
+        return ord == Ordering::Greater || ord == Ordering::Equal;
+    }
+    return false;
+}
+
+} // namespace jsonski::path

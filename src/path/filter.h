@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Filter-predicate semantics shared by every engine (DESIGN.md §13).
+ *
+ * A filter `[?(@.field op literal)]` applies to the elements of an
+ * array; `@.field` requires the element to be an object.  The verdict
+ * is computed from the *raw lexeme* of the field's value — exactly the
+ * bytes between structural characters, which is what both the
+ * streaming engine (it never tokenizes the candidate) and the DOM
+ * baseline (Node::text keeps raw text) can hand over — so the two
+ * engines share one comparison function and the differential oracle
+ * stays byte-exact.
+ *
+ * Pinned semantics:
+ *  - Existence (`[?(@.f)]`) is true for any present value, including
+ *    null, false, and containers.
+ *  - `==` holds only between scalars of the same kind with equal
+ *    values: numbers compare as double (1 == 1.0), strings compare on
+ *    their decoded bytes, true/false/null compare to themselves.  A
+ *    container operand is never equal to a literal.
+ *  - `!=` is present-and-not-equal (a missing field satisfies no
+ *    operator, `!=` included; a container or cross-type operand does).
+ *  - `<' `<=` `>` `>=` require number-vs-number or string-vs-string
+ *    (lexicographic on decoded bytes); anything else is false.
+ */
+#ifndef JSONSKI_PATH_FILTER_H
+#define JSONSKI_PATH_FILTER_H
+
+#include <string_view>
+
+#include "path/ast.h"
+
+namespace jsonski::path {
+
+/**
+ * Evaluate the predicate of filter step @p step.
+ *
+ * @param present   Whether the element has the predicate field at all.
+ * @param raw_value Raw lexeme of the field's value when present:
+ *                  strings include their quotes, numbers/true/false/
+ *                  null are the bare token (surrounding whitespace
+ *                  trimmed).  For container values only the opening
+ *                  '{' or '[' byte is required — comparisons never
+ *                  look past the first byte of a container.
+ * Total: never throws.  A string operand whose escapes are malformed
+ * (a document the validator would reject, which the lazy engines may
+ * never notice) compares as Incomparable rather than erroring, so the
+ * predicate can introduce no engine-divergent failure path.
+ */
+bool evalPredicate(const PathStep& step, bool present,
+                   std::string_view raw_value);
+
+} // namespace jsonski::path
+
+#endif // JSONSKI_PATH_FILTER_H

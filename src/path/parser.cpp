@@ -3,12 +3,24 @@
 #include <cctype>
 #include <charconv>
 
+#include "json/number.h"
 #include "util/error.h"
 
 namespace jsonski::path {
 namespace {
 
-/** Hand-written scanner for the small JSONPath dialect. */
+bool
+isFilterWs(char c)
+{
+    return c == ' ' || c == '\t' || c == '\r' || c == '\n';
+}
+
+/**
+ * Hand-written scanner for the JSONPath dialect (ast.h file comment).
+ * Every rejection throws PathError carrying the byte offset of the
+ * offending character, so callers (and the grammar fuzzer) can assert
+ * on *where* a query broke, not just that it broke.
+ */
 class Parser
 {
   public:
@@ -18,7 +30,7 @@ class Parser
     run()
     {
         if (s_.empty() || s_[0] != '$')
-            throw PathError("expression must start with '$'");
+            throw PathError("expression must start with '$'", 0);
         pos_ = 1;
         PathQuery q;
         while (pos_ < s_.size()) {
@@ -27,21 +39,18 @@ class Parser
                 if (pos_ + 1 < s_.size() && s_[pos_ + 1] == '.') {
                     pos_ += 2;
                     q.steps.push_back(
-                        PathStep::makeDescendant(identifier()));
-                    if (pos_ != s_.size())
-                        throw PathError("the descendant operator '..' is "
-                                        "only supported as the final "
-                                        "step");
-                    return q;
+                        PathStep::makeDescendant(descendantName()));
+                } else {
+                    ++pos_;
+                    q.steps.push_back(PathStep::makeKey(identifier()));
                 }
-                ++pos_;
-                q.steps.push_back(PathStep::makeKey(identifier()));
             } else if (c == '[') {
                 ++pos_;
                 q.steps.push_back(bracketStep());
             } else {
                 throw PathError(std::string("unexpected character '") + c +
-                                "'");
+                                    "'",
+                                pos_);
             }
         }
         return q;
@@ -55,8 +64,71 @@ class Parser
         while (pos_ < s_.size() && s_[pos_] != '.' && s_[pos_] != '[')
             ++pos_;
         if (pos_ == start)
-            throw PathError("empty attribute name");
+            throw PathError("empty attribute name", start);
         return std::string(s_.substr(start, pos_ - start));
+    }
+
+    /** Name after `..`: a bare identifier or the `..['name']` form. */
+    std::string
+    descendantName()
+    {
+        if (pos_ < s_.size() && s_[pos_] == '[') {
+            ++pos_;
+            if (pos_ >= s_.size() ||
+                (s_[pos_] != '\'' && s_[pos_] != '"'))
+                throw PathError("expected a quoted name after \"..[\"",
+                                pos_);
+            std::string name = quoted("quoted name");
+            expect(']');
+            return name;
+        }
+        return identifier();
+    }
+
+    /**
+     * Quoted string starting at the current position (which must be a
+     * quote character).  Supports the escapes \\ \' \" \/ \n \t \r \b
+     * \f; every other byte is taken raw.  @p what names the construct
+     * in error messages ("quoted name" / "string literal").
+     */
+    std::string
+    quoted(const char* what)
+    {
+        char quote = s_[pos_];
+        size_t open = pos_;
+        ++pos_;
+        std::string out;
+        while (pos_ < s_.size() && s_[pos_] != quote) {
+            char c = s_[pos_];
+            if (c == '\\') {
+                if (pos_ + 1 >= s_.size())
+                    break; // dangling backslash: unterminated below
+                char e = s_[pos_ + 1];
+                switch (e) {
+                  case '\\': out += '\\'; break;
+                  case '\'': out += '\''; break;
+                  case '"': out += '"'; break;
+                  case '/': out += '/'; break;
+                  case 'n': out += '\n'; break;
+                  case 't': out += '\t'; break;
+                  case 'r': out += '\r'; break;
+                  case 'b': out += '\b'; break;
+                  case 'f': out += '\f'; break;
+                  default:
+                    throw PathError(std::string("unknown escape in ") +
+                                        what,
+                                    pos_ + 1);
+                }
+                pos_ += 2;
+            } else {
+                out += c;
+                ++pos_;
+            }
+        }
+        if (pos_ >= s_.size())
+            throw PathError(std::string("unterminated ") + what, open);
+        ++pos_; // closing quote
+        return out;
     }
 
     size_t
@@ -66,7 +138,7 @@ class Parser
         auto [end, ec] =
             std::from_chars(s_.data() + pos_, s_.data() + s_.size(), value);
         if (ec != std::errc{} || end == s_.data() + pos_)
-            throw PathError("expected an array index");
+            throw PathError("expected an array index", pos_);
         pos_ = static_cast<size_t>(end - s_.data());
         return value;
     }
@@ -75,24 +147,18 @@ class Parser
     bracketStep()
     {
         if (pos_ >= s_.size())
-            throw PathError("unterminated '['");
+            throw PathError("unterminated '['", pos_);
         char c = s_[pos_];
         if (c == '*') {
             ++pos_;
             expect(']');
             return PathStep::makeWildcard();
         }
+        if (c == '?')
+            return filterStep();
         if (c == '\'' || c == '"') {
             // Quoted child name: ['name'].
-            char quote = c;
-            ++pos_;
-            size_t start = pos_;
-            while (pos_ < s_.size() && s_[pos_] != quote)
-                ++pos_;
-            if (pos_ >= s_.size())
-                throw PathError("unterminated quoted name");
-            std::string name(s_.substr(start, pos_ - start));
-            ++pos_;
+            std::string name = quoted("quoted name");
             expect(']');
             return PathStep::makeKey(std::move(name));
         }
@@ -102,27 +168,239 @@ class Parser
                 ++pos_;
                 size_t hi = integer();
                 if (hi <= lo)
-                    throw PathError("empty index range");
+                    throw PathError("empty index range", pos_);
                 expect(']');
                 return PathStep::makeSlice(lo, hi);
             }
             expect(']');
             return PathStep::makeIndex(lo);
         }
-        throw PathError("unsupported bracket expression");
+        throw PathError("unsupported bracket expression", pos_);
+    }
+
+    void
+    skipFilterWs()
+    {
+        while (pos_ < s_.size() && isFilterWs(s_[pos_]))
+            ++pos_;
+    }
+
+    /** `?(@.field)` / `?(@.field op literal)`; entry: at the '?'. */
+    PathStep
+    filterStep()
+    {
+        ++pos_; // '?'
+        expect('(');
+        skipFilterWs();
+        if (pos_ >= s_.size() || s_[pos_] != '@')
+            throw PathError("filter predicate must start with '@'", pos_);
+        ++pos_;
+        std::string field;
+        if (pos_ < s_.size() && s_[pos_] == '.') {
+            ++pos_;
+            field = filterField();
+        } else if (pos_ < s_.size() && s_[pos_] == '[') {
+            ++pos_;
+            if (pos_ >= s_.size() ||
+                (s_[pos_] != '\'' && s_[pos_] != '"'))
+                throw PathError("expected a quoted field after \"@[\"",
+                                pos_);
+            field = quoted("quoted name");
+            expect(']');
+        } else {
+            throw PathError("expected '.' or '[' after '@'", pos_);
+        }
+        skipFilterWs();
+        if (pos_ < s_.size() && s_[pos_] == ')') {
+            ++pos_;
+            expect(']');
+            return PathStep::makeFilter(std::move(field),
+                                        FilterOp::Exists,
+                                        FilterLiteral::makeNull());
+        }
+        FilterOp op = filterOp();
+        skipFilterWs();
+        FilterLiteral lit = filterLiteral();
+        skipFilterWs();
+        if (pos_ >= s_.size() || s_[pos_] != ')')
+            throw PathError("expected ')' after the filter literal",
+                            pos_);
+        ++pos_;
+        expect(']');
+        return PathStep::makeFilter(std::move(field), op,
+                                    std::move(lit));
+    }
+
+    /** Bare predicate field name after `@.`. */
+    std::string
+    filterField()
+    {
+        size_t start = pos_;
+        while (pos_ < s_.size()) {
+            char c = s_[pos_];
+            if (isFilterWs(c) || c == ')' || c == ']' || c == '=' ||
+                c == '!' || c == '<' || c == '>')
+                break;
+            ++pos_;
+        }
+        if (pos_ == start)
+            throw PathError("expected a predicate field", start);
+        return std::string(s_.substr(start, pos_ - start));
+    }
+
+    FilterOp
+    filterOp()
+    {
+        if (pos_ >= s_.size())
+            throw PathError("expected a comparison operator or ')'",
+                            pos_);
+        char c = s_[pos_];
+        switch (c) {
+          case '=':
+            if (pos_ + 1 >= s_.size() || s_[pos_ + 1] != '=')
+                throw PathError("expected '==' (single '=' is not an "
+                                "operator)",
+                                pos_);
+            pos_ += 2;
+            return FilterOp::Eq;
+          case '!':
+            if (pos_ + 1 >= s_.size() || s_[pos_ + 1] != '=')
+                throw PathError("expected '!='", pos_);
+            pos_ += 2;
+            return FilterOp::Ne;
+          case '<':
+            if (pos_ + 1 < s_.size() && s_[pos_ + 1] == '=') {
+                pos_ += 2;
+                return FilterOp::Le;
+            }
+            ++pos_;
+            return FilterOp::Lt;
+          case '>':
+            if (pos_ + 1 < s_.size() && s_[pos_ + 1] == '=') {
+                pos_ += 2;
+                return FilterOp::Ge;
+            }
+            ++pos_;
+            return FilterOp::Gt;
+          default:
+            throw PathError("expected a comparison operator or ')'",
+                            pos_);
+        }
+    }
+
+    FilterLiteral
+    filterLiteral()
+    {
+        if (pos_ >= s_.size())
+            throw PathError("expected a filter literal", pos_);
+        char c = s_[pos_];
+        if (c == '\'' || c == '"')
+            return FilterLiteral::makeString(quoted("string literal"));
+        size_t start = pos_;
+        while (pos_ < s_.size()) {
+            char t = s_[pos_];
+            if (isFilterWs(t) || t == ')' || t == ']' || t == '=' ||
+                t == '!' || t == '<' || t == '>')
+                break;
+            ++pos_;
+        }
+        std::string_view tok = s_.substr(start, pos_ - start);
+        if (tok == "true")
+            return FilterLiteral::makeBool(true);
+        if (tok == "false")
+            return FilterLiteral::makeBool(false);
+        if (tok == "null")
+            return FilterLiteral::makeNull();
+        json::Number n = json::parseNumber(tok);
+        if (!n)
+            throw PathError("bad filter literal", start);
+        return FilterLiteral::makeNumber(n.asDouble());
     }
 
     void
     expect(char c)
     {
         if (pos_ >= s_.size() || s_[pos_] != c)
-            throw PathError(std::string("expected '") + c + "'");
+            throw PathError(std::string("expected '") + c + "'", pos_);
         ++pos_;
     }
 
     std::string_view s_;
     size_t pos_ = 0;
 };
+
+/** Keys printable in dotted form (subset of what identifier() reads). */
+bool
+isPlainKey(const std::string& key)
+{
+    if (key.empty())
+        return false;
+    for (char c : key) {
+        bool ok = std::isalnum(static_cast<unsigned char>(c)) != 0 ||
+                  c == '_' || c == '$' || c == '-';
+        if (!ok)
+            return false;
+    }
+    return true;
+}
+
+/** `'...'` with the escapes quoted() understands re-applied. */
+std::string
+quoteName(const std::string& key)
+{
+    std::string out = "'";
+    for (char c : key) {
+        switch (c) {
+          case '\\': out += "\\\\"; break;
+          case '\'': out += "\\'"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          default: out += c; break;
+        }
+    }
+    out += '\'';
+    return out;
+}
+
+/** Shortest round-trip decimal form of a filter number literal. */
+std::string
+numberToString(double v)
+{
+    char buf[32];
+    auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+    (void)ec;
+    return std::string(buf, end);
+}
+
+const char*
+opToString(FilterOp op)
+{
+    switch (op) {
+      case FilterOp::Exists: return "";
+      case FilterOp::Eq: return "==";
+      case FilterOp::Ne: return "!=";
+      case FilterOp::Lt: return "<";
+      case FilterOp::Le: return "<=";
+      case FilterOp::Gt: return ">";
+      case FilterOp::Ge: return ">=";
+    }
+    return "";
+}
+
+std::string
+literalToString(const FilterLiteral& lit)
+{
+    switch (lit.kind) {
+      case FilterLiteral::Kind::Null: return "null";
+      case FilterLiteral::Kind::Bool: return lit.b ? "true" : "false";
+      case FilterLiteral::Kind::Number: return numberToString(lit.num);
+      case FilterLiteral::Kind::String: return quoteName(lit.str);
+    }
+    return "null";
+}
 
 } // namespace
 
@@ -139,8 +417,12 @@ PathQuery::toString() const
     for (const PathStep& s : steps) {
         switch (s.kind) {
           case PathStep::Kind::Key:
-            out += '.';
-            out += s.key;
+            if (isPlainKey(s.key)) {
+                out += '.';
+                out += s.key;
+            } else {
+                out += '[' + quoteName(s.key) + ']';
+            }
             break;
           case PathStep::Kind::Index:
             out += '[' + std::to_string(s.lo) + ']';
@@ -154,7 +436,24 @@ PathQuery::toString() const
             break;
           case PathStep::Kind::Descendant:
             out += "..";
-            out += s.key;
+            if (isPlainKey(s.key))
+                out += s.key;
+            else
+                out += '[' + quoteName(s.key) + ']';
+            break;
+          case PathStep::Kind::Filter:
+            out += "[?(@";
+            if (isPlainKey(s.key)) {
+                out += '.';
+                out += s.key;
+            } else {
+                out += '[' + quoteName(s.key) + ']';
+            }
+            if (s.op != FilterOp::Exists) {
+                out += opToString(s.op);
+                out += literalToString(s.literal);
+            }
+            out += ")]";
             break;
         }
     }

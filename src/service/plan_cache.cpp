@@ -11,18 +11,30 @@ std::shared_ptr<const Plan>
 compilePlan(std::string_view query_list)
 {
     auto plan = std::make_shared<Plan>();
-    plan->query_texts = splitQueries(query_list);
-    plan->key = joinQueries(plan->query_texts);
-    if (plan->query_texts.size() == 1) {
-        plan->single.emplace(path::parse(plan->query_texts[0]));
-    } else {
-        std::vector<path::PathQuery> queries;
-        queries.reserve(plan->query_texts.size());
-        for (const std::string& q : plan->query_texts)
-            queries.push_back(path::parse(q));
-        plan->multi.emplace(std::move(queries));
+    std::vector<path::PathQuery> queries;
+    for (const std::string& text : splitQueries(query_list)) {
+        path::PathQuery q = path::parse(text);
+        // Store the parse->print normal form, not the client spelling:
+        // toString() is the canonical round trip (ast.h), so every
+        // spelling of a query shares one plan key and one trailer text.
+        plan->query_texts.push_back(q.toString());
+        queries.push_back(std::move(q));
     }
+    plan->key = joinQueries(plan->query_texts);
+    if (queries.size() == 1)
+        plan->single.emplace(std::move(queries[0]));
+    else
+        plan->multi.emplace(std::move(queries));
     return plan;
+}
+
+std::string
+canonicalQueryList(std::string_view query_list)
+{
+    std::vector<std::string> canon;
+    for (const std::string& text : splitQueries(query_list))
+        canon.push_back(path::parse(text).toString());
+    return joinQueries(canon);
 }
 
 PlanCache::PlanCache(size_t capacity)
@@ -41,9 +53,11 @@ PlanCache::shardFor(std::string_view key)
 std::shared_ptr<const Plan>
 PlanCache::get(std::string_view query_list, bool* was_hit)
 {
-    // Normalize before hashing so every spelling of the same list maps
-    // to the same shard and entry.
-    std::string key = joinQueries(splitQueries(query_list));
+    // Normalize to the parse->print canonical form before hashing so
+    // every spelling of the same list (`$['a']`, `$.a`, whitespace in
+    // a predicate) maps to the same shard and entry.  A malformed
+    // query throws here, before anything is counted or inserted.
+    std::string key = canonicalQueryList(query_list);
     Shard& shard = shardFor(key);
     std::lock_guard<std::mutex> lock(shard.mutex);
     auto it = shard.map.find(key);

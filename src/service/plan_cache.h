@@ -5,11 +5,13 @@
  * Parsing a JSONPath list and building the streamer (single-query) or
  * the multi-query trie is pure per-query-text work; under serving
  * traffic the same handful of queries arrive over and over from many
- * connections.  The cache keys on the *normalized* query-list text
- * (split on top-level commas, whitespace-trimmed, re-joined — the same
- * splitter jsq's CLI uses), so `$.a, $.b` and `$.a,$.b` share one
- * entry, and hands out shared_ptr<const Plan> so an entry can be
- * evicted while requests still run on it.
+ * connections.  The cache keys on the *canonical* query-list text
+ * (split on top-level commas with the same quote-aware splitter jsq's
+ * CLI uses, then each query parsed and reprinted in its toString()
+ * normal form), so `$.a, $.b` / `$.a,$.b` / `$['a'],$.b` and every
+ * whitespace spelling of a filter predicate share one entry, and hands
+ * out shared_ptr<const Plan> so an entry can be evicted while requests
+ * still run on it.
  *
  * Sharding: the key hash picks one of a fixed set of shards, each an
  * independently locked LRU list + map; hot queries on different shards
@@ -68,6 +70,17 @@ struct Plan
  * @throws PathError on a malformed query.
  */
 std::shared_ptr<const Plan> compilePlan(std::string_view query_list);
+
+/**
+ * The plan-cache key for @p query_list: split on top-level commas
+ * (quote-aware, so filter string literals may contain commas and
+ * brackets), each query parsed and reprinted in its canonical form,
+ * re-joined.  `$['a'], $[?( @.v < 10 )]` and `$.a,$[?(@.v<10)]` yield
+ * the same key.
+ *
+ * @throws PathError on a malformed query.
+ */
+std::string canonicalQueryList(std::string_view query_list);
 
 /**
  * Counter snapshot of one PlanCache — summable, so a server holding

@@ -22,6 +22,39 @@ badRequest(const std::string& what)
     throw ParseError(ErrorCode::BadRequest, "bad request: " + what, 0);
 }
 
+/**
+ * Tracks filter-string-literal state so bracket depth and separators
+ * are only honoured outside quotes: `$[?(@.a==',]')]` contains a comma,
+ * a bracket, and could contain spaces, none of which may split the
+ * query list.  Both quote styles the path grammar accepts are tracked,
+ * with backslash escapes.
+ */
+struct QuoteTracker
+{
+    char quote = '\0';
+    bool escaped = false;
+
+    /** Feed one byte; true when the byte is inside/part of a literal. */
+    bool
+    step(char c)
+    {
+        if (quote != '\0') {
+            if (escaped)
+                escaped = false;
+            else if (c == '\\')
+                escaped = true;
+            else if (c == quote)
+                quote = '\0';
+            return true;
+        }
+        if (c == '\'' || c == '"') {
+            quote = c;
+            return true;
+        }
+        return false;
+    }
+};
+
 /** key=value pairs of a trailer line, after the status token. */
 std::string_view
 fieldValue(std::string_view line, std::string_view key)
@@ -55,17 +88,20 @@ splitQueries(std::string_view text)
     std::vector<std::string> out;
     std::string cur;
     int bracket = 0;
+    QuoteTracker qt;
     for (char c : text) {
-        if (c == '[')
-            ++bracket;
-        if (c == ']')
-            --bracket;
-        if (c == ',' && bracket == 0) {
-            out.emplace_back(trim(cur));
-            cur.clear();
-        } else {
-            cur += c;
+        if (!qt.step(c)) {
+            if (c == '[')
+                ++bracket;
+            if (c == ']')
+                --bracket;
+            if (c == ',' && bracket == 0) {
+                out.emplace_back(trim(cur));
+                cur.clear();
+                continue;
+            }
         }
+        cur += c;
     }
     out.emplace_back(trim(cur));
     return out;
@@ -93,12 +129,17 @@ parseHeader(std::string_view line)
         badRequest("missing query list");
     line.remove_prefix(1);
 
-    // The query list runs to the first space outside brackets; flags
-    // follow space-separated.  JSONPath never contains a space in our
-    // dialect, but be explicit about bracket depth anyway.
+    // The query list runs to the first space outside brackets and
+    // outside quotes; flags follow space-separated.  Filter predicates
+    // may legally contain spaces (`[?( @.v < 10 )]`) and their string
+    // literals may contain anything, so both bracket depth and quote
+    // state gate the split.
     size_t split = line.size();
     int bracket = 0;
+    QuoteTracker qt;
     for (size_t i = 0; i < line.size(); ++i) {
+        if (qt.step(line[i]))
+            continue;
         if (line[i] == '[')
             ++bracket;
         if (line[i] == ']')

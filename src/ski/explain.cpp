@@ -75,6 +75,15 @@ explain(const PathQuery& query)
                 << "[type inference disabled: only primitive runs "
                    "fast-forward (G1)]";
             break;
+          case PathStep::Kind::Filter: {
+            PathQuery one;
+            one.steps.push_back(s);
+            out << "array  : filter " << one.toString().substr(1)
+                << " -> candidates must be OBJECT\n           "
+                << "[G1 skip non-OBJECT elements] [G2 skip the rest of "
+                   "a failed candidate] [G3 keep a passing candidate]";
+            break;
+          }
         }
         out << "\n";
         if (last) {

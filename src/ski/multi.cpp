@@ -21,6 +21,9 @@ MultiStreamer::MultiStreamer(std::vector<PathQuery> queries)
         if (q.hasDescendant())
             throw PathError(
                 "multi-query streaming does not support '..'");
+        if (q.hasFilter())
+            throw PathError(
+                "multi-query streaming does not support filters");
     }
     trie_.emplace_back(); // root
     for (size_t qi = 0; qi < queries_.size(); ++qi) {

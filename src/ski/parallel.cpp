@@ -30,13 +30,23 @@ class SpanSink : public path::MatchSink
     std::vector<std::string_view> values;
 };
 
-/** Index of the first array step, or npos when there is none. */
+/**
+ * Index of the array step to fan out over, or npos when the query has
+ * no usable split: the serial phase-0 walk handles only a plain key
+ * prefix, and the span splitter enumerates elements by *index* — so a
+ * descendant step before the split or a filter step at it sends the
+ * query down the serial fallback instead.
+ */
 size_t
 firstArrayStep(const PathQuery& q)
 {
     for (size_t i = 0; i < q.size(); ++i) {
+        if (q[i].kind == PathStep::Kind::Filter)
+            return std::string_view::npos;
         if (q[i].isArrayStep())
             return i;
+        if (q[i].kind != PathStep::Kind::Key)
+            return std::string_view::npos;
     }
     return std::string_view::npos;
 }
@@ -55,7 +65,8 @@ ParallelStreamer::run(std::string_view json, ThreadPool& pool,
 {
     size_t split = firstArrayStep(query_);
     if (split == std::string_view::npos) {
-        // Key-only query: nothing to fan out over.
+        // No usable split (key-only query, descendant prefix, or a
+        // filter at the split): evaluate serially.
         Streamer serial(query_);
         // runResident: the parallel entry point requires random access
         // to the (already materialized) buffer, so the chunked test

@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
+#include <memory>
+#include <utility>
 
 #include "intervals/cursor.h"
 #include "json/text.h"
+#include "path/filter.h"
 #include "path/parser.h"
 #include "ski/chunk_override.h"
 #include "ski/sinks.h"
@@ -180,6 +184,10 @@ class Driver
     void
     runArray(size_t state)
     {
+        if (q_[state].kind == PathStep::Kind::Filter) {
+            runFilterArray(state);
+            return;
+        }
         skip_.setTraceState(static_cast<uint16_t>(state));
         const PathStep& st = q_[state];
         bool accept_child = (state + 1 == q_.size());
@@ -261,6 +269,145 @@ class Driver
             }
             throw ParseError(ErrorCode::ExpectedPunctuation,
                              "expected ',' or ']'", cur_.pos());
+        }
+    }
+
+    /**
+     * Process an array whose elements are screened by filter step
+     * @p state (DESIGN.md §13).  Only object elements can carry the
+     * predicate field, so non-objects are G1 type-skips.  For each
+     * candidate a probe scan locates the predicate field lazily; the
+     * verdict then decides whether the rest of the candidate is kept
+     * (G3: emitted, or replayed against the suffix query) or skipped
+     * wholesale (G2) — the filter counterpart of the paper's
+     * skip-what-cannot-match discipline.
+     *
+     * Entry: position just past '['.  Exit: just past ']'.
+     */
+    void
+    runFilterArray(size_t state)
+    {
+        skip_.setTraceState(static_cast<uint16_t>(state));
+        const PathStep& st = q_[state];
+        bool accept_child = (state + 1 == q_.size());
+        size_t idx = 0;
+        char c = cur_.skipWhitespace();
+        if (c == ']') {
+            cur_.advance(1);
+            return;
+        }
+        for (;;) {
+            // G1: only an object element can satisfy `@.field`.
+            if (skip_.toTypedElem('{', idx,
+                                  std::numeric_limits<size_t>::max(),
+                                  Group::G1) == Skipper::ElemStop::End)
+                return;
+            size_t start = cur_.pos();
+            // The candidate must stay resident through the verdict and
+            // any suffix replay, whatever chunk seams it crosses.
+            size_t saved = cur_.hold();
+            cur_.setHold(std::min(saved, start));
+            cur_.advance(1);
+            if (filterVerdict(st)) {
+                size_t end = cur_.pos();
+                if (accept_child) {
+                    telemetry::PhaseScope phase(telemetry::Phase::Emit);
+                    ++result_.matches;
+                    if (sink_)
+                        sink_->onMatch(cur_.slice(start, end));
+                } else {
+                    runContinuation(state + 1, start, end);
+                    skip_.setTraceState(static_cast<uint16_t>(state));
+                }
+            }
+            cur_.setHold(saved);
+            c = cur_.skipWhitespace();
+            if (c == ',') {
+                cur_.advance(1);
+                ++idx;
+                continue;
+            }
+            if (c == ']') {
+                cur_.advance(1);
+                return;
+            }
+            throw ParseError(ErrorCode::ExpectedPunctuation,
+                             "expected ',' or ']'", cur_.pos());
+        }
+    }
+
+    /**
+     * Probe one candidate object for @p st's predicate field and
+     * decide the verdict.  The first member with the field's name wins
+     * (duplicate-key contract); members before it are G2-skipped, the
+     * field's own scalar lexeme is scan work (G1), and everything
+     * after the verdict is fast-forwarded to the '}' in one go —
+     * charged G3 when the candidate is kept, G2 when it is dropped.
+     *
+     * Entry: position just past '{'.  Exit: just past the '}'.
+     */
+    bool
+    filterVerdict(const PathStep& st)
+    {
+        for (;;) {
+            Skipper::AttrResult attr =
+                skip_.toAttr(Skipper::TypeFilter::Any, Group::G1);
+            if (!attr.found)
+                return path::evalPredicate(st, false, {});
+            if (cur_.slice(attr.key_begin, attr.key_end) != st.key) {
+                skip_.overValue(Group::G2);
+                continue;
+            }
+            char c = cur_.current();
+            size_t vs = cur_.pos();
+            bool verdict;
+            if (c == '{' || c == '[') {
+                // Containers never satisfy a comparison; the operator
+                // dispatch needs only the first byte.
+                verdict =
+                    path::evalPredicate(st, true, cur_.slice(vs, vs + 1));
+                skip_.overValue(Group::G2);
+            } else {
+                skip_.overPrimitive(Group::G1);
+                size_t ve = cur_.pos();
+                while (ve > vs && json::isWhitespace(cur_.at(ve - 1)))
+                    --ve;
+                verdict =
+                    path::evalPredicate(st, true, cur_.slice(vs, ve));
+            }
+            skip_.toObjEnd(verdict ? Group::G3 : Group::G2);
+            return verdict;
+        }
+    }
+
+    /**
+     * A kept filter candidate with steps after it: replay the suffix
+     * query over the (held, resident) candidate span with a nested
+     * driver sharing this pass's result, so matches and stats
+     * accumulate in document order.  Suffix queries are cached per
+     * step; nesting is bounded by the query length because each
+     * suffix is strictly shorter.
+     */
+    void
+    runContinuation(size_t state, size_t start, size_t end)
+    {
+        if (cont_.empty())
+            cont_.resize(q_.size());
+        if (!cont_[state]) {
+            auto sub = std::make_unique<PathQuery>();
+            sub->steps.assign(q_.steps.begin() +
+                                  static_cast<std::ptrdiff_t>(state),
+                              q_.steps.end());
+            cont_[state] = std::move(sub);
+        }
+        Driver sub(*cont_[state], options_, cur_.slice(start, end),
+                   sink_, result_);
+        try {
+            sub.run();
+        } catch (const ParseError& e) {
+            // Translate slice-relative positions back to the record.
+            throw ParseError(e.code(), "in filter candidate",
+                             start + e.position());
         }
     }
 
@@ -416,6 +563,465 @@ class Driver
     std::vector<std::pair<size_t, size_t>> desc_pending_;
     size_t desc_flushed_ = 0; ///< slots already delivered to the sink
     int desc_depth_ = 0;
+    /** Cached suffix queries for filter continuations, by start step. */
+    std::vector<std::unique_ptr<PathQuery>> cont_;
+};
+
+/**
+ * Sink that turns a nested driver's slice-relative matches back into
+ * absolute pending slots of the enclosing NfaDriver.  The slots are
+ * already complete (both ends known), so appending preserves the
+ * outer pre-order.
+ */
+class TranslatingSink : public MatchSink
+{
+  public:
+    TranslatingSink(std::vector<std::pair<size_t, size_t>>& pending,
+                    const char* base, size_t offset)
+        : pending_(pending), base_(base), offset_(offset)
+    {}
+
+    void
+    onMatch(std::string_view value) override
+    {
+        size_t start =
+            offset_ + static_cast<size_t>(value.data() - base_);
+        pending_.emplace_back(start, start + value.size());
+    }
+
+  private:
+    std::vector<std::pair<size_t, size_t>>& pending_;
+    const char* base_;
+    size_t offset_;
+};
+
+/**
+ * Streaming pass for the nondeterministic query surface — interior
+ * descendant steps, alone or combined with filters (DESIGN.md §13).
+ * Carries a multiset of NFA states (path::NfaSet) down the recursion
+ * instead of the linear driver's single step index: a descendant step
+ * keeps its search state co-resident with every continuation it
+ * spawns, so `$..a[2].b` and `$..a[?(@.b)]..c` traverse the document
+ * once.  Values are emitted once per accepting path, pre-order, via
+ * the same pending-slot protocol the linear driver uses for terminal
+ * descendants.  Fast-forwarding degrades gracefully: G4/G5 apply only
+ * when no descendant state is live at the container, G1/G2 still
+ * apply everywhere, and filter candidates keep the G3-or-G2 verdict
+ * protocol of the linear driver.
+ */
+class NfaDriver
+{
+  public:
+    NfaDriver(const PathQuery& query, const StreamerOptions& options,
+              std::string_view json, MatchSink* sink,
+              StreamResult& result)
+        : q_(query),
+          options_(options),
+          cur_(json, options.scalar_classifier),
+          skip_(cur_, &result.stats),
+          sink_(sink),
+          result_(result)
+    {
+        skip_.setBatchPrimitives(options.batch_primitives);
+    }
+
+    NfaDriver(const PathQuery& query, const StreamerOptions& options,
+              intervals::ChunkSource& source, size_t chunk_bytes,
+              MatchSink* sink, StreamResult& result)
+        : q_(query),
+          options_(options),
+          cur_(source, chunk_bytes, options.scalar_classifier),
+          skip_(cur_, &result.stats),
+          sink_(sink),
+          result_(result)
+    {
+        skip_.setBatchPrimitives(options.batch_primitives);
+    }
+
+    /** Record ingestion totals once the pass is over. */
+    void
+    finish()
+    {
+        result_.input_bytes = cur_.size();
+        result_.ingest = cur_.ingestStats();
+    }
+
+    void
+    run()
+    {
+        char c = cur_.skipWhitespace();
+        if (c == '\0')
+            throw ParseError(ErrorCode::UnexpectedEnd, "empty input", 0);
+        path::NfaSet start;
+        start.add(0, 1);
+        value(start);
+        maybeFlush();
+        assert(pending_.empty() && "nfa slot left in flight");
+    }
+
+  private:
+    /**
+     * Nested entry point for filter-candidate interiors: evaluate the
+     * candidate (this driver's whole input) against state set
+     * @p initial.  Counting is left to the enclosing driver — the
+     * nested pass only forwards spans through its TranslatingSink.
+     */
+    void
+    runFrom(const path::NfaSet& initial, int depth_base)
+    {
+        depth_ = depth_base;
+        count_matches_ = false;
+        value(initial);
+        maybeFlush();
+    }
+
+    /**
+     * Process one value against state set @p a.  Entry: position at
+     * the value's first byte (whitespace allowed before it).  Exit:
+     * position just past the value.
+     */
+    void
+    value(const path::NfaSet& a)
+    {
+        char c = cur_.skipWhitespace();
+        if (c == '\0')
+            throw ParseError(ErrorCode::UnexpectedEnd,
+                             "unexpected end of input", cur_.pos());
+        uint64_t acc = a.acceptCount(q_);
+        size_t start = cur_.pos();
+        size_t slot_base = pending_.size();
+        if (acc > 0) {
+            for (uint64_t i = 0; i < acc; ++i)
+                pending_.emplace_back(start, kInFlight);
+            maybeFlush(); // pins the span before any refill
+        }
+        if (c == '{' && path::nfaWantsObject(q_, a)) {
+            cur_.advance(1);
+            object(a);
+        } else if (c == '[' && path::nfaWantsArray(q_, a)) {
+            cur_.advance(1);
+            array(a);
+        } else {
+            // No state can advance into this value: G3 when it is
+            // itself accepted, G2 otherwise.
+            skip_.overValue(acc > 0 ? Group::G3 : Group::G2);
+        }
+        if (acc > 0) {
+            size_t end = cur_.pos();
+            while (end > start && json::isWhitespace(cur_.at(end - 1)))
+                --end;
+            for (uint64_t i = 0; i < acc; ++i)
+                pending_[slot_base + i].second = end;
+            maybeFlush();
+        }
+    }
+
+    /** Entry: position just past '{'.  Exit: just past the '}'. */
+    void
+    object(const path::NfaSet& a)
+    {
+        if (++depth_ > kMaxDepth)
+            throw ParseError(ErrorCode::DepthExceeded,
+                             "nesting too deep for descendant traversal",
+                             cur_.pos());
+        bool has_desc = path::nfaHasDescendant(q_, a);
+        // Key states bind to the first member with their name only
+        // (duplicate-key contract, mirrors the linear driver's G4).
+        std::vector<char> consumed(a.states.size(), 0);
+        for (;;) {
+            Skipper::AttrResult attr =
+                skip_.toAttr(Skipper::TypeFilter::Any, Group::G1);
+            if (!attr.found) {
+                --depth_;
+                return;
+            }
+            path::NfaSet b = path::nfaOnKey(
+                q_, a, cur_.slice(attr.key_begin, attr.key_end),
+                &consumed);
+            if (b.empty())
+                skip_.overValue(Group::G2);
+            else
+                value(b);
+            if (!has_desc) {
+                // G4: once every Key state has bound, nothing else in
+                // this object can match.
+                bool live = false;
+                for (size_t i = 0; i < a.states.size(); ++i) {
+                    auto [s, c] = a.states[i];
+                    (void)c;
+                    if (s < q_.size() &&
+                        q_[s].kind == PathStep::Kind::Key &&
+                        !consumed[i]) {
+                        live = true;
+                        break;
+                    }
+                }
+                if (!live) {
+                    skip_.toObjEnd(Group::G4);
+                    --depth_;
+                    return;
+                }
+            }
+        }
+    }
+
+    /** Entry: position just past '['.  Exit: just past the ']'. */
+    void
+    array(const path::NfaSet& a)
+    {
+        if (++depth_ > kMaxDepth)
+            throw ParseError(ErrorCode::DepthExceeded,
+                             "nesting too deep for descendant traversal",
+                             cur_.pos());
+        bool has_desc = path::nfaHasDescendant(q_, a);
+        bool has_filter = false;
+        size_t lo_min = std::numeric_limits<size_t>::max();
+        size_t hi_max = 0;
+        for (const auto& [s, c] : a.states) {
+            (void)c;
+            if (s >= q_.size())
+                continue;
+            const PathStep& st = q_[s];
+            if (st.kind == PathStep::Kind::Filter)
+                has_filter = true;
+            else if (st.isArrayStep()) {
+                lo_min = std::min(lo_min, st.lo);
+                hi_max = std::max(hi_max, st.hi);
+            }
+        }
+        // G5 range skipping is sound only when every live state is a
+        // plain index/slice step.
+        bool bounded = !has_desc && !has_filter &&
+                       lo_min != std::numeric_limits<size_t>::max();
+        size_t idx = 0;
+        char c = cur_.skipWhitespace();
+        if (c == ']') {
+            cur_.advance(1);
+            --depth_;
+            return;
+        }
+        if (bounded && lo_min > 0 &&
+            skip_.overElems(lo_min, idx, Group::G5) ==
+                Skipper::ElemStop::End) {
+            --depth_;
+            return;
+        }
+        std::vector<std::pair<size_t, uint64_t>> fs;
+        for (;;) {
+            if (bounded && idx >= hi_max) {
+                skip_.toAryEnd(Group::G5);
+                --depth_;
+                return;
+            }
+            c = cur_.skipWhitespace();
+            if (c == ']') {
+                cur_.advance(1);
+                --depth_;
+                return;
+            }
+            fs.clear();
+            path::NfaSet b = path::nfaOnElement(q_, a, idx, &fs);
+            if (!fs.empty() && c == '{') {
+                elementWithFilters(b, fs);
+            } else if (b.empty()) {
+                // Gap element: outside every index range (G5), or
+                // wanted only by filters and not an object (G1).
+                skip_.overValue(fs.empty() ? Group::G5 : Group::G1);
+            } else {
+                value(b);
+            }
+            c = cur_.skipWhitespace();
+            if (c == ',') {
+                cur_.advance(1);
+                ++idx;
+                continue;
+            }
+            if (c == ']') {
+                cur_.advance(1);
+                --depth_;
+                return;
+            }
+            throw ParseError(ErrorCode::ExpectedPunctuation,
+                             "expected ',' or ']'", cur_.pos());
+        }
+    }
+
+    /**
+     * An object element wanted by at least one filter state: probe for
+     * every distinct predicate field in a single scan, resolve the
+     * verdicts, then fast-forward the remainder — G3 when any state
+     * survives into the candidate, G2 when none does.  Survivor states
+     * (filter advances merged into @p b) replay the held candidate
+     * span through a nested NfaDriver whose matches are translated
+     * back into this driver's pending queue.
+     *
+     * Entry: position at the element's '{'.  Exit: just past its '}'.
+     */
+    void
+    elementWithFilters(path::NfaSet b,
+                       std::vector<std::pair<size_t, uint64_t>>& fs)
+    {
+        size_t start = cur_.pos();
+        size_t saved_pin = pin_;
+        pin_ = std::min(pin_, start);
+        maybeFlush(); // re-anchor the hold at the candidate
+        cur_.advance(1);
+
+        struct Probe
+        {
+            const std::string* field;
+            bool present = false;
+            size_t vs = 0, ve = 0;
+        };
+        std::vector<Probe> probes;
+        for (const auto& [s, c] : fs) {
+            (void)c;
+            const std::string& f = q_[s].key;
+            bool dup = false;
+            for (const auto& p : probes) {
+                if (*p.field == f) {
+                    dup = true;
+                    break;
+                }
+            }
+            if (!dup)
+                probes.push_back({&f, false, 0, 0});
+        }
+        size_t remaining = probes.size();
+        bool consumed_whole = false;
+        for (;;) {
+            Skipper::AttrResult attr =
+                skip_.toAttr(Skipper::TypeFilter::Any, Group::G1);
+            if (!attr.found) {
+                consumed_whole = true;
+                break;
+            }
+            std::string_view key =
+                cur_.slice(attr.key_begin, attr.key_end);
+            Probe* hit = nullptr;
+            for (auto& p : probes) {
+                if (!p.present && *p.field == key) {
+                    hit = &p;
+                    break;
+                }
+            }
+            if (hit == nullptr) {
+                skip_.overValue(Group::G2);
+                continue;
+            }
+            hit->present = true;
+            hit->vs = cur_.pos();
+            char vc = cur_.current();
+            if (vc == '{' || vc == '[') {
+                hit->ve = hit->vs + 1; // operator dispatch needs 1 byte
+                skip_.overValue(Group::G2);
+            } else {
+                skip_.overPrimitive(Group::G1);
+                size_t ve = cur_.pos();
+                while (ve > hit->vs &&
+                       json::isWhitespace(cur_.at(ve - 1)))
+                    --ve;
+                hit->ve = ve;
+            }
+            if (--remaining == 0)
+                break;
+        }
+        for (const auto& [s, c] : fs) {
+            const PathStep& st = q_[s];
+            const Probe* p = nullptr;
+            for (const auto& pr : probes) {
+                if (*pr.field == st.key) {
+                    p = &pr;
+                    break;
+                }
+            }
+            bool verdict =
+                p->present
+                    ? path::evalPredicate(st, true,
+                                          cur_.slice(p->vs, p->ve))
+                    : path::evalPredicate(st, false, {});
+            if (verdict)
+                b.add(s + 1, c);
+        }
+        if (!consumed_whole)
+            skip_.toObjEnd(b.empty() ? Group::G2 : Group::G3);
+        size_t end = cur_.pos();
+        uint64_t acc = b.acceptCount(q_);
+        for (uint64_t i = 0; i < acc; ++i)
+            pending_.emplace_back(start, end); // pre-order: value first
+        if (acc > 0)
+            maybeFlush();
+        path::NfaSet rest = b.withoutAccept(q_);
+        if (!rest.empty())
+            runInterior(rest, start, end);
+        pin_ = saved_pin;
+        maybeFlush();
+    }
+
+    /**
+     * Replay a kept candidate's interior against surviving state set
+     * @p set with a nested NfaDriver over the resident span.  Stats
+     * accumulate into the shared FastForwardStats (the candidate's
+     * bytes are charged once by the probe scan and again by the
+     * replay — deterministic, and an honest account of the extra
+     * pass); matches flow through the TranslatingSink so only this
+     * driver counts and delivers them.
+     */
+    void
+    runInterior(const path::NfaSet& set, size_t start, size_t end)
+    {
+        std::string_view span = cur_.slice(start, end);
+        TranslatingSink tsink(pending_, span.data(), start);
+        NfaDriver sub(q_, options_, span, &tsink, result_);
+        try {
+            sub.runFrom(set, depth_);
+        } catch (const ParseError& e) {
+            throw ParseError(e.code(), "in filter candidate",
+                             start + e.position());
+        }
+    }
+
+    /**
+     * Deliver every completed slot not blocked by an earlier in-flight
+     * one, then retarget the consumer hold at the earliest unflushed
+     * slot or the active candidate pin, whichever is lower.
+     */
+    void
+    maybeFlush()
+    {
+        while (flushed_ < pending_.size() &&
+               pending_[flushed_].second != kInFlight) {
+            auto [start, end] = pending_[flushed_];
+            if (count_matches_)
+                ++result_.matches;
+            if (sink_)
+                sink_->onMatch(cur_.slice(start, end));
+            ++flushed_;
+        }
+        size_t hold = pin_;
+        if (flushed_ == pending_.size()) {
+            pending_.clear();
+            flushed_ = 0;
+        } else {
+            hold = std::min(hold, pending_[flushed_].first);
+        }
+        cur_.setHold(hold);
+    }
+
+    static constexpr int kMaxDepth = 20000;
+    static constexpr size_t kInFlight = SIZE_MAX;
+
+    const PathQuery& q_;
+    const StreamerOptions& options_;
+    StreamCursor cur_;
+    Skipper skip_;
+    MatchSink* sink_;
+    StreamResult& result_;
+    std::vector<std::pair<size_t, size_t>> pending_;
+    size_t flushed_ = 0;   ///< slots already delivered to the sink
+    size_t pin_ = StreamCursor::kNoHold; ///< active candidate hold
+    bool count_matches_ = true; ///< false in nested candidate replays
+    int depth_ = 0;
 };
 
 } // namespace
@@ -434,6 +1040,18 @@ StreamResult
 Streamer::runResident(std::string_view json, MatchSink* sink) const
 {
     StreamResult result;
+    if (query_.hasInteriorDescendant()) {
+        // Nondeterministic surface: the multiset driver (DESIGN.md
+        // §13).  Everything else keeps the linear driver's exact
+        // traversal, byte charges, and emissions.
+        NfaDriver driver(query_, options_, json, sink, result);
+        try {
+            driver.run();
+        } catch (const StopStreaming&) {
+        }
+        driver.finish();
+        return result;
+    }
     Driver driver(query_, options_, json, sink, result);
     try {
         driver.run();
@@ -450,6 +1068,16 @@ Streamer::run(intervals::ChunkSource& source, MatchSink* sink,
               size_t chunk_bytes) const
 {
     StreamResult result;
+    if (query_.hasInteriorDescendant()) {
+        NfaDriver driver(query_, options_, source, chunk_bytes, sink,
+                         result);
+        try {
+            driver.run();
+        } catch (const StopStreaming&) {
+        }
+        driver.finish();
+        return result;
+    }
     Driver driver(query_, options_, source, chunk_bytes, sink, result);
     try {
         driver.run();

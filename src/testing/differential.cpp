@@ -6,6 +6,7 @@
 
 #include "baseline/dom/query.h"
 #include "gen/datasets.h"
+#include "json/text.h"
 #include "json/validate.h"
 #include "kernels/kernel.h"
 #include "path/matches.h"
@@ -89,6 +90,21 @@ seamOffsets(const std::string& doc)
             break;
         }
     }
+    // Predicate-relevant seams: right after the first attribute ':'
+    // (the filter probe reads the value across a refill) and two bytes
+    // into the first string attribute value (mid-token inside the
+    // slice a comparison will decode).
+    for (size_t i = 0; i + 1 < doc.size(); ++i) {
+        if (doc[i] == ':') {
+            push(i + 1);
+            size_t j = i + 1;
+            while (j < doc.size() && json::isWhitespace(doc[j]))
+                ++j;
+            if (j < doc.size() && doc[j] == '"')
+                push(j + 2);
+            break;
+        }
+    }
     return seams;
 }
 
@@ -162,6 +178,10 @@ runDifferentialFuzz(const FuzzConfig& config)
         queries.push_back(path::parse(text));
 
     StructuredMutator mutator(config.seed);
+    // Decorrelated stream: the grammar mutator must not perturb the
+    // document-mutation sequence, so (seed, iteration) still replays
+    // the same mutant with or without the grammar leg.
+    QueryMutator query_mutator(config.seed ^ 0x9e3779b97f4a7c15ull);
     FuzzReport report;
     std::vector<Mutation> edits;
     const std::vector<const kernels::Kernel*> replay_kernels =
@@ -244,6 +264,92 @@ runDifferentialFuzz(const FuzzConfig& config)
                 }
             } else if (ski.threw_parse_error) {
                 ++report.parse_errors;
+            }
+        }
+
+        // Grammar leg: one freshly generated well-formed query per
+        // mutant, judged by the same rules as the fixed list, plus one
+        // near-miss that the parser must reject cleanly (or accept —
+        // some single-byte damage stays grammatical).
+        {
+            std::string qtext = query_mutator.wellFormed();
+            bool parsed = false;
+            path::PathQuery gq;
+            try {
+                gq = path::parse(qtext);
+                parsed = true;
+            } catch (const std::exception& e) {
+                ++report.escapes;
+                recordFailure(
+                    std::string("generated query failed to parse: ") +
+                    e.what() + " query=" + qtext);
+            }
+            if (parsed) {
+                ++report.grammar_runs;
+                EngineRun ski = runStreamer(mutant, gq);
+                if (ski.threw_other) {
+                    ++report.escapes;
+                    recordFailure("grammar-query escape: " +
+                                  ski.error_what + " query=" + qtext +
+                                  " " + context);
+                } else if (ski.threw_parse_error &&
+                           ski.error_position > mutant.size()) {
+                    ++report.escapes;
+                    recordFailure(
+                        "grammar-query position past the input: " +
+                        ski.error_what + " query=" + qtext + " " +
+                        context);
+                } else if (valid) {
+                    if (ski.threw_parse_error) {
+                        ++report.divergences;
+                        recordFailure("grammar-query throw on valid "
+                                      "mutant: " +
+                                      ski.error_what + " query=" + qtext +
+                                      " " + context);
+                    } else {
+                        path::CollectSink dom_sink;
+                        try {
+                            dom::parseAndQuery(mutant, gq, &dom_sink);
+                            if (ski.values != dom_sink.values) {
+                                ++report.divergences;
+                                recordFailure(
+                                    "grammar-query oracle divergence "
+                                    "(ski " +
+                                    std::to_string(ski.values.size()) +
+                                    " vs dom " +
+                                    std::to_string(
+                                        dom_sink.values.size()) +
+                                    " values) query=" + qtext + " " +
+                                    context);
+                            }
+                        } catch (const std::exception& e) {
+                            ++report.escapes;
+                            recordFailure(
+                                std::string("grammar-query oracle "
+                                            "threw: ") +
+                                e.what() + " query=" + qtext + " " +
+                                context);
+                        }
+                    }
+                }
+            }
+
+            std::string miss = query_mutator.nearMiss();
+            try {
+                (void)path::parse(miss);
+            } catch (const PathError& e) {
+                ++report.grammar_rejects;
+                if (e.position() != PathError::kNoPosition &&
+                    e.position() > miss.size()) {
+                    ++report.escapes;
+                    recordFailure(
+                        "near-miss rejection position past the text: " +
+                        std::string(e.what()) + " query=" + miss);
+                }
+            } catch (const std::exception& e) {
+                ++report.escapes;
+                recordFailure(std::string("near-miss parser escape: ") +
+                              e.what() + " query=" + miss);
             }
         }
 
@@ -414,7 +520,9 @@ std::vector<std::string>
 defaultQueries()
 {
     // The Table 5 small-record query shapes, plus wildcard, slice,
-    // index, and descendant coverage.
+    // index, descendant, filter, and interior-descendant coverage
+    // (the filter/descendant shapes target generator dataset fields so
+    // they select real values, not just empty result sets).
     return {
         "$.nm",
         "$.en.urls[*].url",
@@ -425,6 +533,11 @@ defaultQueries()
         "$[*][2:4]",
         "$[0]",
         "$..id",
+        "$[?(@.id)]",
+        "$.cp[?(@.id>1)].id",
+        "$..urls[?(@.url!='x')].url",
+        "$..cp[0].id",
+        "$..en..url",
     };
 }
 

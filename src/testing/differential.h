@@ -32,6 +32,16 @@
  * (same spirit as JSONSKI_TEST_CHUNK_BYTES); each name must pass
  * kernels::select(), so a typo or an unsupported kernel fails fast
  * with ConfigError instead of silently shrinking coverage.
+ *
+ * Grammar-fuzz mode: alongside the fixed query list, every mutant is
+ * evaluated under one freshly generated query from QueryMutator.
+ * A wellFormed() query is parseable by construction — a parse failure
+ * is itself a harness failure — and on a valid mutant its results are
+ * checked against the DOM oracle like any fixed query (filters and
+ * interior descendants included).  A nearMiss() query must either
+ * parse or be rejected with PathError carrying a position inside the
+ * text; any other exception, or an out-of-range position, is an
+ * escape.
  */
 #ifndef JSONSKI_TESTING_DIFFERENTIAL_H
 #define JSONSKI_TESTING_DIFFERENTIAL_H
@@ -69,6 +79,8 @@ struct FuzzReport
     size_t escapes = 0;        ///< non-ParseError exception / bad position
     size_t seam_replays = 0;   ///< chunked replays with a forced seam
     size_t kernel_replays = 0; ///< whole-buffer replays under other kernels
+    size_t grammar_runs = 0;    ///< generated well-formed queries evaluated
+    size_t grammar_rejects = 0; ///< near-miss queries rejected by the parser
 
     /** Reproducible descriptions of every recorded failure. */
     std::vector<std::string> failures;

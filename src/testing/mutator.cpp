@@ -1,8 +1,118 @@
 #include "testing/mutator.h"
 
+#include <iterator>
+
 #include "intervals/block.h"
+#include "path/ast.h"
 
 namespace jsonski::testing {
+
+namespace {
+
+/** Attribute-name pool; the last two require bracket quoting. */
+constexpr const char* kQueryFields[] = {"id",  "nm",    "url",     "pr",
+                                        "a",   "b",     "odd key", "a'b"};
+
+path::FilterLiteral
+randomLiteral(Rng& rng)
+{
+    using path::FilterLiteral;
+    switch (rng.below(6)) {
+      case 0: return FilterLiteral::makeNull();
+      case 1: return FilterLiteral::makeBool(rng.below(2) != 0);
+      case 2: // small integer, possibly negative
+        return FilterLiteral::makeNumber(
+            static_cast<double>(rng.below(201)) - 100.0);
+      case 3: // non-integer
+        return FilterLiteral::makeNumber(
+            (static_cast<double>(rng.below(1601)) - 800.0) / 8.0);
+      case 4:
+        return FilterLiteral::makeString(
+            kQueryFields[rng.below(std::size(kQueryFields))]);
+      default: // escapes must survive the print/parse round trip
+        return FilterLiteral::makeString("q\\u'\n\t");
+    }
+}
+
+path::PathStep
+randomStep(Rng& rng)
+{
+    using path::PathStep;
+    const char* field = kQueryFields[rng.below(std::size(kQueryFields))];
+    switch (rng.below(8)) {
+      case 0:
+      case 1: return PathStep::makeKey(field);
+      case 2: return PathStep::makeIndex(rng.below(5));
+      case 3: {
+        size_t lo = rng.below(4);
+        return PathStep::makeSlice(lo, lo + 1 + rng.below(3));
+      }
+      case 4: return PathStep::makeWildcard();
+      case 5: return PathStep::makeDescendant(field);
+      default: {
+        auto op = static_cast<path::FilterOp>(rng.below(7));
+        path::FilterLiteral lit = randomLiteral(rng);
+        // Ordering ops only compare numbers and strings; keep the
+        // generated queries meaningful (Exists ignores the literal).
+        if (op != path::FilterOp::Exists &&
+            lit.kind != path::FilterLiteral::Kind::Number &&
+            lit.kind != path::FilterLiteral::Kind::String &&
+            op != path::FilterOp::Eq && op != path::FilterOp::Ne) {
+            op = path::FilterOp::Eq;
+        }
+        return PathStep::makeFilter(field, op, std::move(lit));
+      }
+    }
+}
+
+} // namespace
+
+std::string
+QueryMutator::wellFormed()
+{
+    path::PathQuery q;
+    size_t n = 1 + rng_.below(4);
+    for (size_t i = 0; i < n; ++i)
+        q.steps.push_back(randomStep(rng_));
+    std::string text = q.toString();
+    // Occasionally spell predicates non-canonically: whitespace after
+    // `[?(` and before `)]` is legal and must normalize away.
+    if (rng_.below(3) == 0) {
+        for (size_t p = 0; (p = text.find("[?(", p)) != std::string::npos;
+             p += 4)
+            text.insert(p + 3, 1, ' ');
+        for (size_t p = 0; (p = text.find(")]", p)) != std::string::npos;
+             p += 3)
+            text.insert(p, 1, ' ');
+    }
+    return text;
+}
+
+std::string
+QueryMutator::nearMiss()
+{
+    std::string text = wellFormed();
+    switch (rng_.below(4)) {
+      case 0: // truncate (never to empty: that is just "$" territory)
+        text.resize(1 + rng_.below(text.size()));
+        break;
+      case 1: // delete one byte
+        text.erase(rng_.below(text.size()), 1);
+        break;
+      case 2: { // duplicate one byte
+        size_t p = rng_.below(text.size());
+        text.insert(p, 1, text[p]);
+        break;
+      }
+      default: { // splice a grammar metacharacter
+        static constexpr char kMeta[] = "=!<>()[]'\".?@$*:,x ";
+        size_t p = rng_.below(text.size() + 1);
+        text.insert(p, 1, kMeta[rng_.below(sizeof(kMeta) - 1)]);
+        break;
+      }
+    }
+    return text;
+}
 
 std::string
 describe(const Mutation& m)

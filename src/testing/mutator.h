@@ -43,6 +43,37 @@ struct Mutation
 /** Human-readable one-liner ("flip-container @117 -> '}'"). */
 std::string describe(const Mutation& m);
 
+/**
+ * Deterministic JSONPath grammar mutator, the query-side counterpart
+ * of StructuredMutator: wellFormed() assembles a random step vector
+ * (keys, indexes, slices, wildcards, descendants at any position, and
+ * filter predicates over every operator/literal combination) and
+ * prints it through PathQuery::toString(), so the text is parseable
+ * by construction — occasionally with legal predicate whitespace
+ * injected to exercise non-canonical spellings.  nearMiss() damages a
+ * well-formed query with one edit (truncate, delete, duplicate, or
+ * splice a grammar metacharacter); the parser must either accept the
+ * result or throw PathError with an in-range position — never crash,
+ * loop, or throw anything else.
+ */
+class QueryMutator
+{
+  public:
+    explicit QueryMutator(uint64_t seed) : rng_(seed) {}
+
+    /** A random query text guaranteed to parse. */
+    std::string wellFormed();
+
+    /** A damaged query text; usually (not always) rejected. */
+    std::string nearMiss();
+
+    /** The generator driving the choices. */
+    Rng& rng() { return rng_; }
+
+  private:
+    Rng rng_;
+};
+
 /** See file comment. */
 class StructuredMutator
 {

@@ -136,9 +136,29 @@ class ConfigError : public std::runtime_error
 class PathError : public std::runtime_error
 {
   public:
+    /** Sentinel for "no position available" (capability rejections). */
+    static constexpr size_t kNoPosition = static_cast<size_t>(-1);
+
     explicit PathError(const std::string& what)
-        : std::runtime_error("bad JSONPath: " + what)
+        : std::runtime_error("bad JSONPath: " + what),
+          position_(kNoPosition)
     {}
+
+    PathError(const std::string& what, size_t position)
+        : std::runtime_error("bad JSONPath: " + what + " (at offset " +
+                             std::to_string(position) + ")"),
+          position_(position)
+    {}
+
+    /**
+     * Byte offset in the query text where the parser rejected it, or
+     * kNoPosition when the error is not tied to a specific byte (e.g.
+     * an engine rejecting an unsupported-but-well-formed query).
+     */
+    size_t position() const { return position_; }
+
+  private:
+    size_t position_;
 };
 
 } // namespace jsonski

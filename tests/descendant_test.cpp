@@ -1,10 +1,10 @@
 /**
  * @file
- * Tests for the descendant operator extension (`$..name`, terminal
- * position): JSONSki semantics, pre-order emission, cross-engine
- * agreement (JSONSki / JPStream / DOM / tape), and the documented
- * restrictions (Pison rejects it; non-terminal use rejected by the
- * parser).
+ * Tests for the descendant operator extension (`$..name`, any step
+ * position): JSONSki semantics, pre-order emission and multiset
+ * multiplicity, cross-engine agreement (JSONSki / JPStream / DOM /
+ * tape), and the documented restrictions (Pison rejects `..`; tape
+ * and JPStream support only the terminal form).
  */
 #include <gtest/gtest.h>
 
@@ -34,18 +34,158 @@ ski_values(std::string_view json, const char* q)
 
 } // namespace
 
-TEST(Descendant, ParserAcceptsTerminalOnly)
+TEST(Descendant, ParserAcceptsAnyPosition)
 {
     auto q = parse("$..name");
     ASSERT_EQ(q.size(), 1u);
     EXPECT_EQ(q[0].kind, path::PathStep::Kind::Descendant);
     EXPECT_EQ(q.toString(), "$..name");
     EXPECT_TRUE(q.hasDescendant());
+    EXPECT_TRUE(q.hasTerminalDescendant());
+    EXPECT_FALSE(q.hasInteriorDescendant());
 
     EXPECT_NO_THROW(parse("$.a[*]..name"));
-    EXPECT_THROW(parse("$..a.b"), PathError);
-    EXPECT_THROW(parse("$..a[0]"), PathError);
+    // Non-terminal descendant steps are supported since the multiset
+    // driver landed (DESIGN.md §13).
+    auto interior = parse("$..a.b");
+    EXPECT_TRUE(interior.hasInteriorDescendant());
+    EXPECT_FALSE(interior.hasTerminalDescendant());
+    EXPECT_EQ(interior.toString(), "$..a.b");
+    EXPECT_EQ(parse("$..a[0]").toString(), "$..a[0]");
+    EXPECT_EQ(parse("$..a..b").toString(), "$..a..b");
+    EXPECT_EQ(parse("$..['odd key']").toString(), "$..['odd key']");
     EXPECT_THROW(parse("$.."), PathError);
+}
+
+TEST(Descendant, InteriorKeyStep)
+{
+    // `$..a.b`: every `a` at any depth, then its direct child `b` —
+    // document order, including an `a` nested inside another `a`.
+    std::string json =
+        R"({"a": {"a": {"b": 1}, "b": 2}, "x": {"a": {"b": 3}}})";
+    EXPECT_EQ(ski_values(json, "$..a.b"),
+              (std::vector<std::string>{"1", "2", "3"}));
+}
+
+TEST(Descendant, InteriorIndexStep)
+{
+    std::string json =
+        R"({"a": [10, 20, 30], "o": {"a": [{"b": 5}, {"b": 6}]}})";
+    EXPECT_EQ(ski_values(json, "$..a[2]"),
+              (std::vector<std::string>{"30"}));
+    EXPECT_EQ(ski_values(json, "$..a[1].b"),
+              (std::vector<std::string>{"6"}));
+    EXPECT_EQ(ski_values(json, "$..a[*].b"),
+              (std::vector<std::string>{"5", "6"}));
+}
+
+TEST(Descendant, DoubleDescendantMultiplicity)
+{
+    // `$..a..b`: one value is reported once per accepting path.  The
+    // inner b is reachable via BOTH a-ancestors, so it appears twice,
+    // consecutively (document pre-order, duplicates adjacent).
+    std::string json = R"({"a": {"a": {"b": 1}}})";
+    EXPECT_EQ(ski_values(json, "$..a..b"),
+              (std::vector<std::string>{"1", "1"}));
+    // DOM oracle agrees on the multiset semantics.
+    auto q = parse("$..a..b");
+    path::CollectSink dom_sink;
+    dom::parseAndQuery(json, q, &dom_sink);
+    EXPECT_EQ(dom_sink.values,
+              (std::vector<std::string>{"1", "1"}));
+}
+
+TEST(Descendant, InteriorEnginesAgree)
+{
+    std::string json = R"({
+      "a": {"k": 1, "a": [{"k": [2, 3]}, {"c": {"a": {"k": 4}}}]},
+      "k": "top"
+    })";
+    for (const char* text :
+         {"$..a.k", "$..a[0].k", "$..a[*].k", "$..a..k", "$..a[0:2]"}) {
+        auto q = parse(text);
+        path::CollectSink ski_sink, dom_sink;
+        ski::Streamer(q).run(json, &ski_sink);
+        dom::parseAndQuery(json, q, &dom_sink);
+        EXPECT_EQ(dom_sink.values, ski_sink.values) << text;
+    }
+}
+
+TEST(Descendant, InteriorDuplicateKeysFirstBindingWins)
+{
+    // Key steps bind to the FIRST member with their name (the
+    // streamer leaves an object after the match, G4); descendant
+    // steps keep examining every member, duplicates included.
+    std::string json = R"({"a": {"b": 1, "b": 2}, "b": 3})";
+    EXPECT_EQ(ski_values(json, "$..a.b"),
+              (std::vector<std::string>{"1"}));
+    EXPECT_EQ(ski_values(json, "$..b"),
+              (std::vector<std::string>{"1", "2", "3"}));
+    auto q = parse("$..a.b");
+    path::CollectSink dom_sink;
+    dom::parseAndQuery(json, q, &dom_sink);
+    EXPECT_EQ(dom_sink.values, (std::vector<std::string>{"1"}));
+}
+
+TEST(Descendant, InteriorRejectedByLinearBaselines)
+{
+    // The path-at-a-time tape walk and the deterministic PDA cannot
+    // reproduce the multiset document-order contract; they say so
+    // instead of answering differently.
+    auto q = parse("$..a.b");
+    EXPECT_THROW(tape::parseAndQuery(R"({"a":{"b":1}})", q), PathError);
+    EXPECT_THROW(jpstream::Engine{q}, PathError);
+}
+
+TEST(Descendant, RandomDifferentialInteriorSkiVsDom)
+{
+    Rng rng(8642);
+    const std::vector<std::string> keys = {"a", "b", "k"};
+    std::function<void(json::Writer&, int)> gen =
+        [&](json::Writer& w, int depth) {
+            double shape = rng.real();
+            if (depth <= 0 || shape < 0.4) {
+                w.number(rng.range(0, 99));
+            } else if (shape < 0.75) {
+                w.beginObject();
+                std::vector<std::string> pool = keys;
+                size_t n = rng.below(4);
+                for (size_t i = 0; i < n && !pool.empty(); ++i) {
+                    size_t pick = rng.below(pool.size());
+                    w.key(pool[pick]);
+                    pool.erase(pool.begin() + static_cast<long>(pick));
+                    gen(w, depth - 1);
+                }
+                w.endObject();
+            } else {
+                w.beginArray();
+                size_t n = rng.below(4);
+                for (size_t i = 0; i < n; ++i)
+                    gen(w, depth - 1);
+                w.endArray();
+            }
+        };
+    const char* queries[] = {"$..a.b", "$..a[0]", "$..a[*].k", "$..a..k",
+                             "$..a[0:2].b"};
+    size_t total = 0;
+    for (int iter = 0; iter < 200; ++iter) {
+        json::Writer w;
+        w.beginObject();
+        w.key("root");
+        gen(w, 5);
+        w.endObject();
+        std::string doc = w.take();
+        ASSERT_TRUE(json::validate(doc));
+        for (const char* text : queries) {
+            auto q = parse(text);
+            path::CollectSink a, b;
+            ski::Streamer(q).run(doc, &a);
+            dom::parseAndQuery(doc, q, &b);
+            ASSERT_EQ(a.values, b.values) << text << "\n" << doc;
+            total += a.values.size();
+        }
+    }
+    EXPECT_GT(total, 50u);
 }
 
 TEST(Descendant, FindsAtAllDepths)

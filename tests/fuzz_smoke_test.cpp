@@ -14,7 +14,9 @@
 
 #include "json/validate.h"
 #include "kernels/kernel.h"
+#include "path/parser.h"
 #include "testing/mutator.h"
+#include "util/error.h"
 
 using namespace jsonski;
 // gtest also owns a ::testing namespace; alias ours unambiguously.
@@ -69,6 +71,60 @@ TEST(FuzzSmoke, MutatorActuallyMutates)
     EXPECT_GT(invalid, 100u);
 }
 
+TEST(FuzzSmoke, QueryMutatorIsDeterministic)
+{
+    jt::QueryMutator a(31), b(31);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(a.wellFormed(), b.wellFormed());
+        EXPECT_EQ(a.nearMiss(), b.nearMiss());
+    }
+}
+
+TEST(FuzzSmoke, WellFormedQueriesAlwaysParseAndRoundTrip)
+{
+    jt::QueryMutator m(12021);
+    size_t with_filter = 0, with_descendant = 0, non_canonical = 0;
+    for (int i = 0; i < 2000; ++i) {
+        std::string text = m.wellFormed();
+        path::PathQuery q;
+        ASSERT_NO_THROW(q = path::parse(text)) << text;
+        with_filter += q.hasFilter();
+        with_descendant += q.hasDescendant();
+        non_canonical += q.toString() != text;
+        // The canonical form is a parse fixed point (plan-cache key).
+        EXPECT_EQ(path::parse(q.toString()), q) << text;
+    }
+    // The generator must exercise the new grammar surface, including
+    // non-canonical whitespace spellings that normalize away.
+    EXPECT_GT(with_filter, 400u);
+    EXPECT_GT(with_descendant, 400u);
+    EXPECT_GT(non_canonical, 100u);
+}
+
+TEST(FuzzSmoke, NearMissesRejectCleanlyOrParse)
+{
+    jt::QueryMutator m(777);
+    size_t rejected = 0, accepted = 0;
+    for (int i = 0; i < 2000; ++i) {
+        std::string text = m.nearMiss();
+        try {
+            (void)path::parse(text);
+            ++accepted;
+        } catch (const PathError& e) {
+            ++rejected;
+            // Rejections must point inside the text they reject.
+            if (e.position() != PathError::kNoPosition) {
+                EXPECT_LE(e.position(), text.size()) << text;
+            }
+        }
+        // Anything else (std::exception, crash) fails the test.
+    }
+    // Single-byte damage must usually break the grammar, but some
+    // edits stay legal — both outcomes must occur.
+    EXPECT_GT(rejected, 1000u);
+    EXPECT_GT(accepted, 0u);
+}
+
 TEST(FuzzSmoke, TenThousandMutantsNoDivergenceNoEscape)
 {
     jt::FuzzConfig config;
@@ -94,6 +150,10 @@ TEST(FuzzSmoke, TenThousandMutantsNoDivergenceNoEscape)
         std::getenv("JSONSKI_TEST_KERNELS") == nullptr) {
         EXPECT_GE(report.kernel_replays, report.executed / 2);
     }
+    // The grammar leg must have run one generated query per mutant and
+    // seen the parser reject a healthy share of the near-misses.
+    EXPECT_EQ(report.grammar_runs, report.executed);
+    EXPECT_GT(report.grammar_rejects, report.executed / 4);
     std::string details;
     for (const std::string& f : report.failures)
         details += "\n  " + f;

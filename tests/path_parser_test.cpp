@@ -94,7 +94,7 @@ TEST(PathParser, Errors)
 {
     EXPECT_THROW(parse(""), PathError);
     EXPECT_THROW(parse("place.name"), PathError);
-    EXPECT_THROW(parse("$..name.more"), PathError); // '..' must be last
+    EXPECT_NO_THROW(parse("$..name.more")); // interior '..' is legal now
     EXPECT_THROW(parse("$."), PathError);
     EXPECT_THROW(parse("$["), PathError);
     EXPECT_THROW(parse("$[abc]"), PathError);
@@ -104,6 +104,114 @@ TEST(PathParser, Errors)
     EXPECT_THROW(parse("$['unterminated]"), PathError);
     EXPECT_THROW(parse("$[*"), PathError);
     EXPECT_THROW(parse("$x"), PathError);
+}
+
+TEST(PathParser, FilterGrammar)
+{
+    PathQuery q = parse("$.rows[?(@.v < 10)].id");
+    ASSERT_EQ(q.size(), 3u);
+    EXPECT_EQ(q[1].kind, PathStep::Kind::Filter);
+    EXPECT_EQ(q[1].key, "v");
+    EXPECT_EQ(q[1].op, FilterOp::Lt);
+    EXPECT_EQ(q[1].literal, FilterLiteral::makeNumber(10));
+    EXPECT_TRUE(q.hasFilter());
+    // Canonical form strips interior whitespace.
+    EXPECT_EQ(q.toString(), "$.rows[?(@.v<10)].id");
+
+    EXPECT_EQ(parse("$[?(@.a)]")[0].op, FilterOp::Exists);
+    EXPECT_EQ(parse("$[?(@.a==1)]")[0].op, FilterOp::Eq);
+    EXPECT_EQ(parse("$[?(@.a!=1)]")[0].op, FilterOp::Ne);
+    EXPECT_EQ(parse("$[?(@.a<=1)]")[0].op, FilterOp::Le);
+    EXPECT_EQ(parse("$[?(@.a>1)]")[0].op, FilterOp::Gt);
+    EXPECT_EQ(parse("$[?(@.a>=1)]")[0].op, FilterOp::Ge);
+
+    EXPECT_EQ(parse("$[?(@.a=='x')]")[0].literal,
+              FilterLiteral::makeString("x"));
+    EXPECT_EQ(parse("$[?(@.a==\"x\")]")[0].literal,
+              FilterLiteral::makeString("x"));
+    EXPECT_EQ(parse("$[?(@.a==true)]")[0].literal,
+              FilterLiteral::makeBool(true));
+    EXPECT_EQ(parse("$[?(@.a==false)]")[0].literal,
+              FilterLiteral::makeBool(false));
+    EXPECT_EQ(parse("$[?(@.a==null)]")[0].literal,
+              FilterLiteral::makeNull());
+    EXPECT_EQ(parse("$[?(@.a==-2.5e2)]")[0].literal,
+              FilterLiteral::makeNumber(-250));
+
+    // Quoted predicate field, escapes decoded.
+    PathStep f = parse("$[?(@['odd key']=='a\\'b')]")[0];
+    EXPECT_EQ(f.key, "odd key");
+    EXPECT_EQ(f.literal, FilterLiteral::makeString("a'b"));
+
+    // Filters compose with every other step kind.
+    EXPECT_NO_THROW(parse("$..a[?(@.b > 3)]"));
+    EXPECT_NO_THROW(parse("$[?(@.a)][?(@.b)]"));
+    EXPECT_NO_THROW(parse("$.a[?(@.b=='x')]..c"));
+}
+
+TEST(PathParser, FilterErrorsCarryPositions)
+{
+    // Each rejection names the byte offset of the offending character.
+    auto position_of = [](const char* text) {
+        try {
+            parse(text);
+        } catch (const PathError& e) {
+            return e.position();
+        }
+        return PathError::kNoPosition;
+    };
+    EXPECT_EQ(position_of("$[?(@.]"), 6u);           // empty field
+    EXPECT_EQ(position_of("$[?(@.a=='x)]"), 9u);     // unterminated lit
+    EXPECT_EQ(position_of("$[?(@.a==1==2)]"), 10u);  // chained ops
+    EXPECT_EQ(position_of("$[?(@.a=1)]"), 7u);       // single '='
+    EXPECT_EQ(position_of("$[?(@.a==zz)]"), 9u);     // bad literal
+    EXPECT_EQ(position_of("$[?(a==1)]"), 4u);        // missing '@'
+    EXPECT_EQ(position_of("$[?(@.a==1)"), 11u);      // missing ']'
+    EXPECT_EQ(position_of("$['unterminated]"), 2u);  // open quote
+    EXPECT_EQ(position_of("$[?(@.a=='\\q')]"), 11u); // unknown escape
+}
+
+TEST(PathParser, RoundTripIsCanonicalAndIdempotent)
+{
+    // parse -> toString -> parse must reproduce the same steps, and
+    // toString must be a fixed point: the plan cache keys on this
+    // normal form, so equality here is cache-hit equality.
+    const char* queries[] = {
+        "$",
+        "$.place.name",
+        "$['bounding_box'].type",
+        "$.cp[1:3].id",
+        "$[*].text",
+        "$[0]",
+        "$..id",
+        "$..a.b",
+        "$..a[2].b",
+        "$..a..b",
+        "$..['odd key']",
+        "$.rows[?(@.v<10)].id",
+        "$[?(@.a)]",
+        "$[?(@.a=='x')]",
+        "$[?(@.a!=null)]",
+        "$[?(@.a>=2.5)]",
+        "$[?(@['odd key']==true)]",
+        "$..a[?(@.b>3)]",
+        "$.a[?(@.b=='x')]..c",
+        "$[?(@.n==-250)]",
+    };
+    for (const char* text : queries) {
+        PathQuery q = parse(text);
+        std::string canon = q.toString();
+        PathQuery again = parse(canon);
+        EXPECT_EQ(again, q) << text;
+        EXPECT_EQ(again.toString(), canon) << text;
+    }
+    // Non-canonical spellings normalize to one plan-cache key.
+    EXPECT_EQ(parse("$[?( @.v < 10 )]").toString(), "$[?(@.v<10)]");
+    EXPECT_EQ(parse("$[?(@['v']<10)]").toString(), "$[?(@.v<10)]");
+    EXPECT_EQ(parse("$[?(@.v<1e1)]").toString(), "$[?(@.v<10)]");
+    EXPECT_EQ(parse("$[?(@.s==\"x\")]").toString(), "$[?(@.s=='x')]");
+    EXPECT_EQ(parse("$['plain']").toString(), "$.plain");
+    EXPECT_EQ(parse("$..['plain']").toString(), "$..plain");
 }
 
 TEST(PathParser, RootSlice)

@@ -226,6 +226,103 @@ TEST(Service, MultiQueryDifferentialAndPerQueryCounts)
     server.stop();
 }
 
+TEST(Service, QuoteAwareQueryListSplitting)
+{
+    // Filter string literals may contain every separator the protocol
+    // cares about: commas, brackets, and spaces.  None of them may
+    // split the list or unbalance the depth tracking.
+    std::vector<std::string> qs =
+        splitQueries("$[?(@.a==',]')], $.b, $[?(@.c=='x y, [z]')]");
+    ASSERT_EQ(qs.size(), 3u);
+    EXPECT_EQ(qs[0], "$[?(@.a==',]')]");
+    EXPECT_EQ(qs[1], "$.b");
+    EXPECT_EQ(qs[2], "$[?(@.c=='x y, [z]')]");
+
+    // Escaped quote inside a literal does not close it.
+    qs = splitQueries(R"($[?(@.a=='p\',q')],$.b)");
+    ASSERT_EQ(qs.size(), 2u);
+    EXPECT_EQ(qs[0], R"($[?(@.a=='p\',q')])");
+
+    // Header parsing: predicate whitespace must not be taken for the
+    // query-list / flags separator.
+    RequestHeader h =
+        parseHeader("jsq/1 $[?( @.v < 10 )].id,$.nm count limit=5");
+    ASSERT_EQ(h.queries.size(), 2u);
+    EXPECT_EQ(h.queries[0], "$[?( @.v < 10 )].id");
+    EXPECT_EQ(h.queries[1], "$.nm");
+    EXPECT_TRUE(h.count_only);
+    EXPECT_EQ(h.limit, 5u);
+
+    // ...and a literal containing a space keeps the list intact too.
+    h = parseHeader("jsq/1 $[?(@.a=='x y')] records");
+    ASSERT_EQ(h.queries.size(), 1u);
+    EXPECT_EQ(h.queries[0], "$[?(@.a=='x y')]");
+    EXPECT_TRUE(h.records);
+}
+
+TEST(Service, PlanCacheCanonicalizesFilterSpellings)
+{
+    // Every spelling of the same query must land on one cache entry
+    // whose key is the parse->print normal form.
+    PlanCache cache(8);
+    bool hit = false;
+    auto p1 = cache.get("$[?( @.v < 10 )].id", &hit);
+    EXPECT_FALSE(hit);
+    EXPECT_EQ(p1->key, "$[?(@.v<10)].id");
+    auto p2 = cache.get("$[?(@['v']<1e1)].id", &hit);
+    EXPECT_TRUE(hit);
+    EXPECT_EQ(p1.get(), p2.get());
+    auto p3 = cache.get("$['id'] , $[\"nm\"]", &hit);
+    EXPECT_FALSE(hit);
+    EXPECT_EQ(p3->key, "$.id,$.nm");
+    EXPECT_EQ(cache.get("$.id,$.nm", &hit).get(), p3.get());
+    EXPECT_TRUE(hit);
+    EXPECT_EQ(cache.hits(), 2u);
+    EXPECT_EQ(cache.misses(), 2u);
+
+    // A malformed filter throws before anything is inserted, and a
+    // filter inside a *multi*-query list is a capability rejection
+    // (multi-query streaming does not support filters) — also before
+    // insertion.
+    EXPECT_THROW(cache.get("$[?(@.]"), PathError);
+    EXPECT_THROW(cache.get("$.id,$[?(@.s=='x')]"), PathError);
+    EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(Service, FilterQueryOverTheWireMatchesDirect)
+{
+    // Acceptance criterion: `$..a[?(@.b op lit)]` via jsqd equals the
+    // direct evaluation byte for byte, at every client chunking.
+    Server server;
+    server.start();
+    const std::string doc =
+        R"({"a": [{"b": 1, "c": "u"}, {"b": 7, "c": "v"}, )"
+        R"({"c": "w"}, {"b": "s"}], )"
+        R"("n": {"a": [{"b": 9, "c": "x"}, {"b": 2}]}})";
+    const std::vector<std::string> queries = {
+        "$..a[?(@.b>3)]",      "$..a[?(@.b>3)].c",  "$..a[?(@.b)]",
+        "$.a[?(@.c=='v')].b",  "$..a[?(@.b<=2)]",   "$.a[?(@.b!=7)]",
+    };
+    for (const std::string& query : queries) {
+        DirectRun direct = runDirect(query, doc);
+        ASSERT_TRUE(direct.ok) << query;
+        for (size_t chunk : kChunkings) {
+            ClientResult r = runRequest(server, queryHeader(query), doc,
+                                        chunked(chunk));
+            ASSERT_TRUE(r.has_trailer) << query << " chunk=" << chunk;
+            EXPECT_TRUE(r.trailer.ok) << query;
+            EXPECT_EQ(r.trailer.matches, direct.values.size()) << query;
+            EXPECT_EQ(r.trailer.ff, direct.ff)
+                << query << " chunk=" << chunk;
+            ASSERT_EQ(r.matches.size(), direct.values.size()) << query;
+            for (size_t i = 0; i < r.matches.size(); ++i)
+                EXPECT_EQ(r.matches[i].second, direct.values[i])
+                    << query << " chunk=" << chunk;
+        }
+    }
+    server.stop();
+}
+
 TEST(Service, MalformedBodiesAtSocketSeams)
 {
     // Documents broken mid-escape, mid-\uXXXX, mid-UTF-8, truncated:
