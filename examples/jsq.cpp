@@ -27,6 +27,16 @@
  * and is never materialized as a whole; resident memory is bounded by
  * the chunk size plus the largest value span still being emitted
  * (DESIGN.md §9).  With -r, N becomes the record reader's buffer size.
+ *
+ * Sidecar semi-indexes (DESIGN.md §14), single query + whole document
+ * only (not -r, not --chunk-bytes):
+ *   --index-save PATH   build a structural index of the input and
+ *                       write it to PATH (after running the query warm)
+ *   --index-load PATH   load PATH; when it describes the input, answer
+ *                       skips from it, else warn and stream
+ *   --index-cache       keep the sidecar next to the input file
+ *                       (FILE.jski): load when fresh, (re)build and
+ *                       save when missing or stale
  */
 #include <cstdio>
 #include <cstring>
@@ -37,6 +47,7 @@
 #include <string>
 #include <vector>
 
+#include "index/structural_index.h"
 #include "intervals/chunk_source.h"
 #include "json/writer.h"
 #include "kernels/kernel.h"
@@ -66,8 +77,17 @@ struct Options
     bool profile = false;
     size_t limit = 0;       // 0 = unlimited
     size_t chunk_bytes = 0; // 0 = materialize the input (legacy path)
+    std::string index_save;
+    std::string index_load;
+    bool index_cache = false;
     std::vector<std::string> queries;
     std::string file;
+
+    bool
+    usesIndex() const
+    {
+        return !index_save.empty() || !index_load.empty() || index_cache;
+    }
 };
 
 [[noreturn]] void
@@ -75,7 +95,10 @@ usage()
 {
     std::fprintf(stderr,
                  "usage: jsq [-c] [-r] [-s] [-p] [-n K] "
-                 "[--chunk-bytes N] <query>[,<query>...] [file]\n");
+                 "[--chunk-bytes N]\n"
+                 "           [--index-save PATH] [--index-load PATH] "
+                 "[--index-cache]\n"
+                 "           <query>[,<query>...] [file]\n");
     std::exit(2);
 }
 
@@ -111,6 +134,14 @@ parseArgs(int argc, char** argv)
                              argv[i]);
                 usage();
             }
+        } else if (std::strcmp(argv[i], "--index-save") == 0 &&
+                   i + 1 < argc) {
+            opt.index_save = argv[++i];
+        } else if (std::strcmp(argv[i], "--index-load") == 0 &&
+                   i + 1 < argc) {
+            opt.index_load = argv[++i];
+        } else if (std::strcmp(argv[i], "--index-cache") == 0) {
+            opt.index_cache = true;
         } else {
             usage();
         }
@@ -123,6 +154,25 @@ parseArgs(int argc, char** argv)
         opt.file = argv[i++];
     if (i != argc)
         usage();
+    if (opt.usesIndex()) {
+        if (opt.records || opt.chunk_bytes != 0 ||
+            opt.queries.size() != 1) {
+            std::fprintf(stderr,
+                         "jsq: --index-* needs a single query over a "
+                         "whole document (no -r, no --chunk-bytes)\n");
+            usage();
+        }
+        if (opt.index_cache && opt.file.empty()) {
+            std::fprintf(stderr, "jsq: --index-cache needs a file "
+                                 "(the sidecar lives next to it)\n");
+            usage();
+        }
+        if (opt.index_cache && !opt.index_load.empty()) {
+            std::fprintf(stderr, "jsq: --index-cache and --index-load "
+                                 "are mutually exclusive\n");
+            usage();
+        }
+    }
     return opt;
 }
 
@@ -234,6 +284,58 @@ printProfile(const std::string& query, size_t input_bytes, size_t matches,
     w.endObject();
     std::printf("%s\n", w.take().c_str());
     std::fprintf(stderr, "%s", telemetry::renderReport(reg).c_str());
+}
+
+/**
+ * Resolve the --index-save/--index-load/--index-cache flags against
+ * the materialized input: the index to run warm with (if any), loaded
+ * when a fresh sidecar exists, built otherwise, saved where asked.
+ * A stale or corrupt sidecar is never an error — jsq warns and falls
+ * back to streaming (or rebuilds, with --index-cache).
+ */
+std::optional<index::StructuralIndex>
+resolveSidecar(const Options& opt, const std::string& input)
+{
+    std::optional<index::StructuralIndex> sidecar;
+    if (!opt.index_load.empty()) {
+        try {
+            sidecar = index::loadIndexFile(opt.index_load);
+            if (!sidecar->describes(input)) {
+                std::fprintf(stderr,
+                             "jsq: index %s does not describe this "
+                             "input; streaming instead\n",
+                             opt.index_load.c_str());
+                sidecar.reset();
+            }
+        } catch (const index::IndexError& e) {
+            // A bad sidecar is never trusted and never fatal: the
+            // document itself is fine, so stream it.
+            std::fprintf(stderr,
+                         "jsq: index %s rejected (%s); streaming "
+                         "instead\n",
+                         opt.index_load.c_str(), e.what());
+            sidecar.reset();
+        }
+    } else if (opt.index_cache) {
+        std::string path = opt.file + ".jski";
+        try {
+            sidecar = index::loadIndexFile(path);
+            if (!sidecar->describes(input))
+                sidecar.reset(); // stale: the document changed
+        } catch (const index::IndexError&) {
+            sidecar.reset(); // missing or corrupt: rebuild below
+        }
+        if (!sidecar) {
+            sidecar = index::StructuralIndex::build(input);
+            index::saveIndexFile(*sidecar, path);
+        }
+    }
+    if (!opt.index_save.empty()) {
+        if (!sidecar)
+            sidecar = index::StructuralIndex::build(input);
+        index::saveIndexFile(*sidecar, opt.index_save);
+    }
+    return sidecar;
 }
 
 } // namespace
@@ -400,6 +502,9 @@ main(int argc, char** argv)
             path::PathQuery query = path::parse(opt.queries[0]);
             if (opt.profile)
                 std::fprintf(stderr, "%s", ski::explain(query).c_str());
+            std::optional<index::StructuralIndex> sidecar;
+            if (opt.usesIndex())
+                sidecar = resolveSidecar(opt, input);
             ski::Streamer streamer(query);
             PrintSink sink(opt.count_only || opt.profile, opt.limit);
             ski::FastForwardStats stats;
@@ -407,8 +512,12 @@ main(int argc, char** argv)
             {
                 telemetry::Scope scope(reg);
                 for (auto [off, len] : spans) {
-                    ski::StreamResult r = streamer.run(
-                        std::string_view(input).substr(off, len), &sink);
+                    std::string_view slice =
+                        std::string_view(input).substr(off, len);
+                    ski::StreamResult r =
+                        sidecar ? streamer.runIndexed(slice, *sidecar,
+                                                      &sink)
+                                : streamer.run(slice, &sink);
                     stats.merge(r.stats);
                     if (opt.limit != 0 && sink.count >= opt.limit)
                         break;

@@ -12,6 +12,10 @@
  *   -n K          stop after K matches
  *   -s            print the trailer summary (status, bytes, ff) to stderr
  *   --length      send the body length-prefixed instead of EOF-framed
+ *   --doc ID      tag the body as a repeat-query document: the server
+ *                 answers from its cached structural semi-index when it
+ *                 can (DESIGN.md §14) and the trailer reports
+ *                 index=hit|miss|none.  Implies --length.
  *   --chunk N     write the body in N-byte chunks (protocol testing)
  *
  * Reads the body from stdin when no file is given.  Matches print as
@@ -39,7 +43,7 @@ usage()
 {
     std::fprintf(stderr,
                  "usage: jsqc [--host H] [--port P] [-c] [-r] [-s] "
-                 "[-n K] [--length] [--chunk N]\n"
+                 "[-n K] [--length] [--doc ID] [--chunk N]\n"
                  "            <query>[,<query>...] [file]\n"
                  "       jsqc [--host H] [--port P] --stats\n");
     std::exit(2);
@@ -97,6 +101,12 @@ main(int argc, char** argv)
             header.limit = sizeArg(argc, argv, i, true);
         } else if (std::strcmp(argv[i], "--length") == 0) {
             header.has_length = true;
+        } else if (std::strcmp(argv[i], "--doc") == 0) {
+            if (i + 1 >= argc)
+                usage();
+            header.has_doc = true;
+            header.doc_id = argv[++i];
+            header.has_length = true; // doc= requires length framing
         } else if (std::strcmp(argv[i], "--chunk") == 0) {
             chunk = sizeArg(argc, argv, i, true);
         } else if (std::strcmp(argv[i], "--stats") == 0) {
@@ -183,13 +193,14 @@ main(int argc, char** argv)
             std::fprintf(
                 stderr,
                 "jsqc: status=%s%s%s matches=%zu bytes_in=%zu "
-                "skipped=%llu plan=%s\n",
+                "skipped=%llu plan=%s%s%s\n",
                 t.ok ? "ok" : "error",
                 t.ok ? "" : " code=",
                 t.ok ? "" : std::string(errorCodeName(t.code)).c_str(),
                 t.matches, t.bytes_in,
                 static_cast<unsigned long long>(skipped),
-                t.plan.c_str());
+                t.plan.c_str(), t.index.empty() ? "" : " index=",
+                t.index.c_str());
         }
         if (!t.ok) {
             std::fprintf(stderr, "jsqc: server error: %s at byte %zu\n",

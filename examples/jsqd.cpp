@@ -7,7 +7,8 @@
  *        [--chunk-bytes N] [--max-header N] [--max-body N]
  *        [--max-matches N] [--read-deadline-ms N]
  *        [--write-deadline-ms N] [--idle-deadline-ms N]
- *        [--plan-cache N] [--poll]
+ *        [--plan-cache N] [--doc-cache-bytes N] [--max-doc-bytes N]
+ *        [--poll]
  *
  * Prints `jsqd: listening on HOST:PORT` once ready (PORT is ephemeral
  * when -p is omitted), serves until SIGTERM/SIGINT, then drains
@@ -45,7 +46,8 @@ usage()
         "            [--chunk-bytes N] [--max-header N] [--max-body N]\n"
         "            [--max-matches N] [--read-deadline-ms N]\n"
         "            [--write-deadline-ms N] [--idle-deadline-ms N]\n"
-        "            [--plan-cache N] [--poll]\n"
+        "            [--plan-cache N] [--doc-cache-bytes N]\n"
+        "            [--max-doc-bytes N] [--poll]\n"
         "  --shards 0 (default) = one event-loop shard per hardware "
         "thread\n");
     std::exit(2);
@@ -107,6 +109,10 @@ main(int argc, char** argv)
                 static_cast<int>(sizeArg(argc, argv, i));
         } else if (std::strcmp(argv[i], "--plan-cache") == 0) {
             cfg.plan_cache_capacity = sizeArg(argc, argv, i, true);
+        } else if (std::strcmp(argv[i], "--doc-cache-bytes") == 0) {
+            cfg.doc_cache_bytes = sizeArg(argc, argv, i);
+        } else if (std::strcmp(argv[i], "--max-doc-bytes") == 0) {
+            cfg.max_doc_bytes = sizeArg(argc, argv, i, true);
         } else if (std::strcmp(argv[i], "--poll") == 0) {
             cfg.force_poll = true;
         } else {
@@ -139,10 +145,12 @@ main(int argc, char** argv)
 
     service::ServerStats s = server.stats();
     service::PlanCacheStats pc = server.planCacheTotals();
+    index::DocumentIndexCacheStats dc = server.docCacheTotals();
     std::fprintf(stderr,
                  "jsqd: drained: %llu connections, %llu requests "
                  "(%llu ok, %llu error), %llu B in, %llu B out, "
-                 "plan cache %llu/%llu hit/miss\n",
+                 "plan cache %llu/%llu hit/miss, "
+                 "doc index cache %llu/%llu hit/miss\n",
                  static_cast<unsigned long long>(s.connections_total),
                  static_cast<unsigned long long>(s.requests_total),
                  static_cast<unsigned long long>(s.responses_ok),
@@ -150,6 +158,8 @@ main(int argc, char** argv)
                  static_cast<unsigned long long>(s.bytes_in_total),
                  static_cast<unsigned long long>(s.bytes_out_total),
                  static_cast<unsigned long long>(pc.hits),
-                 static_cast<unsigned long long>(pc.misses));
+                 static_cast<unsigned long long>(pc.misses),
+                 static_cast<unsigned long long>(dc.hits),
+                 static_cast<unsigned long long>(dc.misses));
     return 0;
 }

@@ -82,6 +82,27 @@ echo "multi-query counts match jsq"
 [ "$(cat "$tmp/got")" = "2" ]
 echo "length-framed chunked upload ok"
 
+# doc= repeat-query document: answers must still match jsq, and the
+# trailer's index= verdict must go miss (cold build) then hit (cached
+# semi-index) when the same bytes are re-queried.  --shards 2 means the
+# two requests can land on different shards with separate cache
+# partitions, so accept miss/hit for the second request but require
+# its answer to be identical either way.
+"$JSQ" '$.products[*].name' "$tmp/doc1.json" >"$tmp/expected"
+"$JSQC" -p "$port" -s --doc smoke1 '$.products[*].name' \
+    "$tmp/doc1.json" >"$tmp/got" 2>"$tmp/goterr"
+diff -u "$tmp/expected" "$tmp/got"
+grep -q "index=miss" "$tmp/goterr" || {
+    cat "$tmp/goterr" >&2
+    echo "first doc= request should be an index miss" >&2; exit 1; }
+"$JSQC" -p "$port" -s --doc smoke1 '$.products[*].name' \
+    "$tmp/doc1.json" >"$tmp/got" 2>"$tmp/goterr"
+diff -u "$tmp/expected" "$tmp/got"
+grep -Eq "index=(hit|miss)" "$tmp/goterr" || {
+    cat "$tmp/goterr" >&2
+    echo "second doc= request lost its index verdict" >&2; exit 1; }
+echo "doc= warm path answers match jsq"
+
 # Malformed body: typed error trailer, client exits nonzero.
 printf '{"a": [1, 2' >"$tmp/bad.json"
 if "$JSQC" -p "$port" '$.a' "$tmp/bad.json" >"$tmp/got" 2>"$tmp/goterr"
@@ -112,6 +133,9 @@ echo "active kernel: $kernel"
 grep -q "jsonski_server_requests_total" "$tmp/stats"
 grep -q "jsonski_server_responses_error" "$tmp/stats"
 grep -q "jsonski_server_plan_cache_hits" "$tmp/stats"
+grep -q "jsonski_server_doc_index_cache_misses" "$tmp/stats"
+misses=$(awk '/^jsonski_server_doc_index_cache_misses /{print $2}' "$tmp/stats")
+[ "$misses" -ge 1 ] # the doc= leg above built at least one index
 errors=$(awk '/^jsonski_server_responses_error /{print $2}' "$tmp/stats")
 [ "$errors" -ge 2 ] # the two rejections above are accounted for
 echo "stats scrape ok (responses_error=$errors)"

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "index/structural_scan.h"
 #include "util/bits.h"
 
 namespace jsonski::pison {
@@ -37,30 +38,26 @@ LeveledIndex::scanRange(std::string_view json, size_t begin_block,
                         size_t end_block, ClassifierCarry carry,
                         int64_t depth)
 {
-    for (size_t blk = begin_block; blk < end_block; ++blk) {
-        size_t base = blk * kBlockSize;
-        BlockBits b = classifyAt(json, base, carry);
-        uint64_t interesting = b.open_brace | b.open_bracket |
-                               b.close_brace | b.close_bracket | b.colon |
-                               b.comma;
-        while (interesting != 0) {
-            int off = bits::trailingZeros(interesting);
-            interesting = bits::clearLowest(interesting);
-            uint64_t bit = uint64_t{1} << off;
-            if ((b.open_brace | b.open_bracket) & bit) {
-                ++depth;
-            } else if ((b.close_brace | b.close_bracket) & bit) {
-                --depth;
-            } else {
-                int64_t level = depth - 1;
-                if (level >= 0 && level < static_cast<int64_t>(levels_)) {
-                    if (b.colon & bit)
-                        colon_[static_cast<size_t>(level)][blk] |= bit;
-                    else
-                        comma_[static_cast<size_t>(level)][blk] |= bit;
-                }
-            }
+    // Recording policy: Pison keeps only colon/comma bits within its
+    // fixed level budget.  The depth walk itself is the shared scan
+    // core (index/structural_scan.h).
+    struct Sink
+    {
+        LeveledIndex& idx;
+        void onOpen(size_t, uint64_t, int64_t, bool) {}
+        void onClose(size_t, uint64_t, int64_t, bool) {}
+        void
+        onSeparator(size_t blk, uint64_t bit, int64_t level, bool colon)
+        {
+            if (level < 0 || level >= static_cast<int64_t>(idx.levels_))
+                return;
+            auto& rows = colon ? idx.colon_ : idx.comma_;
+            rows[static_cast<size_t>(level)][blk] |= bit;
         }
+    } sink{*this};
+    for (size_t blk = begin_block; blk < end_block; ++blk) {
+        BlockBits b = classifyAt(json, blk * kBlockSize, carry);
+        depth = index::scanStructuralBlock(b, blk, depth, sink);
     }
 }
 

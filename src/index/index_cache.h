@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Byte-bounded, shard-locked LRU of StructuralIndexes keyed by content
+ * hash — the "build on first query, jump on every later one" half of
+ * the cached semi-index design (DESIGN.md §14).
+ *
+ * The cache never stores documents, only their indexes; the key is the
+ * 64-bit content hash, so identical bytes arriving under different
+ * names (or from different connections) share one entry.  The build
+ * runs under the shard lock (util::ShardedLru), so N racing first
+ * queries for one document build the index exactly once — the same
+ * contract the plan cache gives compiled queries.  Entries are
+ * weighed by StructuralIndex::memoryBytes(), so the capacity bounds
+ * resident *bytes*, not entry count; an unusable index (malformed
+ * document) is cached too — negative knowledge is what prevents
+ * rebuilding the index on every query of a document that can't have
+ * one.
+ */
+#ifndef JSONSKI_INDEX_INDEX_CACHE_H
+#define JSONSKI_INDEX_INDEX_CACHE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string_view>
+
+#include "index/structural_index.h"
+#include "util/sharded_lru.h"
+
+namespace jsonski::index {
+
+/**
+ * Counter snapshot of one DocumentIndexCache — summable across the
+ * server's per-shard partitions for the `!stats` page.
+ */
+struct DocumentIndexCacheStats
+{
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    /** Indexes currently resident. */
+    size_t entries = 0;
+    /** Resident index bytes (the bounded quantity). */
+    size_t bytes = 0;
+
+    DocumentIndexCacheStats&
+    operator+=(const DocumentIndexCacheStats& o)
+    {
+        hits += o.hits;
+        misses += o.misses;
+        evictions += o.evictions;
+        entries += o.entries;
+        bytes += o.bytes;
+        return *this;
+    }
+};
+
+/** See file comment. */
+class DocumentIndexCache
+{
+  public:
+    /** @param capacity_bytes Total resident index bytes (rounded up to
+     *         at least one unit per shard; a single oversized index is
+     *         still cached rather than thrashed). */
+    explicit DocumentIndexCache(size_t capacity_bytes = 64u << 20)
+        : lru_(capacity_bytes,
+               [](const StructuralIndex& i) { return i.memoryBytes(); })
+    {}
+
+    /**
+     * Index for exactly these document bytes, building (under the
+     * shard lock) on first sight.  The returned index may be
+     * !usable(); callers then stream.
+     *
+     * @param was_hit Out: true when the index came from the cache.
+     */
+    std::shared_ptr<const StructuralIndex>
+    get(std::string_view doc, bool* was_hit = nullptr)
+    {
+        uint64_t key = hashContent(doc);
+        return lru_.getOrBuild(
+            key,
+            [doc] {
+                return std::make_shared<const StructuralIndex>(
+                    StructuralIndex::build(doc));
+            },
+            was_hit);
+    }
+
+    uint64_t hits() const { return lru_.hits(); }
+    uint64_t misses() const { return lru_.misses(); }
+    uint64_t evictions() const { return lru_.evictions(); }
+    size_t entries() const { return lru_.entries(); }
+    /** Resident index bytes across all shards. */
+    size_t bytes() const { return lru_.weight(); }
+
+    DocumentIndexCacheStats
+    statsSnapshot() const
+    {
+        util::LruStats st = lru_.statsSnapshot();
+        return DocumentIndexCacheStats{st.hits, st.misses, st.evictions,
+                                       st.entries, st.weight};
+    }
+
+  private:
+    util::ShardedLru<uint64_t, StructuralIndex> lru_;
+};
+
+} // namespace jsonski::index
+
+#endif // JSONSKI_INDEX_INDEX_CACHE_H

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The one structural-scan loop shared by every leveled-bitmap builder.
+ *
+ * Both the Pison baseline (`baseline/pison/leveled_index.*`) and the
+ * cached StructuralIndex (`index/structural_index.*`) walk the same
+ * per-block classification output — the string-masked open / close /
+ * colon / comma bit-vectors — in offset order, threading a running
+ * container depth and recording metacharacters at their *level*
+ * (depth - 1, the depth of the container they punctuate).  This header
+ * is that walk, templated over a sink so each builder keeps only its
+ * own recording policy instead of a second copy of the bit loop.
+ *
+ * Level convention (shared with the skippers' counting argument,
+ * DESIGN.md §14): with `depth` = number of unclosed openers *before*
+ * the character,
+ *   - an opener sits at level depth-1 (the root opener at level -1),
+ *   - a closer sits at level depth-1 as well (its post-decrement
+ *     depth), i.e. the same level as the separators inside the
+ *     container it closes,
+ *   - a colon/comma sits at level depth-1.
+ * So everything punctuating one container — its child openers, its
+ * separators, and its own closer — shares one level, which is exactly
+ * what lets a skipper inside a container at depth D resolve a G4/G5
+ * jump with a single next-bit probe at level D-1.
+ */
+#ifndef JSONSKI_INDEX_STRUCTURAL_SCAN_H
+#define JSONSKI_INDEX_STRUCTURAL_SCAN_H
+
+#include <cstdint>
+
+#include "intervals/block.h"
+#include "util/bits.h"
+
+namespace jsonski::index {
+
+/**
+ * Walk one classified block's structural characters in offset order.
+ *
+ * Sink interface (all calls receive the block index, the single-bit
+ * mask of the character within the block, and the level):
+ *   void onOpen(size_t blk, uint64_t bit, int64_t level, bool brace);
+ *   void onClose(size_t blk, uint64_t bit, int64_t level, bool brace);
+ *   void onSeparator(size_t blk, uint64_t bit, int64_t level,
+ *                    bool colon);
+ *
+ * @param depth Unclosed-opener count entering the block.
+ * @return Unclosed-opener count leaving the block (may go negative on
+ *         malformed input; sinks that care must track it).
+ */
+template <typename Sink>
+inline int64_t
+scanStructuralBlock(const intervals::BlockBits& b, size_t blk,
+                    int64_t depth, Sink&& sink)
+{
+    uint64_t interesting = b.open_brace | b.open_bracket | b.close_brace |
+                           b.close_bracket | b.colon | b.comma;
+    while (interesting != 0) {
+        int off = bits::trailingZeros(interesting);
+        interesting = bits::clearLowest(interesting);
+        uint64_t bit = uint64_t{1} << off;
+        if ((b.open_brace | b.open_bracket) & bit) {
+            sink.onOpen(blk, bit, depth - 1, (b.open_brace & bit) != 0);
+            ++depth;
+        } else if ((b.close_brace | b.close_bracket) & bit) {
+            --depth;
+            sink.onClose(blk, bit, depth, (b.close_brace & bit) != 0);
+        } else {
+            sink.onSeparator(blk, bit, depth - 1, (b.colon & bit) != 0);
+        }
+    }
+    return depth;
+}
+
+} // namespace jsonski::index
+
+#endif // JSONSKI_INDEX_STRUCTURAL_SCAN_H

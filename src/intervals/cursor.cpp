@@ -147,6 +147,37 @@ StreamCursor::classifyThrough(size_t idx)
                      (classified_blocks_ - first) * kBlockSize);
 }
 
+bool
+StreamCursor::warpTo(size_t target, ClassifierCarry carry)
+{
+    if (target >= len_) {
+        if (src_ == nullptr || eof_)
+            return false;
+        // Ingest up to the target in chunk strides, advancing the
+        // position and the classifier mark with the frontier so the
+        // discard floor follows and the window is recycled instead of
+        // accumulating the whole skipped span.  Blocks passed this way
+        // are never string-classified — that is the point of the warp;
+        // the index's entry carry replaces their contribution below.
+        while (len_ <= target && !eof_) {
+            if (pos_ < len_)
+                pos_ = len_;
+            if (classified_blocks_ < pos_ / kBlockSize)
+                classified_blocks_ = pos_ / kBlockSize;
+            refillTo(std::min(target + 1, len_ + chunk_bytes_));
+        }
+        if (target >= len_)
+            return false; // source exhausted short of the target
+    }
+    size_t blk = target / kBlockSize;
+    if (blk + 1 <= classified_blocks_)
+        return true; // already classified past the target: no skip
+    carry_ = carry;
+    classified_blocks_ = blk;
+    full_valid_ = false;
+    return true;
+}
+
 BlockBits
 StreamCursor::blockAt(size_t idx)
 {

@@ -221,6 +221,25 @@ class StreamCursor
     }
 
     /**
+     * Teleport the string-layer classification to the block containing
+     * @p target, resuming from @p carry (supplied by a structural
+     * index, index/structural_index.h) instead of classifying the
+     * skipped blocks.  The position is left unchanged — callers
+     * setPos() afterwards.
+     *
+     * In chunked mode the bytes up to @p target are ingested on the
+     * way, recycling the window as the frontier advances, so a warp
+     * over an arbitrarily long span keeps the steady-state residency
+     * bound; retention holds pin bytes exactly as they do for a
+     * streaming scan.
+     *
+     * @return false when the input ends at or before @p target — the
+     *         index disagrees with the document; callers raise
+     *         ErrorCode::IndexMismatch.
+     */
+    bool warpTo(size_t target, ClassifierCarry carry);
+
+    /**
      * String-layer bitmaps of block @p idx.  Blocks up to @p idx are
      * classified on demand; access must be monotonically non-
      * decreasing except that the most recent block can be re-read.

@@ -37,19 +37,6 @@ canonicalQueryList(std::string_view query_list)
     return joinQueries(canon);
 }
 
-PlanCache::PlanCache(size_t capacity)
-    : per_shard_capacity_((capacity + kShards - 1) / kShards)
-{
-    if (per_shard_capacity_ == 0)
-        per_shard_capacity_ = 1;
-}
-
-PlanCache::Shard&
-PlanCache::shardFor(std::string_view key)
-{
-    return shards_[std::hash<std::string_view>{}(key) % kShards];
-}
-
 std::shared_ptr<const Plan>
 PlanCache::get(std::string_view query_list, bool* was_hit)
 {
@@ -57,47 +44,12 @@ PlanCache::get(std::string_view query_list, bool* was_hit)
     // every spelling of the same list (`$['a']`, `$.a`, whitespace in
     // a predicate) maps to the same shard and entry.  A malformed
     // query throws here, before anything is counted or inserted.
-    std::string key = canonicalQueryList(query_list);
-    Shard& shard = shardFor(key);
-    std::lock_guard<std::mutex> lock(shard.mutex);
-    auto it = shard.map.find(key);
-    if (it != shard.map.end()) {
-        hits_.fetch_add(1, std::memory_order_relaxed);
-        if (was_hit != nullptr)
-            *was_hit = true;
-        // Move to the front of the LRU list; iterators stay valid.
-        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-        return *it->second;
-    }
     // Compiling under the shard lock keeps hit/miss counts exact for
     // concurrent first requests (see header); a PathError escapes
     // before anything is inserted.
-    std::shared_ptr<const Plan> plan = compilePlan(key);
-    misses_.fetch_add(1, std::memory_order_relaxed);
-    if (was_hit != nullptr)
-        *was_hit = false;
-    shard.lru.push_front(plan);
-    shard.map.emplace(std::string_view(shard.lru.front()->key),
-                      shard.lru.begin());
-    if (shard.lru.size() > per_shard_capacity_) {
-        const std::shared_ptr<const Plan>& victim = shard.lru.back();
-        shard.map.erase(std::string_view(victim->key));
-        shard.lru.pop_back();
-        evictions_.fetch_add(1, std::memory_order_relaxed);
-    }
-    return plan;
-}
-
-size_t
-PlanCache::size() const
-{
-    size_t n = 0;
-    for (const Shard& s : shards_) {
-        std::lock_guard<std::mutex> lock(
-            const_cast<std::mutex&>(s.mutex));
-        n += s.lru.size();
-    }
-    return n;
+    std::string key = canonicalQueryList(query_list);
+    return lru_.getOrBuild(
+        key, [&key] { return compilePlan(key); }, was_hit);
 }
 
 } // namespace jsonski::service

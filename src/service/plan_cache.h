@@ -13,31 +13,26 @@
  * out shared_ptr<const Plan> so an entry can be evicted while requests
  * still run on it.
  *
- * Sharding: the key hash picks one of a fixed set of shards, each an
- * independently locked LRU list + map; hot queries on different shards
- * never contend.  The compile itself runs under the shard lock, which
- * serializes concurrent first-misses of the *same* query into one
- * compile (the counters stay deterministic: N concurrent requests for
- * a fresh query are exactly 1 miss + N-1 hits).
+ * Sharding, locking, and eviction are util::ShardedLru (shared with
+ * the document index cache): the compile runs under the shard lock,
+ * which serializes concurrent first-misses of the *same* query into
+ * one compile (the counters stay deterministic: N concurrent requests
+ * for a fresh query are exactly 1 miss + N-1 hits).
  */
 #ifndef JSONSKI_SERVICE_PLAN_CACHE_H
 #define JSONSKI_SERVICE_PLAN_CACHE_H
 
-#include <array>
-#include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <list>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
 #include "ski/multi.h"
 #include "ski/streamer.h"
+#include "util/sharded_lru.h"
 
 namespace jsonski::service {
 
@@ -108,13 +103,14 @@ struct PlanCacheStats
 class PlanCache
 {
   public:
-    static constexpr size_t kShards = 8;
+    static constexpr size_t kShards =
+        util::ShardedLru<std::string, Plan>::kShards;
 
     /**
      * @param capacity Total cached plans across all shards (rounded up
      *                 to at least one per shard).
      */
-    explicit PlanCache(size_t capacity = 64);
+    explicit PlanCache(size_t capacity = 64) : lru_(capacity) {}
 
     /**
      * Look up @p query_list, compiling and inserting on a miss.
@@ -125,39 +121,24 @@ class PlanCache
     std::shared_ptr<const Plan> get(std::string_view query_list,
                                     bool* was_hit = nullptr);
 
-    uint64_t hits() const { return hits_.load(); }
-    uint64_t misses() const { return misses_.load(); }
-    uint64_t evictions() const { return evictions_.load(); }
+    uint64_t hits() const { return lru_.hits(); }
+    uint64_t misses() const { return lru_.misses(); }
+    uint64_t evictions() const { return lru_.evictions(); }
 
     /** Plans currently resident across all shards. */
-    size_t size() const;
+    size_t size() const { return lru_.entries(); }
 
     /** All four counters in one summable snapshot. */
     PlanCacheStats
     statsSnapshot() const
     {
-        return PlanCacheStats{hits(), misses(), evictions(), size()};
+        util::LruStats st = lru_.statsSnapshot();
+        return PlanCacheStats{st.hits, st.misses, st.evictions,
+                              st.entries};
     }
 
   private:
-    struct Shard
-    {
-        std::mutex mutex;
-        /** Most-recently-used first. */
-        std::list<std::shared_ptr<const Plan>> lru;
-        /** Key view aliases the Plan's own key string. */
-        std::unordered_map<std::string_view,
-                           std::list<std::shared_ptr<const Plan>>::iterator>
-            map;
-    };
-
-    Shard& shardFor(std::string_view key);
-
-    size_t per_shard_capacity_;
-    std::array<Shard, kShards> shards_;
-    std::atomic<uint64_t> hits_{0};
-    std::atomic<uint64_t> misses_{0};
-    std::atomic<uint64_t> evictions_{0};
+    util::ShardedLru<std::string, Plan> lru_;
 };
 
 } // namespace jsonski::service

@@ -180,13 +180,22 @@ parseHeader(std::string_view line)
             if (!parseSize(flag.substr(7), h.length))
                 badRequest("length flag");
             h.has_length = true;
+        } else if (flag.substr(0, 4) == "doc=") {
+            if (flag.size() == 4)
+                badRequest("doc flag needs an id");
+            h.has_doc = true;
+            h.doc_id = std::string(flag.substr(4));
         } else {
             badRequest("unknown flag '" + std::string(flag) + "'");
         }
     }
     if (h.stats && (h.records || h.count_only || h.limit != 0 ||
-                    h.has_length))
+                    h.has_length || h.has_doc))
         badRequest("!stats takes no flags");
+    if (h.has_doc && !h.has_length)
+        badRequest("doc= requires length=");
+    if (h.has_doc && h.records)
+        badRequest("doc= takes a single document, not records");
     return h;
 }
 
@@ -204,6 +213,8 @@ encodeHeader(const RequestHeader& h)
         out += " limit=" + std::to_string(h.limit);
     if (h.has_length)
         out += " length=" + std::to_string(h.length);
+    if (h.has_doc)
+        out += " doc=" + h.doc_id;
     out += '\n';
     return out;
 }
@@ -227,6 +238,8 @@ encodeTrailer(const Trailer& t)
         out += std::to_string(t.ff[g]);
     }
     out += " plan=" + t.plan;
+    if (!t.index.empty())
+        out += " index=" + t.index;
     if (!t.per_query.empty()) {
         out += " per_query=";
         for (size_t i = 0; i < t.per_query.size(); ++i) {
@@ -276,6 +289,7 @@ parseTrailer(std::string_view line)
     if (plan.empty())
         badRequest("trailer plan field");
     t.plan = std::string(plan);
+    t.index = std::string(fieldValue(line, "index"));
     std::string_view per = fieldValue(line, "per_query");
     while (!per.empty()) {
         size_t comma = per.find(',');

@@ -12,6 +12,7 @@
  *   header   := "jsq/1 " query-list (" " flag)* "\n"
  *   query-list := JSONPath (',' JSONPath)*  |  "!stats"
  *   flag     := "records" | "count" | "limit=N" | "length=N"
+ *             | "doc=ID"
  *   body     := raw JSON bytes, until EOF (client half-close) or
  *               exactly N bytes when length=N was given
  *
@@ -20,7 +21,17 @@
  *   match    := "m " query-index " " byte-len "\n" value "\n"
  *   trailer  := "end status=ok|error [code= pos=] matches= bytes_in="
  *               " ff=g1,g2,g3,g4,g5 plan=hit|miss|none"
- *               " [per_query=n0,n1,...]" "\n"
+ *               " [index=hit|miss|none] [per_query=n0,n1,...]" "\n"
+ *
+ * `doc=ID` declares the body a repeat-query document: the server keeps
+ * it resident, consults its per-shard structural-index cache (keyed by
+ * content hash — the ID is an opaque client-side tag), and answers
+ * skips from the cached semi-index (DESIGN.md §14).  It requires
+ * `length=` (the body must be sized up front to bound residency) and
+ * is incompatible with `records`; violating either is a BadRequest.
+ * The trailer's `index=` field is emitted only for doc= requests:
+ * hit/miss report the cache verdict for a usable index, none means the
+ * request streamed (the document is structurally unclean).
  *
  * Matched values are length-prefixed, so values containing newlines
  * round-trip; the trailer carries the machine-checkable ErrorCode
@@ -71,6 +82,10 @@ struct RequestHeader
     size_t limit = 0;        ///< stop after N matches; 0 = unlimited
     size_t length = 0;       ///< declared body length (has_length)
     bool has_length = false; ///< body is length-prefixed, not EOF-framed
+
+    /** "doc=ID": cache a semi-index of the body (requires length=). */
+    bool has_doc = false;
+    std::string doc_id;      ///< opaque client tag; cache keys by hash
 };
 
 /**
@@ -93,6 +108,9 @@ struct Trailer
     size_t bytes_in = 0;                     ///< body bytes consumed
     std::array<uint64_t, 5> ff{};            ///< G1..G5 skipped bytes
     std::string plan = "none";               ///< plan-cache verdict
+
+    /** Index-cache verdict; empty = omitted (non-doc= request). */
+    std::string index;
     std::vector<size_t> per_query;           ///< multi-query counts
 };
 

@@ -548,6 +548,9 @@ struct Server::Shard
     /** Shard-local plan-cache partition: no cross-shard contention. */
     PlanCache plan_cache;
 
+    /** Shard-local document-index cache (doc= requests). */
+    index::DocumentIndexCache doc_cache;
+
     mutable std::mutex stats_mutex;
     ServerStats stats;
     telemetry::Registry telemetry;
@@ -557,8 +560,8 @@ struct Server::Shard
     std::mutex handoff_mutex;
     std::vector<int> handoff;
 
-    Shard(size_t idx, size_t plan_capacity)
-        : index(idx), plan_cache(plan_capacity)
+    Shard(size_t idx, size_t plan_capacity, size_t doc_bytes)
+        : index(idx), plan_cache(plan_capacity), doc_cache(doc_bytes)
     {}
 };
 
@@ -574,9 +577,11 @@ Server::Server(ServerConfig config) : config_(std::move(config))
     size_t per_shard = (config_.plan_cache_capacity + n - 1) / n;
     if (per_shard == 0)
         per_shard = 1;
+    size_t doc_per_shard = (config_.doc_cache_bytes + n - 1) / n;
     shards_.reserve(n);
     for (size_t i = 0; i < n; ++i)
-        shards_.push_back(std::make_unique<Shard>(i, per_shard));
+        shards_.push_back(
+            std::make_unique<Shard>(i, per_shard, doc_per_shard));
 }
 
 Server::~Server()
@@ -1062,6 +1067,59 @@ Server::handleConnection(Shard& sh, int fd)
                     if (sink.clientLimitReached())
                         break;
                 }
+            } else if (header.has_doc) {
+                // doc= : a repeat-query document.  Materialize the
+                // sized body (bounded by max_doc_bytes), consult the
+                // shard's index cache, and answer skips from the
+                // cached semi-index when the document supports one.
+                trailer.index = "none";
+                if (header.length > config_.max_doc_bytes)
+                    throw ParseError(
+                        ErrorCode::RecordTooLarge,
+                        "doc= body exceeds the resident document cap",
+                        0);
+                std::string body;
+                body.reserve(header.length);
+                std::vector<char> buf(
+                    std::min<size_t>(config_.chunk_bytes,
+                                     header.length == 0
+                                         ? size_t{1}
+                                         : header.length));
+                for (size_t n = 0;
+                     (n = src.read(buf.data(), buf.size())) != 0;)
+                    body.append(buf.data(), n);
+                if (body.size() != header.length)
+                    throw ParseError(ErrorCode::UnexpectedEnd,
+                                     "connection closed mid-body",
+                                     body.size());
+                std::shared_ptr<const index::StructuralIndex> ix;
+                bool was_hit = false;
+                if (config_.doc_cache_bytes != 0 && plan->single)
+                    ix = sh.doc_cache.get(body, &was_hit);
+                // docSize() guards the (astronomically unlikely)
+                // same-hash different-length collision; the hash
+                // itself is the cache key, so it already matches.
+                if (ix && ix->usable() &&
+                    ix->docSize() == body.size()) {
+                    trailer.index = was_hit ? "hit" : "miss";
+                    ski::StreamResult r =
+                        plan->single->runIndexed(body, *ix, &sink);
+                    stats.merge(r.stats);
+                    per_query[0] = sink.count;
+                } else if (plan->single) {
+                    ski::StreamResult r =
+                        plan->single->run(body, &sink);
+                    stats.merge(r.stats);
+                    per_query[0] = sink.count;
+                } else {
+                    // Multi-query doc= requests stream the resident
+                    // bytes; the semi-index only serves the
+                    // single-query skipper today.
+                    ski::MultiStreamer::Result r =
+                        plan->multi->run(body, &sink);
+                    stats.merge(r.stats);
+                    per_query = r.matches;
+                }
             } else if (plan->single) {
                 ski::StreamResult r =
                     plan->single->run(src, &sink, config_.chunk_bytes);
@@ -1140,6 +1198,15 @@ Server::planCacheTotals() const
     return total;
 }
 
+index::DocumentIndexCacheStats
+Server::docCacheTotals() const
+{
+    index::DocumentIndexCacheStats total;
+    for (const auto& sh : shards_)
+        total += sh->doc_cache.statsSnapshot();
+    return total;
+}
+
 std::string
 Server::metricsText() const
 {
@@ -1210,6 +1277,12 @@ Server::metricsText() const
     gauge("plan_cache_misses", pc.misses);
     gauge("plan_cache_evictions", pc.evictions);
     gauge("plan_cache_size", pc.size);
+    index::DocumentIndexCacheStats dc = docCacheTotals();
+    gauge("doc_index_cache_hits", dc.hits);
+    gauge("doc_index_cache_misses", dc.misses);
+    gauge("doc_index_cache_evictions", dc.evictions);
+    gauge("doc_index_cache_entries", dc.entries);
+    gauge("doc_index_cache_bytes", dc.bytes);
     shardGauge("connections_total", &ServerStats::connections_total);
     shardGauge("requests_total", &ServerStats::requests_total);
     shardGauge("responses_ok", &ServerStats::responses_ok);

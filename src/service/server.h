@@ -5,7 +5,8 @@
  * Topology: N event-loop *shards* (ServerConfig::shards; 1 preserves
  * the original single-loop topology).  Each shard owns its own
  * readiness multiplexer (epoll on Linux, poll fallback), its own
- * accept path, its own worker pool, its own plan-cache partition, and
+ * accept path, its own worker pool, its own plan-cache and
+ * document-index-cache partitions, and
  * its own telemetry registry + counters — a connection is pinned to
  * one shard for its whole life, so hot sockets never bounce between
  * cores and the per-request hot path takes no cross-shard lock.
@@ -61,6 +62,7 @@
 #include <thread>
 #include <vector>
 
+#include "index/index_cache.h"
 #include "service/plan_cache.h"
 #include "telemetry/telemetry.h"
 #include "util/error.h"
@@ -116,6 +118,20 @@ struct ServerConfig
 
     /** Compiled plans retained across all shards' partitions. */
     size_t plan_cache_capacity = 64;
+
+    /**
+     * Resident structural-index bytes retained across all shards'
+     * document-index cache partitions (DESIGN.md §14); 0 disables the
+     * doc= path entirely (such requests stream with index=none).
+     */
+    size_t doc_cache_bytes = size_t{64} << 20;
+
+    /**
+     * Cap on a doc= request's body, which must be held resident for
+     * hashing and warm evaluation (independent of max_body_bytes, which
+     * governs the never-materialized streaming path).
+     */
+    size_t max_doc_bytes = size_t{8} << 20;
 
     /** Write-queue flush threshold (bounds per-connection buffering). */
     size_t write_queue_bytes = size_t{256} << 10;
@@ -206,6 +222,9 @@ class Server
 
     /** Plan-cache counters summed across every shard's partition. */
     PlanCacheStats planCacheTotals() const;
+
+    /** Document-index-cache counters summed across every shard. */
+    index::DocumentIndexCacheStats docCacheTotals() const;
 
     /**
      * The Prometheus text page a `!stats` request answers with:

@@ -47,7 +47,10 @@ Skipper::overObj(Group g)
     cur_.skipWhitespace();
     size_t start = cur_.pos();
     consume('{');
-    closeContainer(/*object=*/true, /*depth=*/1, g, start);
+    // The consumed opener is a *child* of the container the driver is
+    // inside, so its closer lives one level below (structural_scan.h).
+    closeContainer(/*object=*/true, /*depth=*/1, g, start,
+                   indexedLevel() + 1);
 }
 
 void
@@ -56,30 +59,58 @@ Skipper::overAry(Group g)
     cur_.skipWhitespace();
     size_t start = cur_.pos();
     consume('[');
-    closeContainer(/*object=*/false, /*depth=*/1, g, start);
+    closeContainer(/*object=*/false, /*depth=*/1, g, start,
+                   indexedLevel() + 1);
 }
 
 void
 Skipper::toObjEnd(Group g)
 {
-    closeContainer(/*object=*/true, /*depth=*/1, g, cur_.pos());
+    closeContainer(/*object=*/true, /*depth=*/1, g, cur_.pos(),
+                   indexedLevel());
 }
 
 void
 Skipper::toAryEnd(Group g)
 {
-    closeContainer(/*object=*/false, /*depth=*/1, g, cur_.pos());
+    closeContainer(/*object=*/false, /*depth=*/1, g, cur_.pos(),
+                   indexedLevel());
 }
 
 void
 Skipper::closeContainer(bool object, uint64_t depth, Group g,
-                        size_t account_from)
+                        size_t account_from, int64_t close_level)
 {
     assert(depth > 0);
     telemetry::PhaseScope phase(telemetry::Phase::Pair);
     size_t start = account_from;
     const char open_ch = object ? '{' : '[';
     const char close_ch = object ? '}' : ']';
+    if (depth == 1 && indexable(close_level)) {
+        // Warm path (G4): the level bitmap holds exactly one closer in
+        // the remainder of this container — its own — so the target is
+        // a single next-bit query, and the cursor teleports there with
+        // the index's entry carry instead of pairing block by block.
+        // The byte itself is still verified: a stale or foreign index
+        // (the caller owns the identity check) surfaces as
+        // IndexMismatch, never as silently wrong output.
+        auto level = static_cast<size_t>(close_level);
+        size_t target = index_->nextClose(level, cur_.pos());
+        if (target == index::StructuralIndex::kNone ||
+            !cur_.warpTo(target, index_->carryFor(target / kBlockSize)))
+            throw ParseError(ErrorCode::IndexMismatch,
+                             "structural index has no closer for this "
+                             "container",
+                             cur_.pos());
+        if (cur_.at(target) != close_ch)
+            throw ParseError(ErrorCode::IndexMismatch,
+                             "structural index points at the wrong "
+                             "closer",
+                             target);
+        cur_.setPos(target + 1);
+        account(g, start, cur_.pos());
+        return;
+    }
     while (!cur_.atEnd()) {
         telemetry::count(telemetry::Counter::PairingProbeWords);
         size_t base = cur_.blockIndex() * kBlockSize;
@@ -176,6 +207,62 @@ Skipper::scanPrimitives(bool closer_is_brace, size_t max_seps, size_t& seps,
     telemetry::PhaseScope phase(telemetry::Phase::Skip);
     size_t start = cur_.pos();
     const char closer_ch = closer_is_brace ? '}' : ']';
+    int64_t lvl = indexedLevel();
+    if (indexable(lvl)) {
+        // Warm path (G1/G5): at this container's level the bitmaps
+        // hold exactly its child openers, its separators, and its own
+        // closer, so the stop of the whole primitive run is one
+        // next-bit query and the separators before it are a rank/
+        // select.  Scan-hold and position land exactly where the
+        // block-by-block scan leaves them, so downstream key recovery
+        // (keyBefore) and chunked retention behave identically.
+        auto level = static_cast<size_t>(lvl);
+        size_t stop = index_->nextOpenOrClose(level, start);
+        if (stop == index::StructuralIndex::kNone)
+            throw ParseError(ErrorCode::IndexMismatch,
+                             "structural index has no stop for this "
+                             "primitive run",
+                             start);
+        size_t n = index_->countCommas(level, start, stop);
+        size_t budget = max_seps - seps;
+        if (n >= budget) {
+            size_t k = index_->selectComma(level, start, stop, budget);
+            assert(k != index::StructuralIndex::kNone);
+            seps = max_seps;
+            // Release bytes behind the budget separator before the
+            // warp so the window recycles over the skipped span.
+            cur_.setScanHold(k + 1);
+            if (!cur_.warpTo(k, index_->carryFor(k / kBlockSize)))
+                throw ParseError(ErrorCode::IndexMismatch,
+                                 "input ends before the indexed "
+                                 "separator",
+                                 start);
+            cur_.setPos(k + 1);
+            account(g, start, cur_.pos());
+            return ScanStop::SepBudget;
+        }
+        if (n != 0) {
+            size_t last = index_->selectComma(level, start, stop, n);
+            cur_.setScanHold(last + 1);
+        }
+        seps += n;
+        if (!cur_.warpTo(stop, index_->carryFor(stop / kBlockSize)))
+            throw ParseError(ErrorCode::IndexMismatch,
+                             "input ends before the indexed stop",
+                             start);
+        cur_.setPos(stop);
+        account(g, start, cur_.pos());
+        char c = cur_.current();
+        if (c == '{')
+            return ScanStop::OpenBrace;
+        if (c == '[')
+            return ScanStop::OpenBracket;
+        if (c == closer_ch)
+            return ScanStop::Closer;
+        throw ParseError(ErrorCode::IndexMismatch,
+                         "structural index points at a foreign stop",
+                         stop);
+    }
     while (!cur_.atEnd()) {
         size_t base = cur_.blockIndex() * kBlockSize;
         uint64_t stops =

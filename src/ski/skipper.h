@@ -28,6 +28,7 @@
 #include <cstdint>
 #include <limits>
 
+#include "index/structural_index.h"
 #include "intervals/cursor.h"
 #include "ski/stats.h"
 #include "telemetry/telemetry.h"
@@ -70,6 +71,29 @@ class Skipper
      * then skipped one comma interval at a time.  Ablation knob.
      */
     void setBatchPrimitives(bool on) { batch_primitives_ = on; }
+
+    /**
+     * Attach a structural semi-index (warm path, DESIGN.md §14): the
+     * container-end and primitive-run scans then resolve their targets
+     * from the index's per-level bitmaps and teleport the cursor there
+     * (StreamCursor::warpTo) instead of scanning.  @p depth must point
+     * at the driver's live container-depth counter (number of unclosed
+     * openers the driver has consumed); the skipper derives the bitmap
+     * level from it at each call.  Depths beyond @p idx->levels() fall
+     * back to streaming silently; a disagreement between index and
+     * document (stale or foreign index — the caller is responsible for
+     * the identity check) raises ParseError(ErrorCode::IndexMismatch)
+     * rather than ever producing wrong output.
+     *
+     * @pre idx->usable(), and *depth reflects the cursor's position
+     *      whenever a skipper method runs.  Pass nullptr to detach.
+     */
+    void
+    bindIndex(const index::StructuralIndex* idx, const int* depth)
+    {
+        index_ = idx;
+        depth_ptr_ = depth;
+    }
 
     /// @name G2/G3 value skipping
     /// @{
@@ -198,9 +222,17 @@ class Skipper
      * @param object       true = braces, false = brackets.
      * @param account_from start of the span charged to @p g (callers
      *                     that consumed the opener include it here).
+     * @param close_level  index level of the closer being sought (the
+     *                     level convention of index/structural_scan.h):
+     *                     indexedLevel() when closing the container the
+     *                     driver is inside (toObjEnd/toAryEnd),
+     *                     indexedLevel()+1 when the caller consumed a
+     *                     child opener first (overObj/overAry).  Only
+     *                     consulted when an index is bound and depth==1;
+     *                     negative or out-of-range levels stream.
      */
     void closeContainer(bool object, uint64_t depth, Group g,
-                        size_t account_from);
+                        size_t account_from, int64_t close_level);
 
     /**
      * Skip consecutive primitives separated by commas, stopping at the
@@ -224,6 +256,28 @@ class Skipper
      */
     AttrResult keyBefore(size_t value_pos) const;
 
+    /**
+     * Bitmap level of the container the driver is currently inside
+     * (its separators, its closer, and its child openers all live
+     * there — index/structural_scan.h).  -1 when no driver depth is
+     * bound or at root scope, which indexable() rejects.
+     */
+    int64_t
+    indexedLevel() const
+    {
+        return depth_ptr_ != nullptr
+                   ? static_cast<int64_t>(*depth_ptr_) - 1
+                   : -1;
+    }
+
+    /** True when @p level can be answered from the bound index. */
+    bool
+    indexable(int64_t level) const
+    {
+        return index_ != nullptr && level >= 0 &&
+               static_cast<size_t>(level) < index_->levels();
+    }
+
     void
     account(Group g, size_t from, size_t to)
     {
@@ -240,6 +294,8 @@ class Skipper
 
     intervals::StreamCursor& cur_;
     FastForwardStats* stats_;
+    const index::StructuralIndex* index_ = nullptr;
+    const int* depth_ptr_ = nullptr;
     bool batch_primitives_ = true;
     uint16_t trace_state_ = 0;
 };

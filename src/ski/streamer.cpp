@@ -6,6 +6,7 @@
 #include <memory>
 #include <utility>
 
+#include "index/structural_index.h"
 #include "intervals/cursor.h"
 #include "json/text.h"
 #include "path/filter.h"
@@ -20,6 +21,24 @@ namespace {
 using intervals::StreamCursor;
 using path::PathQuery;
 using path::PathStep;
+
+/**
+ * Container-depth bookkeeping for the linear driver: one unclosed
+ * opener consumed per scope.  The skipper derives the structural-index
+ * bitmap level from the bound counter, so the count must be exact at
+ * every skipper call — RAII keeps it so across every return path.
+ */
+class DepthScope
+{
+  public:
+    explicit DepthScope(int& depth) : depth_(depth) { ++depth_; }
+    ~DepthScope() { --depth_; }
+    DepthScope(const DepthScope&) = delete;
+    DepthScope& operator=(const DepthScope&) = delete;
+
+  private:
+    int& depth_;
+};
 
 /** One streaming pass over a single record. */
 class Driver
@@ -56,6 +75,18 @@ class Driver
     {
         result_.input_bytes = cur_.size();
         result_.ingest = cur_.ingestStats();
+    }
+
+    /**
+     * Bind a structural semi-index (built from exactly this input) to
+     * the pass's skipper.  Only the top-level driver is ever bound:
+     * nested continuation drivers run over slices whose positions are
+     * slice-relative, which the document-absolute index cannot serve.
+     */
+    void
+    bindIndex(const index::StructuralIndex* idx)
+    {
+        skip_.bindIndex(idx, &depth_);
     }
 
     void
@@ -121,6 +152,7 @@ class Driver
     void
     runObject(size_t state)
     {
+        DepthScope depth(depth_);
         skip_.setTraceState(static_cast<uint16_t>(state));
         const PathStep& st = q_[state];
         bool accept_child = (state + 1 == q_.size());
@@ -188,6 +220,7 @@ class Driver
             runFilterArray(state);
             return;
         }
+        DepthScope depth(depth_);
         skip_.setTraceState(static_cast<uint16_t>(state));
         const PathStep& st = q_[state];
         bool accept_child = (state + 1 == q_.size());
@@ -287,6 +320,7 @@ class Driver
     void
     runFilterArray(size_t state)
     {
+        DepthScope depth(depth_);
         skip_.setTraceState(static_cast<uint16_t>(state));
         const PathStep& st = q_[state];
         bool accept_child = (state + 1 == q_.size());
@@ -349,6 +383,8 @@ class Driver
     bool
     filterVerdict(const PathStep& st)
     {
+        // The caller has consumed the candidate's '{'.
+        DepthScope depth(depth_);
         for (;;) {
             Skipper::AttrResult attr =
                 skip_.toAttr(Skipper::TypeFilter::Any, Group::G1);
@@ -428,6 +464,7 @@ class Driver
     void
     runDescObject()
     {
+        DepthScope depth(depth_);
         // Descendant traversal belongs to the terminal `..name` step.
         skip_.setTraceState(static_cast<uint16_t>(q_.size() - 1));
         if (++desc_depth_ > kMaxDescDepth)
@@ -483,6 +520,7 @@ class Driver
     void
     runDescArray()
     {
+        DepthScope depth(depth_);
         if (++desc_depth_ > kMaxDescDepth)
             throw ParseError(ErrorCode::DepthExceeded,
                              "nesting too deep for descendant traversal",
@@ -563,6 +601,8 @@ class Driver
     std::vector<std::pair<size_t, size_t>> desc_pending_;
     size_t desc_flushed_ = 0; ///< slots already delivered to the sink
     int desc_depth_ = 0;
+    /** Containers entered and not yet closed (index level source). */
+    int depth_ = 0;
     /** Cached suffix queries for filter continuations, by start step. */
     std::vector<std::unique_ptr<PathQuery>> cont_;
 };
@@ -644,6 +684,17 @@ class NfaDriver
     {
         result_.input_bytes = cur_.size();
         result_.ingest = cur_.ingestStats();
+    }
+
+    /**
+     * Bind a structural semi-index built from exactly this input.
+     * Top-level drivers only — interior replays (runInterior) run over
+     * slices with slice-relative positions the index cannot serve.
+     */
+    void
+    bindIndex(const index::StructuralIndex* idx)
+    {
+        skip_.bindIndex(idx, &depth_);
     }
 
     void
@@ -866,6 +917,9 @@ class NfaDriver
         pin_ = std::min(pin_, start);
         maybeFlush(); // re-anchor the hold at the candidate
         cur_.advance(1);
+        // The probe scan runs inside the candidate object; the depth
+        // counter must say so for the skipper's index level to match.
+        ++depth_;
 
         struct Probe
         {
@@ -945,6 +999,7 @@ class NfaDriver
         }
         if (!consumed_whole)
             skip_.toObjEnd(b.empty() ? Group::G2 : Group::G3);
+        --depth_;
         size_t end = cur_.pos();
         uint64_t acc = b.acceptCount(q_);
         for (uint64_t i = 0; i < acc; ++i)
@@ -1079,6 +1134,119 @@ Streamer::run(intervals::ChunkSource& source, MatchSink* sink,
         return result;
     }
     Driver driver(query_, options_, source, chunk_bytes, sink, result);
+    try {
+        driver.run();
+    } catch (const StopStreaming&) {
+    }
+    driver.finish();
+    return result;
+}
+
+namespace {
+
+/**
+ * Forwards matches to the caller's sink while counting what got
+ * through, so the indexed run can tell whether a defensive
+ * IndexMismatch arrived before anything reached the caller — replaying
+ * from scratch is only sound when nothing did.
+ */
+class ForwardingCountSink : public MatchSink
+{
+  public:
+    explicit ForwardingCountSink(MatchSink* inner) : inner_(inner) {}
+
+    void
+    onMatch(std::string_view value) override
+    {
+        ++forwarded_;
+        inner_->onMatch(value);
+    }
+
+    size_t forwarded() const { return forwarded_; }
+
+  private:
+    MatchSink* inner_;
+    size_t forwarded_ = 0;
+};
+
+} // namespace
+
+StreamResult
+Streamer::runIndexed(std::string_view json,
+                     const index::StructuralIndex& idx,
+                     MatchSink* sink) const
+{
+    if (size_t chunk = testChunkBytesOverride()) {
+        intervals::ViewSource source(json);
+        return runIndexed(source, idx, sink, chunk);
+    }
+    if (!idx.usable() || idx.levels() == 0)
+        return runResident(json, sink); // unclean document: stream
+    ForwardingCountSink counted(sink);
+    MatchSink* inner = sink ? static_cast<MatchSink*>(&counted) : nullptr;
+    try {
+        StreamResult result;
+        if (query_.hasInteriorDescendant()) {
+            NfaDriver driver(query_, options_, json, inner, result);
+            driver.bindIndex(&idx);
+            try {
+                driver.run();
+            } catch (const StopStreaming&) {
+            }
+            driver.finish();
+            return result;
+        }
+        Driver driver(query_, options_, json, inner, result);
+        driver.bindIndex(&idx);
+        try {
+            driver.run();
+        } catch (const StopStreaming&) {
+        }
+        driver.finish();
+        return result;
+    } catch (const ParseError& e) {
+        // A self-built index only contradicts the driver on
+        // grammatically invalid (though structurally clean) documents,
+        // where the driver's lenient skip rules desynchronize its
+        // depth from the classifier's — e.g. a backslash spliced in
+        // front of a string's closing quote.  The bytes are resident
+        // and nothing reached the sink yet, so replay plain: warm
+        // output stays identical to streaming even on junk.  After an
+        // emission the replay would duplicate matches, so the typed
+        // mismatch propagates (fail closed, never wrong output).
+        if (e.code() != ErrorCode::IndexMismatch ||
+            counted.forwarded() != 0)
+            throw;
+        return runResident(json, sink);
+    }
+}
+
+StreamResult
+Streamer::runIndexed(intervals::ChunkSource& source,
+                     const index::StructuralIndex& idx, MatchSink* sink,
+                     size_t chunk_bytes) const
+{
+    // Unlike the resident overload, a defensive IndexMismatch cannot
+    // fall back to a plain replay here: the source is forward-only and
+    // the warm skips have already consumed it.  It propagates typed
+    // (fail closed) — reachable only for grammatically invalid
+    // documents or a caller-contract-violating foreign index.
+    if (!idx.usable() || idx.levels() == 0)
+        return run(source, sink, chunk_bytes);
+    StreamResult result;
+    if (query_.hasInteriorDescendant()) {
+        NfaDriver driver(query_, options_, source, chunk_bytes, sink,
+                         result);
+        driver.bindIndex(&idx);
+        try {
+            driver.run();
+        } catch (const StopStreaming&) {
+        }
+        driver.finish();
+        return result;
+    }
+    Driver driver(query_, options_, source, chunk_bytes, sink, result);
+    driver.bindIndex(&idx);
     try {
         driver.run();
     } catch (const StopStreaming&) {

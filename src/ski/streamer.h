@@ -23,6 +23,10 @@
 #include "ski/skipper.h"
 #include "ski/stats.h"
 
+namespace jsonski::index {
+class StructuralIndex;
+}
+
 namespace jsonski::ski {
 
 using path::CollectSink;
@@ -107,6 +111,37 @@ class Streamer
      */
     StreamResult runResident(std::string_view json,
                              MatchSink* sink = nullptr) const;
+
+    /**
+     * Evaluate the query with a pre-built structural semi-index
+     * (DESIGN.md §14) bound to the pass's skipper: G4/G5 container-end
+     * targets and primitive-run stops are answered from the index's
+     * level bitmaps and the cursor teleports to them, instead of
+     * scanning the skipped bytes.  Matches, error positions, and match
+     * counts are bit-identical to run(); only the work to produce them
+     * changes.
+     *
+     * The caller owns the identity check: @p idx must have been built
+     * from exactly these bytes (StructuralIndex::describes()) — this
+     * method does not re-hash the input.  A !usable() index (the
+     * document is structurally unclean) falls back to plain run(); a
+     * *wrong* index for the document surfaces as
+     * ParseError(ErrorCode::IndexMismatch), never as wrong output.
+     *
+     * JSONSKI_TEST_CHUNK_BYTES reroutes this overload through the
+     * chunked variant exactly as it does for run().
+     */
+    StreamResult runIndexed(std::string_view json,
+                            const index::StructuralIndex& idx,
+                            MatchSink* sink = nullptr) const;
+
+    /** Chunked counterpart of runIndexed(); the warp over a skipped
+     *  span ingests and recycles the window as it goes, so residency
+     *  bounds match the chunked run() overload. */
+    StreamResult runIndexed(intervals::ChunkSource& source,
+                            const index::StructuralIndex& idx,
+                            MatchSink* sink = nullptr,
+                            size_t chunk_bytes = kDefaultChunkBytes) const;
 
   private:
     path::PathQuery query_;

@@ -6,6 +6,7 @@
 
 #include "baseline/dom/query.h"
 #include "gen/datasets.h"
+#include "index/structural_index.h"
 #include "json/text.h"
 #include "json/validate.h"
 #include "kernels/kernel.h"
@@ -16,6 +17,7 @@
 #include "testing/mutator.h"
 #include "testing/seam.h"
 #include "util/error.h"
+#include "util/rng.h"
 
 namespace jsonski::testing {
 namespace {
@@ -25,6 +27,7 @@ struct EngineRun
 {
     bool threw_parse_error = false;
     bool threw_other = false;
+    ErrorCode error_code = ErrorCode::Unspecified;
     size_t error_position = 0;
     std::string error_what;
     std::vector<std::string> values;
@@ -40,6 +43,28 @@ runStreamer(const std::string& json, const path::PathQuery& q)
         r.values = std::move(sink.values);
     } catch (const ParseError& e) {
         r.threw_parse_error = true;
+        r.error_code = e.code();
+        r.error_position = e.position();
+        r.error_what = e.what();
+    } catch (const std::exception& e) {
+        r.threw_other = true;
+        r.error_what = e.what();
+    }
+    return r;
+}
+
+EngineRun
+runStreamerIndexed(const std::string& json, const path::PathQuery& q,
+                   const index::StructuralIndex& ix)
+{
+    EngineRun r;
+    try {
+        path::CollectSink sink;
+        ski::Streamer(q).runIndexed(json, ix, &sink);
+        r.values = std::move(sink.values);
+    } catch (const ParseError& e) {
+        r.threw_parse_error = true;
+        r.error_code = e.code();
         r.error_position = e.position();
         r.error_what = e.what();
     } catch (const std::exception& e) {
@@ -182,6 +207,8 @@ runDifferentialFuzz(const FuzzConfig& config)
     // document-mutation sequence, so (seed, iteration) still replays
     // the same mutant with or without the grammar leg.
     QueryMutator query_mutator(config.seed ^ 0x9e3779b97f4a7c15ull);
+    // Same decorrelation for the corrupted-sidecar byte picks.
+    Rng sidecar_rng(config.seed ^ 0xc2b2ae3d27d4eb4full);
     FuzzReport report;
     std::vector<Mutation> edits;
     const std::vector<const kernels::Kernel*> replay_kernels =
@@ -461,6 +488,98 @@ runDifferentialFuzz(const FuzzConfig& config)
                                   std::to_string(alt.stats.total()) +
                                   ")" + kctx);
                 }
+            }
+        }
+
+        // Warm-path replay: build a semi-index from the mutant's bytes
+        // and rerun the first query through Streamer::runIndexed.  The
+        // plain streaming run is the oracle — skipping via the index's
+        // bitmaps (or the unusable-index fallback) must not change
+        // values, ErrorCode, or error position.
+        if (first_usable) {
+            size_t qi0 = iter % queries.size();
+            index::StructuralIndex ix =
+                index::StructuralIndex::build(mutant);
+            EngineRun warm = runStreamerIndexed(mutant, queries[qi0], ix);
+            ++report.index_replays;
+            std::string ictx = std::string(" usable=") +
+                               (ix.usable() ? "1" : "0") +
+                               " query=" + config.queries[qi0] + " " +
+                               context;
+            if (warm.threw_other) {
+                ++report.escapes;
+                recordFailure("indexed replay escape: " + warm.error_what +
+                              ictx);
+            } else if (warm.threw_parse_error &&
+                       warm.error_code == ErrorCode::IndexMismatch &&
+                       !valid) {
+                // Grammatically invalid document: the resident warm
+                // path replays plain on a defensive mismatch, but the
+                // chunked reroute (JSONSKI_TEST_CHUNK_BYTES) cannot —
+                // its source is forward-only — so a typed fail-closed
+                // refusal is within contract there.  Silently *wrong*
+                // output would still land in the value-divergence
+                // branch below.
+            } else if (warm.threw_parse_error !=
+                       first_run.threw_parse_error) {
+                ++report.divergences;
+                recordFailure(
+                    std::string("indexed error divergence: streaming ") +
+                    (first_run.threw_parse_error
+                         ? "threw (" + first_run.error_what + ")"
+                         : "succeeded") +
+                    ", indexed " +
+                    (warm.threw_parse_error
+                         ? "threw (" + warm.error_what + ")"
+                         : "succeeded") +
+                    ictx);
+            } else if (warm.threw_parse_error &&
+                       (warm.error_position != first_run.error_position ||
+                        warm.error_code != first_run.error_code)) {
+                ++report.divergences;
+                recordFailure(
+                    "indexed error detail divergence: streaming " +
+                    std::string(errorCodeName(first_run.error_code)) +
+                    "@" + std::to_string(first_run.error_position) +
+                    " vs indexed " +
+                    std::string(errorCodeName(warm.error_code)) + "@" +
+                    std::to_string(warm.error_position) + ictx);
+            } else if (!warm.threw_parse_error &&
+                       warm.values != first_run.values) {
+                ++report.divergences;
+                recordFailure("indexed value divergence (streaming " +
+                              std::to_string(first_run.values.size()) +
+                              " vs indexed " +
+                              std::to_string(warm.values.size()) +
+                              " values)" + ictx);
+            }
+
+            // Corrupted-sidecar probe: flip one random byte of the
+            // serialized index — deserialize() must reject it with
+            // IndexError carrying an offset inside the bytes.  The
+            // checksum makes every single-byte flip detectable.
+            std::string sidecar = ix.serialize();
+            size_t at = sidecar_rng.below(sidecar.size());
+            sidecar[at] = static_cast<char>(
+                sidecar[at] ^
+                static_cast<char>(1 + sidecar_rng.below(255)));
+            ++report.index_mutations;
+            try {
+                (void)index::StructuralIndex::deserialize(sidecar);
+                ++report.escapes;
+                recordFailure("corrupted sidecar accepted: byte " +
+                              std::to_string(at) + ictx);
+            } catch (const index::IndexError& e) {
+                if (e.offset() > sidecar.size()) {
+                    ++report.escapes;
+                    recordFailure(
+                        "sidecar rejection offset past the bytes: " +
+                        std::string(e.what()) + ictx);
+                }
+            } catch (const std::exception& e) {
+                ++report.escapes;
+                recordFailure(std::string("sidecar rejection escape: ") +
+                              e.what() + ictx);
             }
         }
 

@@ -33,6 +33,17 @@
  * kernels::select(), so a typo or an unsupported kernel fails fast
  * with ConfigError instead of silently shrinking coverage.
  *
+ * Index-replay mode: every mutant additionally gets a structural
+ * semi-index built from its bytes and the first query rerun through
+ * Streamer::runIndexed, with the plain streaming run as oracle —
+ * values, ErrorCode, and error position must be identical whether the
+ * skips were answered from the index's bitmaps (usable mutant) or the
+ * unusable-index fallback streamed.  Alongside, one corrupted-sidecar
+ * probe per mutant flips a random byte of the serialized index and
+ * requires deserialize() to reject it with IndexError (offset inside
+ * the bytes); accepting damaged bytes, or any other exception, is an
+ * escape.
+ *
  * Grammar-fuzz mode: alongside the fixed query list, every mutant is
  * evaluated under one freshly generated query from QueryMutator.
  * A wellFormed() query is parseable by construction — a parse failure
@@ -81,6 +92,8 @@ struct FuzzReport
     size_t kernel_replays = 0; ///< whole-buffer replays under other kernels
     size_t grammar_runs = 0;    ///< generated well-formed queries evaluated
     size_t grammar_rejects = 0; ///< near-miss queries rejected by the parser
+    size_t index_replays = 0;   ///< warm (semi-indexed) replays vs streaming
+    size_t index_mutations = 0; ///< corrupted sidecars rejected by deserialize
 
     /** Reproducible descriptions of every recorded failure. */
     std::vector<std::string> failures;

@@ -49,6 +49,7 @@ enum class ErrorCode {
     HeaderTooLarge,     ///< request header exceeds the byte limit
     BadRequest,         ///< malformed service request header
     MatchLimitExceeded, ///< per-request match cap reached (service)
+    IndexMismatch,      ///< structural index disagrees with the document
 };
 
 /** Short stable name for an ErrorCode ("unterminated-string", ...). */
@@ -75,6 +76,7 @@ errorCodeName(ErrorCode code)
       case ErrorCode::HeaderTooLarge: return "header-too-large";
       case ErrorCode::BadRequest: return "bad-request";
       case ErrorCode::MatchLimitExceeded: return "match-limit-exceeded";
+      case ErrorCode::IndexMismatch: return "index-mismatch";
     }
     return "unknown";
 }
@@ -83,7 +85,7 @@ errorCodeName(ErrorCode code)
 inline ErrorCode
 errorCodeFromName(std::string_view name)
 {
-    for (int i = 0; i <= static_cast<int>(ErrorCode::MatchLimitExceeded);
+    for (int i = 0; i <= static_cast<int>(ErrorCode::IndexMismatch);
          ++i) {
         auto code = static_cast<ErrorCode>(i);
         if (errorCodeName(code) == name)

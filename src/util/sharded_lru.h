@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Shard-locked, weight-bounded LRU used by the service plan cache and
+ * the document index cache.
+ *
+ * The key hash picks one of a fixed set of shards, each an
+ * independently locked LRU list + map, so hot keys on different shards
+ * never contend.  On a miss the value is built *under the shard lock*,
+ * which serializes concurrent first-misses of the same key into one
+ * build and keeps the counters deterministic: N concurrent requests
+ * for a fresh key are exactly 1 miss + N-1 hits.  Values are handed
+ * out as shared_ptr<const V>, so an entry can be evicted while callers
+ * still run on it.
+ *
+ * Capacity is expressed in *weight* — by default every entry weighs 1
+ * (entry-count capacity, the plan cache's contract), but a weigher can
+ * charge e.g. memoryBytes() so the cache bounds resident bytes.  The
+ * per-shard budget is capacity/kShards rounded up; an over-budget
+ * shard evicts cold entries but always retains the entry it just
+ * inserted, so a single oversized value is cached rather than thrashed.
+ */
+#ifndef JSONSKI_UTIL_SHARDED_LRU_H
+#define JSONSKI_UTIL_SHARDED_LRU_H
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+namespace jsonski::util {
+
+/**
+ * Counter snapshot of one ShardedLru — summable, so a server holding
+ * one cache partition per event-loop shard can report fleet totals.
+ */
+struct LruStats
+{
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    /** Entries currently resident. */
+    size_t entries = 0;
+    /** Total weight currently resident (== entries when unweighted). */
+    size_t weight = 0;
+
+    LruStats&
+    operator+=(const LruStats& o)
+    {
+        hits += o.hits;
+        misses += o.misses;
+        evictions += o.evictions;
+        entries += o.entries;
+        weight += o.weight;
+        return *this;
+    }
+};
+
+/** See file comment. */
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class ShardedLru
+{
+  public:
+    static constexpr size_t kShards = 8;
+
+    /** Charges the weight of a resident value against the capacity. */
+    using Weigher = std::function<size_t(const Value&)>;
+
+    /**
+     * @param capacity Total weight across all shards (rounded up to at
+     *                 least one unit per shard).
+     * @param weigher  Weight of one entry; default charges 1 each, so
+     *                 @p capacity counts entries.
+     */
+    explicit ShardedLru(size_t capacity, Weigher weigher = {})
+        : per_shard_capacity_((capacity + kShards - 1) / kShards),
+          weigher_(std::move(weigher))
+    {
+        if (per_shard_capacity_ == 0)
+            per_shard_capacity_ = 1;
+    }
+
+    /**
+     * Look up @p key, invoking @p build() under the shard lock on a
+     * miss and inserting the result.  @p build must return a
+     * shared_ptr<const Value>; an exception escapes before anything is
+     * counted or inserted.
+     *
+     * @param was_hit Out: true when the value came from the cache.
+     */
+    template <typename BuildFn>
+    std::shared_ptr<const Value>
+    getOrBuild(const Key& key, BuildFn&& build, bool* was_hit = nullptr)
+    {
+        Shard& shard = shardFor(key);
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        auto it = shard.map.find(key);
+        if (it != shard.map.end()) {
+            hits_.fetch_add(1, std::memory_order_relaxed);
+            if (was_hit != nullptr)
+                *was_hit = true;
+            // Move to the front of the LRU list; iterators stay valid.
+            shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+            return it->second->value;
+        }
+        std::shared_ptr<const Value> value = build();
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        if (was_hit != nullptr)
+            *was_hit = false;
+        size_t w = weigher_ ? weigher_(*value) : size_t{1};
+        shard.lru.push_front(Entry{key, value, w});
+        shard.map.emplace(key, shard.lru.begin());
+        shard.weight += w;
+        while (shard.weight > per_shard_capacity_ && shard.lru.size() > 1) {
+            const Entry& victim = shard.lru.back();
+            shard.weight -= victim.weight;
+            shard.map.erase(victim.key);
+            shard.lru.pop_back();
+            evictions_.fetch_add(1, std::memory_order_relaxed);
+        }
+        return value;
+    }
+
+    uint64_t hits() const { return hits_.load(); }
+    uint64_t misses() const { return misses_.load(); }
+    uint64_t evictions() const { return evictions_.load(); }
+
+    /** Entries currently resident across all shards. */
+    size_t
+    entries() const
+    {
+        size_t n = 0;
+        forEachShard([&n](const Shard& s) { n += s.lru.size(); });
+        return n;
+    }
+
+    /** Total resident weight across all shards. */
+    size_t
+    weight() const
+    {
+        size_t w = 0;
+        forEachShard([&w](const Shard& s) { w += s.weight; });
+        return w;
+    }
+
+    /** All counters in one summable snapshot. */
+    LruStats
+    statsSnapshot() const
+    {
+        LruStats st{hits(), misses(), evictions(), 0, 0};
+        forEachShard([&st](const Shard& s) {
+            st.entries += s.lru.size();
+            st.weight += s.weight;
+        });
+        return st;
+    }
+
+  private:
+    struct Entry
+    {
+        Key key;
+        std::shared_ptr<const Value> value;
+        size_t weight;
+    };
+
+    struct Shard
+    {
+        std::mutex mutex;
+        /** Most-recently-used first. */
+        std::list<Entry> lru;
+        std::unordered_map<Key, typename std::list<Entry>::iterator, Hash>
+            map;
+        size_t weight = 0;
+    };
+
+    Shard&
+    shardFor(const Key& key)
+    {
+        return shards_[Hash{}(key) % kShards];
+    }
+
+    template <typename Fn>
+    void
+    forEachShard(Fn&& fn) const
+    {
+        for (const Shard& s : shards_) {
+            std::lock_guard<std::mutex> lock(
+                const_cast<std::mutex&>(s.mutex));
+            fn(s);
+        }
+    }
+
+    size_t per_shard_capacity_;
+    Weigher weigher_;
+    std::array<Shard, kShards> shards_;
+    std::atomic<uint64_t> hits_{0};
+    std::atomic<uint64_t> misses_{0};
+    std::atomic<uint64_t> evictions_{0};
+};
+
+} // namespace jsonski::util
+
+#endif // JSONSKI_UTIL_SHARDED_LRU_H

@@ -154,6 +154,11 @@ TEST(FuzzSmoke, TenThousandMutantsNoDivergenceNoEscape)
     // seen the parser reject a healthy share of the near-misses.
     EXPECT_EQ(report.grammar_runs, report.executed);
     EXPECT_GT(report.grammar_rejects, report.executed / 4);
+    // The index leg must have replayed the warm path and probed a
+    // corrupted sidecar for a healthy share of the mutants (only ones
+    // whose streaming run escaped are skipped).
+    EXPECT_GE(report.index_replays, report.executed / 2);
+    EXPECT_EQ(report.index_mutations, report.index_replays);
     std::string details;
     for (const std::string& f : report.failures)
         details += "\n  " + f;

@@ -70,6 +70,42 @@ TEST(Header, RoundTrip)
     EXPECT_FALSE(back.stats);
 }
 
+TEST(Header, DocRoundTrip)
+{
+    RequestHeader h;
+    h.queries = {"$.a[*]"};
+    h.has_length = true;
+    h.length = 99;
+    h.has_doc = true;
+    h.doc_id = "orders-2026-08";
+
+    std::string line = encodeHeader(h);
+    RequestHeader back =
+        parseHeader(std::string_view(line).substr(0, line.size() - 1));
+    EXPECT_TRUE(back.has_doc);
+    EXPECT_EQ(back.doc_id, "orders-2026-08");
+    EXPECT_TRUE(back.has_length);
+    EXPECT_EQ(back.length, 99u);
+}
+
+TEST(Header, DocRejections)
+{
+    const char* bad[] = {
+        "jsq/1 $.a doc=",                  // empty id
+        "jsq/1 $.a doc=d1",                // doc= requires length=
+        "jsq/1 $.a doc=d1 records length=9", // resident doc vs records
+        "jsq/1 !stats doc=d1 length=9",    // stats takes no flags
+    };
+    for (const char* line : bad) {
+        try {
+            parseHeader(line);
+            ADD_FAILURE() << "accepted: " << line;
+        } catch (const ParseError& e) {
+            EXPECT_EQ(e.code(), ErrorCode::BadRequest) << line;
+        }
+    }
+}
+
 TEST(Header, StatsRequest)
 {
     RequestHeader h = parseHeader("jsq/1 !stats");
@@ -108,6 +144,7 @@ TEST(Trailer, OkRoundTrip)
     t.bytes_in = 4096;
     t.ff = {1, 2, 3, 4, 5};
     t.plan = "hit";
+    t.index = "miss";
     t.per_query = {40, 2};
 
     std::string line = encodeTrailer(t);
@@ -120,7 +157,19 @@ TEST(Trailer, OkRoundTrip)
     EXPECT_EQ(back.bytes_in, 4096u);
     EXPECT_EQ(back.ff, t.ff);
     EXPECT_EQ(back.plan, "hit");
+    EXPECT_EQ(back.index, "miss");
     EXPECT_EQ(back.per_query, t.per_query);
+}
+
+TEST(Trailer, IndexFieldOmittedWhenEmpty)
+{
+    Trailer t;
+    t.ok = true;
+    std::string line = encodeTrailer(t);
+    EXPECT_EQ(line.find("index="), std::string::npos);
+    Trailer back = parseTrailer(
+        std::string_view(line).substr(0, line.size() - 1));
+    EXPECT_TRUE(back.index.empty());
 }
 
 TEST(Trailer, ErrorRoundTrip)

@@ -555,6 +555,207 @@ TEST(Service, CountOnlySuppressesMatchFrames)
     server.stop();
 }
 
+RequestHeader
+docHeader(std::string query, std::string_view body,
+          std::string id = "d1")
+{
+    RequestHeader h = queryHeader(std::move(query));
+    h.has_length = true;
+    h.length = body.size();
+    h.has_doc = true;
+    h.doc_id = std::move(id);
+    return h;
+}
+
+TEST(Service, DocRequestWarmMatchesStreamingAndReportsCacheVerdict)
+{
+    ServerConfig cfg;
+    cfg.shards = 1; // one index-cache partition → exact hit/miss
+    Server server(cfg);
+    server.start();
+
+    const std::string doc =
+        R"({"cp": [{"id": 1}, {"id": 2}, {"id": 3}], "nm": "x"})";
+    const std::string query = "$.cp[*].id";
+    DirectRun direct = runDirect(query, doc);
+    ASSERT_TRUE(direct.ok);
+
+    // First sight: the shard builds and caches the index (miss); every
+    // later request for the same bytes answers warm (hit).  Values are
+    // byte-identical to the direct streaming run either way, at every
+    // client chunking.
+    ClientResult first =
+        runRequest(server, docHeader(query, doc), doc);
+    ASSERT_TRUE(first.has_trailer);
+    EXPECT_TRUE(first.trailer.ok);
+    EXPECT_EQ(first.trailer.index, "miss");
+    EXPECT_EQ(first.trailer.bytes_in, doc.size());
+    ASSERT_EQ(first.matches.size(), direct.values.size());
+    for (size_t i = 0; i < first.matches.size(); ++i)
+        EXPECT_EQ(first.matches[i].second, direct.values[i]);
+
+    for (size_t chunk : kChunkings) {
+        ClientResult r = runRequest(server, docHeader(query, doc), doc,
+                                    chunked(chunk));
+        ASSERT_TRUE(r.has_trailer);
+        EXPECT_TRUE(r.trailer.ok);
+        EXPECT_EQ(r.trailer.index, "hit") << "chunk=" << chunk;
+        ASSERT_EQ(r.matches.size(), direct.values.size());
+        for (size_t i = 0; i < r.matches.size(); ++i)
+            EXPECT_EQ(r.matches[i].second, direct.values[i]);
+    }
+
+    // A different query over the same cached document is still a hit:
+    // the cache keys on content, not on (doc, query).
+    ClientResult other =
+        runRequest(server, docHeader("$.nm", doc), doc);
+    ASSERT_TRUE(other.has_trailer);
+    EXPECT_EQ(other.trailer.index, "hit");
+    ASSERT_EQ(other.matches.size(), 1u);
+    EXPECT_EQ(other.matches[0].second, "\"x\"");
+
+    index::DocumentIndexCacheStats dc = server.docCacheTotals();
+    EXPECT_EQ(dc.misses, 1u);
+    EXPECT_EQ(dc.hits, kChunkings.size() + 1);
+    EXPECT_EQ(dc.entries, 1u);
+
+    std::string page = scrapeStats(server);
+    EXPECT_NE(page.find("jsonski_server_doc_index_cache_misses 1"),
+              std::string::npos);
+    EXPECT_NE(page.find("jsonski_server_doc_index_cache_hits"),
+              std::string::npos);
+    EXPECT_NE(page.find("jsonski_server_doc_index_cache_bytes"),
+              std::string::npos);
+    server.stop();
+}
+
+TEST(Service, DocRequestErrorsMatchStreamingErrors)
+{
+    // Structurally clean (balanced containers, closed strings) so the
+    // index is usable, yet grammatically wrong: the warm path must
+    // reproduce the streaming ErrorCode and position in the trailer.
+    ServerConfig cfg;
+    cfg.shards = 1;
+    Server server(cfg);
+    server.start();
+    const std::string doc = R"({"a" 1})"; // missing colon
+    const std::string query = "$.a";
+    DirectRun direct = runDirect(query, doc);
+    ASSERT_FALSE(direct.ok);
+    for (int pass = 0; pass < 2; ++pass) {
+        ClientResult r = runRequest(server, docHeader(query, doc), doc);
+        ASSERT_TRUE(r.has_trailer);
+        EXPECT_FALSE(r.trailer.ok);
+        EXPECT_EQ(r.trailer.code, direct.code);
+        EXPECT_EQ(r.trailer.error_pos, direct.error_pos);
+        EXPECT_EQ(r.trailer.index, pass == 0 ? "miss" : "hit");
+    }
+    server.stop();
+}
+
+TEST(Service, DocRequestOnUncleanDocumentStreamsWithIndexNone)
+{
+    // Structurally unclean (unbalanced): the builder marks the index
+    // unusable, the request streams, and the trailer says index=none —
+    // with the same typed error the plain path reports.
+    ServerConfig cfg;
+    cfg.shards = 1;
+    Server server(cfg);
+    server.start();
+    const std::string doc = R"({"a": [1, 2)";
+    DirectRun direct = runDirect("$.a[*]", doc);
+    ASSERT_FALSE(direct.ok);
+    ClientResult r = runRequest(server, docHeader("$.a[*]", doc), doc);
+    ASSERT_TRUE(r.has_trailer);
+    EXPECT_FALSE(r.trailer.ok);
+    EXPECT_EQ(r.trailer.code, direct.code);
+    EXPECT_EQ(r.trailer.error_pos, direct.error_pos);
+    EXPECT_EQ(r.trailer.index, "none");
+    server.stop();
+}
+
+TEST(Service, DocRequestMultiQueryStreamsWithIndexNone)
+{
+    Server server;
+    server.start();
+    const std::string doc = R"({"a": [1, 2], "b": {"c": "v"}})";
+    RequestHeader h;
+    h.queries = {"$.a[*]", "$.b.c"};
+    h.has_length = true;
+    h.length = doc.size();
+    h.has_doc = true;
+    h.doc_id = "m";
+    ClientResult r = runRequest(server, h, doc);
+    ASSERT_TRUE(r.has_trailer);
+    EXPECT_TRUE(r.trailer.ok);
+    EXPECT_EQ(r.trailer.index, "none");
+    EXPECT_EQ(r.trailer.matches, 3u);
+    ASSERT_EQ(r.trailer.per_query.size(), 2u);
+    EXPECT_EQ(r.trailer.per_query[0], 2u);
+    EXPECT_EQ(r.trailer.per_query[1], 1u);
+    server.stop();
+}
+
+TEST(Service, DocRequestBodyCapIsATypedError)
+{
+    ServerConfig cfg;
+    cfg.max_doc_bytes = 16;
+    Server server(cfg);
+    server.start();
+    const std::string doc =
+        R"({"a": ")" + std::string(64, 'x') + R"("})";
+    ClientResult r = runRequest(server, docHeader("$.a", doc), doc);
+    ASSERT_TRUE(r.has_trailer);
+    EXPECT_FALSE(r.trailer.ok);
+    EXPECT_EQ(r.trailer.code, ErrorCode::RecordTooLarge);
+    EXPECT_EQ(r.trailer.index, "none");
+    EXPECT_EQ(server.stats().rejected_too_large, 1u);
+    server.stop();
+}
+
+TEST(Service, DocRequestWithoutLengthIsBadRequest)
+{
+    Server server;
+    server.start();
+    Trailer t =
+        trailerOf(rawExchange(server, "jsq/1 $.a doc=d1\n{\"a\": 1}"));
+    EXPECT_FALSE(t.ok);
+    EXPECT_EQ(t.code, ErrorCode::BadRequest);
+    Trailer t2 = trailerOf(rawExchange(
+        server, "jsq/1 $.a records doc=d1 length=9\n{\"a\": 1}\n"));
+    EXPECT_FALSE(t2.ok);
+    EXPECT_EQ(t2.code, ErrorCode::BadRequest);
+    server.stop();
+}
+
+TEST(Service, DocRequestTruncatedBodyIsUnexpectedEnd)
+{
+    Server server;
+    server.start();
+    const std::string doc = R"({"a": [1, 2, 3]})";
+    RequestHeader h = docHeader("$.a[*]", doc);
+    h.length = doc.size() + 10; // client half-closes short of this
+    ClientResult r = runRequest(server, h, doc);
+    ASSERT_TRUE(r.has_trailer);
+    EXPECT_FALSE(r.trailer.ok);
+    EXPECT_EQ(r.trailer.code, ErrorCode::UnexpectedEnd);
+    server.stop();
+}
+
+TEST(Service, NonDocRequestsOmitTheIndexField)
+{
+    Server server;
+    server.start();
+    ClientResult r =
+        runRequest(server, queryHeader("$.a"), R"({"a": 1})");
+    ASSERT_TRUE(r.has_trailer);
+    EXPECT_TRUE(r.trailer.ok);
+    EXPECT_TRUE(r.trailer.index.empty());
+    index::DocumentIndexCacheStats dc = server.docCacheTotals();
+    EXPECT_EQ(dc.hits + dc.misses, 0u);
+    server.stop();
+}
+
 TEST(Service, PlanCacheCountersAcrossConcurrentConnections)
 {
     ServerConfig cfg;
