@@ -20,7 +20,9 @@
  *
  * Reads from stdin when no file is given.  Multiple queries may be
  * passed separated by commas; they are evaluated in ONE pass with the
- * multi-query streamer.
+ * multi-query streamer.  Match lines are tagged [qN] with the first
+ * command-line position asking for that query — duplicates share one
+ * stream, and -c repeats the shared count at every position.
  *
  * --chunk-bytes N switches to bounded-memory ingestion: the input —
  * file, pipe, or stdin — is pulled through the engine in N-byte chunks
@@ -52,7 +54,7 @@
 #include "json/writer.h"
 #include "kernels/kernel.h"
 #include "path/parser.h"
-#include "service/plan_cache.h"
+#include "path/queryset.h"
 #include "service/protocol.h"
 #include "ski/explain.h"
 #include "util/parse.h"
@@ -218,16 +220,26 @@ class PrintSink : public path::MatchSink
     size_t limit_;
 };
 
+/**
+ * Multi-query print sink.  Frames are tagged with the *representative*
+ * command-line position of each distinct query (the first position that
+ * asked for it), so `jsq '$.a,$.b,$.a'` labels matches q0/q1 and the
+ * duplicate third query shares q0's stream — the same contract jsqd
+ * puts on the wire.
+ */
 class PrintMultiSink : public ski::MultiSink
 {
   public:
-    explicit PrintMultiSink(bool quiet) : quiet_(quiet) {}
+    PrintMultiSink(bool quiet, std::vector<size_t> tags)
+        : quiet_(quiet), tags_(std::move(tags))
+    {}
 
     void
     onMatch(size_t qi, std::string_view value) override
     {
         if (!quiet_) {
-            std::printf("[q%zu] ", qi);
+            std::printf("[q%zu] ",
+                        qi < tags_.size() ? tags_[qi] : qi);
             std::fwrite(value.data(), 1, value.size(), stdout);
             std::fputc('\n', stdout);
         }
@@ -235,13 +247,52 @@ class PrintMultiSink : public ski::MultiSink
 
   private:
     bool quiet_;
+    std::vector<size_t> tags_;
 };
+
+/** Per-position count lines for -c: duplicates repeat their count. */
+void
+printMultiCounts(const std::vector<std::string>& queries,
+                 const path::QuerySet& set,
+                 const std::vector<size_t>& dist_counts)
+{
+    for (size_t i = 0; i < queries.size(); ++i)
+        std::printf("q%zu %s: %zu\n", i, queries[i].c_str(),
+                    dist_counts[set.id_of[i]]);
+}
+
+/**
+ * -s report for the combined pass: whole-pass fast-forward ratio, the
+ * shared-trie shape, and each distinct query's divergent-suffix replay
+ * work (zero for queries fully resident in the trie).
+ */
+void
+printMultiStats(const ski::MultiStreamer& ms,
+                const ski::MultiStreamer::Result& r,
+                size_t input_bytes)
+{
+    std::fprintf(stderr,
+                 "fast-forwarded %.2f%% of %zu bytes; %zu distinct "
+                 "queries over %zu trie nodes, %zu divergent "
+                 "suffixes\n",
+                 r.stats.overallRatio(input_bytes) * 100, input_bytes,
+                 ms.queryCount(), ms.trieNodes(), ms.suffixCount());
+    for (size_t qi = 0; qi < r.per_query.size(); ++qi) {
+        uint64_t replay = r.per_query[qi].total();
+        if (replay != 0)
+            std::fprintf(stderr,
+                         "  q%zu suffix replay fast-forwarded %llu "
+                         "bytes\n",
+                         qi,
+                         static_cast<unsigned long long>(replay));
+    }
+}
 
 /**
  * Emit the --profile report: a single machine-readable JSON object on
- * stdout plus the human-readable telemetry breakdown on stderr.  The
- * ff section is omitted for multi-query runs, which do not track
- * per-group FastForwardStats.
+ * stdout plus the human-readable telemetry breakdown on stderr.  Multi-
+ * query runs pass the combined pass's whole-run FastForwardStats
+ * (suffix replays included).
  */
 void
 printProfile(const std::string& query, size_t input_bytes, size_t matches,
@@ -455,36 +506,35 @@ main(int argc, char** argv)
                         r.ingest.window_peak);
                 }
             } else {
-                // The same plan construction the jsqd service caches.
-                auto plan = service::compilePlan(
-                    service::joinQueries(opt.queries));
+                // One combined pass: the multi-streamer normalizes the
+                // list (dedup, canonical forms) exactly like the jsqd
+                // plan cache, so duplicates share one match stream.
+                ski::MultiStreamer ms(
+                    path::QuerySet::fromTexts(opt.queries));
+                const path::QuerySet& set = ms.querySet();
                 if (opt.profile)
-                    for (const path::PathQuery& q :
-                         plan->multi->queries())
+                    for (const path::PathQuery& q : ms.queries())
                         std::fprintf(stderr, "%s",
                                      ski::explain(q).c_str());
-                PrintMultiSink sink(opt.count_only || opt.profile);
+                PrintMultiSink sink(opt.count_only || opt.profile,
+                                    set.representatives());
                 ski::MultiStreamer::Result r;
                 telemetry::Registry reg;
                 {
                     telemetry::Scope scope(reg);
-                    r = plan->multi->run(*src, &sink, opt.chunk_bytes);
+                    r = ms.run(*src, &sink, opt.chunk_bytes);
                 }
-                if (opt.count_only) {
-                    for (size_t qi = 0; qi < r.matches.size(); ++qi)
-                        std::printf("q%zu %s: %zu\n", qi,
-                                    opt.queries[qi].c_str(),
-                                    r.matches[qi]);
-                }
+                if (opt.count_only)
+                    printMultiCounts(opt.queries, set, r.matches);
                 if (opt.profile) {
                     size_t total = 0;
                     for (size_t m : r.matches)
                         total += m;
-                    std::string all = opt.queries[0];
-                    for (size_t qi = 1; qi < opt.queries.size(); ++qi)
-                        all += "," + opt.queries[qi];
-                    printProfile(all, r.input_bytes, total, nullptr, reg);
+                    printProfile(service::joinQueries(opt.queries),
+                                 r.input_bytes, total, &r.stats, reg);
                 }
+                if (opt.stats)
+                    printMultiStats(ms, r, r.input_bytes);
             }
             if (f != nullptr)
                 std::fclose(f);
@@ -542,38 +592,45 @@ main(int argc, char** argv)
                              stats.ratio(ski::Group::G5, input.size()) * 100);
             }
         } else {
-            // The same plan construction the jsqd service caches.
-            auto plan =
-                service::compilePlan(service::joinQueries(opt.queries));
+            // One combined pass per span: the multi-streamer
+            // normalizes the list (dedup, canonical forms) exactly
+            // like the jsqd plan cache, so duplicates share one match
+            // stream.
+            ski::MultiStreamer ms(
+                path::QuerySet::fromTexts(opt.queries));
+            const path::QuerySet& set = ms.querySet();
             if (opt.profile)
-                for (const path::PathQuery& q : plan->multi->queries())
+                for (const path::PathQuery& q : ms.queries())
                     std::fprintf(stderr, "%s", ski::explain(q).c_str());
-            PrintMultiSink sink(opt.count_only || opt.profile);
-            std::vector<size_t> totals(opt.queries.size(), 0);
+            PrintMultiSink sink(opt.count_only || opt.profile,
+                                set.representatives());
+            ski::MultiStreamer::Result agg;
+            agg.matches.assign(set.size(), 0);
+            agg.per_query.assign(set.size(), ski::FastForwardStats{});
             telemetry::Registry reg;
             {
                 telemetry::Scope scope(reg);
                 for (auto [off, len] : spans) {
-                    auto r = plan->multi->run(
+                    auto r = ms.run(
                         std::string_view(input).substr(off, len), &sink);
-                    for (size_t qi = 0; qi < totals.size(); ++qi)
-                        totals[qi] += r.matches[qi];
+                    for (size_t qi = 0; qi < set.size(); ++qi) {
+                        agg.matches[qi] += r.matches[qi];
+                        agg.per_query[qi].merge(r.per_query[qi]);
+                    }
+                    agg.stats.merge(r.stats);
                 }
             }
-            if (opt.count_only) {
-                for (size_t qi = 0; qi < totals.size(); ++qi)
-                    std::printf("q%zu %s: %zu\n", qi,
-                                opt.queries[qi].c_str(), totals[qi]);
-            }
+            if (opt.count_only)
+                printMultiCounts(opt.queries, set, agg.matches);
             if (opt.profile) {
                 size_t total = 0;
-                for (size_t m : totals)
+                for (size_t m : agg.matches)
                     total += m;
-                std::string all = opt.queries[0];
-                for (size_t qi = 1; qi < opt.queries.size(); ++qi)
-                    all += "," + opt.queries[qi];
-                printProfile(all, input.size(), total, nullptr, reg);
+                printProfile(service::joinQueries(opt.queries),
+                             input.size(), total, &agg.stats, reg);
             }
+            if (opt.stats)
+                printMultiStats(ms, agg, input.size());
         }
     } catch (const std::exception& e) {
         std::fprintf(stderr, "jsq: %s\n", e.what());

@@ -17,10 +17,15 @@
  *                 can (DESIGN.md §14) and the trailer reports
  *                 index=hit|miss|none.  Implies --length.
  *   --chunk N     write the body in N-byte chunks (protocol testing)
+ *   --multiline   ship all but the first query as query= continuation
+ *                 lines (the form that scales past the server's header
+ *                 byte cap)
  *
  * Reads the body from stdin when no file is given.  Matches print as
  * they arrive — single query one per line, multi-query prefixed
- * `[qN] `.  Exit status: 0 on an ok trailer, 1 on an error trailer or
+ * `[qN] ` where N is the first request position asking for that query
+ * (duplicates share one stream; the trailer's qmap records the
+ * mapping).  Exit status: 0 on an ok trailer, 1 on an error trailer or
  * severed connection (code and position go to stderr), 2 on usage.
  */
 #include <cstdio>
@@ -44,6 +49,7 @@ usage()
     std::fprintf(stderr,
                  "usage: jsqc [--host H] [--port P] [-c] [-r] [-s] "
                  "[-n K] [--length] [--doc ID] [--chunk N]\n"
+                 "            [--multiline]\n"
                  "            <query>[,<query>...] [file]\n"
                  "       jsqc [--host H] [--port P] --stats\n");
     std::exit(2);
@@ -109,6 +115,8 @@ main(int argc, char** argv)
             header.has_length = true; // doc= requires length framing
         } else if (std::strcmp(argv[i], "--chunk") == 0) {
             chunk = sizeArg(argc, argv, i, true);
+        } else if (std::strcmp(argv[i], "--multiline") == 0) {
+            header.multiline = true;
         } else if (std::strcmp(argv[i], "--stats") == 0) {
             stats = true;
         } else if (argv[i][0] == '-' && argv[i][1] != '\0') {

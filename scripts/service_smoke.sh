@@ -75,6 +75,21 @@ echo "corpus answers match jsq"
 diff -u "$tmp/expected" "$tmp/got"
 echo "multi-query counts match jsq"
 
+# A 3-query batch answers one combined pass; each per-query count must
+# equal the answer of a separate single-query request.
+set -- '$.products[*].name' '$.products[*].id' '$.total'
+"$JSQC" -p "$port" -c "$1,$2,$3" "$tmp/doc1.json" >"$tmp/batch"
+i=0
+for q in "$@"; do
+    solo=$("$JSQC" -p "$port" -c "$q" "$tmp/doc1.json")
+    batch=$(awk -v n="q$i" '$1 == n {print $NF}' "$tmp/batch")
+    [ "$solo" = "$batch" ] || {
+        echo "batch count mismatch for $q: solo=$solo batch=$batch" >&2
+        exit 1; }
+    i=$((i + 1))
+done
+echo "3-query batch per-query counts match solo requests"
+
 # --- protocol edges -------------------------------------------------
 # Length-framed body written 7 bytes at a time.
 "$JSQC" -p "$port" --length --chunk 7 '$.total' "$tmp/doc1.json" \

@@ -1,0 +1,93 @@
+#include "path/queryset.h"
+
+#include <algorithm>
+
+#include "path/parser.h"
+#include "util/error.h"
+
+namespace jsonski::path {
+
+std::vector<std::string>
+QuerySet::sortedCanonical() const
+{
+    std::vector<std::string> texts = canonical;
+    std::sort(texts.begin(), texts.end());
+    return texts;
+}
+
+std::string
+QuerySet::key() const
+{
+    std::string out;
+    for (const std::string& text : sortedCanonical()) {
+        if (!out.empty())
+            out += ',';
+        out += text;
+    }
+    return out;
+}
+
+std::vector<size_t>
+QuerySet::mapOnto(const std::vector<std::string>& plan_texts) const
+{
+    std::vector<size_t> out;
+    out.reserve(id_of.size());
+    for (size_t pos = 0; pos < id_of.size(); ++pos) {
+        const std::string& text = canonical[id_of[pos]];
+        auto it =
+            std::find(plan_texts.begin(), plan_texts.end(), text);
+        if (it == plan_texts.end())
+            throw PathError("query '" + text +
+                            "' is not part of the compiled plan");
+        out.push_back(
+            static_cast<size_t>(it - plan_texts.begin()));
+    }
+    return out;
+}
+
+std::vector<size_t>
+QuerySet::representatives() const
+{
+    std::vector<size_t> rep(distinct.size(), SIZE_MAX);
+    for (size_t pos = 0; pos < id_of.size(); ++pos) {
+        if (rep[id_of[pos]] == SIZE_MAX)
+            rep[id_of[pos]] = pos;
+    }
+    return rep;
+}
+
+QuerySet
+QuerySet::normalize(std::vector<PathQuery> queries)
+{
+    QuerySet set;
+    set.id_of.reserve(queries.size());
+    for (PathQuery& q : queries) {
+        std::string text = q.toString();
+        size_t id = SIZE_MAX;
+        for (size_t d = 0; d < set.canonical.size(); ++d) {
+            if (set.canonical[d] == text) {
+                id = d;
+                break;
+            }
+        }
+        if (id == SIZE_MAX) {
+            id = set.distinct.size();
+            set.distinct.push_back(std::move(q));
+            set.canonical.push_back(std::move(text));
+        }
+        set.id_of.push_back(id);
+    }
+    return set;
+}
+
+QuerySet
+QuerySet::fromTexts(const std::vector<std::string>& texts)
+{
+    std::vector<PathQuery> queries;
+    queries.reserve(texts.size());
+    for (const std::string& text : texts)
+        queries.push_back(parse(text));
+    return normalize(std::move(queries));
+}
+
+} // namespace jsonski::path

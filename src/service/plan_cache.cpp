@@ -3,6 +3,7 @@
 #include <functional>
 
 #include "path/parser.h"
+#include "path/queryset.h"
 #include "service/protocol.h"
 
 namespace jsonski::service {
@@ -11,43 +12,41 @@ std::shared_ptr<const Plan>
 compilePlan(std::string_view query_list)
 {
     auto plan = std::make_shared<Plan>();
-    std::vector<path::PathQuery> queries;
-    for (const std::string& text : splitQueries(query_list)) {
-        path::PathQuery q = path::parse(text);
-        // Store the parse->print normal form, not the client spelling:
-        // toString() is the canonical round trip (ast.h), so every
-        // spelling of a query shares one plan key and one trailer text.
-        plan->query_texts.push_back(q.toString());
-        queries.push_back(std::move(q));
-    }
-    plan->key = joinQueries(plan->query_texts);
-    if (queries.size() == 1)
-        plan->single.emplace(std::move(queries[0]));
+    // Normalize into the distinct set (canonical toString() forms,
+    // stable dedup): duplicate spellings of one query share one match
+    // stream, and `$.a,$.a` compiles to a single-query plan.
+    path::QuerySet set =
+        path::QuerySet::fromTexts(splitQueries(query_list));
+    plan->query_texts = set.canonical;
+    plan->key = set.key();
+    if (set.size() == 1)
+        plan->single.emplace(std::move(set.distinct[0]));
     else
-        plan->multi.emplace(std::move(queries));
+        plan->multi.emplace(std::move(set));
     return plan;
 }
 
 std::string
 canonicalQueryList(std::string_view query_list)
 {
-    std::vector<std::string> canon;
-    for (const std::string& text : splitQueries(query_list))
-        canon.push_back(path::parse(text).toString());
-    return joinQueries(canon);
+    return path::QuerySet::fromTexts(splitQueries(query_list)).key();
 }
 
 std::shared_ptr<const Plan>
-PlanCache::get(std::string_view query_list, bool* was_hit)
+PlanCache::get(std::string_view query_list, bool* was_hit,
+               path::QuerySet* request_set)
 {
-    // Normalize to the parse->print canonical form before hashing so
-    // every spelling of the same list (`$['a']`, `$.a`, whitespace in
-    // a predicate) maps to the same shard and entry.  A malformed
-    // query throws here, before anything is counted or inserted.
-    // Compiling under the shard lock keeps hit/miss counts exact for
-    // concurrent first requests (see header); a PathError escapes
-    // before anything is inserted.
-    std::string key = canonicalQueryList(query_list);
+    // Normalize to the order-insensitive set normal form before
+    // hashing, so every spelling and ordering of the same set maps to
+    // one shard and entry.  A malformed query throws here, before
+    // anything is counted or inserted.  Compiling under the shard lock
+    // keeps hit/miss counts exact for concurrent first requests (see
+    // header); a PathError escapes before anything is inserted.
+    path::QuerySet set =
+        path::QuerySet::fromTexts(splitQueries(query_list));
+    std::string key = set.key();
+    if (request_set != nullptr)
+        *request_set = std::move(set);
     return lru_.getOrBuild(
         key, [&key] { return compilePlan(key); }, was_hit);
 }

@@ -5,13 +5,15 @@
  * Parsing a JSONPath list and building the streamer (single-query) or
  * the multi-query trie is pure per-query-text work; under serving
  * traffic the same handful of queries arrive over and over from many
- * connections.  The cache keys on the *canonical* query-list text
+ * connections.  The cache keys on the canonical normalized query *set*
  * (split on top-level commas with the same quote-aware splitter jsq's
- * CLI uses, then each query parsed and reprinted in its toString()
- * normal form), so `$.a, $.b` / `$.a,$.b` / `$['a'],$.b` and every
- * whitespace spelling of a filter predicate share one entry, and hands
- * out shared_ptr<const Plan> so an entry can be evicted while requests
- * still run on it.
+ * CLI uses, each query parsed and reprinted in its toString() normal
+ * form, then sorted and deduplicated — path::QuerySet::key()), so
+ * `$.a, $.b` / `$.b,$.a,$.a` / `$['a'],$.b` and every whitespace
+ * spelling of a filter predicate share one entry, and hands out
+ * shared_ptr<const Plan> so an entry can be evicted while requests
+ * still run on it.  A request's positions are mapped onto the plan's
+ * distinct queries with QuerySet::mapOnto() (see PlanCache::get).
  *
  * Sharding, locking, and eviction are util::ShardedLru (shared with
  * the document index cache): the compile runs under the shard lock,
@@ -30,6 +32,7 @@
 #include <string_view>
 #include <vector>
 
+#include "path/queryset.h"
 #include "ski/multi.h"
 #include "ski/streamer.h"
 #include "util/sharded_lru.h"
@@ -37,23 +40,27 @@
 namespace jsonski::service {
 
 /**
- * A compiled, immutable, shareable evaluation plan for one query list.
- * Single-query lists carry a Streamer; longer lists a MultiStreamer
- * (both are stateless across run() calls, so one plan serves any
- * number of concurrent requests).
+ * A compiled, immutable, shareable evaluation plan for one query set.
+ * A single *distinct* query carries a Streamer; larger sets a
+ * MultiStreamer (both are stateless across run() calls, so one plan
+ * serves any number of concurrent requests).  Duplicates in the
+ * compiled list collapse, so `$.a,$.a` compiles to a single-query
+ * plan; callers map request positions onto the distinct queries with
+ * path::QuerySet::mapOnto(query_texts).
  */
 struct Plan
 {
-    /** Normalized query-list text this plan was compiled from. */
+    /** Canonical query-set key this plan was compiled for. */
     std::string key;
 
-    /** The split query texts, same order as the trailer's per_query. */
+    /** The *distinct* canonical query texts, in compile order. */
     std::vector<std::string> query_texts;
 
     /** Exactly one of these is set. */
     std::optional<ski::Streamer> single;
     std::optional<ski::MultiStreamer> multi;
 
+    /** Distinct query count (match-frame / per-distinct index range). */
     size_t queryCount() const { return query_texts.size(); }
 };
 
@@ -70,8 +77,8 @@ std::shared_ptr<const Plan> compilePlan(std::string_view query_list);
  * The plan-cache key for @p query_list: split on top-level commas
  * (quote-aware, so filter string literals may contain commas and
  * brackets), each query parsed and reprinted in its canonical form,
- * re-joined.  `$['a'], $[?( @.v < 10 )]` and `$.a,$[?(@.v<10)]` yield
- * the same key.
+ * then sorted, deduplicated, and re-joined — the *set* normal form, so
+ * `$.a,$.b`, `$.b, $['a']`, and `$.b,$.a,$.a` yield the same key.
  *
  * @throws PathError on a malformed query.
  */
@@ -113,13 +120,20 @@ class PlanCache
     explicit PlanCache(size_t capacity = 64) : lru_(capacity) {}
 
     /**
-     * Look up @p query_list, compiling and inserting on a miss.
+     * Look up @p query_list, compiling and inserting on a miss.  The
+     * key is the order-insensitive set normal form, so `$.a,$.b` and
+     * `$.b,$.a,$.a` share one entry.
      *
-     * @param was_hit Out: true when the plan came from the cache.
+     * @param was_hit     Out: true when the plan came from the cache.
+     * @param request_set Out: the request's normalized QuerySet —
+     *        `request_set->mapOnto(plan->query_texts)` yields the
+     *        request-position -> distinct-plan-index map the caller
+     *        needs to tag frames and fill per-position counts.
      * @throws PathError on a malformed query (nothing is inserted).
      */
-    std::shared_ptr<const Plan> get(std::string_view query_list,
-                                    bool* was_hit = nullptr);
+    std::shared_ptr<const Plan>
+    get(std::string_view query_list, bool* was_hit = nullptr,
+        path::QuerySet* request_set = nullptr);
 
     uint64_t hits() const { return lru_.hits(); }
     uint64_t misses() const { return lru_.misses(); }

@@ -185,12 +185,17 @@ parseHeader(std::string_view line)
                 badRequest("doc flag needs an id");
             h.has_doc = true;
             h.doc_id = std::string(flag.substr(4));
+        } else if (flag.substr(0, 8) == "queries=") {
+            if (!parseSize(flag.substr(8), h.pending_queries) ||
+                h.pending_queries == 0)
+                badRequest("queries flag");
         } else {
             badRequest("unknown flag '" + std::string(flag) + "'");
         }
     }
     if (h.stats && (h.records || h.count_only || h.limit != 0 ||
-                    h.has_length || h.has_doc))
+                    h.has_length || h.has_doc ||
+                    h.pending_queries != 0))
         badRequest("!stats takes no flags");
     if (h.has_doc && !h.has_length)
         badRequest("doc= requires length=");
@@ -200,11 +205,38 @@ parseHeader(std::string_view line)
 }
 
 std::string
+encodeQueryLine(const std::string& query)
+{
+    return "query=" + query + "\n";
+}
+
+std::string
+parseQueryLine(std::string_view line)
+{
+    if (line.substr(0, 6) != "query=")
+        badRequest("expected a query= continuation line");
+    std::string_view q = trim(line.substr(6));
+    if (q.empty())
+        badRequest("empty query in continuation line");
+    return std::string(q);
+}
+
+std::string
 encodeHeader(const RequestHeader& h)
 {
     std::string out(kMagic);
     out += ' ';
-    out += h.stats ? "!stats" : joinQueries(h.queries);
+    // Multiline form: first query on the header line, the rest as
+    // query= continuation lines declared by a queries=N flag.
+    bool lines = h.multiline && h.queries.size() > 1;
+    if (h.stats)
+        out += "!stats";
+    else if (lines)
+        out += h.queries.front();
+    else
+        out += joinQueries(h.queries);
+    if (lines)
+        out += " queries=" + std::to_string(h.queries.size() - 1);
     if (h.records)
         out += " records";
     if (h.count_only)
@@ -216,6 +248,10 @@ encodeHeader(const RequestHeader& h)
     if (h.has_doc)
         out += " doc=" + h.doc_id;
     out += '\n';
+    if (lines) {
+        for (size_t i = 1; i < h.queries.size(); ++i)
+            out += encodeQueryLine(h.queries[i]);
+    }
     return out;
 }
 
@@ -246,6 +282,14 @@ encodeTrailer(const Trailer& t)
             if (i != 0)
                 out += ',';
             out += std::to_string(t.per_query[i]);
+        }
+    }
+    if (!t.qmap.empty()) {
+        out += " qmap=";
+        for (size_t i = 0; i < t.qmap.size(); ++i) {
+            if (i != 0)
+                out += ',';
+            out += std::to_string(t.qmap[i]);
         }
     }
     out += '\n';
@@ -300,6 +344,17 @@ parseTrailer(std::string_view line)
         if (comma == std::string_view::npos)
             break;
         per.remove_prefix(comma + 1);
+    }
+    std::string_view qmap = fieldValue(line, "qmap");
+    while (!qmap.empty()) {
+        size_t comma = qmap.find(',');
+        size_t v = 0;
+        if (!parseSize(qmap.substr(0, comma), v))
+            badRequest("trailer qmap field");
+        t.qmap.push_back(v);
+        if (comma == std::string_view::npos)
+            break;
+        qmap.remove_prefix(comma + 1);
     }
     return t;
 }

@@ -8,11 +8,13 @@
  * The protocol is line-framed for control and length-framed for data
  * (DESIGN.md §10 has the full grammar):
  *
- *   request  := header-line body
+ *   request  := header-line query-line* body
  *   header   := "jsq/1 " query-list (" " flag)* "\n"
  *   query-list := JSONPath (',' JSONPath)*  |  "!stats"
  *   flag     := "records" | "count" | "limit=N" | "length=N"
- *             | "doc=ID"
+ *             | "doc=ID" | "queries=N"
+ *   query-line := "query=" JSONPath "\n"     (exactly N of them when
+ *                 the queries=N flag was given; appended to the list)
  *   body     := raw JSON bytes, until EOF (client half-close) or
  *               exactly N bytes when length=N was given
  *
@@ -21,7 +23,22 @@
  *   match    := "m " query-index " " byte-len "\n" value "\n"
  *   trailer  := "end status=ok|error [code= pos=] matches= bytes_in="
  *               " ff=g1,g2,g3,g4,g5 plan=hit|miss|none"
- *               " [index=hit|miss|none] [per_query=n0,n1,...]" "\n"
+ *               " [index=hit|miss|none] [per_query=n0,n1,...]"
+ *               " [qmap=r0,r1,...]" "\n"
+ *
+ * Multi-query requests: the query list in the header plus, for large
+ * sets that would overflow the header-line cap, `queries=N` continuation
+ * lines.  The server normalizes the combined list into a canonical
+ * *set* (duplicates collapsed, plan cache keyed order-insensitively):
+ * each match frame's query-index is the *representative* request
+ * position of its distinct query — the first request position asking
+ * for it — so a request repeating a query gets one frame stream, not
+ * two.  The trailer's `per_query` reports one count per *request*
+ * position (duplicates repeat their count) and `qmap` maps each
+ * request position to the frame id serving it; both appear on requests
+ * with more than one query.  Query lists longer than the server's cap
+ * are rejected with ErrorCode::TooManyQueries before any continuation
+ * line is read.
  *
  * `doc=ID` declares the body a repeat-query document: the server keeps
  * it resident, consults its per-shard structural-index cache (keyed by
@@ -86,7 +103,35 @@ struct RequestHeader
     /** "doc=ID": cache a semi-index of the body (requires length=). */
     bool has_doc = false;
     std::string doc_id;      ///< opaque client tag; cache keys by hash
+
+    /**
+     * Decoded from the `queries=N` flag: N `query=` continuation lines
+     * follow the header and must be appended to `queries` (the server
+     * reads them; parseHeader only sees the header line).
+     */
+    size_t pending_queries = 0;
+
+    /**
+     * Client-side encoding knob: when set (and the list has more than
+     * one query), encodeHeader() keeps only the first query on the
+     * header line and ships the rest as `query=` continuation lines —
+     * the form that scales past the header byte cap.
+     */
+    bool multiline = false;
 };
+
+/**
+ * Render one `query=` continuation line (newline included).
+ * The inverse of parseQueryLine().
+ */
+std::string encodeQueryLine(const std::string& query);
+
+/**
+ * Decode one `query=` continuation line (without the newline).
+ * @throws ParseError(ErrorCode::BadRequest) when the line is not a
+ *         well-formed, non-empty query line.
+ */
+std::string parseQueryLine(std::string_view line);
 
 /**
  * Parse one header line (without the trailing newline).
@@ -111,7 +156,15 @@ struct Trailer
 
     /** Index-cache verdict; empty = omitted (non-doc= request). */
     std::string index;
-    std::vector<size_t> per_query;           ///< multi-query counts
+
+    /** Count per *request position* (duplicates repeat their count). */
+    std::vector<size_t> per_query;
+
+    /**
+     * Request position -> frame query-index serving it (the distinct
+     * query's representative).  Identity for duplicate-free lists.
+     */
+    std::vector<size_t> qmap;
 };
 
 /** Render @p t as a trailer line, trailing newline included. */

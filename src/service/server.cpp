@@ -426,6 +426,17 @@ class WireSink final : public path::MatchSink, public ski::MultiSink
 
     size_t count = 0;
 
+    /**
+     * Frame tag per distinct plan index — the representative request
+     * position of each distinct query, so a request repeating a query
+     * sees frames tagged with the first position that asked for it.
+     * Identity when unset (duplicate-free lists need no remap).
+     */
+    void setFrameTags(std::vector<size_t> tags)
+    {
+        tags_ = std::move(tags);
+    }
+
     /** True once the client-requested limit ended the pass. */
     bool clientLimitReached() const
     {
@@ -441,7 +452,8 @@ class WireSink final : public path::MatchSink, public ski::MultiSink
                              "server match cap reached", 0);
         ++count;
         if (!count_only_)
-            writer_.append(encodeMatch(qi, value));
+            writer_.append(
+                encodeMatch(qi < tags_.size() ? tags_[qi] : qi, value));
         if (client_limit_ != 0 && count >= client_limit_)
             throw ski::StopStreaming{};
     }
@@ -450,6 +462,7 @@ class WireSink final : public path::MatchSink, public ski::MultiSink
     bool count_only_;
     size_t client_limit_;
     size_t server_cap_;
+    std::vector<size_t> tags_;
 };
 
 /**
@@ -458,13 +471,16 @@ class WireSink final : public path::MatchSink, public ski::MultiSink
  * one header byte per poll window cannot hold the slot past the
  * envelope (the old per-poll timeout restarted on every byte).  Bytes
  * past the newline were read from the body and are returned in
- * @p carry.
+ * @p carry; incoming carry bytes are consumed first, so the helper can
+ * be called repeatedly to read `query=` continuation lines that arrived
+ * in one packet with the header.
  */
 std::string
 readHeaderLine(int fd, size_t max_bytes, const Deadline& deadline,
                std::string& carry)
 {
-    std::string buf;
+    std::string buf = std::move(carry);
+    carry.clear();
     char tmp[1024];
     for (;;) {
         size_t nl = buf.find('\n');
@@ -522,6 +538,8 @@ ServerStats::operator+=(const ServerStats& o)
     rejected_header_too_large += o.rejected_header_too_large;
     rejected_deadline += o.rejected_deadline;
     rejected_too_large += o.rejected_too_large;
+    rejected_too_many_queries += o.rejected_too_many_queries;
+    multi_query_requests += o.multi_query_requests;
     stats_requests += o.stats_requests;
     idle_closed += o.idle_closed;
     accept_errors += o.accept_errors;
@@ -949,6 +967,9 @@ Server::bumpError(Shard& sh, uint64_t bytes_in, uint64_t bytes_out,
       case ErrorCode::RecordTooLarge:
         ++sh.stats.rejected_too_large;
         break;
+      case ErrorCode::TooManyQueries:
+        ++sh.stats.rejected_too_many_queries;
+        break;
       default:
         break;
     }
@@ -988,6 +1009,20 @@ Server::handleConnection(Shard& sh, int fd)
                 readHeaderLine(fd, config_.max_header_bytes,
                                header_deadline, carry);
             header = parseHeader(header_line);
+            // Enforce the query-set cap *before* reading continuation
+            // lines, so a hostile queries=N header cannot make the
+            // server buffer an unbounded query set.
+            if (config_.max_queries != 0 &&
+                header.queries.size() + header.pending_queries >
+                    config_.max_queries)
+                throw ParseError(ErrorCode::TooManyQueries,
+                                 "query list exceeds the server cap",
+                                 0);
+            for (size_t i = 0; i < header.pending_queries; ++i)
+                header.queries.push_back(parseQueryLine(readHeaderLine(
+                    fd, config_.max_header_bytes, header_deadline,
+                    carry)));
+            header.pending_queries = 0;
         } catch (const ParseError& e) {
             trailer.code = e.code();
             trailer.error_pos = e.position();
@@ -1014,11 +1049,17 @@ Server::handleConnection(Shard& sh, int fd)
             return;
         }
 
+        if (header.queries.size() > 1) {
+            std::lock_guard<std::mutex> lock(sh.stats_mutex);
+            ++sh.stats.multi_query_requests;
+        }
+
         bool plan_hit = false;
         std::shared_ptr<const Plan> plan;
+        path::QuerySet request_set;
         try {
             plan = sh.plan_cache.get(joinQueries(header.queries),
-                                     &plan_hit);
+                                     &plan_hit, &request_set);
         } catch (const PathError&) {
             trailer.code = ErrorCode::BadRequest;
             trailer.error_pos = 0;
@@ -1030,6 +1071,17 @@ Server::handleConnection(Shard& sh, int fd)
             return;
         }
         trailer.plan = plan_hit ? "hit" : "miss";
+
+        // Map request positions onto the plan's distinct queries (the
+        // plan is compiled from the sorted, deduplicated set key, so
+        // its order need not match the request's) and pick each
+        // distinct query's representative: the first request position
+        // asking for it, which tags its match frames.
+        std::vector<size_t> plan_id =
+            request_set.mapOnto(plan->query_texts);
+        std::vector<size_t> rep(plan->queryCount(), 0);
+        for (size_t i = plan_id.size(); i-- > 0;)
+            rep[plan_id[i]] = i;
 
         // The body gets its own absolute envelope, re-armed now: the
         // entire stream must complete within read_deadline_ms.
@@ -1044,8 +1096,21 @@ Server::handleConnection(Shard& sh, int fd)
 
         WireSink sink(writer, header.count_only, header.limit,
                       config_.max_matches);
+        sink.setFrameTags(rep);
         ski::FastForwardStats stats;
-        std::vector<size_t> per_query(plan->queryCount(), 0);
+        // Match counts per *distinct* plan index; the trailer expands
+        // them to one entry per request position (duplicates repeat).
+        std::vector<size_t> dist_counts(plan->queryCount(), 0);
+        auto fillPerQuery = [&](Trailer& t) {
+            if (header.queries.size() < 2)
+                return;
+            t.per_query.resize(plan_id.size());
+            t.qmap.resize(plan_id.size());
+            for (size_t i = 0; i < plan_id.size(); ++i) {
+                t.per_query[i] = dist_counts[plan_id[i]];
+                t.qmap[i] = rep[plan_id[i]];
+            }
+        };
         try {
             telemetry::Scope scope(reg);
             if (header.records) {
@@ -1056,13 +1121,13 @@ Server::handleConnection(Shard& sh, int fd)
                         ski::StreamResult r =
                             plan->single->run(record, &sink);
                         stats.merge(r.stats);
-                        per_query[0] = sink.count;
+                        dist_counts[0] = sink.count;
                     } else {
                         ski::MultiStreamer::Result r =
                             plan->multi->run(record, &sink);
                         stats.merge(r.stats);
                         for (size_t qi = 0; qi < r.matches.size(); ++qi)
-                            per_query[qi] += r.matches[qi];
+                            dist_counts[qi] += r.matches[qi];
                     }
                     if (sink.clientLimitReached())
                         break;
@@ -1105,12 +1170,12 @@ Server::handleConnection(Shard& sh, int fd)
                     ski::StreamResult r =
                         plan->single->runIndexed(body, *ix, &sink);
                     stats.merge(r.stats);
-                    per_query[0] = sink.count;
+                    dist_counts[0] = sink.count;
                 } else if (plan->single) {
                     ski::StreamResult r =
                         plan->single->run(body, &sink);
                     stats.merge(r.stats);
-                    per_query[0] = sink.count;
+                    dist_counts[0] = sink.count;
                 } else {
                     // Multi-query doc= requests stream the resident
                     // bytes; the semi-index only serves the
@@ -1118,18 +1183,18 @@ Server::handleConnection(Shard& sh, int fd)
                     ski::MultiStreamer::Result r =
                         plan->multi->run(body, &sink);
                     stats.merge(r.stats);
-                    per_query = r.matches;
+                    dist_counts = r.matches;
                 }
             } else if (plan->single) {
                 ski::StreamResult r =
                     plan->single->run(src, &sink, config_.chunk_bytes);
                 stats.merge(r.stats);
-                per_query[0] = sink.count;
+                dist_counts[0] = sink.count;
             } else {
                 ski::MultiStreamer::Result r =
                     plan->multi->run(src, &sink, config_.chunk_bytes);
                 stats.merge(r.stats);
-                per_query = r.matches;
+                dist_counts = r.matches;
             }
             bytes_in = socket_src.delivered();
         } catch (const ParseError& e) {
@@ -1139,8 +1204,7 @@ Server::handleConnection(Shard& sh, int fd)
             trailer.matches = sink.count;
             trailer.bytes_in = bytes_in;
             trailer.ff = stats.skipped;
-            if (plan->queryCount() > 1)
-                trailer.per_query = per_query;
+            fillPerQuery(trailer);
             writer.append(encodeTrailer(trailer));
             writer.flush();
             bumpError(sh, bytes_in, writer.total(), reg, e.code());
@@ -1152,8 +1216,7 @@ Server::handleConnection(Shard& sh, int fd)
         trailer.matches = sink.count;
         trailer.bytes_in = bytes_in;
         trailer.ff = stats.skipped;
-        if (plan->queryCount() > 1)
-            trailer.per_query = per_query;
+        fillPerQuery(trailer);
         writer.append(encodeTrailer(trailer));
         writer.flush();
         bumpOk(sh, bytes_in, writer.total(), reg);
@@ -1267,6 +1330,9 @@ Server::metricsText() const
     gauge("rejected_header_too_large", total.rejected_header_too_large);
     gauge("rejected_deadline", total.rejected_deadline);
     gauge("rejected_too_large", total.rejected_too_large);
+    gauge("rejected_too_many_queries",
+          total.rejected_too_many_queries);
+    gauge("multi_query_requests", total.multi_query_requests);
     gauge("stats_requests", total.stats_requests);
     gauge("idle_closed", total.idle_closed);
     gauge("accept_errors", total.accept_errors);

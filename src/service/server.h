@@ -95,6 +95,14 @@ struct ServerConfig
     /** Request body cap, bytes; 0 = unlimited. */
     size_t max_body_bytes = 0;
 
+    /**
+     * Cap on queries per request (header list plus query= continuation
+     * lines).  Oversized lists are rejected with TooManyQueries before
+     * any continuation line is read, so a hostile header can't make the
+     * server buffer an unbounded query set.
+     */
+    size_t max_queries = 1024;
+
     /** Server-imposed cap on matches per request; 0 = unlimited. */
     size_t max_matches = 0;
 
@@ -155,6 +163,8 @@ struct ServerStats
     uint64_t rejected_header_too_large = 0;
     uint64_t rejected_deadline = 0;    ///< read/write/idle deadline
     uint64_t rejected_too_large = 0;   ///< body byte cap
+    uint64_t rejected_too_many_queries = 0; ///< query-set cap
+    uint64_t multi_query_requests = 0; ///< requests with >1 query
     uint64_t stats_requests = 0;
     uint64_t idle_closed = 0;      ///< closed with no request byte
     uint64_t accept_errors = 0;    ///< accept()/poller-add failures

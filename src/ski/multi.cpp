@@ -14,21 +14,45 @@ namespace jsonski::ski {
 using path::PathQuery;
 using path::PathStep;
 
-MultiStreamer::MultiStreamer(std::vector<PathQuery> queries)
-    : queries_(std::move(queries))
+namespace {
+
+/** Is @p kind compiled into the shared trie (vs a divergent suffix)? */
+bool
+isPlainStep(PathStep::Kind kind)
 {
-    for (const PathQuery& q : queries_) {
-        if (q.hasDescendant())
-            throw PathError(
-                "multi-query streaming does not support '..'");
-        if (q.hasFilter())
-            throw PathError(
-                "multi-query streaming does not support filters");
-    }
+    return kind == PathStep::Kind::Key ||
+           kind == PathStep::Kind::Index ||
+           kind == PathStep::Kind::Slice ||
+           kind == PathStep::Kind::Wildcard;
+}
+
+} // namespace
+
+MultiStreamer::MultiStreamer(std::vector<PathQuery> queries)
+    : set_(path::QuerySet::normalize(std::move(queries)))
+{
+    build();
+}
+
+MultiStreamer::MultiStreamer(path::QuerySet set) : set_(std::move(set))
+{
+    build();
+}
+
+void
+MultiStreamer::build()
+{
     trie_.emplace_back(); // root
-    for (size_t qi = 0; qi < queries_.size(); ++qi) {
+    trie_[0].live = path::QueryBits(set_.size());
+    for (size_t qi = 0; qi < set_.size(); ++qi) {
+        const PathQuery& q = set_.distinct[qi];
         int node = 0;
-        for (const PathStep& step : queries_[qi].steps) {
+        trie_[0].live.set(qi);
+        size_t k = 0;
+        for (; k < q.steps.size(); ++k) {
+            const PathStep& step = q.steps[k];
+            if (!isPlainStep(step.kind))
+                break; // filter/descendant: the suffix diverges here
             int next = -1;
             if (step.kind == PathStep::Kind::Key) {
                 for (auto& [key, child] : trie_[node].key_children) {
@@ -41,6 +65,7 @@ MultiStreamer::MultiStreamer(std::vector<PathQuery> queries)
                     next = static_cast<int>(trie_.size());
                     trie_[node].key_children.emplace_back(step.key, next);
                     trie_.emplace_back();
+                    trie_.back().live = path::QueryBits(set_.size());
                 }
             } else {
                 for (auto& [s, child] : trie_[node].array_children) {
@@ -53,17 +78,81 @@ MultiStreamer::MultiStreamer(std::vector<PathQuery> queries)
                     next = static_cast<int>(trie_.size());
                     trie_[node].array_children.emplace_back(step, next);
                     trie_.emplace_back();
+                    trie_.back().live = path::QueryBits(set_.size());
                 }
             }
             node = next;
+            trie_[node].live.set(qi);
         }
-        trie_[node].accepts.push_back(qi);
+        if (k < q.steps.size()) {
+            // Divergent suffix: `$` + the remaining steps, compiled
+            // into a single-query engine replayed over the value at
+            // this node.  Filter-first suffixes see the array they
+            // select from; descendant-first suffixes search the value.
+            PathQuery suffix;
+            suffix.steps.assign(q.steps.begin() +
+                                    static_cast<std::ptrdiff_t>(k),
+                                q.steps.end());
+            trie_[node].suffixes.push_back(suffixes_.size());
+            suffixes_.push_back(Suffix{qi, Streamer(std::move(suffix))});
+        } else {
+            trie_[node].accepts.push_back(qi);
+        }
+    }
+
+    // Type summary per node, for the G1 typed attribute scan.
+    for (Node& n : trie_) {
+        bool wants_obj = !n.key_children.empty();
+        bool wants_ary = !n.array_children.empty();
+        bool wants_any = !n.accepts.empty();
+        for (size_t si : n.suffixes) {
+            const PathStep& first =
+                suffixes_[si].streamer.query().steps.front();
+            if (first.kind == PathStep::Kind::Filter)
+                wants_ary = true;
+            else
+                wants_any = true; // descendant: any container type
+        }
+        n.obj_only = wants_obj && !wants_ary && !wants_any;
+        n.ary_only = wants_ary && !wants_obj && !wants_any;
     }
 }
 
 namespace {
 
 using NodeSet = std::vector<int>;
+
+/**
+ * MatchSink adapter for a divergent-suffix replay: forwards each match
+ * to the multi sink under the suffix's distinct query id, and records
+ * whether the outer sink asked the *whole pass* to stop (the nested
+ * Streamer::runResident catches StopStreaming itself, so the driver
+ * must re-throw it to abort the shared walk).
+ */
+class SuffixSink final : public path::MatchSink
+{
+  public:
+    SuffixSink(MultiSink* sink, size_t qi) : sink_(sink), qi_(qi) {}
+
+    void
+    onMatch(std::string_view value) override
+    {
+        if (sink_ == nullptr)
+            return;
+        try {
+            sink_->onMatch(qi_, value);
+        } catch (const StopStreaming&) {
+            stopped = true;
+            throw;
+        }
+    }
+
+    bool stopped = false;
+
+  private:
+    MultiSink* sink_;
+    size_t qi_;
+};
 
 } // namespace
 
@@ -80,7 +169,8 @@ class MultiDriver
           cur_(json),
           skip_(cur_, &result.stats),
           sink_(sink),
-          result_(result)
+          result_(result),
+          emit_bits_(ms.queryCount())
     {}
 
     MultiDriver(const MultiStreamer& ms,
@@ -92,7 +182,8 @@ class MultiDriver
           cur_(source, chunk_bytes),
           skip_(cur_, &result.stats),
           sink_(sink),
-          result_(result)
+          result_(result),
+          emit_bits_(ms.queryCount())
     {}
 
     /** Record ingestion totals once the pass is over. */
@@ -110,7 +201,7 @@ class MultiDriver
         if (c == '\0')
             throw ParseError(ErrorCode::UnexpectedEnd, "empty input", 0);
         NodeSet root{0};
-        runValue(root);
+        runValue(root, /*top=*/true);
     }
 
   private:
@@ -122,46 +213,89 @@ class MultiDriver
         telemetry::PhaseScope phase(telemetry::Phase::Emit);
         while (end > begin && json::isWhitespace(cur_.at(end - 1)))
             --end;
+        // Collect acceptors into a bitset first: one frame per
+        // distinct query per value, by construction, in ascending-id
+        // order regardless of active-set order.
+        emit_bits_.clear();
         for (int n : active) {
-            for (size_t qi : node(n).accepts) {
-                ++result_.matches[qi];
-                if (sink_)
-                    sink_->onMatch(qi, cur_.slice(begin, end));
+            for (size_t qi : node(n).accepts)
+                emit_bits_.set(qi);
+        }
+        emit_bits_.forEach([&](size_t qi) {
+            ++result_.matches[qi];
+            if (sink_)
+                sink_->onMatch(qi, cur_.slice(begin, end));
+        });
+    }
+
+    /**
+     * Replay every divergent suffix registered on the active set over
+     * the value span [begin, end): each suffix is a full single-query
+     * engine (filters, descendants) running on the held-resident
+     * bytes, reporting under its distinct query id.  Error positions
+     * translate by the span offset, so malformed input surfaces at the
+     * same absolute byte a solo run of the full query reports.
+     */
+    void
+    replaySuffixes(const NodeSet& active, size_t begin, size_t end)
+    {
+        while (end > begin && json::isWhitespace(cur_.at(end - 1)))
+            --end;
+        std::string_view span = cur_.slice(begin, end);
+        for (int n : active) {
+            for (size_t si : node(n).suffixes) {
+                const MultiStreamer::Suffix& suf = ms_.suffixes_[si];
+                SuffixSink fwd(sink_, suf.qi);
+                StreamResult r;
+                try {
+                    r = suf.streamer.runResident(span, &fwd);
+                } catch (const ParseError& e) {
+                    throw ParseError(e.code(),
+                                     "in multi-query suffix",
+                                     begin + e.position());
+                }
+                result_.matches[suf.qi] += r.matches;
+                result_.stats.merge(r.stats);
+                result_.per_query[suf.qi].merge(r.stats);
+                if (fwd.stopped)
+                    throw StopStreaming{};
             }
         }
     }
 
-    bool
-    anyAccept(const NodeSet& active) const
-    {
-        for (int n : active) {
-            if (!node(n).accepts.empty())
-                return true;
-        }
-        return false;
-    }
-
-    /** Process one value against the active node set. */
+    /**
+     * Process one value against the active node set.  @p top marks the
+     * root value: on a root type mismatch (no live branch fits the
+     * container, nothing accepts and no suffix wants the bytes) the
+     * pass stops without ingesting the value, exactly like the
+     * single-query engine — the scan is a prefix read, not a
+     * validator, so the batched pass never pulls more chunks than the
+     * slowest solo pass would.
+     */
     void
-    runValue(const NodeSet& active)
+    runValue(const NodeSet& active, bool top = false)
     {
         // Trace tag: representative trie node of the active set.
         skip_.setTraceState(static_cast<uint16_t>(active[0]));
         bool want_obj = false;
         bool want_ary = false;
+        bool accepts = false;
+        bool suffix = false;
         for (int n : active) {
             want_obj = want_obj || !node(n).key_children.empty();
             want_ary = want_ary || !node(n).array_children.empty();
+            accepts = accepts || !node(n).accepts.empty();
+            suffix = suffix || !node(n).suffixes.empty();
         }
-        bool accepts = anyAccept(active);
 
         char c = cur_.skipWhitespace();
         if (c == '\0')
             throw ParseError(ErrorCode::BadValue, "missing value", cur_.pos());
         size_t start = cur_.pos();
         size_t saved = intervals::StreamCursor::kNoHold;
-        if (accepts) {
-            // The value is reported whole once consumed: keep its span
+        if (accepts || suffix) {
+            // The value is reported whole (or replayed against the
+            // divergent suffixes) once consumed: keep its span
             // resident across any chunk seams it straddles.
             saved = cur_.hold();
             cur_.setHold(std::min(saved, start));
@@ -172,14 +306,19 @@ class MultiDriver
         } else if (c == '[' && want_ary) {
             cur_.advance(1);
             runArray(active);
+        } else if (top && !accepts && !suffix) {
+            return; // root type mismatch: no live query can match
         } else {
-            // Nothing deeper can match: fast-forward the whole value.
-            skip_.overValue(accepts ? Group::G3 : Group::G2);
+            // Nothing deeper in the trie can match: fast-forward the
+            // whole value (still resident when a suffix replays it).
+            skip_.overValue((accepts || suffix) ? Group::G3 : Group::G2);
         }
-        if (accepts) {
+        if (accepts)
             emitTo(active, start, cur_.pos());
+        if (suffix)
+            replaySuffixes(active, start, cur_.pos());
+        if (accepts || suffix)
             cur_.setHold(saved);
-        }
     }
 
     /** Count of distinct attribute names the active set can match. */
@@ -315,14 +454,8 @@ class MultiDriver
         for (int n : active) {
             for (const auto& [key, child] : node(n).key_children) {
                 const MultiStreamer::Node& t = node(child);
-                bool obj_only = !t.key_children.empty() &&
-                                t.array_children.empty() &&
-                                t.accepts.empty();
-                bool ary_only = t.key_children.empty() &&
-                                !t.array_children.empty() &&
-                                t.accepts.empty();
-                all_obj = all_obj && obj_only;
-                all_ary = all_ary && ary_only;
+                all_obj = all_obj && t.obj_only;
+                all_ary = all_ary && t.ary_only;
             }
         }
         if (all_obj)
@@ -339,6 +472,7 @@ class MultiDriver
     Skipper skip_;
     MultiSink* sink_;
     MultiStreamer::Result& result_;
+    path::QueryBits emit_bits_;
 };
 
 MultiStreamer::Result
@@ -349,7 +483,8 @@ MultiStreamer::run(std::string_view json, MultiSink* sink) const
         return run(source, sink, chunk);
     }
     Result result;
-    result.matches.assign(queries_.size(), 0);
+    result.matches.assign(set_.size(), 0);
+    result.per_query.assign(set_.size(), FastForwardStats{});
     MultiDriver driver(*this, trie_, json, sink, result);
     try {
         driver.run();
@@ -365,7 +500,8 @@ MultiStreamer::run(intervals::ChunkSource& source, MultiSink* sink,
                    size_t chunk_bytes) const
 {
     Result result;
-    result.matches.assign(queries_.size(), 0);
+    result.matches.assign(set_.size(), 0);
+    result.per_query.assign(set_.size(), FastForwardStats{});
     MultiDriver driver(*this, trie_, source, chunk_bytes, sink, result);
     try {
         driver.run();

@@ -1,13 +1,23 @@
 /**
  * @file
  * Multi-query streaming: evaluate several JSONPath expressions in one
- * pass over the data stream.
+ * pass over the data stream (DESIGN.md §15).
  *
- * The queries are compiled into a prefix trie; the driver walks the
- * stream once with a *set* of active trie nodes per level and
- * fast-forwards whatever no query cares about.  The G4 optimization
- * generalizes: an object is abandoned once every distinct attribute
- * name any active query could match has been seen.
+ * The query set is normalized (canonical forms, duplicates collapsed —
+ * path/queryset.h) and the plain-step prefixes are compiled into a
+ * prefix trie whose nodes carry per-level bitsets of the distinct
+ * queries still live below them.  The driver walks the stream once
+ * with a *set* of active trie nodes per level and fast-forwards
+ * whatever no live query cares about: G2/G4/G5 skips fire only when
+ * *no* live query can match below the skipped region.  The G4
+ * optimization generalizes: an object is abandoned once every distinct
+ * attribute name any active query could match has been seen.
+ *
+ * Queries with a filter or descendant step share the trie up to their
+ * first such step; the divergent suffix is compiled into a per-query
+ * single-query Streamer and replayed over the (held-resident) value
+ * span at the divergence point, so the full query surface — filters,
+ * descendants at any position — batches into the one pass.
  *
  * This extends the paper's single-query framework the way JPStream's
  * multi-query support motivates; all fast-forward machinery is reused
@@ -23,7 +33,9 @@
 #include "intervals/chunk_source.h"
 #include "intervals/cursor.h"
 #include "path/ast.h"
+#include "path/queryset.h"
 #include "ski/stats.h"
+#include "ski/streamer.h"
 
 namespace jsonski::ski {
 
@@ -35,8 +47,10 @@ class MultiSink
 
     /**
      * Called once per match.
-     * @param query_index index into the query vector the streamer was
-     *        built with.
+     * @param query_index *distinct* query id (see
+     *        MultiStreamer::querySet(): input positions map onto ids
+     *        through QuerySet::id_of, so duplicate input queries share
+     *        one match stream).
      * @param value       raw JSON text of the matched value; aliases
      *        the input buffer, valid only during the call.
      */
@@ -62,15 +76,32 @@ class MultiCollectSink : public MultiSink
 class MultiStreamer
 {
   public:
-    /** Compile @p queries into one trie. */
+    /**
+     * Normalize @p queries (canonicalize, dedup) and compile the set
+     * into one trie.  Duplicate inputs collapse: result/sink indices
+     * are *distinct* ids (querySet().id_of maps input positions).
+     */
     explicit MultiStreamer(std::vector<path::PathQuery> queries);
+
+    /** Compile an already-normalized set. */
+    explicit MultiStreamer(path::QuerySet set);
 
     /** Outcome of one pass. */
     struct Result
     {
-        /** Match count per query, same order as the constructor. */
+        /** Match count per *distinct* query id. */
         std::vector<size_t> matches;
+
+        /** Whole-pass totals (shared walk + every suffix replay). */
         FastForwardStats stats;
+
+        /**
+         * Fast-forward work attributable to one query alone: the
+         * divergent-suffix replays of query id qi.  Zero for queries
+         * answered entirely by the shared trie walk (their skips are
+         * shared and live in `stats`).
+         */
+        std::vector<FastForwardStats> per_query;
 
         /** Bytes of the record ingested (== record size on success). */
         size_t input_bytes = 0;
@@ -92,18 +123,41 @@ class MultiStreamer
     /**
      * Single-pass evaluation over a record delivered by a ChunkSource;
      * resident memory is bounded by @p chunk_bytes plus the largest
-     * matched value span (DESIGN.md §9).
+     * span still held — for a query whose suffix diverges at depth d,
+     * the entire value at its divergence point (DESIGN.md §15).
      */
     Result run(intervals::ChunkSource& source, MultiSink* sink = nullptr,
                size_t chunk_bytes = kDefaultChunkBytes) const;
 
-    /** The compiled queries. */
-    const std::vector<path::PathQuery>& queries() const { return queries_; }
+    /** The normalized set (distinct queries, id map, canonical key). */
+    const path::QuerySet& querySet() const { return set_; }
+
+    /** The distinct compiled queries (first-occurrence order). */
+    const std::vector<path::PathQuery>& queries() const
+    {
+        return set_.distinct;
+    }
+
+    /** Distinct query count (== result/sink index range). */
+    size_t queryCount() const { return set_.size(); }
+
+    /** Trie size; shared-prefix sets compile to fewer nodes. */
+    size_t trieNodes() const { return trie_.size(); }
+
+    /** Queries answered by divergent-suffix replay (see file cmt). */
+    size_t suffixCount() const { return suffixes_.size(); }
 
   private:
     friend class MultiDriver;
 
-    /** One trie node; an edge per distinct next step. */
+    /** A query's divergent tail: replayed by a single-query engine. */
+    struct Suffix
+    {
+        size_t qi;         ///< distinct query id it reports as
+        Streamer streamer; ///< compiled `$<first filter/desc step>...`
+    };
+
+    /** One trie node; an edge per distinct next plain step. */
     struct Node
     {
         /** Child per distinct attribute name. */
@@ -112,12 +166,30 @@ class MultiStreamer
         /** Child per distinct array step (ranges may overlap). */
         std::vector<std::pair<path::PathStep, int>> array_children;
 
-        /** Queries accepted at this node (value = match). */
+        /** Distinct query ids accepted at this node (value = match). */
         std::vector<size_t> accepts;
+
+        /** Indices into suffixes_ replayed over this node's value. */
+        std::vector<size_t> suffixes;
+
+        /** Per-level live bitset: ids whose path traverses this node. */
+        path::QueryBits live;
+
+        /**
+         * Type summary for the G1 typed scan: every interest below
+         * this node is an object attribute / an array element.
+         * Computed once at compile time; sharedFilter() ANDs these
+         * across the candidate children of an active set.
+         */
+        bool obj_only = false;
+        bool ary_only = false;
     };
 
-    std::vector<path::PathQuery> queries_;
+    void build();
+
+    path::QuerySet set_;
     std::vector<Node> trie_;
+    std::vector<Suffix> suffixes_;
 };
 
 } // namespace jsonski::ski

@@ -12,6 +12,8 @@
 #include "kernels/kernel.h"
 #include "path/matches.h"
 #include "path/parser.h"
+#include "path/queryset.h"
+#include "ski/multi.h"
 #include "ski/record_scanner.h"
 #include "ski/streamer.h"
 #include "testing/mutator.h"
@@ -377,6 +379,95 @@ runDifferentialFuzz(const FuzzConfig& config)
                 ++report.escapes;
                 recordFailure(std::string("near-miss parser escape: ") +
                               e.what() + " query=" + miss);
+            }
+        }
+
+        // Query-set leg: one combined multi-query pass over a random
+        // batch (duplicates and overlapping prefixes included),
+        // differenced against sequential solo runs.  Values must agree
+        // per distinct query on valid mutants; invalid mutants only
+        // need the result-or-in-range-ParseError contract on both
+        // sides (see the file comment in differential.h).
+        {
+            std::vector<std::string> set_texts =
+                query_mutator.querySet();
+            std::string set_ctx = " set=";
+            for (size_t i = 0; i < set_texts.size(); ++i)
+                set_ctx += (i != 0 ? "," : "") + set_texts[i];
+            set_ctx += " " + context;
+            try {
+                path::QuerySet qset =
+                    path::QuerySet::fromTexts(set_texts);
+                ski::MultiStreamer ms(qset);
+                ski::MultiCollectSink msink(ms.queryCount());
+                ++report.set_runs;
+                bool m_threw = false;
+                ErrorCode m_code = ErrorCode::Unspecified;
+                size_t m_pos = 0;
+                std::string m_what;
+                try {
+                    ms.run(mutant, &msink);
+                } catch (const ParseError& e) {
+                    m_threw = true;
+                    m_code = e.code();
+                    m_pos = e.position();
+                    m_what = e.what();
+                }
+                (void)m_code;
+                if (m_threw && m_pos > mutant.size()) {
+                    ++report.escapes;
+                    recordFailure(
+                        "batched position past the input: " + m_what +
+                        set_ctx);
+                } else if (valid && m_threw) {
+                    ++report.divergences;
+                    recordFailure("batched throw on valid mutant: " +
+                                  m_what + set_ctx);
+                } else if (valid) {
+                    for (size_t qi = 0; qi < ms.queryCount(); ++qi) {
+                        EngineRun solo =
+                            runStreamer(mutant, ms.queries()[qi]);
+                        if (solo.threw_other || solo.threw_parse_error)
+                            continue; // the fixed-query leg's territory
+                        if (msink.values[qi] != solo.values) {
+                            ++report.divergences;
+                            recordFailure(
+                                "batched value divergence (batched " +
+                                std::to_string(msink.values[qi].size()) +
+                                " vs solo " +
+                                std::to_string(solo.values.size()) +
+                                " values) query=" +
+                                ms.querySet().canonical[qi] + set_ctx);
+                        }
+                    }
+                }
+            } catch (const PathError&) {
+                // querySet() entries parse by construction.
+                ++report.escapes;
+                recordFailure("generated query set failed to compile" +
+                              set_ctx);
+            } catch (const std::exception& e) {
+                ++report.escapes;
+                recordFailure(std::string("query-set escape: ") +
+                              e.what() + set_ctx);
+            }
+
+            // Atomic-rejection probe: salt the set with a near-miss;
+            // the whole set must parse or be rejected with PathError —
+            // a partial compile or a foreign exception is an escape.
+            std::vector<std::string> salted = set_texts;
+            salted.insert(salted.begin() + static_cast<long>(
+                              query_mutator.rng().below(salted.size() + 1)),
+                          query_mutator.nearMiss());
+            try {
+                (void)path::QuerySet::fromTexts(salted);
+            } catch (const PathError&) {
+                ++report.set_rejects;
+            } catch (const std::exception& e) {
+                ++report.escapes;
+                recordFailure(
+                    std::string("salted query-set escape: ") + e.what() +
+                    set_ctx);
             }
         }
 

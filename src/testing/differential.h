@@ -53,6 +53,20 @@
  * parse or be rejected with PathError carrying a position inside the
  * text; any other exception, or an out-of-range position, is an
  * escape.
+ *
+ * Query-set mode: every mutant is additionally run through the
+ * combined multi-query engine on a QueryMutator::querySet() batch
+ * (salted with exact duplicates and overlapping prefixes) and
+ * differenced against sequential single-query runs.  On a valid
+ * mutant the batched pass must succeed and every distinct query's
+ * values must equal its solo run's, byte for byte; on an invalid
+ * mutant both sides keep the result-or-in-range-ParseError contract
+ * (the §3.3 skip license means a solo pass may lawfully notice damage
+ * the batched pass parses, and vice versa, so value agreement is only
+ * required when the document is valid — the queryset differential
+ * test pins exact error agreement on crafted malformed documents).
+ * Alongside, one set salted with a nearMiss() query must either parse
+ * entirely or be rejected atomically with PathError (set_rejects).
  */
 #ifndef JSONSKI_TESTING_DIFFERENTIAL_H
 #define JSONSKI_TESTING_DIFFERENTIAL_H
@@ -92,6 +106,8 @@ struct FuzzReport
     size_t kernel_replays = 0; ///< whole-buffer replays under other kernels
     size_t grammar_runs = 0;    ///< generated well-formed queries evaluated
     size_t grammar_rejects = 0; ///< near-miss queries rejected by the parser
+    size_t set_runs = 0;    ///< batched-vs-sequential query-set replays
+    size_t set_rejects = 0; ///< near-miss-salted sets rejected atomically
     size_t index_replays = 0;   ///< warm (semi-indexed) replays vs streaming
     size_t index_mutations = 0; ///< corrupted sidecars rejected by deserialize
 

@@ -4,6 +4,7 @@
 
 #include "intervals/block.h"
 #include "path/ast.h"
+#include "path/parser.h"
 
 namespace jsonski::testing {
 
@@ -86,6 +87,30 @@ QueryMutator::wellFormed()
             text.insert(p, 1, ' ');
     }
     return text;
+}
+
+std::vector<std::string>
+QueryMutator::querySet()
+{
+    std::vector<std::string> set;
+    size_t n = 2 + rng_.below(4);
+    for (size_t i = 0; i < n; ++i) {
+        size_t shape = rng_.below(6);
+        if (!set.empty() && shape == 0) {
+            // Exact duplicate: the batched engine must collapse it.
+            set.push_back(set[rng_.below(set.size())]);
+        } else if (!set.empty() && shape <= 2) {
+            // Overlapping prefix: extend an earlier query by one step,
+            // so the shared trie gets real multi-query nodes.
+            path::PathQuery q =
+                path::parse(set[rng_.below(set.size())]);
+            q.steps.push_back(randomStep(rng_));
+            set.push_back(q.toString());
+        } else {
+            set.push_back(wellFormed());
+        }
+    }
+    return set;
 }
 
 std::string

@@ -64,6 +64,15 @@ class QueryMutator
     /** A random query text guaranteed to parse. */
     std::string wellFormed();
 
+    /**
+     * A random query *set* of 2..5 texts for the batched-vs-sequential
+     * leg: deliberately salted with exact duplicates (the batched
+     * engine must collapse them) and overlapping-prefix extensions of
+     * earlier entries (so the shared trie gets real multi-query
+     * nodes).  Every entry parses.
+     */
+    std::vector<std::string> querySet();
+
     /** A damaged query text; usually (not always) rejected. */
     std::string nearMiss();
 

@@ -50,6 +50,7 @@ enum class ErrorCode {
     BadRequest,         ///< malformed service request header
     MatchLimitExceeded, ///< per-request match cap reached (service)
     IndexMismatch,      ///< structural index disagrees with the document
+    TooManyQueries,     ///< query list exceeds the server's cap
 };
 
 /** Short stable name for an ErrorCode ("unterminated-string", ...). */
@@ -77,6 +78,7 @@ errorCodeName(ErrorCode code)
       case ErrorCode::BadRequest: return "bad-request";
       case ErrorCode::MatchLimitExceeded: return "match-limit-exceeded";
       case ErrorCode::IndexMismatch: return "index-mismatch";
+      case ErrorCode::TooManyQueries: return "too-many-queries";
     }
     return "unknown";
 }
@@ -85,7 +87,7 @@ errorCodeName(ErrorCode code)
 inline ErrorCode
 errorCodeFromName(std::string_view name)
 {
-    for (int i = 0; i <= static_cast<int>(ErrorCode::IndexMismatch);
+    for (int i = 0; i <= static_cast<int>(ErrorCode::TooManyQueries);
          ++i) {
         auto code = static_cast<ErrorCode>(i);
         if (errorCodeName(code) == name)

@@ -274,11 +274,25 @@ TEST(Descendant, PisonRejectsByDesign)
                  PathError);
 }
 
-TEST(Descendant, MultiStreamerRejects)
+TEST(Descendant, MultiStreamerEvaluatesDescendants)
 {
+    // Descendant steps ride the divergent-suffix fallback: the
+    // combined pass must agree with the single-query run.
+    const std::string doc =
+        R"({"a":1,"b":{"a":[2,3],"c":{"a":4}},"d":5})";
     std::vector<path::PathQuery> qs;
     qs.push_back(parse("$..a"));
-    EXPECT_THROW(ski::MultiStreamer ms(std::move(qs)), PathError);
+    qs.push_back(parse("$.d"));
+    ski::MultiStreamer ms(std::move(qs));
+    ski::MultiCollectSink sink(ms.queryCount());
+    auto r = ms.run(doc, &sink);
+
+    path::CollectSink solo;
+    ski::Streamer single(parse("$..a"));
+    auto sr = single.run(doc, &solo);
+    EXPECT_EQ(r.matches[0], sr.matches);
+    EXPECT_EQ(sink.values[0], solo.values);
+    EXPECT_EQ(sink.values[1], (std::vector<std::string>{"5"}));
 }
 
 TEST(Descendant, RandomDifferentialSkiVsDom)

@@ -278,9 +278,21 @@ TEST(Filter, RandomDifferentialSkiVsDom)
     EXPECT_GT(total, 50u);
 }
 
-TEST(Filter, EnginesWithoutFilterSupportRejectLoudly)
+TEST(Filter, MultiStreamerEvaluatesFilters)
 {
-    // The capability boundary is a typed error, not a wrong answer.
+    // Filters ride the divergent-suffix fallback: the combined pass
+    // must agree with the single-query run, value for value.
+    const std::string doc =
+        R"([{"a":1,"x":"p"},{"a":2},{"a":1,"x":"q"},{"b":3}])";
     path::PathQuery q = path::parse("$[?(@.a==1)]");
-    EXPECT_THROW(ski::MultiStreamer({q}), PathError);
+    ski::MultiStreamer ms({q});
+    ski::MultiCollectSink sink(1);
+    auto r = ms.run(doc, &sink);
+
+    path::CollectSink solo;
+    ski::Streamer single(q);
+    auto sr = single.run(doc, &solo);
+    EXPECT_EQ(r.matches[0], sr.matches);
+    EXPECT_EQ(sink.values[0], solo.values);
+    EXPECT_EQ(sr.matches, 2u);
 }

@@ -159,6 +159,11 @@ TEST(FuzzSmoke, TenThousandMutantsNoDivergenceNoEscape)
     // whose streaming run escaped are skipped).
     EXPECT_GE(report.index_replays, report.executed / 2);
     EXPECT_EQ(report.index_mutations, report.index_replays);
+    // The query-set leg must have run one batched-vs-sequential pass
+    // per mutant, and the near-miss-salted sets must have been
+    // rejected atomically a healthy share of the time.
+    EXPECT_EQ(report.set_runs, report.executed);
+    EXPECT_GT(report.set_rejects, report.executed / 4);
     std::string details;
     for (const std::string& f : report.failures)
         details += "\n  " + f;

@@ -79,9 +79,15 @@ TEST(MultiStreamer, OverlappingArrayRanges)
 
 TEST(MultiStreamer, DuplicateQueries)
 {
+    // Duplicates collapse into one distinct query with one match
+    // stream; both input positions map onto distinct id 0.
     MultiStreamer ms = make({"$.user.id", "$.user.id"});
+    EXPECT_EQ(ms.queryCount(), 1u);
+    EXPECT_EQ(ms.querySet().id_of, (std::vector<size_t>{0, 0}));
+    EXPECT_EQ(ms.querySet().representatives(),
+              (std::vector<size_t>{0}));
     auto r = ms.run(kDoc);
-    EXPECT_EQ(r.matches, (std::vector<size_t>{1, 1}));
+    EXPECT_EQ(r.matches, (std::vector<size_t>{1}));
 }
 
 TEST(MultiStreamer, MatchesSingleQueryRuns)

@@ -136,6 +136,110 @@ TEST(Header, RejectionsAreTypedBadRequest)
     }
 }
 
+TEST(Header, QueriesFlagDeclaresContinuationLines)
+{
+    RequestHeader h = parseHeader("jsq/1 $.a queries=2");
+    ASSERT_EQ(h.queries.size(), 1u);
+    EXPECT_EQ(h.queries[0], "$.a");
+    EXPECT_EQ(h.pending_queries, 2u);
+
+    const char* bad[] = {
+        "jsq/1 $.a queries=",    // empty count
+        "jsq/1 $.a queries=0",   // zero lines makes no sense
+        "jsq/1 $.a queries=x",   // non-numeric
+        "jsq/1 !stats queries=1",// stats takes no flags
+    };
+    for (const char* line : bad) {
+        try {
+            parseHeader(line);
+            ADD_FAILURE() << "accepted: " << line;
+        } catch (const ParseError& e) {
+            EXPECT_EQ(e.code(), ErrorCode::BadRequest) << line;
+        }
+    }
+}
+
+TEST(QueryLine, RoundTripAndRejections)
+{
+    std::string line = encodeQueryLine("$.a[1:3].b");
+    ASSERT_FALSE(line.empty());
+    ASSERT_EQ(line.back(), '\n');
+    EXPECT_EQ(parseQueryLine(
+                  std::string_view(line).substr(0, line.size() - 1)),
+              "$.a[1:3].b");
+    // Whitespace around the query trims away, like the header list.
+    EXPECT_EQ(parseQueryLine("query=  $.x "), "$.x");
+
+    for (const char* bad : {"query=", "query= ", "$.a", ""}) {
+        try {
+            parseQueryLine(bad);
+            ADD_FAILURE() << "accepted: '" << bad << "'";
+        } catch (const ParseError& e) {
+            EXPECT_EQ(e.code(), ErrorCode::BadRequest) << bad;
+        }
+    }
+}
+
+TEST(Header, MultilineEncodingRoundTrips)
+{
+    // The scales-past-the-header-cap form: first query inline, the
+    // rest shipped as query= continuation lines declared by queries=N.
+    RequestHeader h;
+    h.queries = {"$.a[*]", "$..b", "$[?(@.c=='x, y')]"};
+    h.multiline = true;
+    h.has_length = true;
+    h.length = 10;
+
+    std::string wire = encodeHeader(h);
+    std::vector<std::string> lines;
+    for (size_t pos = 0; pos < wire.size();) {
+        size_t nl = wire.find('\n', pos);
+        lines.push_back(wire.substr(pos, nl - pos));
+        pos = nl + 1;
+    }
+    ASSERT_EQ(lines.size(), 3u);
+
+    RequestHeader back = parseHeader(lines[0]);
+    ASSERT_EQ(back.queries.size(), 1u);
+    EXPECT_EQ(back.queries[0], "$.a[*]");
+    EXPECT_EQ(back.pending_queries, 2u);
+    EXPECT_TRUE(back.has_length);
+    for (size_t i = 0; i < back.pending_queries; ++i)
+        back.queries.push_back(parseQueryLine(lines[1 + i]));
+    back.pending_queries = 0;
+    EXPECT_EQ(back.queries, h.queries);
+
+    // A single query never grows continuation lines, multiline or not.
+    RequestHeader one;
+    one.queries = {"$.a"};
+    one.multiline = true;
+    std::string flat = encodeHeader(one);
+    EXPECT_EQ(flat.find("queries="), std::string::npos);
+    EXPECT_EQ(flat.find("query="), std::string::npos);
+}
+
+TEST(Trailer, QmapRoundTrip)
+{
+    // A duplicate-bearing request: positions 0 and 1 share distinct
+    // query 0 (both report its count), position 2 owns its own.
+    Trailer t;
+    t.ok = true;
+    t.matches = 12;
+    t.per_query = {5, 5, 2};
+    t.qmap = {0, 0, 2};
+
+    std::string line = encodeTrailer(t);
+    Trailer back = parseTrailer(
+        std::string_view(line).substr(0, line.size() - 1));
+    EXPECT_EQ(back.per_query, t.per_query);
+    EXPECT_EQ(back.qmap, t.qmap);
+
+    // Omitted on single-query responses.
+    Trailer single;
+    single.ok = true;
+    EXPECT_EQ(encodeTrailer(single).find("qmap="), std::string::npos);
+}
+
 TEST(Trailer, OkRoundTrip)
 {
     Trailer t;

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "path/parser.h"
+#include "path/queryset.h"
 #include "service/loopback.h"
 #include "service/plan_cache.h"
 #include "service/protocol.h"
@@ -226,6 +227,165 @@ TEST(Service, MultiQueryDifferentialAndPerQueryCounts)
     server.stop();
 }
 
+TEST(Service, DuplicateQueriesShareOneFrameStream)
+{
+    // Regression for the duplicate double-emit bug: a request listing
+    // the same query twice (under different spellings) gets ONE frame
+    // stream, tagged with the representative request position; the
+    // trailer still reports a count per request position (duplicates
+    // repeat) and qmap says which frame id serves each position.
+    Server server;
+    server.start();
+    const std::string doc = R"({"a": [1, 2], "b": "v"})";
+    RequestHeader h;
+    h.queries = {"$.a[*]", "$['a'][*]", "$.b"};
+
+    for (size_t chunk : kChunkings) {
+        ClientResult r = runRequest(server, h, doc, chunked(chunk));
+        ASSERT_TRUE(r.has_trailer);
+        EXPECT_TRUE(r.trailer.ok);
+        // Distinct matches only: 2 for $.a[*] (once!) + 1 for $.b.
+        EXPECT_EQ(r.trailer.matches, 3u);
+        EXPECT_EQ(r.trailer.per_query,
+                  (std::vector<size_t>{2, 2, 1}));
+        EXPECT_EQ(r.trailer.qmap, (std::vector<size_t>{0, 0, 2}));
+        ASSERT_EQ(r.matches.size(), 3u);
+        EXPECT_EQ(r.matches[0].first, 0u);
+        EXPECT_EQ(r.matches[0].second, "1");
+        EXPECT_EQ(r.matches[1].first, 0u);
+        EXPECT_EQ(r.matches[1].second, "2");
+        EXPECT_EQ(r.matches[2].first, 2u);
+        EXPECT_EQ(r.matches[2].second, "\"v\"");
+    }
+    server.stop();
+}
+
+TEST(Service, MultilineQueryListMatchesInlineList)
+{
+    // The continuation-line form must be observationally identical to
+    // the inline comma list: same frames, same tags, same trailer.
+    Server server;
+    server.start();
+    const std::string doc =
+        R"({"a": [1, 2, 3], "b": {"c": "v"}, "d": [{"c": 9}]})";
+    RequestHeader inline_h;
+    inline_h.queries = {"$.a[*]", "$.b.c", "$.d[*].c"};
+    RequestHeader multi_h = inline_h;
+    multi_h.multiline = true;
+
+    for (size_t chunk : kChunkings) {
+        ClientResult a = runRequest(server, inline_h, doc, chunked(chunk));
+        ClientResult b = runRequest(server, multi_h, doc, chunked(chunk));
+        ASSERT_TRUE(a.has_trailer);
+        ASSERT_TRUE(b.has_trailer);
+        EXPECT_TRUE(b.trailer.ok);
+        EXPECT_EQ(b.trailer.matches, a.trailer.matches);
+        EXPECT_EQ(b.trailer.per_query, a.trailer.per_query);
+        EXPECT_EQ(b.trailer.qmap, a.trailer.qmap);
+        EXPECT_EQ(b.matches, a.matches);
+    }
+    EXPECT_EQ(server.stats().multi_query_requests,
+              2 * kChunkings.size());
+    server.stop();
+}
+
+TEST(Service, OversizedQueryListIsATypedRejection)
+{
+    ServerConfig cfg;
+    cfg.max_queries = 2;
+    Server server(cfg);
+    server.start();
+
+    // Inline form: three queries against a cap of two.
+    RequestHeader h;
+    h.queries = {"$.a", "$.b", "$.c"};
+    ClientResult r = runRequest(server, h, "{}");
+    ASSERT_TRUE(r.has_trailer);
+    EXPECT_FALSE(r.trailer.ok);
+    EXPECT_EQ(r.trailer.code, ErrorCode::TooManyQueries);
+
+    // Declared form: the header announces five continuation lines the
+    // client never sends — the server must reject on the declaration
+    // alone (before reading a single query= line), so the response is
+    // TooManyQueries, not a read timeout or UnexpectedEnd.
+    Trailer t = trailerOf(rawExchange(server, "jsq/1 $.a queries=5\n"));
+    EXPECT_FALSE(t.ok);
+    EXPECT_EQ(t.code, ErrorCode::TooManyQueries);
+
+    EXPECT_EQ(server.stats().rejected_too_many_queries, 2u);
+
+    // At the cap is fine.
+    RequestHeader ok_h;
+    ok_h.queries = {"$.a", "$.b"};
+    ClientResult ok = runRequest(server, ok_h, R"({"a": 1, "b": 2})");
+    ASSERT_TRUE(ok.has_trailer);
+    EXPECT_TRUE(ok.trailer.ok);
+    EXPECT_EQ(ok.trailer.matches, 2u);
+    server.stop();
+}
+
+TEST(Service, PlanCacheKeysOnTheCanonicalQuerySet)
+{
+    // The multi-query plan cache is keyed on the canonical *set*:
+    // order and duplicates collapse away, so {A,B} and {B,A,A} share
+    // one compiled engine; {A,C} is a different set and misses.
+    PlanCache cache(8);
+    bool hit = false;
+    auto p1 = cache.get("$.a, $.b", &hit);
+    EXPECT_FALSE(hit);
+    auto p2 = cache.get("$.b, $['a'], $.a", &hit);
+    EXPECT_TRUE(hit);
+    EXPECT_EQ(p1.get(), p2.get());
+    auto p3 = cache.get("$.a, $.c", &hit);
+    EXPECT_FALSE(hit);
+    EXPECT_NE(p1.get(), p3.get());
+    EXPECT_EQ(cache.size(), 2u);
+
+    // The request-set out-param still reflects the *request* order and
+    // duplicates, which is what frame tagging keys on.
+    path::QuerySet set;
+    cache.get("$.b, $.a, $.a", &hit, &set);
+    EXPECT_TRUE(hit);
+    EXPECT_EQ(set.id_of, (std::vector<size_t>{0, 1, 1}));
+    EXPECT_EQ(set.canonical,
+              (std::vector<std::string>{"$.b", "$.a"}));
+}
+
+TEST(Service, MultiQueryWithSuffixesOverTheWire)
+{
+    // Filter and descendant members of a query set replay on divergent
+    // suffixes server-side; the wire result must equal the direct
+    // combined run, frame tags included.
+    Server server;
+    server.start();
+    const std::string doc =
+        R"({"items": [{"a": 1, "b": "p"}, {"a": 2, "b": "q"}, )"
+        R"({"a": 1, "b": "r"}], "meta": {"id": 3, "sub": {"id": 4}}})";
+    RequestHeader h;
+    h.queries = {"$.items[?(@.a==1)].b", "$..id", "$.meta.id"};
+
+    ski::MultiStreamer direct(path::QuerySet::fromTexts(h.queries));
+    ski::MultiCollectSink sink(direct.queryCount());
+    auto dr = direct.run(doc, &sink);
+
+    for (size_t chunk : kChunkings) {
+        ClientResult r = runRequest(server, h, doc, chunked(chunk));
+        ASSERT_TRUE(r.has_trailer) << "chunk=" << chunk;
+        EXPECT_TRUE(r.trailer.ok);
+        ASSERT_EQ(r.trailer.per_query.size(), 3u);
+        for (size_t i = 0; i < 3; ++i)
+            EXPECT_EQ(r.trailer.per_query[i],
+                      dr.matches[direct.querySet().id_of[i]]);
+        std::vector<std::vector<std::string>> got(direct.queryCount());
+        for (auto& [qi, value] : r.matches) {
+            ASSERT_LT(qi, 3u);
+            got[direct.querySet().id_of[qi]].push_back(value);
+        }
+        EXPECT_EQ(got, sink.values);
+    }
+    server.stop();
+}
+
 TEST(Service, QuoteAwareQueryListSplitting)
 {
     // Filter string literals may contain every separator the protocol
@@ -280,13 +440,13 @@ TEST(Service, PlanCacheCanonicalizesFilterSpellings)
     EXPECT_EQ(cache.hits(), 2u);
     EXPECT_EQ(cache.misses(), 2u);
 
-    // A malformed filter throws before anything is inserted, and a
-    // filter inside a *multi*-query list is a capability rejection
-    // (multi-query streaming does not support filters) — also before
-    // insertion.
+    // A malformed filter throws before anything is inserted; a filter
+    // inside a multi-query list compiles (the combined engine replays
+    // it on the divergent suffix).
     EXPECT_THROW(cache.get("$[?(@.]"), PathError);
-    EXPECT_THROW(cache.get("$.id,$[?(@.s=='x')]"), PathError);
     EXPECT_EQ(cache.size(), 2u);
+    EXPECT_NO_THROW(cache.get("$.id,$[?(@.s=='x')]"));
+    EXPECT_EQ(cache.size(), 3u);
 }
 
 TEST(Service, FilterQueryOverTheWireMatchesDirect)
